@@ -1,0 +1,23 @@
+# Convenience targets for the FGCS reproduction.
+
+.PHONY: install test bench artifacts report clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+artifacts: bench
+	@ls benchmarks/out/
+
+report:
+	repro-fgcs report report_out/
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis .benchmarks \
+	       report_out test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

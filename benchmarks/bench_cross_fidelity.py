@@ -1,0 +1,85 @@
+"""Cross-fidelity validation bench.
+
+The trace study runs on the fluid load model; the contention experiments
+run on the quantum-level machine.  This bench replays a generated
+machine-day's episode plan on the fine machine and checks the detector
+sees the same events through both paths — the simulator's two fidelity
+levels are mutually consistent.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.report import render_table
+from repro.config import FgcsConfig, TestbedConfig
+from repro.core import detect_events
+from repro.core.model import MultiStateModel
+from repro.simkernel import Simulator
+from repro.units import DAY
+from repro.workloads.loadmodel import MachineTraceGenerator
+from repro.workloads.replay import FineGrainedReplay
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=1, duration=1 * DAY),
+        seed=31,
+    )
+
+
+def run_both(config):
+    gen = MachineTraceGenerator(config)
+    plan = gen.plan(0)
+    model = MultiStateModel(thresholds=config.thresholds)
+    trace = gen.generate(0)
+    fluid = detect_events(
+        trace.samples, machine_id=0, model=model, end_time=trace.span
+    )
+    sim = Simulator()
+    replay = FineGrainedReplay(sim, config, list(plan))
+    replay.start()
+    fine = replay.run(config.testbed.duration)
+    return fluid, fine
+
+
+def test_fine_replay_bench(benchmark, config):
+    fluid, fine = benchmark.pedantic(
+        lambda: run_both(config), rounds=1, iterations=1
+    )
+    assert fine
+
+
+def test_cross_fidelity_agreement(benchmark, config, out_dir):
+    def run():
+        fluid, fine = run_both(config)
+        rows = []
+        for a, b in zip(fluid, fine):
+            rows.append(
+                [
+                    a.state.value,
+                    f"{a.start:.0f}/{b.start:.0f}",
+                    f"{a.end:.0f}/{b.end:.0f}",
+                    f"{abs(a.start - b.start):.0f}s",
+                ]
+            )
+        emit(
+            out_dir,
+            "cross_fidelity.txt",
+            render_table(
+                ["state", "start (fluid/fine)", "end (fluid/fine)", "|delta start|"],
+                rows,
+                title="Cross-fidelity: one machine-day through both simulators",
+            ),
+        )
+        assert len(fluid) == len(fine)
+        period = config.monitor.period
+        for a, b in zip(fluid, fine):
+            assert a.state is b.state
+            assert abs(a.start - b.start) <= 3 * period
+
+    once(benchmark, run)
+

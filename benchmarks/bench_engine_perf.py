@@ -1,0 +1,74 @@
+"""Engine performance: throughput of the simulator substrates.
+
+Not a paper artifact — these pin the performance envelope that makes the
+paper-scale reproduction cheap: quantum-level machine simulation for the
+contention experiments, vectorized signal synthesis and detection for the
+three-month trace.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FgcsConfig, TestbedConfig
+from repro.core.detector import BatchDetector
+from repro.core.model import MultiStateModel
+from repro.oskernel import Machine
+from repro.units import DAY
+from repro.workloads.loadmodel import MachineTraceGenerator
+from repro.workloads.synthetic import guest_task, host_task
+
+
+def test_machine_quantum_throughput(benchmark):
+    """Simulated seconds per wall second for a contended 3-task machine."""
+
+    def run():
+        m = Machine()
+        m.spawn(host_task("h1", 0.4))
+        m.spawn(host_task("h2", 0.3, period=1.1))
+        m.spawn(guest_task(nice=19))
+        m.run_for(60.0)
+        return m
+
+    m = benchmark(run)
+    assert m.now == pytest.approx(60.0)
+
+
+def test_signal_synthesis_throughput(benchmark):
+    """Machine-days of monitor signal synthesized per call."""
+    cfg = dataclasses.replace(
+        FgcsConfig(), testbed=TestbedConfig(n_machines=1, duration=7 * DAY)
+    )
+    gen = MachineTraceGenerator(cfg)
+    trace = benchmark(gen.generate, 0)
+    assert len(trace.samples) > 50000
+
+
+def test_batch_detection_throughput(benchmark):
+    """Detector samples/second over a week of signal."""
+    cfg = dataclasses.replace(
+        FgcsConfig(), testbed=TestbedConfig(n_machines=1, duration=7 * DAY)
+    )
+    trace = MachineTraceGenerator(cfg).generate(0)
+    detector = BatchDetector(MultiStateModel(thresholds=cfg.thresholds))
+    events = benchmark(detector.detect, trace.samples, machine_id=0,
+                       end_time=trace.span)
+    assert events
+
+
+def test_event_queue_throughput(benchmark):
+    """Push/pop throughput of the simulation kernel's event heap."""
+    from repro.simkernel import EventQueue
+
+    def churn():
+        q = EventQueue()
+        noop = lambda t: None
+        for k in range(10000):
+            q.push(float(k % 97), noop)
+        n = 0
+        while q:
+            q.pop()
+            n += 1
+        return n
+
+    assert benchmark(churn) == 10000

@@ -1,0 +1,64 @@
+"""Figure 4: slowdown of host processes under CPU + memory contention
+(SPEC guests vs Musbus hosts on the 384 MB machine).
+
+Paper landmarks: memory thrashing occurs exactly when working sets exceed
+physical memory (H2/H5 with apsi, bzip2, mcf — never galgel), regardless
+of guest priority; where memory suffices, the CPU thresholds govern (H1/H3
+negligible, H4 needs renicing, H6 needs termination).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.report import render_figure4
+from repro.contention.sweeps import figure4_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure4_sweep(duration=120.0)
+
+
+def test_figure4_bench(benchmark):
+    res = benchmark.pedantic(
+        lambda: figure4_sweep(guests=("apsi", "galgel"), hosts=("H1", "H2"),
+                              duration=30.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.cells
+
+
+def test_figure4_full_reproduction(benchmark, result, out_dir):
+    def run():
+        emit(out_dir, "figure4.txt", render_figure4(result))
+
+        pairs = result.thrashing_pairs()
+        # Thrashing exactly where Table 1 working sets exceed 384 MB - kernel.
+        expected = {
+            (g, h) for g in ("apsi", "bzip2", "mcf") for h in ("H2", "H5")
+        }
+        assert pairs == expected
+
+        # Thrashing is priority-independent and noticeable.
+        for g, h in expected:
+            for nice in (0, 19):
+                cell = result.cell(g, h, nice)
+                assert cell.thrashing
+                assert cell.reduction > 0.05
+
+        # Where memory suffices, the CPU thresholds govern.
+        for g in ("apsi", "galgel", "bzip2", "mcf"):
+            # H1 (8.6%) and H3 (17.2%) below Th1: negligible even at nice 0.
+            assert result.cell(g, "H1", 19).reduction < 0.05
+            assert result.cell(g, "H3", 19).reduction < 0.05
+            # H6 (66.2%) above Th2: noticeable at default priority.
+            assert result.cell(g, "H6", 0).reduction > 0.05
+
+        # Renicing rescues H4 (21.9%, between Th1 and Th2).
+        for g in ("galgel", "mcf"):
+            assert result.cell(g, "H4", 0).reduction > result.cell(g, "H4", 19).reduction - 0.02
+            assert result.cell(g, "H4", 19).reduction < 0.05
+
+    once(benchmark, run)
+

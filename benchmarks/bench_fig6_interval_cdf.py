@@ -1,0 +1,174 @@
+"""Figure 6: cumulative distribution of availability-interval lengths.
+
+Paper landmarks: weekday intervals average close to 3 hours vs above 5 on
+weekends; ~60% of weekday mass between 2 and 4 hours and of weekend mass
+between 4 and 6; ~5% of intervals shorter than 5 minutes; curves nearly
+flat between 5 minutes and 2 hours (so the system should wait ~5 minutes
+before harvesting a freshly recovered machine).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, once
+from repro.analysis.intervals import interval_distribution
+from repro.analysis.report import render_figure6
+
+
+def test_interval_analysis_bench(benchmark, paper_trace):
+    dist = benchmark(interval_distribution, paper_trace)
+    assert len(dist.weekday_hours) > 0
+
+
+def test_figure6_full_reproduction(benchmark, paper_trace, out_dir):
+    def run():
+        from repro.analysis.ascii import render_figure6_chart
+
+        dist = interval_distribution(paper_trace)
+        lm = dist.landmarks()
+        text = render_figure6(dist) + "\n\n" + render_figure6_chart(dist)
+        text += (
+            "\n\nlandmarks (paper):"
+            f"\n  weekday mean {lm['weekday_mean_h']:.2f} h (close to 3 h)"
+            f"\n  weekend mean {lm['weekend_mean_h']:.2f} h (above 5 h)"
+            f"\n  weekday mass 2-4 h {lm['weekday_frac_2_4h']:.0%} (about 60%)"
+            f"\n  weekend mass 4-6 h {lm['weekend_frac_4_6h']:.0%} (about 60%)"
+            f"\n  below 5 min {lm['frac_below_5min']:.1%} (about 5%)"
+            f"\n  weekday mass 5 min-2 h {lm['weekday_frac_5min_2h']:.1%} (flat)"
+        )
+        emit(out_dir, "figure6.txt", text)
+
+        assert 2.5 <= lm["weekday_mean_h"] <= 4.3
+        assert lm["weekend_mean_h"] >= 4.5
+        assert lm["weekday_mean_h"] < lm["weekend_mean_h"]
+        assert lm["weekday_frac_2_4h"] >= 0.40
+        assert lm["weekend_frac_4_6h"] >= 0.35
+        assert 0.02 <= lm["frac_below_5min"] <= 0.09
+        assert lm["weekday_frac_5min_2h"] <= 0.15
+
+        # CDF curves ordered as in the figure: weekday above weekend through
+        # the 2-6 h region.
+        grid, wk, we = dist.cdf_series()
+        mid = (grid >= 2.5) & (grid <= 5.5)
+        assert (wk[mid] >= we[mid]).mean() > 0.9
+
+    once(benchmark, run)
+
+def test_interval_distribution_fits(benchmark, paper_trace, out_dir):
+    """Parametric fits (the Brevik/Nurmi/Wolski methodology from the
+    paper's related work): FGCS availability intervals are strongly aged —
+    the memoryless exponential is rejected in favour of shaped families."""
+    def run():
+        from repro.analysis.fits import fit_interval_distributions
+
+        dist = interval_distribution(paper_trace)
+        comp = fit_interval_distributions(dist.weekday_hours)
+        text = comp.render()
+        best = comp.best("aic")
+        text += (
+            f"\nbest by AIC: {best.family}; "
+            f"fitted median interval {best.quantile(0.5):.2f} h; "
+            f"P(interval > 4 h) = {float(best.survival(4.0)):.2f}"
+        )
+        emit(out_dir, "figure6_fits.txt", text)
+
+        assert best.family != "exponential"
+        expo = comp.fit_of("exponential").ks_statistic
+        assert expo > 1.5 * comp.best("ks").ks_statistic
+        # The fitted median is near the empirical one.
+        emp_median = float(np.median(dist.weekday_hours))
+        assert best.quantile(0.5) == pytest.approx(emp_median, rel=0.25)
+
+    once(benchmark, run)
+
+def test_semi_markov_generative_round_trip(benchmark, paper_config, out_dir):
+    """Fit the Figure 5 process generatively and check the simulated
+    occupancy and fresh-interval survival match the training trace."""
+    def run():
+        from repro.core.model import MultiStateModel
+        from repro.prediction.semimarkov import SemiMarkovModel
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        gen = MachineTraceGenerator(paper_config)
+        batches = [
+            gen.generate(m).samples.slice(0.0, 21 * 86400.0) for m in range(4)
+        ]
+        model = SemiMarkovModel(
+            MultiStateModel(thresholds=paper_config.thresholds)
+        ).fit(batches)
+        occ = model.occupancy(14 * 86400.0, rollouts=10, rng=7)
+        surv2h = model.survival(2.0, rollouts=300, rng=8)
+
+        # Empirical comparison point: the renewal-age model on the same data.
+        from repro.prediction.renewal import RenewalAgePredictor
+        from repro.traces.generate import generate_dataset
+        import dataclasses
+
+        small_cfg = dataclasses.replace(
+            paper_config,
+            testbed=dataclasses.replace(
+                paper_config.testbed, n_machines=4, duration=21 * 86400.0
+            ),
+        )
+        renewal = RenewalAgePredictor().fit(generate_dataset(small_cfg))
+        emp2h = renewal.survival(0.0, 2.0, weekend=False)
+        emit(
+            out_dir,
+            "figure5_semimarkov.txt",
+            "Semi-Markov generative model fitted to 4 machines x 3 weeks\n"
+            f"simulated occupancy S1..S5: "
+            + " ".join(f"{x:.3f}" for x in occ)
+            + f"\nfresh-interval 2 h survival: semi-Markov {surv2h:.2f} vs "
+            f"empirical renewal {emp2h:.2f}\n"
+            "(the homogeneous chain ignores time-of-day structure and "
+            "underestimates survival —\n exactly the gap the paper's "
+            "history-window prediction closes)",
+        )
+        assert occ[0] + occ[1] > 0.6
+        assert occ.sum() == pytest.approx(1.0, abs=1e-6)
+        # The structural finding: the time-blind chain is pessimistic.
+        assert 0.15 < surv2h < emp2h
+
+    once(benchmark, run)
+
+def test_interval_hazard(benchmark, paper_trace, out_dir):
+    """The hazard view of Figure 6: near-zero below 2 h, surging in the
+    3-4 h band — the statistical basis of the renewal-age policy."""
+    def run():
+        from repro.analysis.hazard import hazard_curve
+
+        wd = hazard_curve(paper_trace, weekend=False)
+        we = hazard_curve(paper_trace, weekend=True)
+        text = wd.render() + "\n\n(weekends)\n" + we.render()
+        text += (
+            f"\n\nmemorylessness ratio (max/mean hazard): weekday "
+            f"{wd.memorylessness_ratio():.1f}, weekend "
+            f"{we.memorylessness_ratio():.1f} (exponential: 1.0)"
+        )
+        emit(out_dir, "figure6_hazard.txt", text)
+
+        assert wd.hazard_at(3.25) > 5 * wd.hazard_at(1.25)
+        assert we.hazard_at(3.25) < wd.hazard_at(3.25)
+        assert wd.memorylessness_ratio() > 1.8
+
+    once(benchmark, run)
+
+
+def test_deliverable_capacity(benchmark, paper_trace, out_dir):
+    """Section 5.2's motivation quantified: how much computation power the
+    testbed delivers without interruption."""
+    def run():
+        from repro.analysis.capacity import capacity_report
+
+        report = capacity_report(paper_trace)
+        emit(out_dir, "capacity.txt", report.summary())
+
+        # Machines spend most wall time available...
+        assert 0.6 < report.availability_fraction < 0.95
+        # ...and most available cycles are harvestable (light baseline load).
+        assert 0.6 < report.mean_harvest_fraction < 1.0
+        # Mean uninterrupted harvest matches interval length x idle fraction.
+        assert 1.5 < report.interval_cpu_hours.mean < 5.0
+
+    once(benchmark, run)
+

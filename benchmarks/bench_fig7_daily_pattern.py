@@ -1,0 +1,58 @@
+"""Figure 7: occurrences of unavailability during each hour of the day.
+
+Paper landmarks: unavailability concentrates in the daytime after 10 AM,
+weekdays above weekends for the same window; the 4--5 AM updatedb cron
+produces a spike equal to the number of machines (20) on both day types;
+and the deviation across days of the same type is small — the paper's
+central predictability evidence.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.daily import daily_pattern
+from repro.analysis.report import render_figure7
+
+
+def test_daily_pattern_bench(benchmark, paper_trace):
+    pattern = benchmark(daily_pattern, paper_trace)
+    assert pattern.counts.shape == (paper_trace.n_days, 24)
+
+
+def test_figure7_full_reproduction(benchmark, paper_trace, out_dir):
+    def run():
+        from repro.analysis.ascii import render_figure7_chart
+
+        pattern = daily_pattern(paper_trace)
+        text = (
+            render_figure7(pattern)
+            + "\n\n"
+            + render_figure7_chart(pattern, weekend=False)
+            + "\n\n"
+            + render_figure7_chart(pattern, weekend=True)
+        )
+        spike = pattern.updatedb_spike()
+        text += (
+            f"\n\n4-5 AM spike: weekday {spike['weekday']:.1f}, weekend "
+            f"{spike['weekend']:.1f} (paper: 20 = all machines, both day types)"
+        )
+        emit(out_dir, "figure7.txt", text)
+
+        n = paper_trace.n_machines
+        assert spike["weekday"] == pytest.approx(n, rel=0.08)
+        assert spike["weekend"] == pytest.approx(n, rel=0.08)
+
+        wd = pattern.mean_profile(weekend=False)
+        we = pattern.mean_profile(weekend=True)
+        # Daytime dominates; weekday above weekend in the same window.
+        assert wd[10:22].mean() > 1.5 * wd[[0, 1, 2, 3, 5, 6, 7]].mean()
+        assert wd[10:22].mean() > 1.1 * we[10:22].mean()
+        # Ranges bracket the means.
+        lo, hi = pattern.range_profile(weekend=False)
+        assert (lo <= wd).all() and (wd <= hi).all()
+        # Small cross-day deviation (the predictability claim).
+        assert pattern.deviation_summary(weekend=False)["mean_cv"] < 0.45
+        assert pattern.deviation_summary(weekend=True)["mean_cv"] < 0.45
+
+    once(benchmark, run)
+

@@ -1,0 +1,203 @@
+"""Extension B: proactive vs oblivious guest-job management.
+
+The paper motivates availability prediction with proactive job management
+that improves response time over oblivious methods.  We replay a batch-job
+stream over the held-out slice of the traced testbed under a policy panel;
+the prediction-based policies must reduce kill counts relative to the
+oblivious ones, with the future-knowing oracle as the upper bound.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.report import render_table
+from repro.scheduling import run_scheduling_experiment
+
+TRAIN_DAYS = 63
+
+
+@pytest.fixture(scope="module")
+def comparison(paper_trace):
+    return run_scheduling_experiment(paper_trace, train_days=TRAIN_DAYS)
+
+
+def test_scheduling_bench(benchmark, paper_trace):
+    result = benchmark.pedantic(
+        lambda: run_scheduling_experiment(
+            paper_trace, train_days=TRAIN_DAYS, mean_interarrival=6 * 3600.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.n_jobs > 0
+
+
+def test_scheduling_full_comparison(benchmark, comparison, out_dir):
+    def run():
+        rows = [
+            [
+                r.policy,
+                f"{r.mean_response_h:.2f}",
+                f"{r.median_response_h:.2f}",
+                f"{r.mean_stretch:.2f}",
+                str(r.total_failures),
+                f"{r.completion_rate:.1%}",
+            ]
+            for r in comparison.results
+        ]
+        text = render_table(
+            ["Policy", "mean resp (h)", "median resp (h)", "stretch", "kills",
+             "completed"],
+            rows,
+            title=f"Extension B: placement policies over {comparison.n_jobs} jobs",
+        )
+        emit(out_dir, "ext_b_scheduling.txt", text)
+
+        rnd = comparison.result_of("random")
+        age = comparison.result_of("age-aware")
+        orc = comparison.result_of("oracle")
+        # Everyone finishes nearly everything.
+        for r in comparison.results:
+            assert r.completion_rate > 0.95
+        # Kill ordering: oracle < age-aware (prediction) < random (oblivious).
+        assert orc.total_failures < age.total_failures < rnd.total_failures
+        # The oracle improves mean response; age-aware does not regress it.
+        assert orc.mean_response_h < rnd.mean_response_h
+        assert age.mean_response_h <= rnd.mean_response_h * 1.08
+        assert orc.mean_stretch < rnd.mean_stretch
+
+    once(benchmark, run)
+
+def test_group_response_amplification(benchmark, paper_trace, out_dir):
+    """Groups ("must all complete") amplify failures: group response and
+    stretch exceed singleton metrics, and prediction helps more."""
+    def run():
+        from repro.prediction.renewal import RenewalAgePredictor
+        from repro.scheduling import (
+            AgeAwarePolicy,
+            RandomPolicy,
+            TraceExecutor,
+            generate_job_stream,
+            group_metrics,
+        )
+        from repro.rng import generator_from
+        from repro.units import HOUR
+
+        train = paper_trace.slice_days(0, TRAIN_DAYS)
+        test = paper_trace.slice_days(TRAIN_DAYS, paper_trace.n_days)
+        jobs = generate_job_stream(
+            span=test.span - 24 * HOUR,
+            rng=generator_from(17),
+            mean_interarrival=2.5 * HOUR,
+            mean_runtime=2 * HOUR,
+            group_probability=0.5,
+        )
+        executor = TraceExecutor(test)
+        renewal = RenewalAgePredictor().fit(train)
+        rows = []
+        metrics = {}
+        for policy in (RandomPolicy(generator_from(3)), AgeAwarePolicy(test, renewal)):
+            outcomes = executor.run(jobs, policy)
+            gm = group_metrics(outcomes)
+            metrics[policy.name] = gm
+            rows.append(
+                [
+                    policy.name,
+                    f"{gm.mean_group_response_h:.2f}",
+                    f"{gm.mean_group_stretch:.2f}",
+                    f"{gm.mean_singleton_response_h:.2f}",
+                    f"{gm.group_completion_rate:.0%}",
+                ]
+            )
+        text = render_table(
+            ["Policy", "group resp (h)", "group stretch", "single resp (h)",
+             "groups done"],
+            rows,
+            title="Extension B2: group (all-must-complete) response",
+        )
+        emit(out_dir, "ext_b2_groups.txt", text)
+
+        for gm in metrics.values():
+            # Group response dominated by the slowest member: above singleton.
+            assert gm.mean_group_response_h >= gm.mean_singleton_response_h * 0.9
+            assert gm.mean_group_stretch >= 1.0
+        assert (
+            metrics["age-aware"].mean_group_response_h
+            <= metrics["random"].mean_group_response_h * 1.05
+        )
+
+    once(benchmark, run)
+
+def test_replicated_policy_ordering(benchmark, paper_trace, out_dir):
+    """The policy ordering with confidence intervals over five independent
+    job streams: oracle < age-aware < random on kills, non-overlapping
+    intervals where it matters."""
+    def run():
+        from repro.scheduling import replicate_scheduling_experiment
+
+        comparison = replicate_scheduling_experiment(
+            paper_trace, train_days=TRAIN_DAYS
+        )
+        lines = [
+            str(comparison.result_of(p))
+            for p in sorted(
+                comparison.policies(),
+                key=lambda p: comparison.result_of(p).mean_kills,
+            )
+        ]
+        for metric, worse, better in (
+            ("kills", "random", "age-aware"),
+            ("kills", "age-aware", "oracle"),
+            ("resp", "random", "oracle"),
+        ):
+            point, lo, hi = comparison.paired_difference(metric, worse, better)
+            lines.append(
+                f"paired {metric}: {worse} - {better} = {point:.2f} "
+                f"[{lo:.2f}, {hi:.2f}]"
+            )
+        emit(out_dir, "ext_b_replicated.txt", "\n".join(lines))
+
+        # Paired per-seed differences are entirely positive: the ordering
+        # holds on every workload, not just on average.
+        for metric, worse, better in (
+            ("kills", "random", "age-aware"),
+            ("kills", "age-aware", "oracle"),
+            ("resp", "random", "oracle"),
+        ):
+            _, lo, _ = comparison.paired_difference(metric, worse, better)
+            assert lo > 0, (metric, worse, better)
+
+    once(benchmark, run)
+
+
+def test_checkpointing_ablation(benchmark, paper_trace, out_dir):
+    """Checkpoint/restart (future work in the paper's ecosystem) removes
+    most of the wasted work that restart-from-scratch causes."""
+    def run():
+        plain = run_scheduling_experiment(
+            paper_trace, train_days=TRAIN_DAYS, checkpointing=False
+        )
+        ckpt = run_scheduling_experiment(
+            paper_trace, train_days=TRAIN_DAYS, checkpointing=True
+        )
+        rows = []
+        for label, comp in (("restart", plain), ("checkpoint", ckpt)):
+            r = comp.result_of("random")
+            rows.append(
+                [label, f"{r.mean_response_h:.2f}", f"{r.wasted_cpu_h:.1f}"]
+            )
+        text = render_table(
+            ["Recovery", "mean resp (h)", "wasted CPU (h)"],
+            rows,
+            title="Ablation: restart-from-scratch vs checkpointing (random policy)",
+        )
+        emit(out_dir, "ablation_checkpoint.txt", text)
+
+        assert (
+            ckpt.result_of("random").mean_response_h
+            <= plain.result_of("random").mean_response_h
+        )
+        assert ckpt.result_of("random").wasted_cpu_h == 0.0
+
+    once(benchmark, run)
+

@@ -1,0 +1,78 @@
+"""Table 1: resource usage of the tested applications.
+
+Verifies that each modelled application, run alone on the simulated
+Solaris-class machine, measures the CPU usage and resident size the paper
+reports for it.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.report import render_table
+from repro.config import MemoryConfig
+from repro.oskernel import Machine
+from repro.workloads.musbus import MUSBUS_WORKLOADS
+from repro.workloads.spec import SPEC_APPS, spec_guest_task
+
+
+def measure_rows():
+    rows = []
+    mem = MemoryConfig()
+    for name, app in SPEC_APPS.items():
+        m = Machine(memory_config=mem)
+        m.spawn(spec_guest_task(name))
+        m.run_for(60.0)
+        rows.append(
+            (
+                name,
+                m.guest_cpu_time() / 60.0,
+                m.resident_mb(),
+                app.cpu_usage,
+                app.resident_mb,
+                app.virtual_mb,
+            )
+        )
+    for name, wl in MUSBUS_WORKLOADS.items():
+        m = Machine(memory_config=mem)
+        for t in wl.host_tasks():
+            m.spawn(t)
+        m.run_for(60.0)
+        rows.append(
+            (
+                name,
+                m.host_cpu_time() / 60.0,
+                m.resident_mb(),
+                wl.cpu_usage,
+                wl.resident_mb,
+                wl.virtual_mb,
+            )
+        )
+    return rows
+
+
+def test_table1_bench(benchmark):
+    rows = benchmark.pedantic(measure_rows, rounds=1, iterations=1)
+    assert len(rows) == 10
+
+
+def test_table1_full_reproduction(benchmark, out_dir):
+    def run():
+        rows = measure_rows()
+        table = render_table(
+            ["Workload", "CPU (measured)", "RSS MB (measured)",
+             "CPU (paper)", "RSS MB (paper)", "Virtual MB (paper)"],
+            [
+                [name, f"{cpu:.1%}", f"{rss:.0f}", f"{pcpu:.1%}", f"{prss:.0f}",
+                 f"{pvirt:.0f}"]
+                for (name, cpu, rss, pcpu, prss, pvirt) in rows
+            ],
+            title="Table 1: resource usage of tested applications",
+        )
+        emit(out_dir, "table1.txt", table)
+
+        for name, cpu, rss, pcpu, prss, _ in rows:
+            assert cpu == pytest.approx(pcpu, abs=0.03), name
+            assert rss == pytest.approx(prss, abs=1.0), name
+
+    once(benchmark, run)
+

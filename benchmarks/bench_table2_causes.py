@@ -1,0 +1,56 @@
+"""Table 2: resource unavailability due to different causes, over the
+full simulated testbed (20 machines x 92 days).
+
+Paper: per-machine totals 405--453; CPU contention 283--356 (69--79%),
+memory contention 83--121 (19--30%), URR 3--12 (0--3%); ~90% of URR are
+machine reboots.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.causes import cause_breakdown
+from repro.analysis.report import render_table2
+from repro.config import FgcsConfig
+from repro.traces.generate import generate_dataset
+
+
+def test_trace_generation_bench(benchmark):
+    """End-to-end generation throughput for a small testbed slice."""
+    import dataclasses
+
+    from repro.config import TestbedConfig
+    from repro.units import DAY
+
+    cfg = dataclasses.replace(
+        FgcsConfig(), testbed=TestbedConfig(n_machines=2, duration=7 * DAY)
+    )
+    ds = benchmark(generate_dataset, cfg)
+    assert len(ds) > 0
+
+
+def test_table2_full_reproduction(benchmark, paper_trace, out_dir):
+    def run():
+        b = cause_breakdown(paper_trace)
+        text = render_table2(b)
+        text += (
+            "\npaper:  Frequency   405-453 | 283-356 | 83-121 | 3-12"
+            "\npaper:  Percentage  100%    | 69-79%  | 19-30% | 0-3%"
+        )
+        emit(out_dir, "table2.txt", text)
+
+        freq = b.frequency_ranges()
+        assert 395 <= freq["total"][0] <= freq["total"][1] <= 480
+        assert 270 <= freq["cpu"][0] <= freq["cpu"][1] <= 380
+        assert 70 <= freq["memory"][0] <= freq["memory"][1] <= 130
+        assert 2 <= freq["revocation"][0] <= freq["revocation"][1] <= 14
+
+        pct = b.percentage_ranges()
+        assert 0.64 <= pct["cpu"][0] and pct["cpu"][1] <= 0.84
+        assert 0.15 <= pct["memory"][0] and pct["memory"][1] <= 0.33
+        assert pct["revocation"][1] <= 0.035
+        assert b.reboot_share_of_urr > 0.8
+        assert b.uec_share > 0.95
+
+    once(benchmark, run)
+

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artifacts (the paper-scale trace) are session-scoped.  Every bench
+writes its rendered table/figure to ``benchmarks/out/`` so the reproduced
+artifacts can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import FgcsConfig
+from repro.traces.generate import generate_dataset
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> FgcsConfig:
+    """The paper's testbed configuration: 20 machines, 92 days."""
+    return FgcsConfig()
+
+
+@pytest.fixture(scope="session")
+def paper_trace(paper_config):
+    """The full three-month trace dataset (generated once per session)."""
+    return generate_dataset(paper_config)
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Write a reproduced artifact and echo it to the terminal."""
+    path = out_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture.
+
+    Full-reproduction tests route their primary computation through this
+    so they execute (and get timed) under ``--benchmark-only`` instead of
+    being skipped as non-benchmarks.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Predict resource availability from recent history (Section 5.3).
+
+Trains the paper's history-window predictor (and the baselines it must
+beat) on the first weeks of a trace, evaluates on held-out days, and then
+answers the practical question a guest scheduler asks: "how likely is this
+machine to stay available for the next N hours?"
+
+Run:  python examples/availability_prediction.py
+"""
+
+import dataclasses
+
+from repro import FgcsConfig, generate_dataset
+from repro.config import TestbedConfig
+from repro.prediction import (
+    GlobalRatePredictor,
+    HistoryWindowPredictor,
+    HourlyMeanPredictor,
+    LastDayPredictor,
+    evaluate_predictors,
+)
+from repro.prediction.base import PredictionQuery
+from repro.units import DAY
+
+TRAIN_DAYS = 35
+
+
+def main() -> None:
+    config = dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=8, duration=49 * DAY),
+        seed=5,
+    )
+    print("Generating a 8-machine, 7-week trace...")
+    dataset = generate_dataset(config)
+
+    print(
+        f"Evaluating predictors (train {TRAIN_DAYS} days, "
+        f"test {dataset.n_days - TRAIN_DAYS})...\n"
+    )
+    result = evaluate_predictors(
+        dataset,
+        [
+            GlobalRatePredictor(),
+            HourlyMeanPredictor(),
+            LastDayPredictor(),
+            HistoryWindowPredictor(history_days=8),
+        ],
+        train_days=TRAIN_DAYS,
+    )
+    for score in sorted(result.scores, key=lambda s: s.brier):
+        print(f"  {score}")
+    print(
+        "\nLower Brier = better-calibrated survival forecasts; the paper's"
+        "\nhistory-window approach wins because the daily pattern repeats.\n"
+    )
+
+    # Use the fitted predictor the way a proactive scheduler would.
+    predictor = HistoryWindowPredictor(history_days=8).fit(
+        dataset.slice_days(0, TRAIN_DAYS)
+    )
+    day = TRAIN_DAYS + 2
+    print(f"Forecasts for machine 0 on day {day} (a weekday):")
+    for start, dur in ((3.0, 4.0), (10.0, 4.0), (14.0, 2.0), (20.0, 8.0)):
+        q = PredictionQuery(
+            machine_id=0, day=day, start_hour=start, duration_hours=dur
+        )
+        p = predictor.predict_survival(q)
+        c = predictor.predict_count(q)
+        print(
+            f"  window {start:04.1f}h +{dur:.0f}h: "
+            f"P(no unavailability) = {p:.2f}, expected events = {c:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

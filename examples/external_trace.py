@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the paper's analyses on an external availability trace.
+
+The original study's traces were never published, but public archives
+(e.g. the Failure Trace Archive) distribute per-node availability event
+lists for desktop grids.  This example writes a small FTA-style CSV (here:
+synthesized, since the environment is offline), imports it, and runs the
+Table 2 / Figure 6 / Figure 7 analyses and the history-window predictor on
+it unchanged — the path a user with real traces would follow.
+
+Run:  python examples/external_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import cause_breakdown, daily_pattern, interval_distribution
+from repro.analysis.report import render_table2
+from repro.prediction import GlobalRatePredictor, HistoryWindowPredictor, evaluate_predictors
+from repro.traces import load_event_list_csv
+
+
+def write_demo_csv(path: Path, *, nodes: int = 6, days: int = 42) -> None:
+    """An FTA-style event list: nodes go down in clustered daytime bursts."""
+    rng = np.random.default_rng(99)
+    rows = ["node_id,start,end,type"]
+    for n in range(nodes):
+        t = 0.0
+        while True:
+            # Gaps concentrate around 4-6 hours, longer overnight.
+            gap = rng.lognormal(np.log(4.5 * 3600), 0.45)
+            hour = ((t + gap) % 86400) / 3600
+            if hour < 7:  # machines rarely die overnight in this demo
+                gap += (8 - hour) * 3600 * rng.uniform(0.3, 1.0)
+            t += gap
+            if t >= days * 86400:
+                break
+            duration = rng.lognormal(np.log(1800), 0.6)
+            rows.append(f"host{n:02d},{t:.0f},{t + duration:.0f},down")
+            t += duration
+    path.write_text("\n".join(rows) + "\n")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "fta_demo.csv"
+        write_demo_csv(csv_path)
+        dataset = load_event_list_csv(csv_path)
+        print(
+            f"Imported {len(dataset)} events from {dataset.n_machines} "
+            f"nodes over {dataset.n_days} days\n"
+        )
+
+        print(render_table2(cause_breakdown(dataset)))
+        lm = interval_distribution(dataset).landmarks()
+        print(
+            f"\nintervals: weekday mean {lm['weekday_mean_h']:.1f} h, "
+            f"weekend mean {lm['weekend_mean_h']:.1f} h"
+        )
+        dev = daily_pattern(dataset).deviation_summary(weekend=False)
+        print(f"cross-day CV of the hourly pattern: {dev['mean_cv']:.2f}\n")
+
+        result = evaluate_predictors(
+            dataset,
+            [GlobalRatePredictor(), HistoryWindowPredictor(history_days=8)],
+            train_days=28,
+            durations_hours=(2.0, 6.0),
+            start_hours=(2, 8, 14, 20),
+        )
+        for score in sorted(result.scores, key=lambda s: s.brier):
+            print(f"  {score}")
+        print(
+            "\nThe history-window predictor transfers to external traces "
+            "whenever their\ndaily patterns repeat — the paper's central "
+            "observation."
+        )
+
+
+if __name__ == "__main__":
+    main()

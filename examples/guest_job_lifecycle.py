@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Watch a guest job live through the multi-state model (Figure 5).
+
+Runs one iShare node at quantum resolution: a guest job is submitted while
+the machine owner's workload ramps up and down.  The guest manager reacts
+to each monitor sample — renicing the guest at Th1, suspending above Th2,
+resuming when a spike passes, and finally killing the job when the
+overload persists past the one-minute grace.
+
+Run:  python examples/guest_job_lifecycle.py
+"""
+
+from repro.config import FgcsConfig
+from repro.fgcs.ishare import IShareNode
+from repro.simkernel import Simulator
+from repro.units import MINUTE
+from repro.workloads.synthetic import guest_task, host_task
+
+
+def main() -> None:
+    sim = Simulator()
+    node = IShareNode(sim, FgcsConfig(), name="lab-pc-07")
+    node.publish()
+
+    # The owner is initially away: the machine idles.
+    job = node.submit(guest_task(total_cpu=10_000.0), job_id="render-42")
+    print(f"t={sim.now:7.0f}s  submitted {job.job_id} (state {job.state.value})")
+    sim.run_until(3 * MINUTE)
+    report(sim, job)
+
+    # The owner starts light editing (load ~30%: S2 territory).
+    editor = node.spawn_host(host_task("editor", 0.30))
+    sim.run_until(6 * MINUTE)
+    report(sim, job)
+
+    # A quick compile spikes the load briefly (transient: suspension only).
+    node.spawn_host(host_task("quick-cc", 0.65, period=40.0, resident_mb=60))
+    sim.run_until(7 * MINUTE)
+    report(sim, job)
+    sim.run_until(10 * MINUTE)
+    report(sim, job)
+
+    # A long simulation pins the CPU: sustained overload kills the guest.
+    node.spawn_host(host_task("simulation", 0.95, resident_mb=120))
+    sim.run_until(13 * MINUTE)
+    report(sim, job)
+
+    node.finish()
+    print("\nmanager action log:")
+    for t, action in node.manager.history:
+        print(f"  t={t:7.0f}s  {action.value}")
+    print("\ndetected unavailability events:")
+    for ev in node.events:
+        print(
+            f"  {ev.state.value} [{ev.start:.0f}s, {ev.end:.0f}s) "
+            f"mean host load {ev.mean_host_load:.0%}"
+        )
+
+
+def report(sim, job) -> None:
+    print(
+        f"t={sim.now:7.0f}s  job {job.state.value:<12s} nice={job.task.nice:>2d} "
+        f"cpu={job.cpu_time:7.1f}s suspended={job.suspended_total:5.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

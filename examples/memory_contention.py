@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Reproduce the memory-contention finding (Section 3.2.3 / Figure 4).
+
+SPEC CPU2000 guests run against Musbus interactive host workloads on a
+384 MB machine.  When the combined working sets exceed physical memory the
+machine thrashes and priorities stop mattering; otherwise only the CPU
+thresholds govern.  This is why the availability model keeps a separate
+memory state (S4) orthogonal to the CPU states.
+
+Run:  python examples/memory_contention.py
+"""
+
+from repro.config import MemoryConfig
+from repro.contention import measure_contention
+from repro.workloads.musbus import MUSBUS_WORKLOADS
+from repro.workloads.spec import SPEC_APPS, spec_guest_task
+
+
+def main() -> None:
+    memory = MemoryConfig()  # the paper's 384 MB Solaris box
+    print(
+        f"Machine: {memory.physical_mb:.0f} MB physical, "
+        f"{memory.kernel_mb:.0f} MB kernel -> {memory.available_mb:.0f} MB "
+        f"for processes\n"
+    )
+    print(f"{'guest':>8s} {'host':>4s} {'RSS sum':>8s} {'thrash?':>8s} "
+          f"{'host slowdown':>14s}")
+    for guest_name in ("galgel", "apsi"):
+        app = SPEC_APPS[guest_name]
+        for host_name in ("H1", "H2", "H5", "H6"):
+            workload = MUSBUS_WORKLOADS[host_name]
+            meas = measure_contention(
+                lambda w=workload: w.host_tasks(),
+                lambda a=app: spec_guest_task(a, nice=19),
+                duration=60.0,
+                memory_config=memory,
+            )
+            rss = app.resident_mb + workload.resident_mb
+            thrash = meas.thrash_fraction > 0.5
+            print(
+                f"{guest_name:>8s} {host_name:>4s} {rss:7.0f}M "
+                f"{'YES' if thrash else 'no':>8s} "
+                f"{meas.reduction_rate:13.1%}"
+            )
+    print(
+        "\napsi (193 MB) thrashes against the big-memory hosts H2/H5 even "
+        "at the lowest\nguest priority; galgel (29 MB) never does — exactly "
+        "the paper's starred bars.\nH6 slows down from CPU contention "
+        "alone (66% host load > Th2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

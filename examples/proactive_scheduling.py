@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Proactive guest-job scheduling over a traced testbed (the paper's
+motivating application).
+
+Replays a stream of compute-bound batch jobs over the held-out slice of a
+generated availability trace under four placement policies — oblivious
+(random, least-loaded), prediction-based (history-window and renewal-age),
+and a future-knowing oracle — and compares response times and kill counts.
+
+Run:  python examples/proactive_scheduling.py
+"""
+
+import dataclasses
+
+from repro import FgcsConfig, generate_dataset
+from repro.config import TestbedConfig
+from repro.scheduling import run_scheduling_experiment
+from repro.units import DAY
+
+TRAIN_DAYS = 28
+
+
+def main() -> None:
+    config = dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=10, duration=42 * DAY),
+        seed=9,
+    )
+    print("Generating a 10-machine, 6-week trace...")
+    dataset = generate_dataset(config)
+
+    print(f"Replaying batch jobs over the last {dataset.n_days - TRAIN_DAYS} days:\n")
+    comparison = run_scheduling_experiment(dataset, train_days=TRAIN_DAYS)
+    for r in comparison.results:
+        print(f"  {r}")
+
+    rnd = comparison.result_of("random")
+    age = comparison.result_of("age-aware")
+    orc = comparison.result_of("oracle")
+    print(
+        f"\nPrediction (age-aware) removes "
+        f"{1 - age.total_failures / rnd.total_failures:.0%} of the guest "
+        f"kills an oblivious scheduler suffers; perfect knowledge would "
+        f"remove {1 - orc.total_failures / rnd.total_failures:.0%}."
+    )
+    print(
+        "Guest jobs die whenever host users reclaim their machines — "
+        "placing jobs where the availability model predicts calm windows "
+        "is what the paper's trace study makes possible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+(and plain ``pip install -e .`` on modern toolchains) work; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — reproduction of Ren & Eigenmann, "Empirical Studies on the
+Behavior of Resource Availability in Fine-Grained Cycle Sharing Systems"
+(ICPP 2006).
+
+Quick tour
+----------
+>>> from repro import FgcsConfig, generate_dataset, cause_breakdown
+>>> # (a small testbed for the doctest; the paper's is 20 machines x 92 days)
+>>> import dataclasses
+>>> from repro.config import TestbedConfig
+>>> from repro.units import DAY
+>>> cfg = FgcsConfig(testbed=TestbedConfig(n_machines=2, duration=3 * DAY))
+>>> ds = generate_dataset(cfg)
+>>> breakdown = cause_breakdown(ds)
+>>> breakdown.totals.shape
+(2,)
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from ._version import __version__
+from .analysis import (
+    cause_breakdown,
+    check_paper_landmarks,
+    daily_pattern,
+    interval_distribution,
+)
+from .config import (
+    DEFAULT_CONFIG,
+    FgcsConfig,
+    LabWorkloadConfig,
+    MemoryConfig,
+    MonitorConfig,
+    SchedulerConfig,
+    TestbedConfig,
+    ThresholdConfig,
+)
+from .contention import calibrate_thresholds, measure_contention
+from .core import (
+    AvailState,
+    AvailabilityInterval,
+    BatchDetector,
+    MonitorSample,
+    MultiStateModel,
+    SampleBatch,
+    UnavailabilityDetector,
+    UnavailabilityEvent,
+    availability_intervals,
+    detect_events,
+)
+from .fgcs import run_testbed
+from .prediction import HistoryWindowPredictor, evaluate_predictors
+from .scheduling import run_scheduling_experiment
+from .traces import TraceDataset, generate_dataset, load_dataset, save_dataset
+
+__all__ = [
+    "AvailState",
+    "AvailabilityInterval",
+    "BatchDetector",
+    "DEFAULT_CONFIG",
+    "FgcsConfig",
+    "HistoryWindowPredictor",
+    "LabWorkloadConfig",
+    "MemoryConfig",
+    "MonitorConfig",
+    "MonitorSample",
+    "MultiStateModel",
+    "SampleBatch",
+    "SchedulerConfig",
+    "TestbedConfig",
+    "ThresholdConfig",
+    "TraceDataset",
+    "UnavailabilityDetector",
+    "UnavailabilityEvent",
+    "__version__",
+    "availability_intervals",
+    "calibrate_thresholds",
+    "cause_breakdown",
+    "check_paper_landmarks",
+    "daily_pattern",
+    "detect_events",
+    "evaluate_predictors",
+    "generate_dataset",
+    "interval_distribution",
+    "load_dataset",
+    "measure_contention",
+    "run_scheduling_experiment",
+    "run_testbed",
+    "save_dataset",
+]

@@ -1,0 +1,137 @@
+"""Plotting-free figure rendering: ASCII line charts and bar charts.
+
+No plotting stack is available offline, so the reproduced figures are
+rendered as terminal graphics: Figure 6's CDF curves as an overlaid line
+chart, Figure 7's hourly occurrence profile as a bar chart with range
+whiskers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["line_chart", "bar_chart", "render_figure6_chart", "render_figure7_chart"]
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 16,
+    width: int = 64,
+    title: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Overlay one or more series as an ASCII line chart.
+
+    Each series gets its own glyph (``*``, ``o``, ``+`` ...); collisions
+    render as ``#``.
+    """
+    if not series:
+        raise ReproError("line_chart needs at least one series")
+    x = np.asarray(x, dtype=float)
+    glyphs = "*o+x@%"
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    for k, v in ys.items():
+        if v.shape != x.shape:
+            raise ReproError(f"series {k!r} length mismatch")
+    lo, hi = y_range if y_range else (
+        min(float(v.min()) for v in ys.values()),
+        max(float(v.max()) for v in ys.values()),
+    )
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xi = np.clip(
+        ((x - x[0]) / (x[-1] - x[0] or 1.0) * (width - 1)).astype(int), 0, width - 1
+    )
+    for gi, (name, v) in enumerate(ys.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        yi = np.clip(
+            ((v - lo) / (hi - lo) * (height - 1)).astype(int), 0, height - 1
+        )
+        for cx, cy in zip(xi, yi):
+            row = height - 1 - cy
+            grid[row][cx] = "#" if grid[row][cx] not in (" ", glyph) else glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{label:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x[0]:<10.3g}" + " " * (width - 22) + f"{x[-1]:>10.3g}"
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    lo: Sequence[float] | None = None,
+    hi: Sequence[float] | None = None,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with optional [lo, hi] range whiskers."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.size:
+        raise ReproError("labels/values length mismatch")
+    vmax = float(values.max()) if values.size else 1.0
+    if hi is not None:
+        vmax = max(vmax, float(np.max(hi)))
+    vmax = vmax or 1.0
+    lines = [title] if title else []
+    for i, (label, v) in enumerate(zip(labels, values)):
+        n = int(round(v / vmax * width))
+        bar = "#" * n
+        if lo is not None and hi is not None:
+            li = int(round(lo[i] / vmax * width))
+            hj = int(round(hi[i] / vmax * width))
+            tail = list(" " * max(hj - len(bar), 0))
+            for p in range(li, hj):
+                idx = p - len(bar)
+                if 0 <= idx < len(tail):
+                    tail[idx] = "-"
+            bar = bar + "".join(tail) + "|" if hj > n else bar
+        lines.append(f"{label:>6s} |{bar} {v:.1f}")
+    return "\n".join(lines)
+
+
+def render_figure6_chart(dist) -> str:
+    """Figure 6 as an ASCII chart (weekday vs weekend CDFs)."""
+    grid, wk, we = dist.cdf_series(np.linspace(0.0, 12.0, 64))
+    return line_chart(
+        grid,
+        {"weekday": wk, "weekend": we},
+        title="Figure 6: CDF of availability-interval lengths (x: hours)",
+        y_range=(0.0, 1.0),
+    )
+
+
+def render_figure7_chart(pattern, *, weekend: bool) -> str:
+    """Figure 7 as an ASCII bar chart with min/max whiskers."""
+    mean = pattern.mean_profile(weekend=weekend)
+    lo, hi = pattern.range_profile(weekend=weekend)
+    labels = [f"{h + 1:d}" for h in range(24)]
+    label = "Weekends" if weekend else "Weekdays"
+    return bar_chart(
+        labels,
+        mean,
+        lo=lo,
+        hi=hi,
+        title=f"Figure 7 ({label}): unavailability occurrences per hour "
+        "(# mean, - range)",
+    )

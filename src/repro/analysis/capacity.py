@@ -1,0 +1,92 @@
+"""Deliverable compute capacity of the FGCS testbed.
+
+Section 5.2's motivation for interval statistics: "Facilities to predict
+such interval lengths provide the knowledge of how much computation power
+an FGCS system can deliver without interruption."  This module turns a
+trace into exactly that number: for each availability interval, the CPU
+share a guest could have harvested (the idle fraction, bounded by the S2
+renicing regime), integrated over the interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..traces.dataset import TraceDataset
+from ..units import HOUR
+from .stats import SummaryStats, summarize
+
+__all__ = ["CapacityReport", "capacity_report"]
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Harvestable compute per availability interval and in aggregate."""
+
+    #: Uninterrupted guest CPU-hours available per interval.
+    interval_cpu_hours: SummaryStats
+    #: Mean harvestable CPU fraction while machines are available.
+    mean_harvest_fraction: float
+    #: Total guest CPU-hours deliverable over the trace, all machines.
+    total_cpu_hours: float
+    #: Fraction of wall time machines were available at all.
+    availability_fraction: float
+
+    def summary(self) -> str:
+        return (
+            f"deliverable {self.total_cpu_hours:,.0f} guest CPU-hours "
+            f"({self.mean_harvest_fraction:.0%} of available machine time; "
+            f"machines available {self.availability_fraction:.0%} of wall "
+            f"time); per uninterrupted interval: mean "
+            f"{self.interval_cpu_hours.mean:.1f} CPU-h, median "
+            f"{self.interval_cpu_hours.median:.1f}, max "
+            f"{self.interval_cpu_hours.maximum:.1f}"
+        )
+
+
+def capacity_report(dataset: TraceDataset) -> CapacityReport:
+    """Compute harvestable-capacity statistics from a trace.
+
+    Needs ``dataset.hourly_load`` (the generator records it by default):
+    the harvestable fraction in an hour is ``1 - host_load``, i.e. the
+    cycles a guest can take without slowing hosts noticeably.
+    """
+    if dataset.hourly_load is None:
+        raise ReproError("capacity_report needs dataset.hourly_load")
+    per_interval: list[float] = []
+    total = 0.0
+    available_time = 0.0
+    hl = dataset.hourly_load
+    n_hours = hl.shape[1]
+
+    for machine in range(dataset.n_machines):
+        for iv in dataset.intervals_for(machine):
+            if iv.censored:
+                continue
+            h0 = int(iv.start // HOUR)
+            h1 = min(int(np.ceil(iv.end / HOUR)), n_hours)
+            if h1 <= h0:
+                continue
+            # Hour-resolution integration of the idle fraction.
+            cpu_h = 0.0
+            for h in range(h0, h1):
+                overlap = min(iv.end, (h + 1) * HOUR) - max(iv.start, h * HOUR)
+                load = hl[machine, h]
+                idle = 1.0 - (load if load == load else 0.3)
+                cpu_h += max(idle, 0.0) * overlap / HOUR
+            per_interval.append(cpu_h)
+            total += cpu_h
+            available_time += iv.length
+
+    if not per_interval:
+        raise ReproError("no complete availability intervals in the trace")
+    wall = dataset.n_machines * dataset.span
+    return CapacityReport(
+        interval_cpu_hours=summarize(per_interval),
+        mean_harvest_fraction=total / (available_time / HOUR),
+        total_cpu_hours=total,
+        availability_fraction=available_time / wall,
+    )

@@ -1,0 +1,96 @@
+"""Table 2: resource unavailability due to different causes.
+
+For every machine, the total number of unavailability occurrences over the
+traced period split into CPU contention (S3), memory contention (S4) and
+resource revocation (S5), reported as ranges across machines — plus the
+paper's follow-up observation that ~90% of URR events are machine reboots
+(URR shorter than one minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.states import AvailState
+from ..traces.dataset import TraceDataset
+
+__all__ = ["CauseBreakdown", "cause_breakdown"]
+
+
+@dataclass(frozen=True)
+class CauseBreakdown:
+    """Per-machine count arrays plus the Table 2 range summaries."""
+
+    totals: np.ndarray  # (n_machines,)
+    cpu: np.ndarray
+    memory: np.ndarray
+    revocation: np.ndarray
+    reboots: np.ndarray
+
+    # -- Table 2 rows -----------------------------------------------------
+
+    def frequency_ranges(self) -> dict[str, tuple[int, int]]:
+        """Min/max counts across machines: the Table 2 "Frequency" row."""
+        return {
+            "total": _irange(self.totals),
+            "cpu": _irange(self.cpu),
+            "memory": _irange(self.memory),
+            "revocation": _irange(self.revocation),
+        }
+
+    def percentage_ranges(self) -> dict[str, tuple[float, float]]:
+        """Min/max per-machine shares: the Table 2 "Percentage" row."""
+        out: dict[str, tuple[float, float]] = {}
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for name, arr in (
+                ("cpu", self.cpu),
+                ("memory", self.memory),
+                ("revocation", self.revocation),
+            ):
+                shares = np.where(self.totals > 0, arr / self.totals, 0.0)
+                out[name] = (float(shares.min()), float(shares.max()))
+        return out
+
+    @property
+    def reboot_share_of_urr(self) -> float:
+        """Fraction of all URR events that were reboots (paper: ~90%)."""
+        total_urr = int(self.revocation.sum())
+        return float(self.reboots.sum()) / total_urr if total_urr else float("nan")
+
+    @property
+    def uec_share(self) -> float:
+        """Overall share of unavailability due to contention (S3+S4)."""
+        total = int(self.totals.sum())
+        uec = int(self.cpu.sum() + self.memory.sum())
+        return uec / total if total else float("nan")
+
+
+def cause_breakdown(dataset: TraceDataset) -> CauseBreakdown:
+    """Compute the Table 2 statistics for a trace dataset."""
+    n = dataset.n_machines
+    cpu = np.zeros(n, dtype=np.int64)
+    memory = np.zeros(n, dtype=np.int64)
+    revocation = np.zeros(n, dtype=np.int64)
+    reboots = np.zeros(n, dtype=np.int64)
+    for e in dataset.events:
+        if e.state is AvailState.S3:
+            cpu[e.machine_id] += 1
+        elif e.state is AvailState.S4:
+            memory[e.machine_id] += 1
+        else:
+            revocation[e.machine_id] += 1
+            if e.is_reboot:
+                reboots[e.machine_id] += 1
+    return CauseBreakdown(
+        totals=cpu + memory + revocation,
+        cpu=cpu,
+        memory=memory,
+        revocation=revocation,
+        reboots=reboots,
+    )
+
+
+def _irange(arr: np.ndarray) -> tuple[int, int]:
+    return (int(arr.min()), int(arr.max()))

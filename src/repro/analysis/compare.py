@@ -1,0 +1,165 @@
+"""Programmatic comparison against the paper's published landmarks.
+
+``check_paper_landmarks`` evaluates a generated trace dataset against every
+quantitative claim of Section 5 and returns pass/fail per landmark with the
+measured value.  The integration tests and EXPERIMENTS.md are built on it,
+so drift in the generator or detector is caught immediately.
+
+Landmarks use the paper's own tolerance: ranges are the printed Table 2
+ranges; figure-derived numbers ("about 60%", "close to 3 hours") get
+explicitly documented slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..traces.dataset import TraceDataset
+from .causes import cause_breakdown
+from .daily import daily_pattern
+from .intervals import interval_distribution
+
+__all__ = ["LandmarkCheck", "check_paper_landmarks"]
+
+
+@dataclass(frozen=True)
+class LandmarkCheck:
+    """One paper claim vs our measurement."""
+
+    name: str
+    paper: str
+    measured: float
+    lo: float
+    hi: float
+
+    @property
+    def ok(self) -> bool:
+        return self.lo <= self.measured <= self.hi
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{mark}] {self.name}: measured {self.measured:.3f} "
+            f"(accept [{self.lo:.3f}, {self.hi:.3f}]; paper: {self.paper})"
+        )
+
+
+def check_paper_landmarks(
+    dataset: TraceDataset, *, n_machines: Optional[int] = None
+) -> list[LandmarkCheck]:
+    """Evaluate every Section 5 landmark on a dataset.
+
+    Acceptance bands embed the reproduction tolerance: hard Table 2 ranges
+    are used as-is (with a small slack for seed-to-seed variation); CDF
+    landmarks read off figures get a wider band.
+    """
+    n_machines = n_machines or dataset.n_machines
+    checks: list[LandmarkCheck] = []
+
+    b = cause_breakdown(dataset)
+    freq = b.frequency_ranges()
+    pct = b.percentage_ranges()
+    scale = dataset.span / (92 * 24 * 3600.0)  # tolerate shorter test traces
+
+    def add(name: str, paper: str, measured: float, lo: float, hi: float) -> None:
+        checks.append(LandmarkCheck(name, paper, float(measured), lo, hi))
+
+    add(
+        "table2.total_per_machine_mean",
+        "405-453 per machine over 3 months",
+        b.totals.mean() / scale,
+        395.0,
+        465.0,
+    )
+    add("table2.cpu_share_min", "69-79%", pct["cpu"][0], 0.64, 0.82)
+    add("table2.cpu_share_max", "69-79%", pct["cpu"][1], 0.66, 0.84)
+    add("table2.memory_share_min", "19-30%", pct["memory"][0], 0.15, 0.33)
+    add("table2.memory_share_max", "19-30%", pct["memory"][1], 0.17, 0.35)
+    add("table2.urr_share_max", "0-3%", pct["revocation"][1], 0.0, 0.04)
+    add("table2.reboot_share_of_urr", "~90%", b.reboot_share_of_urr, 0.75, 1.0)
+
+    dist = interval_distribution(dataset)
+    lm = dist.landmarks()
+    add(
+        "fig6.weekday_mean_h",
+        "close to 3 hours",
+        lm["weekday_mean_h"],
+        2.5,
+        4.3,
+    )
+    add("fig6.weekend_mean_h", "above 5 hours", lm["weekend_mean_h"], 4.5, 7.0)
+    add(
+        "fig6.weekday_mass_2_4h",
+        "about 60% between 2 and 4 hours",
+        lm["weekday_frac_2_4h"],
+        0.40,
+        0.75,
+    )
+    add(
+        "fig6.weekend_mass_4_6h",
+        "about 60% between 4 and 6 hours",
+        lm["weekend_frac_4_6h"],
+        0.35,
+        0.75,
+    )
+    add(
+        "fig6.below_5min",
+        "about 5% shorter than 5 minutes",
+        lm["frac_below_5min"],
+        0.02,
+        0.09,
+    )
+    add(
+        "fig6.weekday_flat_5min_2h",
+        "curves relatively flat between 5 minutes and 2 hours",
+        lm["weekday_frac_5min_2h"],
+        0.0,
+        0.15,
+    )
+
+    pattern = daily_pattern(dataset)
+    spike = pattern.updatedb_spike()
+    add(
+        "fig7.updatedb_spike_weekday",
+        "20 (= all machines) between 4 and 5 AM",
+        spike["weekday"],
+        0.9 * n_machines,
+        1.05 * n_machines,
+    )
+    add(
+        "fig7.updatedb_spike_weekend",
+        "20 (= all machines) between 4 and 5 AM",
+        spike["weekend"],
+        0.9 * n_machines,
+        1.05 * n_machines,
+    )
+    dev_wd = pattern.deviation_summary(weekend=False)
+    add(
+        "fig7.weekday_cross_day_cv",
+        "deviations over the same window across weekdays are small",
+        dev_wd["mean_cv"],
+        0.0,
+        0.45,
+    )
+    # Daytime counts dominate night counts (host-workload correlation).
+    mean_wd = pattern.mean_profile(weekend=False)
+    day_mean = float(mean_wd[10:22].mean())
+    night_mean = float(mean_wd[[0, 1, 2, 3, 5, 6, 7]].mean())
+    add(
+        "fig7.day_night_contrast",
+        "unavailability happens more frequently during the day after 10 AM",
+        day_mean / max(night_mean, 1e-9),
+        1.5,
+        50.0,
+    )
+    # Weekday daytime exceeds weekend daytime.
+    mean_we = pattern.mean_profile(weekend=True)
+    add(
+        "fig7.weekday_vs_weekend_daytime",
+        "for the same window, more unavailability on weekdays than weekends",
+        day_mean / max(float(mean_we[10:22].mean()), 1e-9),
+        1.1,
+        5.0,
+    )
+    return checks

@@ -1,0 +1,124 @@
+"""Parametric fits to the availability-interval distribution.
+
+The related work the paper builds on (Brevik, Nurmi & Wolski, CCGrid'04)
+models machine-availability durations with parametric families — Weibull,
+lognormal, exponential — and picks by goodness of fit.  This module does
+the same for the FGCS interval data: fit each candidate by maximum
+likelihood (scipy), compare via Kolmogorov–Smirnov distance and AIC, and
+expose the winner's survival function for prediction use.
+
+On the generated traces the exponential loses badly (intervals have a
+hard ~2 h floor, i.e. strong aging) while Weibull/lognormal fit the bulk —
+matching the published finding that machine availability is not
+memoryless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.stats
+
+from ..errors import ReproError
+
+__all__ = ["DistributionFit", "FitComparison", "fit_interval_distributions"]
+
+#: Candidate families: name -> (scipy distribution, fit kwargs).
+_FAMILIES = {
+    "exponential": (scipy.stats.expon, dict(floc=0.0)),
+    "weibull": (scipy.stats.weibull_min, dict(floc=0.0)),
+    "lognormal": (scipy.stats.lognorm, dict(floc=0.0)),
+    "gamma": (scipy.stats.gamma, dict(floc=0.0)),
+}
+
+
+@dataclass(frozen=True)
+class DistributionFit:
+    """One family fitted to interval lengths (hours)."""
+
+    family: str
+    params: tuple[float, ...]
+    ks_statistic: float
+    log_likelihood: float
+    n: int
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion (lower is better)."""
+        k = len(self.params)
+        return 2 * k - 2 * self.log_likelihood
+
+    def survival(self, hours: float | np.ndarray) -> np.ndarray:
+        """P(interval length > hours) under the fitted distribution."""
+        dist, _ = _FAMILIES[self.family]
+        return dist.sf(hours, *self.params)
+
+    def quantile(self, q: float) -> float:
+        dist, _ = _FAMILIES[self.family]
+        return float(dist.ppf(q, *self.params))
+
+
+@dataclass(frozen=True)
+class FitComparison:
+    """All family fits for one sample, ranked."""
+
+    fits: tuple[DistributionFit, ...]
+
+    def best(self, criterion: str = "aic") -> DistributionFit:
+        """Lowest-AIC (default) or lowest-KS fit."""
+        if criterion == "aic":
+            return min(self.fits, key=lambda f: f.aic)
+        if criterion == "ks":
+            return min(self.fits, key=lambda f: f.ks_statistic)
+        raise ReproError(f"unknown criterion {criterion!r}")
+
+    def fit_of(self, family: str) -> DistributionFit:
+        for f in self.fits:
+            if f.family == family:
+                return f
+        raise KeyError(family)
+
+    def render(self) -> str:
+        from .report import render_table
+
+        rows = [
+            [f.family, f"{f.ks_statistic:.4f}", f"{f.aic:.1f}"]
+            for f in sorted(self.fits, key=lambda f: f.aic)
+        ]
+        return render_table(
+            ["family", "KS distance", "AIC"],
+            rows,
+            title=f"Interval-length distribution fits (n={self.fits[0].n})",
+        )
+
+
+def fit_interval_distributions(
+    lengths_hours: Sequence[float] | np.ndarray,
+    *,
+    families: Sequence[str] = ("exponential", "weibull", "lognormal", "gamma"),
+) -> FitComparison:
+    """Fit candidate families to interval lengths by maximum likelihood."""
+    data = np.asarray(lengths_hours, dtype=float)
+    data = data[data > 0]
+    if data.size < 20:
+        raise ReproError("need at least 20 positive interval lengths")
+    fits = []
+    for family in families:
+        if family not in _FAMILIES:
+            raise ReproError(f"unknown family {family!r}")
+        dist, kwargs = _FAMILIES[family]
+        params = dist.fit(data, **kwargs)
+        ks = scipy.stats.kstest(data, dist.cdf, args=params).statistic
+        loglik = float(np.sum(dist.logpdf(data, *params)))
+        fits.append(
+            DistributionFit(
+                family=family,
+                params=tuple(float(p) for p in params),
+                ks_statistic=float(ks),
+                log_likelihood=loglik,
+                n=int(data.size),
+            )
+        )
+    return FitComparison(fits=tuple(fits))

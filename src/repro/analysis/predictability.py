@@ -1,0 +1,109 @@
+"""Direct quantification of the paper's predictability observation.
+
+Section 5.3's key sentence: "the daily patterns of resource availability
+are comparable to those in the recent history."  Figure 7 shows it as
+small range bars; this module measures it:
+
+* **profile similarity** — correlation/distance between the hourly
+  unavailability profiles of pairs of days, split by whether the days
+  share a type (weekday/weekend).  Predictability requires same-type
+  similarity to be high and markedly above cross-type similarity.
+* **history horizon** — how similarity decays with the number of days
+  separating the pair: flat decay means "recent history" can be several
+  weeks old, justifying multi-day averaging windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..traces.dataset import TraceDataset
+from .daily import daily_pattern
+
+__all__ = ["PredictabilityReport", "predictability_report"]
+
+
+@dataclass(frozen=True)
+class PredictabilityReport:
+    """Pairwise day-profile similarity statistics."""
+
+    #: Mean Pearson correlation between hourly profiles of day pairs.
+    same_type_correlation: float
+    cross_type_correlation: float
+    #: Mean L1 distance between profiles, normalized by the mean profile
+    #: mass (0 = identical days).
+    same_type_distance: float
+    cross_type_distance: float
+    #: Mean same-type correlation bucketed by pair separation (weeks).
+    correlation_by_week_lag: tuple[float, ...]
+
+    @property
+    def separability(self) -> float:
+        """Same-type minus cross-type correlation: > 0 means day type is
+        a real conditioning variable, the premise of the paper's
+        weekday/weekend split."""
+        return self.same_type_correlation - self.cross_type_correlation
+
+    def summary(self) -> str:
+        lags = ", ".join(f"{c:.2f}" for c in self.correlation_by_week_lag)
+        return (
+            f"same-type day-profile correlation {self.same_type_correlation:.2f} "
+            f"(cross-type {self.cross_type_correlation:.2f}); "
+            f"normalized L1 distance {self.same_type_distance:.2f} vs "
+            f"{self.cross_type_distance:.2f}; "
+            f"same-type correlation by week lag: [{lags}]"
+        )
+
+
+def predictability_report(
+    dataset: TraceDataset, *, max_week_lag: int = 4
+) -> PredictabilityReport:
+    """Compute day-profile similarity statistics for a trace."""
+    if dataset.n_days < 14:
+        raise ReproError("predictability analysis needs at least two weeks")
+    pattern = daily_pattern(dataset)
+    profiles = pattern.counts.astype(float)  # (days, 24)
+    weekend = pattern.is_weekend_day
+    n_days = profiles.shape[0]
+
+    same_corr, cross_corr = [], []
+    same_dist, cross_dist = [], []
+    lag_corr: dict[int, list[float]] = {k: [] for k in range(1, max_week_lag + 1)}
+    mean_mass = profiles.sum(axis=1).mean()
+    if mean_mass <= 0:
+        raise ReproError("trace contains no events")
+
+    for i in range(n_days):
+        for j in range(i + 1, n_days):
+            c = _safe_corr(profiles[i], profiles[j])
+            d = float(np.abs(profiles[i] - profiles[j]).sum()) / mean_mass
+            if weekend[i] == weekend[j]:
+                same_corr.append(c)
+                same_dist.append(d)
+                week_lag = round((j - i) / 7)
+                if 1 <= week_lag <= max_week_lag and (j - i) % 7 == 0:
+                    lag_corr[week_lag].append(c)
+            else:
+                cross_corr.append(c)
+                cross_dist.append(d)
+
+    return PredictabilityReport(
+        same_type_correlation=float(np.mean(same_corr)),
+        cross_type_correlation=float(np.mean(cross_corr)),
+        same_type_distance=float(np.mean(same_dist)),
+        cross_type_distance=float(np.mean(cross_dist)),
+        correlation_by_week_lag=tuple(
+            float(np.mean(lag_corr[k])) if lag_corr[k] else float("nan")
+            for k in range(1, max_week_lag + 1)
+        ),
+    )
+
+
+def _safe_corr(a: np.ndarray, b: np.ndarray) -> float:
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    return float(np.corrcoef(a, b)[0, 1])

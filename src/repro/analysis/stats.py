@@ -1,0 +1,100 @@
+"""Statistical helpers shared by the trace analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["Ecdf", "ecdf", "bootstrap_ci", "summarize", "SummaryStats"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: sorted values and cumulative probabilities."""
+
+    values: np.ndarray
+    probs: np.ndarray
+
+    def at(self, x: float | np.ndarray) -> np.ndarray:
+        """P(X <= x), evaluated by step interpolation."""
+        return np.searchsorted(self.values, np.asarray(x), side="right") / len(
+            self.values
+        )
+
+    def quantile(self, q: float | np.ndarray) -> np.ndarray:
+        """Inverse CDF (empirical quantile)."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0) | (q > 1)):
+            raise ReproError("quantiles must be in [0, 1]")
+        idx = np.clip(
+            np.ceil(q * len(self.values)).astype(int) - 1, 0, len(self.values) - 1
+        )
+        return self.values[idx]
+
+    def mass_between(self, lo: float, hi: float) -> float:
+        """P(lo <= X <= hi)."""
+        return float(self.at(hi) - self.at(np.nextafter(lo, -np.inf)))
+
+
+def ecdf(data: Sequence[float] | np.ndarray) -> Ecdf:
+    """Build an empirical CDF from observations."""
+    arr = np.sort(np.asarray(data, dtype=float))
+    if arr.size == 0:
+        raise ReproError("ecdf needs at least one observation")
+    if np.any(~np.isfinite(arr)):
+        raise ReproError("ecdf data must be finite")
+    return Ecdf(values=arr, probs=np.arange(1, arr.size + 1) / arr.size)
+
+
+def bootstrap_ci(
+    data: Sequence[float] | np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[float, float, float]:
+    """(point estimate, ci_low, ci_high) via the percentile bootstrap."""
+    arr = np.asarray(data, dtype=float)
+    if arr.size == 0:
+        raise ReproError("bootstrap_ci needs data")
+    if not 0 < confidence < 1:
+        raise ReproError("confidence must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    point = float(statistic(arr))
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.array([statistic(arr[row]) for row in idx])
+    alpha = (1 - confidence) / 2
+    lo, hi = np.quantile(stats, [alpha, 1 - alpha])
+    return point, float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(data: Sequence[float] | np.ndarray) -> SummaryStats:
+    """Basic summary statistics of a sample."""
+    arr = np.asarray(data, dtype=float)
+    if arr.size == 0:
+        raise ReproError("summarize needs data")
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

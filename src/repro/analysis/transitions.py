@@ -1,0 +1,97 @@
+"""Empirical state-transition structure (the edges of Figure 5).
+
+Classifies a monitor-sample stream into the five states and counts the
+sample-to-sample transitions and per-state dwell times.  Used to check
+that generated traces respect the model's structure (e.g. availability
+dominates; failure states are entered from availability far more often
+than from each other) and as descriptive output for Figure 5's bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import MultiStateModel
+from ..core.samples import SampleBatch
+from ..errors import ReproError
+
+__all__ = ["TransitionStats", "state_transitions"]
+
+_STATES = ("S1", "S2", "S3", "S4", "S5")
+
+
+@dataclass(frozen=True)
+class TransitionStats:
+    """Sample-level transition counts and state occupancy."""
+
+    #: counts[i, j] = transitions from state i+1 to state j+1.
+    counts: np.ndarray
+    #: Fraction of samples spent in each state (S1..S5).
+    occupancy: np.ndarray
+    #: Mean dwell time per visit, seconds, per state (NaN if never seen).
+    mean_dwell: np.ndarray
+
+    def probability_matrix(self) -> np.ndarray:
+        """Row-normalized transition probabilities (rows with no
+        observations become uniform-NaN rows)."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(totals > 0, self.counts / totals, np.nan)
+
+    def rate_between(self, src: str, dst: str) -> float:
+        """Transition probability from ``src`` to ``dst`` (e.g. 'S1','S2')."""
+        i, j = _STATES.index(src), _STATES.index(dst)
+        p = self.probability_matrix()
+        return float(p[i, j])
+
+    def render(self) -> str:
+        from .report import render_table
+
+        p = self.probability_matrix()
+        rows = []
+        for i, s in enumerate(_STATES):
+            rows.append(
+                [s]
+                + [f"{p[i, j]:.4f}" if p[i, j] == p[i, j] else "-" for j in range(5)]
+                + [f"{self.occupancy[i]:.1%}"]
+            )
+        return render_table(
+            ["from\\to"] + list(_STATES) + ["occupancy"],
+            rows,
+            title="Empirical state-transition probabilities (per sample)",
+        )
+
+
+def state_transitions(
+    batch: SampleBatch,
+    model: MultiStateModel | None = None,
+    *,
+    period: float | None = None,
+) -> TransitionStats:
+    """Compute transition statistics for one machine's sample stream."""
+    if len(batch) < 2:
+        raise ReproError("need at least two samples")
+    model = model or MultiStateModel()
+    codes = model.classify_batch(batch)  # 1..5
+    counts = np.zeros((5, 5), dtype=np.int64)
+    np.add.at(counts, (codes[:-1] - 1, codes[1:] - 1), 1)
+
+    occupancy = np.bincount(codes - 1, minlength=5) / len(codes)
+
+    if period is None:
+        period = float(np.median(np.diff(batch.times)))
+    mean_dwell = np.full(5, np.nan)
+    change = np.flatnonzero(np.diff(codes) != 0)
+    starts = np.concatenate(([0], change + 1))
+    ends = np.concatenate((change + 1, [len(codes)]))
+    for s in range(1, 6):
+        lengths = [
+            (e - b) * period for b, e in zip(starts, ends) if codes[b] == s
+        ]
+        if lengths:
+            mean_dwell[s - 1] = float(np.mean(lengths))
+    return TransitionStats(
+        counts=counts, occupancy=occupancy, mean_dwell=mean_dwell
+    )

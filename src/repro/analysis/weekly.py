@@ -1,0 +1,117 @@
+"""Day-of-week structure of unavailability.
+
+The paper splits days only into weekday/weekend; this utility resolves the
+full Monday..Sunday profile — useful both to verify the binary split is
+the right granularity (are Mondays like Thursdays?) and to expose effects
+the binary view hides (e.g. Friday evenings emptying out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..traces.dataset import TraceDataset
+from .daily import daily_pattern
+
+__all__ = ["WeekdayProfile", "weekday_profile"]
+
+_DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclass(frozen=True)
+class WeekdayProfile:
+    """Per-day-of-week unavailability statistics."""
+
+    #: Mean daily event-hour count per day of week (Mon..Sun).
+    daily_mean: np.ndarray
+    #: Std across weeks per day of week.
+    daily_std: np.ndarray
+    #: Number of days observed per day of week.
+    n_days: np.ndarray
+    #: 7x7 correlation matrix between mean hourly profiles of the days.
+    profile_correlation: np.ndarray
+
+    def render(self) -> str:
+        from .report import render_table
+
+        rows = [
+            [
+                _DAY_NAMES[d],
+                f"{self.daily_mean[d]:.1f}",
+                f"{self.daily_std[d]:.1f}",
+                str(int(self.n_days[d])),
+            ]
+            for d in range(7)
+        ]
+        return render_table(
+            ["day", "mean events", "std", "days observed"],
+            rows,
+            title="Day-of-week unavailability profile",
+        )
+
+    def within_weekday_similarity(self) -> float:
+        """Mean correlation among the Mon..Fri hourly profiles."""
+        c = self.profile_correlation
+        vals = [c[i, j] for i in range(5) for j in range(i + 1, 5)]
+        return float(np.mean(vals))
+
+    def weekday_weekend_similarity(self) -> float:
+        """Mean correlation between weekday and weekend profiles."""
+        c = self.profile_correlation
+        vals = [c[i, j] for i in range(5) for j in (5, 6)]
+        return float(np.mean(vals))
+
+    def split_is_sufficient(self, margin: float = 0.0) -> bool:
+        """Is the paper's binary weekday/weekend split justified — days
+        within a class more alike than across classes?"""
+        return (
+            self.within_weekday_similarity()
+            > self.weekday_weekend_similarity() + margin
+        )
+
+
+def weekday_profile(dataset: TraceDataset) -> WeekdayProfile:
+    """Compute day-of-week statistics for a trace."""
+    if dataset.n_days < 14:
+        raise ReproError("need at least two weeks of trace")
+    pattern = daily_pattern(dataset)
+    counts = pattern.counts  # (days, 24)
+    dows = np.array(
+        [(d + dataset.start_weekday) % 7 for d in range(dataset.n_days)]
+    )
+    daily_totals = counts.sum(axis=1).astype(float)
+
+    daily_mean = np.zeros(7)
+    daily_std = np.zeros(7)
+    n_days = np.zeros(7)
+    mean_profiles = np.zeros((7, 24))
+    for d in range(7):
+        sel = dows == d
+        n_days[d] = int(sel.sum())
+        if n_days[d] == 0:
+            continue
+        daily_mean[d] = daily_totals[sel].mean()
+        daily_std[d] = daily_totals[sel].std(ddof=1) if n_days[d] > 1 else 0.0
+        mean_profiles[d] = counts[sel].mean(axis=0)
+
+    corr = np.ones((7, 7))
+    for i in range(7):
+        for j in range(7):
+            si, sj = mean_profiles[i].std(), mean_profiles[j].std()
+            if si == 0 or sj == 0:
+                corr[i, j] = 1.0 if np.array_equal(
+                    mean_profiles[i], mean_profiles[j]
+                ) else 0.0
+            else:
+                corr[i, j] = float(
+                    np.corrcoef(mean_profiles[i], mean_profiles[j])[0, 1]
+                )
+    return WeekdayProfile(
+        daily_mean=daily_mean,
+        daily_std=daily_std,
+        n_days=n_days,
+        profile_correlation=corr,
+    )

@@ -1,0 +1,293 @@
+"""Command-line interface: ``repro-fgcs <command>``.
+
+Commands
+--------
+* ``generate`` — generate the simulated three-month testbed trace and save
+  it as JSONL;
+* ``analyze`` — reproduce Table 2 / Figure 6 / Figure 7 from a trace file
+  (or a freshly generated trace) and check the paper's landmarks;
+* ``thresholds`` — run the offline contention calibration (Section 3.2)
+  and print the derived Th1/Th2;
+* ``predict`` — evaluate the availability predictors on a trace;
+* ``schedule`` — run the proactive-vs-oblivious scheduling comparison;
+* ``report`` — write every analysis artifact for a trace to a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .config import FgcsConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fgcs",
+        description=(
+            "Reproduction of 'Empirical Studies on the Behavior of Resource "
+            "Availability in Fine-Grained Cycle Sharing Systems' (ICPP 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=2006, help="root RNG seed")
+    common.add_argument(
+        "--machines", type=int, default=20, help="testbed size (paper: 20)"
+    )
+    common.add_argument(
+        "--days", type=int, default=92, help="trace length in days (paper: 92)"
+    )
+    common.add_argument(
+        "--profile",
+        choices=("student-lab", "enterprise", "home"),
+        default="student-lab",
+        help="testbed workload pattern (paper's testbed: student-lab)",
+    )
+
+    p_gen = sub.add_parser(
+        "generate", parents=[common], help="generate a testbed trace"
+    )
+    p_gen.add_argument("output", help="output JSONL path")
+
+    p_ana = sub.add_parser(
+        "analyze", parents=[common], help="reproduce Table 2 / Figures 6-7"
+    )
+    p_ana.add_argument(
+        "--trace", default=None, help="existing trace JSONL (default: generate)"
+    )
+    p_ana.add_argument(
+        "--check", action="store_true", help="also check the paper's landmarks"
+    )
+
+    p_thr = sub.add_parser(
+        "thresholds", help="calibrate Th1/Th2 via the Section 3.2 experiments"
+    )
+    p_thr.add_argument(
+        "--duration", type=float, default=120.0, help="seconds simulated per run"
+    )
+
+    p_pred = sub.add_parser(
+        "predict", parents=[common], help="evaluate availability predictors"
+    )
+    p_pred.add_argument("--trace", default=None, help="existing trace JSONL")
+    p_pred.add_argument(
+        "--train-days", type=int, default=63, help="training prefix length"
+    )
+
+    p_sched = sub.add_parser(
+        "schedule", parents=[common], help="proactive scheduling comparison"
+    )
+    p_sched.add_argument("--trace", default=None, help="existing trace JSONL")
+    p_sched.add_argument("--train-days", type=int, default=63)
+
+    p_rep = sub.add_parser(
+        "report",
+        parents=[common],
+        help="write every analysis artifact for a trace to a directory",
+    )
+    p_rep.add_argument("output_dir", help="directory for the report files")
+    p_rep.add_argument("--trace", default=None, help="existing trace JSONL")
+
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> FgcsConfig:
+    from .workloads.profiles import PROFILES
+
+    factory = PROFILES[getattr(args, "profile", "student-lab")]
+    return factory(n_machines=args.machines, days=args.days, seed=args.seed)
+
+
+def _load_or_generate(args: argparse.Namespace):
+    from .traces import generate_dataset, load_dataset
+
+    if getattr(args, "trace", None):
+        print(f"loading trace from {args.trace}", file=sys.stderr)
+        return load_dataset(args.trace)
+    print("generating trace (use 'generate' to save one for reuse)", file=sys.stderr)
+    return generate_dataset(_config_from(args))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .traces import generate_dataset, save_dataset
+
+    config = _config_from(args)
+    dataset = generate_dataset(
+        config,
+        progress=lambda i, n: print(f"machine {i + 1}/{n}", file=sys.stderr),
+    )
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {len(dataset)} events over {dataset.machine_days:.0f} "
+        f"machine-days to {args.output}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        cause_breakdown,
+        check_paper_landmarks,
+        daily_pattern,
+        interval_distribution,
+    )
+    from .analysis.report import render_figure6, render_figure7, render_table2
+
+    from .analysis.ascii import render_figure6_chart, render_figure7_chart
+
+    dataset = _load_or_generate(args)
+    print(render_table2(cause_breakdown(dataset)))
+    print()
+    dist = interval_distribution(dataset)
+    print(render_figure6(dist))
+    print()
+    print(render_figure6_chart(dist))
+    print()
+    pattern = daily_pattern(dataset)
+    print(render_figure7(pattern))
+    print()
+    print(render_figure7_chart(pattern, weekend=False))
+    print()
+    print(render_figure7_chart(pattern, weekend=True))
+    if args.check:
+        print()
+        checks = check_paper_landmarks(dataset)
+        for c in checks:
+            print(c)
+        if not all(c.ok for c in checks):
+            return 1
+    return 0
+
+
+def cmd_thresholds(args: argparse.Namespace) -> int:
+    from .contention.thresholds import calibrate_thresholds
+
+    estimate = calibrate_thresholds(duration=args.duration)
+    print(
+        f"calibrated Th1 = {estimate.th1:.2f} (paper: 0.20), "
+        f"Th2 = {estimate.th2:.2f} (paper: 0.60)"
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from .prediction import (
+        EwmaPredictor,
+        GlobalRatePredictor,
+        HistoryWindowPredictor,
+        HourlyMeanPredictor,
+        IntervalExponentialPredictor,
+        LastDayPredictor,
+        evaluate_predictors,
+    )
+
+    dataset = _load_or_generate(args)
+    result = evaluate_predictors(
+        dataset,
+        [
+            GlobalRatePredictor(),
+            HourlyMeanPredictor(),
+            LastDayPredictor(),
+            EwmaPredictor(),
+            IntervalExponentialPredictor(),
+            HistoryWindowPredictor(history_days=8),
+        ],
+        train_days=args.train_days,
+    )
+    print(f"train {result.train_days} days, test {result.test_days} days")
+    for score in sorted(result.scores, key=lambda s: s.brier):
+        print(score)
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from .scheduling import run_scheduling_experiment
+
+    dataset = _load_or_generate(args)
+    comparison = run_scheduling_experiment(dataset, train_days=args.train_days)
+    for r in comparison.results:
+        print(r)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        capacity_report,
+        cause_breakdown,
+        check_paper_landmarks,
+        daily_pattern,
+        interval_distribution,
+        predictability_report,
+        weekday_profile,
+    )
+    from .analysis.ascii import render_figure6_chart, render_figure7_chart
+    from .analysis.fits import fit_interval_distributions
+    from .analysis.report import render_figure6, render_figure7, render_table2
+
+    dataset = _load_or_generate(args)
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (out / name).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out / name}")
+
+    write("table2.txt", render_table2(cause_breakdown(dataset)))
+    dist = interval_distribution(dataset)
+    write(
+        "figure6.txt",
+        render_figure6(dist) + "\n\n" + render_figure6_chart(dist),
+    )
+    pattern = daily_pattern(dataset)
+    write(
+        "figure7.txt",
+        render_figure7(pattern)
+        + "\n\n"
+        + render_figure7_chart(pattern, weekend=False)
+        + "\n\n"
+        + render_figure7_chart(pattern, weekend=True),
+    )
+    write(
+        "interval_fits.txt",
+        fit_interval_distributions(dist.weekday_hours).render(),
+    )
+    try:
+        from .analysis.hazard import hazard_curve
+
+        write("hazard.txt", hazard_curve(dataset, weekend=False).render())
+    except Exception:
+        pass  # traces too small for a hazard estimate skip the artifact
+    if dataset.n_days >= 14:
+        write("predictability.txt", predictability_report(dataset).summary())
+        write("weekday_profile.txt", weekday_profile(dataset).render())
+    if dataset.hourly_load is not None:
+        write("capacity.txt", capacity_report(dataset).summary())
+    checks = check_paper_landmarks(dataset)
+    write("landmarks.txt", "\n".join(str(c) for c in checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "thresholds": cmd_thresholds,
+    "predict": cmd_predict,
+    "schedule": cmd_schedule,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

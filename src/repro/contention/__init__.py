@@ -1,0 +1,38 @@
+"""Offline resource-contention experiments (Section 3.2).
+
+The experiments run synthetic (or SPEC/Musbus) host workloads together with
+a guest process on the simulated machine, measure the reduction rate of
+host CPU usage, and derive the two thresholds Th1/Th2 that quantify
+"noticeable slowdown" — the empirical foundation of the multi-state
+availability model.
+"""
+
+from .experiment import ContentionMeasurement, ContentionResult, measure_contention
+from .sweeps import (
+    Figure1Result,
+    Figure2Result,
+    Figure3Result,
+    Figure4Result,
+    figure1_sweep,
+    figure2_sweep,
+    figure3_sweep,
+    figure4_sweep,
+)
+from .thresholds import ThresholdEstimate, calibrate_thresholds, extract_thresholds
+
+__all__ = [
+    "ContentionMeasurement",
+    "ContentionResult",
+    "calibrate_thresholds",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure3Result",
+    "Figure4Result",
+    "ThresholdEstimate",
+    "extract_thresholds",
+    "figure1_sweep",
+    "figure2_sweep",
+    "figure3_sweep",
+    "figure4_sweep",
+    "measure_contention",
+]

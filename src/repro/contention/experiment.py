@@ -1,0 +1,186 @@
+"""The core contention measurement.
+
+Mirrors the paper's method exactly: run the host workload alone to measure
+its isolated CPU usage ``L_H``; run it again together with a guest process;
+report the *reduction rate* of host CPU usage
+``(L_H - usage_with_guest) / L_H`` and the guest's own CPU usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..config import MemoryConfig, SchedulerConfig
+from ..errors import ExperimentError
+from ..oskernel import Machine
+from ..oskernel.tasks import Task
+
+__all__ = ["ContentionMeasurement", "ContentionResult", "measure_contention"]
+
+#: Factory producing a fresh list of host tasks for one run.  A factory
+#: (not a task list) because tasks are single-use: each run needs new ones.
+HostFactory = Callable[[], list[Task]]
+#: Factory producing a fresh guest task.
+GuestFactory = Callable[[], Task]
+
+#: Default measurement length, seconds of simulated time.  Long enough to
+#: average over many work cycles and scheduler epochs.
+DEFAULT_DURATION: float = 120.0
+#: Settling time excluded from measurement while counters reach steady state.
+DEFAULT_WARMUP: float = 5.0
+
+
+@dataclass(frozen=True)
+class ContentionMeasurement:
+    """One (host workload, guest) contention measurement."""
+
+    #: Host CPU usage running alone (the measured L_H).
+    isolated_host_usage: float
+    #: Host CPU usage with the guest running.
+    contended_host_usage: float
+    #: Guest CPU usage while contending.
+    guest_usage: float
+    #: Fraction of the contended run spent thrashing.
+    thrash_fraction: float
+
+    @property
+    def reduction_rate(self) -> float:
+        """The paper's y-axis: relative loss of host CPU usage."""
+        if self.isolated_host_usage <= 0:
+            return 0.0
+        return (
+            self.isolated_host_usage - self.contended_host_usage
+        ) / self.isolated_host_usage
+
+    @property
+    def noticeable(self) -> bool:
+        """True if the slowdown exceeds the paper's 5% criterion."""
+        return self.reduction_rate > 0.05
+
+
+@dataclass(frozen=True)
+class ContentionResult(ContentionMeasurement):
+    """A measurement annotated with its experimental coordinates."""
+
+    target_lh: float = 0.0
+    group_size: int = 1
+    guest_nice: int = 0
+    label: str = ""
+
+
+def _run_machine(
+    hosts: list[Task],
+    guest: Optional[Task],
+    *,
+    duration: float,
+    warmup: float,
+    scheduler_config: Optional[SchedulerConfig],
+    memory_config: Optional[MemoryConfig],
+) -> tuple[float, float, float]:
+    """(host_usage, guest_usage, thrash_fraction) over the measured window."""
+    machine = Machine(scheduler_config, memory_config)
+    for t in hosts:
+        machine.spawn(t)
+    if guest is not None:
+        machine.spawn(guest)
+    machine.run_for(warmup)
+    thrash0 = machine.thrash_time
+    snap0 = machine.snapshot()
+    machine.run_for(duration)
+    snap1 = machine.snapshot()
+    host_u, guest_u = snap1.usage_since(snap0)
+    thrash_frac = (machine.thrash_time - thrash0) / duration
+    return host_u, guest_u, thrash_frac
+
+
+def calibrated_host_group(
+    total: float,
+    m: int,
+    rng,
+    *,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    tolerance: float = 0.02,
+    max_iter: int = 4,
+    probe_duration: float = 30.0,
+):
+    """A host group whose *measured* group usage equals ``total``.
+
+    The paper chooses combinations by running candidates together and
+    keeping those whose total CPU usage equals L_H: host processes contend
+    with each other, so nominal duties summing to L_H measure slightly
+    lower.  This helper reproduces that selection by scaling a random
+    composition until the measured usage matches.
+    """
+    from ..oskernel import Machine
+    from ..workloads.hostgroups import HostGroup, random_duty_composition
+
+    duties = list(random_duty_composition(total, m, rng))
+    scale = 1.0
+    for _ in range(max_iter):
+        scaled = tuple(min(d * scale, 1.0) for d in duties)
+        group = HostGroup(scaled)
+        machine = Machine(scheduler_config)
+        for t in group.tasks():
+            machine.spawn(t)
+        machine.run_for(probe_duration)
+        measured = machine.host_cpu_time() / probe_duration
+        if abs(measured - total) <= tolerance or all(s >= 1.0 for s in scaled):
+            return group
+        scale *= total / max(measured, 1e-6)
+    return group
+
+
+def measure_contention(
+    host_factory: HostFactory,
+    guest_factory: Optional[GuestFactory],
+    *,
+    duration: float = DEFAULT_DURATION,
+    warmup: float = DEFAULT_WARMUP,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    memory_config: Optional[MemoryConfig] = None,
+) -> ContentionMeasurement:
+    """Measure host slowdown caused by a guest process.
+
+    Runs the host workload twice on identical fresh machines — once alone,
+    once with the guest — and reports usages over the post-warmup window.
+
+    Parameters
+    ----------
+    host_factory:
+        Builds the host task set; called twice (isolated + contended run).
+    guest_factory:
+        Builds the guest task; ``None`` measures the isolated run only.
+    duration, warmup:
+        Measured window and excluded settling time, simulated seconds.
+    """
+    if duration <= 0:
+        raise ExperimentError("duration must be positive")
+    if warmup < 0:
+        raise ExperimentError("warmup must be >= 0")
+
+    isolated_usage, _, _ = _run_machine(
+        host_factory(),
+        None,
+        duration=duration,
+        warmup=warmup,
+        scheduler_config=scheduler_config,
+        memory_config=memory_config,
+    )
+    if guest_factory is None:
+        return ContentionMeasurement(isolated_usage, isolated_usage, 0.0, 0.0)
+
+    contended_usage, guest_usage, thrash_frac = _run_machine(
+        host_factory(),
+        guest_factory(),
+        duration=duration,
+        warmup=warmup,
+        scheduler_config=scheduler_config,
+        memory_config=memory_config,
+    )
+    return ContentionMeasurement(
+        isolated_host_usage=isolated_usage,
+        contended_host_usage=contended_usage,
+        guest_usage=guest_usage,
+        thrash_fraction=thrash_frac,
+    )

@@ -1,0 +1,40 @@
+"""The multi-state availability model and unavailability detection
+(Sections 3 and 4 of the paper) — the library's primary contribution.
+
+* :mod:`~repro.core.states` — the five availability states S1–S5;
+* :mod:`~repro.core.samples` — monitor-sample records (the non-intrusive
+  observables: host CPU load, free memory, service liveness);
+* :mod:`~repro.core.model` — instantaneous state classification against the
+  Th1/Th2 thresholds;
+* :mod:`~repro.core.detector` — streaming and vectorized detectors that
+  turn a sample stream into unavailability events, applying the transient
+  rules (1-minute suspension grace for CPU excursions);
+* :mod:`~repro.core.events` — unavailability-event / availability-interval
+  records;
+* :mod:`~repro.core.intervals` — interval extraction from event sequences.
+"""
+
+from .detector import BatchDetector, UnavailabilityDetector, detect_events
+from .events import AvailabilityInterval, UnavailabilityEvent
+from .gaps import drop_down_samples, infer_downtime_from_gaps
+from .intervals import availability_intervals, merge_short_gaps
+from .model import MultiStateModel
+from .samples import MonitorSample, SampleBatch
+from .states import FAILURE_STATES, AvailState
+
+__all__ = [
+    "AvailState",
+    "AvailabilityInterval",
+    "BatchDetector",
+    "FAILURE_STATES",
+    "MonitorSample",
+    "MultiStateModel",
+    "SampleBatch",
+    "UnavailabilityDetector",
+    "UnavailabilityEvent",
+    "availability_intervals",
+    "detect_events",
+    "drop_down_samples",
+    "infer_downtime_from_gaps",
+    "merge_short_gaps",
+]

@@ -1,0 +1,104 @@
+"""Unavailability events and availability intervals — the trace contents.
+
+The paper's trace "contains the start and end time of each occurrence of
+resource unavailability, the corresponding failure state (S3, S4, or S5),
+and the available CPU and memory for guest jobs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..errors import TraceError
+from ..units import MINUTE
+from .states import AvailState, state_cause
+
+__all__ = ["UnavailabilityEvent", "AvailabilityInterval", "REBOOT_MAX_DURATION"]
+
+#: URR shorter than one minute is classified as a machine reboot; longer
+#: URR as a hardware/software failure (Section 5.1).
+REBOOT_MAX_DURATION: float = 1 * MINUTE
+
+
+@dataclass(frozen=True)
+class UnavailabilityEvent:
+    """One occurrence of resource unavailability on a machine."""
+
+    machine_id: int
+    #: Start of the unavailability (for S3: start of the load excursion).
+    start: float
+    #: End of the unavailability (resource usable again).
+    end: float
+    #: The failure state: S3, S4, or S5.
+    state: AvailState
+    #: Mean host CPU load observed during the event (NaN when offline).
+    mean_host_load: float = float("nan")
+    #: Mean free memory observed during the event, MB (NaN when offline).
+    mean_free_mb: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise TraceError(
+                f"event must have positive duration: [{self.start}, {self.end}]"
+            )
+        if not self.state.is_failure:
+            raise TraceError(f"{self.state} is not a failure state")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def cause(self) -> str:
+        """Table 2 cause category: 'cpu', 'memory', or 'revocation'."""
+        return state_cause(self.state)
+
+    @property
+    def is_reboot(self) -> bool:
+        """For URR events: True if short enough to be a machine reboot.
+
+        Follows the paper's classification: "machine reboots ... appear in
+        our traces as URR with intervals shorter than one minute".
+        """
+        return self.state is AvailState.S5 and self.duration < REBOOT_MAX_DURATION
+
+    def hours_spanned(self) -> list[int]:
+        """Hour-of-day indices (0..23) this event overlaps, one entry per
+        one-hour interval per day spanned — the Figure 7 counting rule."""
+        from ..units import HOUR
+
+        first = int(self.start // HOUR)
+        last = int((self.end - 1e-9) // HOUR)
+        return [h % 24 for h in range(first, last + 1)]
+
+
+@dataclass(frozen=True)
+class AvailabilityInterval:
+    """A maximal period during which a guest may run (possibly suspended)
+    without failing — the unit of Figure 6."""
+
+    machine_id: int
+    start: float
+    end: float
+    #: Mean host load over the interval (NaN if unknown).
+    mean_host_load: float = float("nan")
+    #: True if the interval is truncated by the trace boundary rather than
+    #: terminated by an observed unavailability (excluded from length
+    #: statistics by default).
+    censored: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise TraceError(
+                f"interval must have positive length: [{self.start}, {self.end}]"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+def classify_urr(event: UnavailabilityEvent) -> str:
+    """'reboot' or 'failure' for an URR event (duration-based)."""
+    if event.state is not AvailState.S5:
+        raise TraceError("classify_urr needs an S5 event")
+    return "reboot" if event.is_reboot else "failure"

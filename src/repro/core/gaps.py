@@ -1,0 +1,100 @@
+"""URR inference from monitor silence.
+
+On a real deployment the resource monitor dies with the machine: URR is
+observable only as the *absence* of samples ("the resulting URR can only
+be detected in that FGCS services ... are terminated", Section 3.1).  The
+trace pipeline's batches mark downtime with an explicit ``machine_up``
+flag for convenience; this module provides the production-realistic path —
+reconstructing the flag from gaps in the sample timestamps — and a check
+that both views agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from .samples import SampleBatch
+
+__all__ = ["infer_downtime_from_gaps", "drop_down_samples"]
+
+#: A machine is presumed down when consecutive samples are separated by
+#: more than this many nominal periods (one missed sample can be jitter;
+#: several cannot).
+DEFAULT_GAP_FACTOR: float = 3.0
+
+
+def drop_down_samples(batch: SampleBatch) -> SampleBatch:
+    """What a central collector actually receives: samples stop while the
+    machine is down (the ``machine_up=False`` rows never arrive)."""
+    up = batch.machine_up
+    return SampleBatch(
+        batch.times[up], batch.host_load[up], batch.free_mb[up], up[up]
+    )
+
+
+def infer_downtime_from_gaps(
+    batch: SampleBatch,
+    *,
+    period: float,
+    gap_factor: float = DEFAULT_GAP_FACTOR,
+    span_end: float | None = None,
+) -> SampleBatch:
+    """Reconstruct ``machine_up=False`` rows from silent stretches.
+
+    Wherever consecutive samples are separated by more than
+    ``gap_factor * period``, synthetic down samples are inserted on the
+    nominal grid so the standard detector sees an S5 run covering the
+    silence.  A trailing silence up to ``span_end`` is treated the same.
+
+    Parameters
+    ----------
+    batch:
+        Samples as received (no explicit down rows; see
+        :func:`drop_down_samples`).
+    period:
+        The monitor's nominal sampling period.
+    gap_factor:
+        How many periods of silence imply the machine is down.
+    span_end:
+        End of the monitored span (detects a machine that died and never
+        came back).
+    """
+    if period <= 0:
+        raise TraceError("period must be positive")
+    if gap_factor <= 1:
+        raise TraceError("gap_factor must exceed 1")
+    n = len(batch)
+    if n == 0:
+        return batch
+
+    times = [batch.times]
+    loads = [batch.host_load]
+    mems = [batch.free_mb]
+    ups = [batch.machine_up]
+
+    def synth(down_start: float, down_end: float) -> None:
+        grid = np.arange(down_start, down_end, period)
+        if grid.size == 0:
+            return
+        times.append(grid)
+        loads.append(np.zeros_like(grid))
+        mems.append(np.zeros_like(grid))
+        ups.append(np.zeros(grid.size, dtype=bool))
+
+    diffs = np.diff(batch.times)
+    threshold = gap_factor * period
+    for i in np.flatnonzero(diffs > threshold):
+        # Down from one period after the last heard sample until the
+        # sample that broke the silence.
+        synth(float(batch.times[i]) + period, float(batch.times[i + 1]))
+    if span_end is not None and span_end - float(batch.times[-1]) > threshold:
+        synth(float(batch.times[-1]) + period, span_end)
+
+    order = np.argsort(np.concatenate(times), kind="stable")
+    return SampleBatch(
+        np.concatenate(times)[order],
+        np.concatenate(loads)[order],
+        np.concatenate(mems)[order],
+        np.concatenate(ups)[order],
+    )

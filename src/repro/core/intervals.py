@@ -1,0 +1,104 @@
+"""Availability-interval extraction (the unit of Figure 6).
+
+An availability interval is a maximal period during which a guest may
+utilize host resources or be suspended, but does not fail: the complement
+of the unavailability events within the trace span.  Intervals touching the
+trace boundary are *censored* (their true length is unknown) and excluded
+from length statistics by default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import TraceError
+from ..units import MINUTE
+from .events import AvailabilityInterval, UnavailabilityEvent
+
+__all__ = ["availability_intervals", "merge_short_gaps", "MIN_HARVEST_DELAY"]
+
+#: The paper's recommendation: wait ~5 minutes before harvesting a machine
+#: recently released from heavy load (Section 5.2).
+MIN_HARVEST_DELAY: float = 5 * MINUTE
+
+
+def availability_intervals(
+    events: Sequence[UnavailabilityEvent],
+    *,
+    span_start: float,
+    span_end: float,
+    machine_id: int | None = None,
+) -> list[AvailabilityInterval]:
+    """Complement a machine's event sequence into availability intervals.
+
+    Events must belong to a single machine, be time-ordered and
+    non-overlapping (the detector guarantees all three).
+
+    Parameters
+    ----------
+    events:
+        The machine's unavailability events.
+    span_start, span_end:
+        The traced period; boundary intervals are marked censored.
+    machine_id:
+        Defaults to the events' machine id (or 0 when no events).
+    """
+    if span_end <= span_start:
+        raise TraceError("span must have positive length")
+    evs = sorted(events, key=lambda e: e.start)
+    if machine_id is None:
+        machine_id = evs[0].machine_id if evs else 0
+    for a, b in zip(evs, evs[1:]):
+        if a.machine_id != b.machine_id:
+            raise TraceError("events from multiple machines")
+        if b.start < a.end - 1e-9:
+            raise TraceError(
+                f"overlapping events: [{a.start},{a.end}] and [{b.start},{b.end}]"
+            )
+
+    intervals: list[AvailabilityInterval] = []
+    cursor = span_start
+    for ev in evs:
+        lo = max(ev.start, span_start)
+        if lo > cursor + 1e-9 and cursor < span_end:
+            intervals.append(
+                AvailabilityInterval(
+                    machine_id=machine_id,
+                    start=cursor,
+                    end=min(lo, span_end),
+                    censored=(cursor == span_start),
+                )
+            )
+        cursor = max(cursor, min(ev.end, span_end))
+    if cursor < span_end - 1e-9:
+        intervals.append(
+            AvailabilityInterval(
+                machine_id=machine_id,
+                start=cursor,
+                end=span_end,
+                censored=True,
+            )
+        )
+    return intervals
+
+
+def merge_short_gaps(
+    events: Sequence[UnavailabilityEvent], *, min_gap: float = MIN_HARVEST_DELAY
+) -> list[tuple[float, float]]:
+    """Coalesce events separated by availability gaps below ``min_gap``.
+
+    Returns merged unavailability spans ``(start, end)``.  This implements
+    the paper's operational advice that a machine released from heavy load
+    less than ~5 minutes ago should not yet be harvested: from a guest
+    scheduler's perspective, flapping overload is one outage.
+    """
+    if min_gap < 0:
+        raise TraceError("min_gap must be >= 0")
+    evs = sorted(events, key=lambda e: e.start)
+    merged: list[tuple[float, float]] = []
+    for ev in evs:
+        if merged and ev.start - merged[-1][1] < min_gap:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], ev.end))
+        else:
+            merged.append((ev.start, ev.end))
+    return merged

@@ -1,0 +1,120 @@
+"""Instantaneous state classification (the Figure 5 model).
+
+:class:`MultiStateModel` maps one monitor observation to the availability
+state the machine is in *at that instant*, applying the precedence
+S5 > S4 > S3 > S2 > S1.  Transient rules (short Th2 excursions being mere
+suspensions) live in the detector, which owns time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import ThresholdConfig
+from ..errors import ConfigError
+from .samples import MonitorSample, SampleBatch
+from .states import AvailState
+
+__all__ = ["MultiStateModel", "DEFAULT_GUEST_WORKING_SET_MB"]
+
+#: Reference guest working-set size used to judge memory availability, MB.
+#: The paper's SPEC guests range from 29 to 193 MB resident (Table 1); the
+#: default sits near the top so S4 detection is conservative.
+DEFAULT_GUEST_WORKING_SET_MB: float = 150.0
+
+
+@dataclass(frozen=True)
+class MultiStateModel:
+    """The five-state availability model, parameterized by thresholds.
+
+    Parameters
+    ----------
+    thresholds:
+        The calibrated Th1/Th2 pair (defaults to the paper's 20%/60%).
+    guest_working_set_mb:
+        Memory a guest process needs; free memory below this means S4.
+
+    Examples
+    --------
+    >>> m = MultiStateModel()
+    >>> m.classify_values(0.1, 500.0, True)
+    <AvailState.S1: 'S1'>
+    >>> m.classify_values(0.4, 500.0, True)
+    <AvailState.S2: 'S2'>
+    >>> m.classify_values(0.9, 500.0, True)
+    <AvailState.S3: 'S3'>
+    >>> m.classify_values(0.1, 60.0, True)
+    <AvailState.S4: 'S4'>
+    >>> m.classify_values(0.1, 500.0, False)
+    <AvailState.S5: 'S5'>
+    """
+
+    thresholds: ThresholdConfig = ThresholdConfig()
+    guest_working_set_mb: float = DEFAULT_GUEST_WORKING_SET_MB
+
+    def __post_init__(self) -> None:
+        if self.guest_working_set_mb <= 0:
+            raise ConfigError("guest_working_set_mb must be positive")
+
+    # -- scalar ------------------------------------------------------------
+
+    def classify(self, sample: MonitorSample) -> AvailState:
+        """State for one monitor sample."""
+        return self.classify_values(
+            sample.host_load, sample.free_mb, sample.machine_up
+        )
+
+    def classify_values(
+        self, host_load: float, free_mb: float, machine_up: bool
+    ) -> AvailState:
+        """State for raw observation values (precedence S5 > S4 > S3)."""
+        if not machine_up:
+            return AvailState.S5
+        if free_mb < self.guest_working_set_mb:
+            return AvailState.S4
+        th = self.thresholds
+        if host_load > th.th2:
+            return AvailState.S3
+        if host_load >= th.th1:
+            return AvailState.S2
+        return AvailState.S1
+
+    # -- vectorized ----------------------------------------------------------
+
+    def classify_batch(self, batch: SampleBatch) -> np.ndarray:
+        """Integer state codes (1..5 for S1..S5) for a sample batch."""
+        n = len(batch)
+        codes = np.ones(n, dtype=np.int8)
+        th = self.thresholds
+        codes[batch.host_load >= th.th1] = 2
+        codes[batch.host_load > th.th2] = 3
+        codes[batch.free_mb < self.guest_working_set_mb] = 4
+        codes[~batch.machine_up] = 5
+        return codes
+
+    @staticmethod
+    def code_to_state(code: int) -> AvailState:
+        """Map an integer code from :meth:`classify_batch` to a state."""
+        return _CODE_TO_STATE[code]
+
+    # -- guest-manager policy view ----------------------------------------------
+
+    def recommended_guest_nice(self, state: AvailState) -> Optional[int]:
+        """The guest priority the state prescribes (None = no guest runs)."""
+        if state is AvailState.S1:
+            return 0
+        if state is AvailState.S2:
+            return 19
+        return None
+
+
+_CODE_TO_STATE = {
+    1: AvailState.S1,
+    2: AvailState.S2,
+    3: AvailState.S3,
+    4: AvailState.S4,
+    5: AvailState.S5,
+}

@@ -1,0 +1,114 @@
+"""Monitor samples: the non-intrusive observables of Section 3.1.
+
+A sample carries exactly what the paper's resource monitor can see without
+special privileges: the aggregate CPU usage of host processes, the free
+memory, and whether the FGCS service is alive (its termination is the only
+observable symptom of revocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["MonitorSample", "SampleBatch"]
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One periodic reading from a machine's resource monitor."""
+
+    #: Absolute time of the reading, seconds.
+    time: float
+    #: Host CPU load L_H: total CPU usage of all host processes, in [0, 1].
+    host_load: float
+    #: Memory available to a guest process, MB.
+    free_mb: float
+    #: True while the machine is up and the FGCS service responds.
+    machine_up: bool
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.time):
+            raise TraceError("sample time must be finite")
+        if not 0.0 <= self.host_load <= 1.0 + 1e-9:
+            raise TraceError(f"host_load {self.host_load} outside [0, 1]")
+
+
+class SampleBatch:
+    """A columnar batch of monitor samples for one machine.
+
+    The vectorized detector and the trace generator work on batches; the
+    streaming detector works on :class:`MonitorSample` objects.  Batches
+    are validated at construction: times strictly increasing, loads in
+    range, equal column lengths.
+    """
+
+    __slots__ = ("times", "host_load", "free_mb", "machine_up")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        host_load: np.ndarray,
+        free_mb: np.ndarray,
+        machine_up: np.ndarray,
+    ) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        host_load = np.asarray(host_load, dtype=np.float64)
+        free_mb = np.asarray(free_mb, dtype=np.float64)
+        machine_up = np.asarray(machine_up, dtype=bool)
+        n = times.shape[0]
+        if not (host_load.shape[0] == free_mb.shape[0] == machine_up.shape[0] == n):
+            raise TraceError("sample batch columns must have equal length")
+        if n > 1 and not np.all(np.diff(times) > 0):
+            raise TraceError("sample times must be strictly increasing")
+        if n and (host_load.min() < -1e-9 or host_load.max() > 1.0 + 1e-9):
+            raise TraceError("host_load values outside [0, 1]")
+        self.times = times
+        self.host_load = np.clip(host_load, 0.0, 1.0)
+        self.free_mb = free_mb
+        self.machine_up = machine_up
+
+    def __len__(self) -> int:
+        return self.times.shape[0]
+
+    def __iter__(self) -> Iterator[MonitorSample]:
+        for i in range(len(self)):
+            yield MonitorSample(
+                time=float(self.times[i]),
+                host_load=float(self.host_load[i]),
+                free_mb=float(self.free_mb[i]),
+                machine_up=bool(self.machine_up[i]),
+            )
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[MonitorSample]) -> "SampleBatch":
+        rows = list(samples)
+        return cls(
+            np.array([s.time for s in rows]),
+            np.array([s.host_load for s in rows]),
+            np.array([s.free_mb for s in rows]),
+            np.array([s.machine_up for s in rows]),
+        )
+
+    def slice(self, start: float, end: float) -> "SampleBatch":
+        """Samples with ``start <= time < end``."""
+        mask = (self.times >= start) & (self.times < end)
+        return SampleBatch(
+            self.times[mask],
+            self.host_load[mask],
+            self.free_mb[mask],
+            self.machine_up[mask],
+        )
+
+    def concat(self, other: "SampleBatch") -> "SampleBatch":
+        """This batch followed by ``other`` (times must keep increasing)."""
+        return SampleBatch(
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.host_load, other.host_load]),
+            np.concatenate([self.free_mb, other.free_mb]),
+            np.concatenate([self.machine_up, other.machine_up]),
+        )

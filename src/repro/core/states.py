@@ -1,0 +1,70 @@
+"""The five availability states of Figure 5.
+
+S1/S2 are availability states (guest running at default/lowest priority);
+S3 (CPU contention), S4 (memory thrashing) and S5 (machine revocation) are
+*unrecoverable* failure states for a running guest: even if the overload
+later clears, the guest was already killed or migrated off.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AvailState", "FAILURE_STATES", "UEC_STATES", "state_cause"]
+
+
+class AvailState(enum.Enum):
+    """Availability state of a host machine for guest processes."""
+
+    #: Full resource availability: guest runs at default priority.
+    S1 = "S1"
+    #: Availability at lowest priority: heavy host load (Th1 <= L_H <= Th2).
+    S2 = "S2"
+    #: CPU unavailability (UEC): host load steadily above Th2.
+    S3 = "S3"
+    #: Memory thrashing (UEC): guest working set no longer fits.
+    S4 = "S4"
+    #: Machine unavailability (URR): revocation or hardware/software failure.
+    S5 = "S5"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for the guest-killing states S3/S4/S5."""
+        return self in FAILURE_STATES
+
+    @property
+    def is_uec(self) -> bool:
+        """True for unavailability due to excessive contention (S3/S4)."""
+        return self in UEC_STATES
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+#: States in which a running guest process is lost.
+FAILURE_STATES: frozenset[AvailState] = frozenset(
+    {AvailState.S3, AvailState.S4, AvailState.S5}
+)
+
+#: Unavailability due to Excessive resource Contention.
+UEC_STATES: frozenset[AvailState] = frozenset({AvailState.S3, AvailState.S4})
+
+_DESCRIPTIONS = {
+    AvailState.S1: "full resource availability for guest process",
+    AvailState.S2: "resource availability for guest process with lowest priority",
+    AvailState.S3: "CPU unavailability (UEC)",
+    AvailState.S4: "memory thrashing (UEC)",
+    AvailState.S5: "machine unavailability (URR)",
+}
+
+
+def state_cause(state: AvailState) -> str:
+    """The Table 2 cause category of a failure state."""
+    if state is AvailState.S3:
+        return "cpu"
+    if state is AvailState.S4:
+        return "memory"
+    if state is AvailState.S5:
+        return "revocation"
+    raise ValueError(f"{state} is not a failure state")

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the FGCS reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class SchedulerError(SimulationError):
+    """Raised on invalid OS-scheduler operations (e.g. unknown task)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed trace files or inconsistent trace datasets."""
+
+
+class PredictionError(ReproError):
+    """Raised when a predictor is queried before being fitted, or misused."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is driven with invalid parameters."""

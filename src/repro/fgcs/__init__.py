@@ -1,0 +1,32 @@
+"""The FGCS runtime: resource monitor, guest-job management, the
+iShare-style sharing system, and the multi-machine testbed driver.
+
+* :mod:`~repro.fgcs.monitor` — periodic, non-intrusive sampling of a
+  simulated machine (the vmstat/prstat monitor of Section 5);
+* :mod:`~repro.fgcs.guest_job` — guest-job lifecycle records;
+* :mod:`~repro.fgcs.manager` — the guest manager enforcing the paper's
+  policy: renice at Th1, suspend at Th2, resume or terminate after the
+  1-minute grace, kill on memory pressure;
+* :mod:`~repro.fgcs.ishare` — a minimal iShare node/registry (publication,
+  job submission, revocation) sufficient to host the trace study;
+* :mod:`~repro.fgcs.testbed` — generates the 20-machine, three-month trace
+  dataset end-to-end.
+"""
+
+from .guest_job import GuestJob, GuestJobState
+from .manager import GuestManager, ManagerAction
+from .migration import MigratingJob, MigrationController
+from .monitor import ResourceMonitor
+from .testbed import TestbedResult, run_testbed
+
+__all__ = [
+    "GuestJob",
+    "GuestJobState",
+    "GuestManager",
+    "ManagerAction",
+    "MigratingJob",
+    "MigrationController",
+    "ResourceMonitor",
+    "TestbedResult",
+    "run_testbed",
+]

@@ -1,0 +1,83 @@
+"""Guest-job lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+from ..oskernel.tasks import Task
+
+__all__ = ["GuestJob", "GuestJobState"]
+
+
+class GuestJobState(enum.Enum):
+    """Lifecycle of a guest job on one host machine."""
+
+    #: Running at default priority (machine in S1).
+    RUNNING = "running"
+    #: Running reniced to the lowest priority (machine in S2).
+    RUNNING_LOW = "running_low"
+    #: SIGSTOPped during a transient Th2 excursion.
+    SUSPENDED = "suspended"
+    #: Finished its work.
+    COMPLETED = "completed"
+    #: Killed: sustained CPU contention (S3).
+    KILLED_CPU = "killed_cpu"
+    #: Killed: memory thrashing imminent (S4).
+    KILLED_MEMORY = "killed_memory"
+    #: Lost: machine revoked (S5).
+    KILLED_REVOKED = "killed_revoked"
+
+    @property
+    def alive(self) -> bool:
+        return self in (
+            GuestJobState.RUNNING,
+            GuestJobState.RUNNING_LOW,
+            GuestJobState.SUSPENDED,
+        )
+
+    @property
+    def failed(self) -> bool:
+        return self in (
+            GuestJobState.KILLED_CPU,
+            GuestJobState.KILLED_MEMORY,
+            GuestJobState.KILLED_REVOKED,
+        )
+
+
+@dataclass
+class GuestJob:
+    """A guest job bound to a task on a host machine."""
+
+    job_id: str
+    task: Task
+    submit_time: float
+    state: GuestJobState = GuestJobState.RUNNING
+    #: When the current suspension began (while SUSPENDED).
+    suspended_since: Optional[float] = None
+    #: Cumulative seconds spent suspended.
+    suspended_total: float = 0.0
+    #: Number of times the job was suspended.
+    suspension_count: int = 0
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.task.is_guest:
+            raise SimulationError(f"task {self.task.name!r} is not a guest task")
+
+    @property
+    def cpu_time(self) -> float:
+        """CPU seconds the guest has consumed so far."""
+        return self.task.cpu_time
+
+    def mark_finished(self, state: GuestJobState, now: float) -> None:
+        """Transition to a terminal state."""
+        if not self.state.alive:
+            raise SimulationError(f"job {self.job_id} already terminal: {self.state}")
+        if self.state is GuestJobState.SUSPENDED and self.suspended_since is not None:
+            self.suspended_total += now - self.suspended_since
+            self.suspended_since = None
+        self.state = state
+        self.finish_time = now

@@ -1,0 +1,179 @@
+"""A minimal iShare-style sharing system (resource publication, guest-job
+submission, revocation).
+
+The paper's iShare uses a P2P network for publication and discovery; for
+the availability study its only roles are (a) starting the resource
+monitor with the shared machine, (b) accepting guest jobs, and (c) making
+revocation observable through service termination.  This module provides
+exactly that as an in-process registry of nodes, each wrapping a simulated
+machine with a monitor and a guest manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..config import FgcsConfig
+from ..core.detector import UnavailabilityDetector
+from ..core.events import UnavailabilityEvent
+from ..core.model import MultiStateModel
+from ..errors import SimulationError
+from ..oskernel.machine import Machine
+from ..oskernel.tasks import Task
+from ..simkernel import Simulator
+from .guest_job import GuestJob
+from .manager import GuestManager
+from .monitor import ResourceMonitor
+
+__all__ = ["IShareNode", "IShareRegistry"]
+
+
+class IShareNode:
+    """One published machine: monitor + guest manager + detection.
+
+    Driven by a shared :class:`~repro.simkernel.Simulator`: the node
+    schedules its own periodic monitor ticks, advances its machine lazily
+    to the simulator clock, feeds the manager and an (optional) detector.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[FgcsConfig] = None,
+        *,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+        detect: bool = True,
+    ) -> None:
+        self.node_id = next(self._ids)
+        self.name = name or f"node{self.node_id}"
+        self.sim = sim
+        self.config = config or FgcsConfig()
+        from ..config import MemoryConfig
+
+        self.machine = Machine(
+            self.config.scheduler,
+            MemoryConfig(
+                physical_mb=self.config.testbed.machine_memory_mb,
+                kernel_mb=self.config.testbed.machine_kernel_mb,
+            ),
+            name=self.name,
+        )
+        self.model = MultiStateModel(thresholds=self.config.thresholds)
+        self.monitor = ResourceMonitor(self.machine, self.config.monitor, rng=rng)
+        self.manager = GuestManager(self.machine, self.model)
+        self.detector = (
+            UnavailabilityDetector(self.node_id, self.model) if detect else None
+        )
+        self.events: list[UnavailabilityEvent] = []
+        self.published = False
+        self._cancel_monitor: Optional[Callable[[], None]] = None
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Start sharing: the monitor begins sampling with the service."""
+        if self.published:
+            raise SimulationError(f"{self.name} already published")
+        self.published = True
+        self.monitor.service_up = True
+        self._cancel_monitor = self.sim.every(
+            self.config.monitor.period, self._tick, name=f"{self.name}.monitor"
+        )
+
+    def revoke(self) -> None:
+        """The owner withdraws the machine: service and guest die."""
+        if not self.published:
+            return
+        self.published = False
+        self.monitor.service_up = False
+        if self._cancel_monitor is not None:
+            self._cancel_monitor()
+            self._cancel_monitor = None
+        self._sync()
+        self.manager.revoke(self.sim.now)
+
+    # -- job submission ------------------------------------------------------------
+
+    def submit(self, task: Task, *, job_id: Optional[str] = None) -> GuestJob:
+        """Submit a guest job to this node (at most one runs at a time)."""
+        if not self.published:
+            raise SimulationError(f"{self.name} is not published")
+        self._sync()
+        job = GuestJob(
+            job_id=job_id or f"{self.name}.job{len(self.manager.history)}",
+            task=task,
+            submit_time=self.sim.now,
+        )
+        self.machine.spawn(task)
+        self.manager.attach(job)
+        return job
+
+    # -- host-side workload ----------------------------------------------------------
+
+    def spawn_host(self, task: Task) -> Task:
+        """Run a host (owner) process on the node's machine."""
+        self._sync()
+        return self.machine.spawn(task)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Advance the machine to the simulator clock."""
+        if self.sim.now > self.machine.now:
+            self.machine.run_until(self.sim.now)
+
+    def _tick(self, now: float) -> None:
+        self._sync()
+        sample = self.monitor.sample()
+        self.manager.on_sample(sample)
+        if self.detector is not None:
+            self.events.extend(self.detector.feed(sample))
+
+    def finish(self) -> None:
+        """Flush the detector at the end of a run."""
+        self._sync()
+        if self.detector is not None:
+            self.events.extend(self.detector.finalize(self.sim.now))
+            self.detector = None
+
+
+class IShareRegistry:
+    """Publication and discovery: the P2P layer reduced to its API.
+
+    Real iShare resolves resources over a structured P2P network; the
+    registry preserves the interface (publish / unpublish / discover)
+    against an in-process table, which is all the availability study needs.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, IShareNode] = {}
+
+    def publish(self, node: IShareNode) -> None:
+        """Add a node to the registry and start its service."""
+        if node.name in self._nodes:
+            raise SimulationError(f"node name {node.name!r} already published")
+        self._nodes[node.name] = node
+        node.publish()
+
+    def unpublish(self, name: str) -> None:
+        """Revoke a node (owner leaves)."""
+        node = self._nodes.pop(name, None)
+        if node is None:
+            raise SimulationError(f"unknown node {name!r}")
+        node.revoke()
+
+    def discover(self) -> list[IShareNode]:
+        """All currently published nodes."""
+        return [n for n in self._nodes.values() if n.published]
+
+    def get(self, name: str) -> IShareNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None

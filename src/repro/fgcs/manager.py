@@ -1,0 +1,149 @@
+"""The guest manager: the paper's runtime policy, enforced per sample.
+
+From Section 3.2: "The priority of a running guest process is minimized
+(using renice) whenever it causes noticeable slowdown on the host
+processes.  If this does not alleviate the resource contention, the
+reniced guest process is suspended.  The guest process resumes if the
+contention diminishes after a certain duration (1 minute in our
+experiments), otherwise it is terminated."  Memory pressure terminates the
+guest immediately (Section 4, S4); revocation loses it outright (S5).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core.model import MultiStateModel
+from ..core.samples import MonitorSample
+from ..core.states import AvailState
+from ..errors import SimulationError
+from ..oskernel.machine import Machine
+from .guest_job import GuestJob, GuestJobState
+
+__all__ = ["GuestManager", "ManagerAction"]
+
+
+class ManagerAction(enum.Enum):
+    """What the manager did in response to one monitor sample."""
+
+    NONE = "none"
+    RENICE_LOW = "renice_low"
+    RENICE_DEFAULT = "renice_default"
+    SUSPEND = "suspend"
+    RESUME = "resume"
+    TERMINATE_CPU = "terminate_cpu"
+    TERMINATE_MEMORY = "terminate_memory"
+    COMPLETED = "completed"
+
+
+class GuestManager:
+    """Applies the FGCS policy to at most one guest job on a machine.
+
+    The paper's systems allow "no more than one guest process ... to run
+    concurrently on the same machine"; the manager enforces that too.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        model: Optional[MultiStateModel] = None,
+    ) -> None:
+        self.machine = machine
+        self.model = model or MultiStateModel()
+        self.job: Optional[GuestJob] = None
+        self.history: list[tuple[float, ManagerAction]] = []
+
+    # -- job control ---------------------------------------------------------
+
+    def attach(self, job: GuestJob) -> None:
+        """Start managing a guest job (it must already be spawned)."""
+        if self.job is not None and self.job.state.alive:
+            raise SimulationError("a guest job is already running on this machine")
+        self.job = job
+
+    def revoke(self, now: float) -> None:
+        """Machine revoked: the guest is lost with no recoverable state."""
+        if self.job is not None and self.job.state.alive:
+            self.machine.kill(self.job.task)
+            self.job.mark_finished(GuestJobState.KILLED_REVOKED, now)
+            self._log(now, ManagerAction.NONE)
+
+    # -- the per-sample policy ---------------------------------------------------
+
+    def on_sample(self, sample: MonitorSample) -> ManagerAction:
+        """React to one monitor reading; returns the action taken."""
+        job = self.job
+        if job is None or not job.state.alive:
+            return self._log(sample.time, ManagerAction.NONE)
+
+        # Completion is observed through the task exiting on its own.
+        if not job.task.alive:
+            job.mark_finished(GuestJobState.COMPLETED, sample.time)
+            return self._log(sample.time, ManagerAction.COMPLETED)
+
+        state = self.model.classify(sample)
+        now = sample.time
+
+        if state is AvailState.S5:
+            self.revoke(now)
+            return self._log(now, ManagerAction.NONE)
+
+        if state is AvailState.S4:
+            self.machine.kill(job.task)
+            job.mark_finished(GuestJobState.KILLED_MEMORY, now)
+            return self._log(now, ManagerAction.TERMINATE_MEMORY)
+
+        if state is AvailState.S3:
+            if job.state is GuestJobState.SUSPENDED:
+                assert job.suspended_since is not None
+                if now - job.suspended_since > self.model.thresholds.suspension_grace:
+                    self.machine.kill(job.task)
+                    job.mark_finished(GuestJobState.KILLED_CPU, now)
+                    return self._log(now, ManagerAction.TERMINATE_CPU)
+                return self._log(now, ManagerAction.NONE)
+            # First reaction to overload: minimize priority, then suspend.
+            if job.state is GuestJobState.RUNNING:
+                self.machine.renice(job.task, 19)
+            self.machine.suspend(job.task)
+            job.state = GuestJobState.SUSPENDED
+            job.suspended_since = now
+            job.suspension_count += 1
+            return self._log(now, ManagerAction.SUSPEND)
+
+        if state is AvailState.S2:
+            if job.state is GuestJobState.SUSPENDED:
+                self._resume(job, now, nice=19)
+                return self._log(now, ManagerAction.RESUME)
+            if job.state is GuestJobState.RUNNING:
+                self.machine.renice(job.task, 19)
+                job.state = GuestJobState.RUNNING_LOW
+                return self._log(now, ManagerAction.RENICE_LOW)
+            return self._log(now, ManagerAction.NONE)
+
+        # S1: full availability.
+        if job.state is GuestJobState.SUSPENDED:
+            self._resume(job, now, nice=0)
+            return self._log(now, ManagerAction.RESUME)
+        if job.state is GuestJobState.RUNNING_LOW:
+            self.machine.renice(job.task, 0)
+            job.state = GuestJobState.RUNNING
+            return self._log(now, ManagerAction.RENICE_DEFAULT)
+        return self._log(now, ManagerAction.NONE)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _resume(self, job: GuestJob, now: float, *, nice: int) -> None:
+        self.machine.renice(job.task, nice)
+        self.machine.resume(job.task)
+        assert job.suspended_since is not None
+        job.suspended_total += now - job.suspended_since
+        job.suspended_since = None
+        job.state = (
+            GuestJobState.RUNNING if nice == 0 else GuestJobState.RUNNING_LOW
+        )
+
+    def _log(self, now: float, action: ManagerAction) -> ManagerAction:
+        if action is not ManagerAction.NONE:
+            self.history.append((now, action))
+        return action

@@ -1,0 +1,202 @@
+"""Guest-job migration across iShare nodes (fine-simulation path).
+
+The paper's failure semantics: when a machine enters S3/S4/S5, "the guest
+process is already killed or migrated off and no state is left on the
+host."  This module implements the *migrated off* branch: a supervisor
+watches a guest job, and when its node kills it, resubmits the remainder
+on another published node — optionally from a periodic checkpoint, so only
+the work since the last checkpoint is lost.
+
+This is the quantum-resolution counterpart of the trace-replay executor in
+:mod:`repro.scheduling`: everything here runs on simulated machines with
+the real guest-manager policy in the loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..fgcs.guest_job import GuestJob, GuestJobState
+from ..fgcs.ishare import IShareNode
+from ..simkernel import Simulator
+from ..workloads.synthetic import guest_task
+
+__all__ = ["MigratingJob", "MigrationController"]
+
+#: Picks the next node for a (re)submission; gets the live candidates.
+NodePolicy = Callable[[list[IShareNode]], IShareNode]
+
+
+def least_loaded_policy(candidates: list[IShareNode]) -> IShareNode:
+    """Default policy: the published node with the lowest last-sample
+    host load (what a live system can observe)."""
+    def last_load(node: IShareNode) -> float:
+        samples = node.monitor.samples
+        return samples[-1].host_load if samples else 0.0
+
+    return min(candidates, key=last_load)
+
+
+@dataclass
+class MigratingJob:
+    """One logical guest job that may hop between nodes."""
+
+    job_id: str
+    total_cpu: float
+    submit_time: float
+    #: CPU seconds durably completed (checkpointed or carried over).
+    completed_cpu: float = 0.0
+    migrations: int = 0
+    lost_cpu: float = 0.0
+    finish_time: Optional[float] = None
+    failed_permanently: bool = False
+    #: Node names visited, in order.
+    placements: list[str] = field(default_factory=list)
+    _current: Optional[GuestJob] = None
+    _current_node: Optional[IShareNode] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def response_time(self) -> float:
+        if self.finish_time is None:
+            return float("inf")
+        return self.finish_time - self.submit_time
+
+
+class MigrationController:
+    """Supervises guest jobs over a set of iShare nodes.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator driving the nodes.
+    nodes:
+        Candidate nodes (must be published before jobs are submitted).
+    policy:
+        Node-selection policy (default: least observed host load).
+    checkpoint_period:
+        CPU-seconds between checkpoints; ``None`` disables checkpointing
+        (a migrated job restarts from zero, the paper's base semantics).
+    supervision_period:
+        How often the controller inspects its jobs, seconds.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: list[IShareNode],
+        *,
+        policy: NodePolicy = least_loaded_policy,
+        checkpoint_period: Optional[float] = None,
+        supervision_period: float = 10.0,
+    ) -> None:
+        if not nodes:
+            raise SimulationError("MigrationController needs nodes")
+        if checkpoint_period is not None and checkpoint_period <= 0:
+            raise SimulationError("checkpoint_period must be positive")
+        self.sim = sim
+        self.nodes = nodes
+        self.policy = policy
+        self.checkpoint_period = checkpoint_period
+        self.jobs: list[MigratingJob] = []
+        sim.every(
+            supervision_period, self._supervise, name="migration-controller"
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, total_cpu: float, *, job_id: Optional[str] = None) -> MigratingJob:
+        """Submit a logical job; it is placed on the next supervision tick
+        or immediately if a node is free."""
+        if total_cpu <= 0:
+            raise SimulationError("total_cpu must be positive")
+        job = MigratingJob(
+            job_id=job_id or f"mig{next(self._ids)}",
+            total_cpu=total_cpu,
+            submit_time=self.sim.now,
+        )
+        self.jobs.append(job)
+        self._try_place(job)
+        return job
+
+    # -- internals -------------------------------------------------------------
+
+    def _free_nodes(self) -> list[IShareNode]:
+        out = []
+        for node in self.nodes:
+            if not node.published:
+                continue
+            current = node.manager.job
+            if current is None or not current.state.alive:
+                out.append(node)
+        return out
+
+    def _try_place(self, job: MigratingJob) -> bool:
+        candidates = self._free_nodes()
+        if not candidates:
+            return False
+        node = self.policy(candidates)
+        remaining = job.total_cpu - job.completed_cpu
+        task = guest_task(
+            f"{job.job_id}.run{job.migrations}", total_cpu=remaining
+        )
+        guest = node.submit(task, job_id=f"{job.job_id}@{node.name}")
+        job._current = guest
+        job._current_node = node
+        job.placements.append(node.name)
+        return True
+
+    def _checkpointed(self, progressed: float) -> float:
+        """Durable progress given raw progress since the last placement."""
+        if self.checkpoint_period is None:
+            return 0.0
+        return (progressed // self.checkpoint_period) * self.checkpoint_period
+
+    def _supervise(self, now: float) -> None:
+        for job in self.jobs:
+            if job.done or job.failed_permanently:
+                continue
+            guest = job._current
+            if guest is None:
+                self._try_place(job)
+                continue
+            if guest.state is GuestJobState.COMPLETED:
+                job.completed_cpu = job.total_cpu
+                job.finish_time = (
+                    guest.finish_time if guest.finish_time is not None else now
+                )
+                job._current = None
+            elif guest.state.failed:
+                progressed = guest.cpu_time
+                durable = self._checkpointed(progressed)
+                job.completed_cpu += durable
+                job.lost_cpu += progressed - durable
+                job.migrations += 1
+                job._current = None
+                self._try_place(job)
+            # else: still running/suspended; leave it alone.
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate metrics over all submitted jobs."""
+        done = [j for j in self.jobs if j.done]
+        return {
+            "jobs": float(len(self.jobs)),
+            "completed": float(len(done)),
+            "migrations": float(sum(j.migrations for j in self.jobs)),
+            "lost_cpu": float(sum(j.lost_cpu for j in self.jobs)),
+            "mean_response": (
+                sum(j.response_time for j in done) / len(done)
+                if done
+                else float("inf")
+            ),
+        }

@@ -1,0 +1,102 @@
+"""The simulated iShare testbed driver (Section 5's data collection).
+
+``run_testbed`` produces the three-month, 20-machine trace dataset and a
+per-machine summary — the entry point every Section 5 analysis starts
+from.  It delegates the heavy lifting to :mod:`repro.traces.generate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import FgcsConfig
+from ..core.states import AvailState
+from ..traces.dataset import TraceDataset
+from ..traces.generate import generate_dataset
+
+__all__ = ["TestbedResult", "run_testbed"]
+
+
+@dataclass(frozen=True)
+class MachineSummary:
+    """Per-machine unavailability totals (one column of Table 2)."""
+
+    machine_id: int
+    total: int
+    cpu: int
+    memory: int
+    revocation: int
+    reboots: int
+
+    @property
+    def failures(self) -> int:
+        """URR events that were not reboots (hardware/software faults)."""
+        return self.revocation - self.reboots
+
+
+@dataclass(frozen=True)
+class TestbedResult:
+    """The generated dataset plus per-machine summaries."""
+
+    #: Not a test class, despite the name (silences pytest collection).
+    __test__ = False
+
+    dataset: TraceDataset
+    summaries: tuple[MachineSummary, ...]
+
+    def count_range(self, attr: str) -> tuple[int, int]:
+        """(min, max) of a summary field across machines — the ranges the
+        paper reports in Table 2."""
+        values = [getattr(s, attr) for s in self.summaries]
+        return (min(values), max(values))
+
+    def percentage_range(self, attr: str) -> tuple[float, float]:
+        """(min, max) share of a cause in each machine's total."""
+        shares = [
+            getattr(s, attr) / s.total if s.total else 0.0 for s in self.summaries
+        ]
+        return (min(shares), max(shares))
+
+
+def summarize_machines(dataset: TraceDataset) -> tuple[MachineSummary, ...]:
+    """Per-machine Table 2 counts for an existing dataset."""
+    out = []
+    for mid in range(dataset.n_machines):
+        evs = dataset.events_for(mid)
+        cpu = sum(1 for e in evs if e.state is AvailState.S3)
+        mem = sum(1 for e in evs if e.state is AvailState.S4)
+        urr = [e for e in evs if e.state is AvailState.S5]
+        out.append(
+            MachineSummary(
+                machine_id=mid,
+                total=len(evs),
+                cpu=cpu,
+                memory=mem,
+                revocation=len(urr),
+                reboots=sum(1 for e in urr if e.is_reboot),
+            )
+        )
+    return tuple(out)
+
+
+def run_testbed(
+    config: Optional[FgcsConfig] = None,
+    *,
+    keep_hourly_load: bool = True,
+) -> TestbedResult:
+    """Run the whole simulated trace study.
+
+    Examples
+    --------
+    >>> import dataclasses
+    >>> from repro.config import FgcsConfig, TestbedConfig
+    >>> from repro.units import DAY
+    >>> cfg = FgcsConfig(testbed=TestbedConfig(n_machines=2, duration=7 * DAY))
+    >>> result = run_testbed(cfg)
+    >>> len(result.summaries)
+    2
+    """
+    config = config or FgcsConfig()
+    dataset = generate_dataset(config, keep_hourly_load=keep_hourly_load)
+    return TestbedResult(dataset=dataset, summaries=summarize_machines(dataset))

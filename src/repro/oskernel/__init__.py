@@ -1,0 +1,38 @@
+"""Simulated operating-system substrate.
+
+This package models a single time-shared machine with enough fidelity for
+the paper's offline contention experiments (Section 3.2):
+
+* :mod:`~repro.oskernel.tasks` — processes as compute/sleep phase programs;
+* :mod:`~repro.oskernel.scheduler` — a Linux-2.4-style epoch scheduler
+  (per-nice timeslices, sleeper counter carry-over, goodness-based pick);
+* :mod:`~repro.oskernel.memory` — physical memory accounting and the
+  thrashing model;
+* :mod:`~repro.oskernel.machine` — the machine tying them together, with
+  CPU-time accounting and external controls (renice / suspend / kill).
+
+The two host-load thresholds Th1 and Th2 of the availability model are
+*emergent* properties of this scheduler: sleep-heavy (low-demand) host
+tasks accumulate counter while sleeping and preempt the guest on wake, so
+they suffer almost no slowdown; high-demand host tasks exhaust their
+timeslice and must time-share with the guest, whose share is bounded by its
+nice-dependent timeslice.
+"""
+
+from .machine import Machine
+from .memory import MemoryModel
+from .scheduler import EpochScheduler
+from .tasks import Phase, PhaseKind, Task, TaskState, compute_phase, exit_phase, sleep_phase
+
+__all__ = [
+    "EpochScheduler",
+    "Machine",
+    "MemoryModel",
+    "Phase",
+    "PhaseKind",
+    "Task",
+    "TaskState",
+    "compute_phase",
+    "exit_phase",
+    "sleep_phase",
+]

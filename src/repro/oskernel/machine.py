@@ -1,0 +1,245 @@
+"""A simulated time-shared machine.
+
+Combines the epoch scheduler and the memory model, advances virtual time in
+scheduler quanta, accounts CPU time separately for host and guest tasks,
+and exposes the external controls the FGCS runtime uses (``renice``,
+``suspend``, ``resume``, ``kill``) — the simulated equivalents of the OS
+facilities the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import MemoryConfig, SchedulerConfig
+from ..errors import SchedulerError
+from .memory import MemoryModel
+from .scheduler import EpochScheduler
+from .tasks import Task, TaskState
+
+__all__ = ["Machine", "CpuSnapshot"]
+
+
+class CpuSnapshot:
+    """A point-in-time reading of the machine's cumulative CPU accounting."""
+
+    __slots__ = ("time", "host_cpu", "guest_cpu")
+
+    def __init__(self, time: float, host_cpu: float, guest_cpu: float) -> None:
+        self.time = time
+        self.host_cpu = host_cpu
+        self.guest_cpu = guest_cpu
+
+    def usage_since(self, earlier: "CpuSnapshot") -> tuple[float, float]:
+        """(host, guest) CPU usage fractions over the elapsed interval."""
+        dt = self.time - earlier.time
+        if dt <= 0:
+            return (0.0, 0.0)
+        return (
+            (self.host_cpu - earlier.host_cpu) / dt,
+            (self.guest_cpu - earlier.guest_cpu) / dt,
+        )
+
+
+class Machine:
+    """One simulated host machine.
+
+    Parameters mirror the paper's testbeds: the scheduler config describes
+    the kernel, the memory config the physical/kernel memory split.
+
+    Examples
+    --------
+    >>> from repro.workloads.synthetic import cpu_bound_program
+    >>> m = Machine()
+    >>> guest = Task("guest", cpu_bound_program(), is_guest=True)
+    >>> _ = m.spawn(guest)
+    >>> m.run_for(10.0)
+    >>> 9.0 < guest.cpu_time <= 10.0  # alone, the guest gets the whole CPU
+    True
+    """
+
+    def __init__(
+        self,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
+        *,
+        name: str = "machine",
+    ) -> None:
+        self.name = name
+        self.scheduler = EpochScheduler(scheduler_config)
+        self.memory = MemoryModel(memory_config)
+        self.now = 0.0
+        #: Cumulative CPU seconds of exited-and-reaped tasks.
+        self._reaped_host_cpu = 0.0
+        self._reaped_guest_cpu = 0.0
+        #: Wall seconds spent with the machine in a thrashing state.
+        self.thrash_time = 0.0
+        #: Optional hook invoked as ``hook(now)`` after every quantum.
+        self.quantum_hook: Optional[Callable[[float], None]] = None
+        #: Cached per-quantum progress factor; the resident-set total only
+        #: changes when tasks are spawned, exit, or are killed, so the
+        #: memory model need not be consulted every quantum.
+        self._progress_factor = 1.0
+        self._memory_dirty = True
+
+    # -- task management -------------------------------------------------------
+
+    def spawn(self, task: Task) -> Task:
+        """Add a task to the machine and start its program."""
+        self.scheduler.add(task)
+        task.begin(self.now)
+        self._memory_dirty = True
+        return task
+
+    def reap(self) -> int:
+        """Drop exited tasks, folding their CPU time into machine totals.
+
+        Returns the number of tasks reaped.  Long-running simulations with
+        short-lived workload processes call this periodically to keep the
+        scheduler's task list small.
+        """
+        exited = [t for t in self.scheduler.tasks if not t.alive]
+        for t in exited:
+            if t.is_guest:
+                self._reaped_guest_cpu += t.cpu_time
+            else:
+                self._reaped_host_cpu += t.cpu_time
+            self.scheduler.remove(t)
+        self._memory_dirty = True
+        return len(exited)
+
+    # -- external controls (the FGCS manager's renice/SIGSTOP/SIGKILL) ----------
+
+    def renice(self, task: Task, nice: int) -> None:
+        """Change a task's priority, as the paper does via ``renice``."""
+        task.renice(nice)
+
+    def suspend(self, task: Task) -> None:
+        """SIGSTOP a task (guest suspension on transient overload)."""
+        task.suspend()
+
+    def resume(self, task: Task) -> None:
+        """SIGCONT a suspended task."""
+        task.resume()
+
+    def kill(self, task: Task) -> None:
+        """SIGKILL a task (guest termination on sustained overload)."""
+        task.kill(self.now)
+        self._memory_dirty = True
+
+    # -- accounting ---------------------------------------------------------------
+
+    def host_cpu_time(self) -> float:
+        """Cumulative CPU seconds consumed by host (non-guest) tasks."""
+        return self._reaped_host_cpu + sum(
+            t.cpu_time for t in self.scheduler.tasks if not t.is_guest
+        )
+
+    def guest_cpu_time(self) -> float:
+        """Cumulative CPU seconds consumed by guest tasks."""
+        return self._reaped_guest_cpu + sum(
+            t.cpu_time for t in self.scheduler.tasks if t.is_guest
+        )
+
+    def snapshot(self) -> CpuSnapshot:
+        """Current cumulative CPU accounting, for windowed usage readings."""
+        return CpuSnapshot(self.now, self.host_cpu_time(), self.guest_cpu_time())
+
+    def resident_mb(self) -> float:
+        """Total resident memory of live tasks, MB."""
+        return self.memory.resident_total(self.scheduler.tasks)
+
+    def is_thrashing(self) -> bool:
+        """True while working sets exceed available physical memory."""
+        return self.memory.is_thrashing(self.scheduler.tasks)
+
+    # -- time advancement -----------------------------------------------------------
+
+    def run_for(self, duration: float) -> None:
+        """Advance the machine by ``duration`` wall-clock seconds."""
+        if duration < 0:
+            raise SchedulerError(f"negative duration {duration}")
+        self.run_until(self.now + duration)
+
+    def run_until(self, t_end: float) -> None:
+        """Advance the machine to absolute time ``t_end``.
+
+        The loop runs the highest-goodness runnable task one quantum at a
+        time; idle periods (no runnable task) are skipped in a single jump
+        to the next wake time.  Compute phases that finish mid-quantum end
+        exactly on time, so CPU accounting carries no quantization error.
+        """
+        if t_end < self.now:
+            raise SchedulerError(f"cannot run machine backwards to {t_end}")
+        quantum = self.scheduler.config.quantum
+        sched = self.scheduler
+        memory = self.memory
+        eps = 1e-9
+
+        while self.now < t_end - eps:
+            now = self.now
+            # Wake any sleeper whose time has come.
+            for t in sched.tasks:
+                t.maybe_wake(now)
+
+            task = sched.pick()
+            if task is None:
+                # Idle: jump to the next wake-up (or the horizon).
+                nw = sched.next_wake_time()
+                if nw is None or nw >= t_end:
+                    self.now = t_end
+                    break
+                self.now = max(nw, now + eps)
+                sched.refresh_after_idle()
+                continue
+
+            q = min(quantum, t_end - now)
+            # A task never runs past its remaining counter: the kernel
+            # enforces this at tick granularity; we account it exactly so
+            # that sub-tick timeslices (deeply reniced guests) are honoured.
+            if 0.0 < task.counter < q:
+                q = task.counter
+            if self._memory_dirty:
+                self._progress_factor = memory.progress_factor(sched.tasks)
+                self._memory_dirty = False
+            factor = self._progress_factor
+            # A sleeper waking mid-quantum bounds the quantum, as a timer
+            # tick would in the kernel.
+            nw = sched.next_wake_time()
+            if nw is not None and now < nw < now + q:
+                q = nw - now
+            progress = q * factor
+            if progress >= task.remaining_compute:
+                # Finishes early: advance wall clock only by the time needed.
+                progress = task.remaining_compute
+                q = progress / factor if factor > 0 else q
+            task.account_progress(progress, now + q)
+            if not task.alive:
+                # The task exited on its own: its memory is released.
+                self._memory_dirty = True
+            sched.charge(task, q)
+            if factor < 1.0:
+                self.thrash_time += q
+            self.now = now + q
+            if self.quantum_hook is not None:
+                self.quantum_hook(self.now)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def live_tasks(self) -> list[Task]:
+        """All tasks that have not exited."""
+        return [t for t in self.scheduler.tasks if t.alive]
+
+    def find_task(self, name: str) -> Optional[Task]:
+        """Look up a task by name (first match), or ``None``."""
+        for t in self.scheduler.tasks:
+            if t.name == name:
+                return t
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = sum(1 for t in self.scheduler.tasks if t.alive)
+        states = {s: 0 for s in TaskState}
+        for t in self.scheduler.tasks:
+            states[t.state] += 1
+        return f"<Machine {self.name!r} t={self.now:.3f}s live={live}>"

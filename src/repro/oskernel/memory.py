@@ -1,0 +1,47 @@
+"""Physical-memory accounting and the thrashing model.
+
+The paper's memory-contention finding (Section 3.2.3) is binary: when the
+total working set of host and guest processes (plus ~100 MB of kernel
+memory) exceeds physical memory, the machine *thrashes* — every process
+makes little progress regardless of CPU priorities; otherwise memory has no
+effect.  We model that as a multiplicative collapse of per-quantum CPU
+progress while the sum of resident sets exceeds the available memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..config import MemoryConfig
+from .tasks import Task
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Tracks resident-set pressure on a machine and detects thrashing."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config or MemoryConfig()
+
+    def resident_total(self, tasks: Iterable[Task]) -> float:
+        """Total resident MB of all live tasks (suspended tasks still hold
+        their pages; the paper terminates, not suspends, on thrashing)."""
+        return sum(t.resident_mb for t in tasks if t.alive)
+
+    def free_mb(self, tasks: Iterable[Task]) -> float:
+        """Memory left for an additional process, MB (can be negative)."""
+        return self.config.available_mb - self.resident_total(tasks)
+
+    def is_thrashing(self, tasks: Iterable[Task]) -> bool:
+        """True when working sets exceed what physical memory can hold."""
+        return self.resident_total(tasks) > self.config.available_mb
+
+    def fits(self, tasks: Iterable[Task], extra_mb: float) -> bool:
+        """Would a new process with ``extra_mb`` resident fit without thrashing?"""
+        return self.resident_total(tasks) + extra_mb <= self.config.available_mb
+
+    def progress_factor(self, tasks: Iterable[Task]) -> float:
+        """Multiplier on CPU progress this quantum: 1.0, or the collapse
+        factor while thrashing."""
+        return self.config.thrash_progress_factor if self.is_thrashing(tasks) else 1.0

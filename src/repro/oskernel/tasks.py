@@ -1,0 +1,247 @@
+"""Simulated tasks (processes) described as compute/sleep phase programs.
+
+A *program* is any iterator of :class:`Phase` objects.  The paper's
+synthetic workloads (Section 3.2.1) are loops of "compute C seconds of CPU
+work, then sleep S seconds"; SPEC-like guests are a single long compute
+phase.  The machine pulls the next phase whenever the current one finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import SchedulerError
+
+__all__ = [
+    "Phase",
+    "PhaseKind",
+    "Program",
+    "Task",
+    "TaskState",
+    "compute_phase",
+    "sleep_phase",
+    "exit_phase",
+]
+
+
+class PhaseKind(enum.Enum):
+    """What a task is asking to do next."""
+
+    COMPUTE = "compute"
+    SLEEP = "sleep"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a task program.
+
+    ``amount`` is CPU-seconds of work for COMPUTE phases and wall-clock
+    seconds for SLEEP phases; it is ignored for EXIT.
+    """
+
+    kind: PhaseKind
+    amount: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is not PhaseKind.EXIT and (
+            not math.isfinite(self.amount) or self.amount < 0
+        ):
+            raise SchedulerError(f"phase amount must be finite and >= 0: {self}")
+
+
+def compute_phase(cpu_seconds: float) -> Phase:
+    """A phase needing ``cpu_seconds`` of CPU time."""
+    return Phase(PhaseKind.COMPUTE, cpu_seconds)
+
+
+def sleep_phase(wall_seconds: float) -> Phase:
+    """A phase sleeping for ``wall_seconds`` of wall-clock time."""
+    return Phase(PhaseKind.SLEEP, wall_seconds)
+
+
+def exit_phase() -> Phase:
+    """Terminate the task."""
+    return Phase(PhaseKind.EXIT)
+
+
+Program = Iterator[Phase]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a simulated task."""
+
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    SUSPENDED = "suspended"  # SIGSTOP'ed by the FGCS guest manager
+    EXITED = "exited"
+
+
+class Task:
+    """A simulated process: a phase program plus scheduling state.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    program:
+        Iterator of :class:`Phase` objects describing the behaviour.
+    nice:
+        Unix nice level in [-20, 19]; FGCS guests run at 0 or 19.
+    resident_mb:
+        Resident-set size in MB, held while the task is alive.
+    is_guest:
+        True for FGCS guest processes; hosts and system tasks are False.
+    """
+
+    __slots__ = (
+        "name",
+        "nice",
+        "resident_mb",
+        "is_guest",
+        "_program",
+        "state",
+        "remaining_compute",
+        "wake_time",
+        "cpu_time",
+        "start_time",
+        "exit_time",
+        "counter",
+        "last_scheduled",
+        "_suspended_state",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        *,
+        nice: int = 0,
+        resident_mb: float = 1.0,
+        is_guest: bool = False,
+    ) -> None:
+        if not -20 <= nice <= 19:
+            raise SchedulerError(f"nice must be in [-20, 19], got {nice}")
+        if resident_mb < 0:
+            raise SchedulerError("resident_mb must be >= 0")
+        self.name = name
+        self.nice = nice
+        self.resident_mb = float(resident_mb)
+        self.is_guest = bool(is_guest)
+        self._program = program
+        self.state = TaskState.RUNNABLE
+        self.remaining_compute = 0.0
+        self.wake_time = 0.0
+        self.cpu_time = 0.0
+        self.start_time: Optional[float] = None
+        self.exit_time: Optional[float] = None
+        #: Remaining timeslice in the current scheduler epoch (seconds).
+        self.counter = 0.0
+        #: Monotone sequence number of the last time this task was picked,
+        #: used for least-recently-run tie-breaking.
+        self.last_scheduled = -1
+        self._suspended_state: Optional[TaskState] = None
+
+    # -- program driving ----------------------------------------------------
+
+    def begin(self, now: float) -> None:
+        """Start the task: pull its first phase."""
+        if self.start_time is not None:
+            raise SchedulerError(f"task {self.name!r} already started")
+        self.start_time = now
+        self._advance_phase(now)
+
+    def _advance_phase(self, now: float) -> None:
+        """Pull phases until the task is computing, sleeping, or exited."""
+        while True:
+            phase = next(self._program, None)
+            if phase is None or phase.kind is PhaseKind.EXIT:
+                self.state = TaskState.EXITED
+                self.exit_time = now
+                return
+            if phase.kind is PhaseKind.COMPUTE:
+                if phase.amount > 0:
+                    self.remaining_compute = phase.amount
+                    self.state = TaskState.RUNNABLE
+                    return
+            elif phase.kind is PhaseKind.SLEEP:
+                if phase.amount > 0:
+                    self.wake_time = now + phase.amount
+                    self.state = TaskState.SLEEPING
+                    return
+
+    def account_progress(self, progress: float, now: float) -> None:
+        """Credit ``progress`` CPU-seconds of useful work to the task.
+
+        Advances to the next phase when the current compute amount is done.
+        """
+        if self.state is not TaskState.RUNNABLE:
+            raise SchedulerError(f"cannot run task {self.name!r} in {self.state}")
+        self.cpu_time += progress
+        self.remaining_compute -= progress
+        if self.remaining_compute <= 1e-12:
+            self.remaining_compute = 0.0
+            self._advance_phase(now)
+
+    def maybe_wake(self, now: float) -> bool:
+        """Wake the task if sleeping and its wake time has arrived.
+
+        Waking pulls the program's next phase, so the task emerges
+        runnable with compute work, sleeping again, or exited.
+        """
+        if self.state is TaskState.SLEEPING and now >= self.wake_time - 1e-12:
+            self._advance_phase(now)
+            return True
+        return False
+
+    # -- external controls (FGCS manager) ------------------------------------
+
+    def suspend(self) -> None:
+        """SIGSTOP: park the task; it keeps memory but consumes no CPU."""
+        if self.state is TaskState.EXITED:
+            raise SchedulerError(f"cannot suspend exited task {self.name!r}")
+        if self.state is TaskState.SUSPENDED:
+            return
+        self._suspended_state = self.state
+        self.state = TaskState.SUSPENDED
+
+    def resume(self) -> None:
+        """SIGCONT: restore the pre-suspension state."""
+        if self.state is not TaskState.SUSPENDED:
+            return
+        assert self._suspended_state is not None
+        self.state = self._suspended_state
+        self._suspended_state = None
+
+    def kill(self, now: float) -> None:
+        """SIGKILL: terminate immediately."""
+        if self.state is TaskState.EXITED:
+            return
+        self.state = TaskState.EXITED
+        self.exit_time = now
+
+    def renice(self, nice: int) -> None:
+        """Change the task's nice level (takes effect next epoch)."""
+        if not -20 <= nice <= 19:
+            raise SchedulerError(f"nice must be in [-20, 19], got {nice}")
+        self.nice = nice
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True until the task exits (memory is held while alive)."""
+        return self.state is not TaskState.EXITED
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is TaskState.RUNNABLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Task {self.name!r} {self.state.value} nice={self.nice} "
+            f"cpu={self.cpu_time:.3f}s>"
+        )

@@ -1,0 +1,63 @@
+"""Availability prediction (the paper's stated goal and future work).
+
+Section 5.3 concludes that "it is feasible to predict resource availability
+over an arbitrary future time window, if the prediction uses history data
+for the corresponding time windows from previous weekdays or weekends."
+This package implements exactly that predictor, several baselines it must
+beat for the claim to hold, and an evaluation harness over held-out trace
+days.
+
+* :mod:`~repro.prediction.base` — query/count-matrix plumbing shared by all
+  predictors;
+* :mod:`~repro.prediction.history` — the paper's history-window predictor;
+* :mod:`~repro.prediction.baselines` — global-rate, hourly-mean, last-day
+  and EWMA baselines;
+* :mod:`~repro.prediction.markov` — an interval-based semi-Markov baseline;
+* :mod:`~repro.prediction.evaluate` — train/test evaluation (count MAE,
+  survival Brier score, calibration).
+"""
+
+from .base import AvailabilityPredictor, CountMatrix, PredictionQuery
+from .baselines import (
+    EwmaPredictor,
+    GlobalRatePredictor,
+    HourlyMeanPredictor,
+    LastDayPredictor,
+)
+from .adaptive import ChangePointAdaptivePredictor, detect_change_points
+from .ensemble import EnsemblePredictor
+from .evaluate import (
+    EvaluationResult,
+    evaluate_by_duration,
+    evaluate_machine_ranking,
+    evaluate_predictors,
+)
+from .factored import FactoredPredictor
+from .history import HistoryWindowPredictor
+from .markov import IntervalExponentialPredictor
+from .online import OnlinePredictor
+from .renewal import RenewalAgePredictor
+from .semimarkov import SemiMarkovModel
+
+__all__ = [
+    "AvailabilityPredictor",
+    "ChangePointAdaptivePredictor",
+    "CountMatrix",
+    "detect_change_points",
+    "EvaluationResult",
+    "EnsemblePredictor",
+    "EwmaPredictor",
+    "FactoredPredictor",
+    "GlobalRatePredictor",
+    "HistoryWindowPredictor",
+    "HourlyMeanPredictor",
+    "IntervalExponentialPredictor",
+    "LastDayPredictor",
+    "OnlinePredictor",
+    "PredictionQuery",
+    "RenewalAgePredictor",
+    "SemiMarkovModel",
+    "evaluate_by_duration",
+    "evaluate_machine_ranking",
+    "evaluate_predictors",
+]

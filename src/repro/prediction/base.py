@@ -1,0 +1,148 @@
+"""Shared plumbing for availability predictors.
+
+All predictors consume a :class:`CountMatrix` — per (machine, day, hour)
+counts of unavailability occurrences (by event start time) — and answer
+:class:`PredictionQuery` objects about future windows with two numbers:
+
+* ``predict_count`` — expected unavailability occurrences in the window;
+* ``predict_survival`` — probability that **no** unavailability starts in
+  the window (the quantity a proactive scheduler needs: will a guest job
+  launched now survive its runtime?).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..traces.dataset import TraceDataset
+from ..units import DAY, HOUR
+
+__all__ = ["AvailabilityPredictor", "CountMatrix", "PredictionQuery"]
+
+
+@dataclass(frozen=True)
+class PredictionQuery:
+    """A future time window on one machine.
+
+    ``day`` is the absolute day index; the window spans
+    ``[start_hour, start_hour + duration_hours)`` within (or past) it.
+    Fractional hours are allowed.
+    """
+
+    machine_id: int
+    day: int
+    start_hour: float
+    duration_hours: float
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise PredictionError("duration_hours must be positive")
+        if not 0 <= self.start_hour < 24:
+            raise PredictionError("start_hour must be in [0, 24)")
+
+    @property
+    def start_time(self) -> float:
+        return self.day * DAY + self.start_hour * HOUR
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration_hours * HOUR
+
+    def hour_cells(self) -> list[tuple[int, int, float]]:
+        """(day, hour-of-day, overlap fraction) cells the window covers."""
+        cells = []
+        h = self.start_hour + self.day * 24
+        end = h + self.duration_hours
+        while h < end - 1e-9:
+            cell_start = np.floor(h)
+            overlap = min(end, cell_start + 1) - h
+            day, hour = divmod(int(cell_start), 24)
+            cells.append((day, hour, float(overlap)))
+            h = cell_start + 1
+        return cells
+
+
+class CountMatrix:
+    """Per (machine, day, hour) unavailability-start counts for a dataset."""
+
+    def __init__(self, dataset: TraceDataset) -> None:
+        self.n_machines = dataset.n_machines
+        self.n_days = dataset.n_days
+        self.start_weekday = dataset.start_weekday
+        self.counts = np.zeros(
+            (self.n_machines, self.n_days, 24), dtype=np.int64
+        )
+        for e in dataset.events:
+            day, rem = divmod(e.start, DAY)
+            day = int(day)
+            hour = int(rem // HOUR)
+            if day < self.n_days:
+                self.counts[e.machine_id, day, hour] += 1
+
+    def is_weekend_day(self, day: int) -> bool:
+        return (day + self.start_weekday) % 7 >= 5
+
+    def same_type_days_before(self, day: int, limit: int | None = None) -> list[int]:
+        """Day indices before ``day`` with the same weekday/weekend type,
+        most recent first."""
+        target = self.is_weekend_day(day)
+        days = [d for d in range(day - 1, -1, -1) if self.is_weekend_day(d) == target]
+        return days if limit is None else days[:limit]
+
+    def window_count(self, machine_id: int, day: int, query: PredictionQuery) -> float:
+        """Fractional-overlap count of events in the query window shape,
+        transplanted onto ``day`` (for history lookups)."""
+        total = 0.0
+        for cell_day_offset, hour, overlap in _shifted_cells(query, day):
+            if 0 <= cell_day_offset < self.n_days:
+                total += overlap * self.counts[machine_id, cell_day_offset, hour]
+        return total
+
+
+def _shifted_cells(query: PredictionQuery, day: int) -> list[tuple[int, int, float]]:
+    """The query's hour cells with its anchor day replaced by ``day``."""
+    shift = day - query.day
+    return [(d + shift, h, o) for (d, h, o) in query.hour_cells()]
+
+
+class AvailabilityPredictor(abc.ABC):
+    """Base class: fit on a trace dataset, answer window queries."""
+
+    def __init__(self) -> None:
+        self._matrix: CountMatrix | None = None
+
+    def fit(self, dataset: TraceDataset) -> "AvailabilityPredictor":
+        """Learn from a (training) trace dataset.  Returns self."""
+        self._matrix = CountMatrix(dataset)
+        self._fit(self._matrix)
+        return self
+
+    def _fit(self, matrix: CountMatrix) -> None:
+        """Subclass hook; default does nothing beyond storing the matrix."""
+
+    @property
+    def matrix(self) -> CountMatrix:
+        if self._matrix is None:
+            raise PredictionError(f"{type(self).__name__} is not fitted")
+        return self._matrix
+
+    @abc.abstractmethod
+    def predict_count(self, query: PredictionQuery) -> float:
+        """Expected number of unavailability occurrences in the window."""
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        """P(no unavailability starts in the window).
+
+        Default: treat the predicted count as a Poisson mean.  Subclasses
+        with direct empirical estimates override this.
+        """
+        lam = max(self.predict_count(query), 0.0)
+        return float(np.exp(-lam))
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

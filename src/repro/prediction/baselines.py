@@ -1,0 +1,109 @@
+"""Baseline predictors the history-window approach must beat.
+
+These represent progressively more informed null models:
+
+* :class:`GlobalRatePredictor` — one Poisson rate for everything (what a
+  prediction-oblivious scheduler implicitly assumes);
+* :class:`HourlyMeanPredictor` — hour-of-day rates, ignoring day type;
+* :class:`LastDayPredictor` — yesterday's matching window only;
+* :class:`EwmaPredictor` — exponentially weighted history (recency bias).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+from .base import AvailabilityPredictor, CountMatrix, PredictionQuery
+
+__all__ = [
+    "GlobalRatePredictor",
+    "HourlyMeanPredictor",
+    "LastDayPredictor",
+    "EwmaPredictor",
+]
+
+
+class GlobalRatePredictor(AvailabilityPredictor):
+    """A single unavailability rate per machine-hour, no structure at all."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rate = 0.0
+
+    def _fit(self, matrix: CountMatrix) -> None:
+        total = float(matrix.counts.sum())
+        hours = matrix.n_machines * matrix.n_days * 24
+        self._rate = total / hours
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        return self._rate * query.duration_hours
+
+
+class HourlyMeanPredictor(AvailabilityPredictor):
+    """Mean count per hour-of-day, pooled over machines and all days.
+
+    Captures the diurnal shape but not the weekday/weekend distinction.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hour_rate = np.zeros(24)
+
+    def _fit(self, matrix: CountMatrix) -> None:
+        per_hour = matrix.counts.mean(axis=(0, 1))  # mean over machines, days
+        self._hour_rate = per_hour
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        return float(
+            sum(o * self._hour_rate[h] for (_, h, o) in query.hour_cells())
+        )
+
+
+class LastDayPredictor(AvailabilityPredictor):
+    """Exactly the matching window on the single most recent same-type day.
+
+    Maximally recency-biased: it inherits every irregularity of that one
+    day, which is what the paper's "use statistics to alleviate irregular
+    data" remark warns about.
+    """
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        m = self.matrix
+        days = m.same_type_days_before(min(query.day, m.n_days), 1)
+        if not days:
+            raise PredictionError("no same-type history day available")
+        return m.window_count(query.machine_id, days[0], query)
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        # A window is either clean or not on the one history day; soften
+        # the extremes slightly so the Brier score is finite-sample fair.
+        count = self.predict_count(query)
+        return 0.9 if count < 0.5 else 0.1
+
+
+class EwmaPredictor(AvailabilityPredictor):
+    """Exponentially weighted mean over previous same-type days."""
+
+    def __init__(self, *, alpha: float = 0.35, max_days: int = 15) -> None:
+        super().__init__()
+        if not 0 < alpha <= 1:
+            raise PredictionError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.max_days = max_days
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        m = self.matrix
+        days = m.same_type_days_before(min(query.day, m.n_days), self.max_days)
+        if not days:
+            raise PredictionError("no same-type history available")
+        weights = np.array([(1 - self.alpha) ** k for k in range(len(days))])
+        weights /= weights.sum()
+        counts = np.array(
+            [m.window_count(query.machine_id, d, query) for d in days]
+        )
+        return float((weights * counts).sum())
+
+    @property
+    def name(self) -> str:
+        return f"EWMA(alpha={self.alpha})"

@@ -1,0 +1,118 @@
+"""Ensemble availability prediction.
+
+Different predictors capture different structure: the history window sees
+machine-specific recent windows, the factored model sees stable busyness
+and the pooled daily shape, the hourly mean smooths aggressively.  A
+convex combination usually beats each member on Brier score (variance
+reduction on correlated-but-distinct estimators), and the weights can be
+tuned on a validation slice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..traces.dataset import TraceDataset
+from .base import AvailabilityPredictor, PredictionQuery
+
+__all__ = ["EnsemblePredictor"]
+
+
+class EnsemblePredictor(AvailabilityPredictor):
+    """Weighted average of member predictors.
+
+    Parameters
+    ----------
+    members:
+        Predictors to combine (fitted by this ensemble's :meth:`fit`).
+    weights:
+        Convex weights (normalized); default uniform.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[AvailabilityPredictor],
+        *,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__()
+        if not members:
+            raise PredictionError("ensemble needs at least one member")
+        self.members = list(members)
+        if weights is None:
+            weights = [1.0] * len(self.members)
+        w = np.asarray(list(weights), dtype=float)
+        if w.size != len(self.members) or np.any(w < 0) or w.sum() <= 0:
+            raise PredictionError("weights must be non-negative, same length")
+        self.weights = w / w.sum()
+
+    def fit(self, dataset: TraceDataset) -> "EnsemblePredictor":
+        super().fit(dataset)
+        for m in self.members:
+            m.fit(dataset)
+        return self
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        return float(
+            sum(
+                w * m.predict_count(query)
+                for w, m in zip(self.weights, self.members)
+            )
+        )
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        return float(
+            sum(
+                w * m.predict_survival(query)
+                for w, m in zip(self.weights, self.members)
+            )
+        )
+
+    @property
+    def name(self) -> str:
+        inner = "+".join(m.name for m in self.members)
+        return f"Ensemble({inner})"
+
+
+def tune_weights(
+    ensemble: EnsemblePredictor,
+    dataset: TraceDataset,
+    *,
+    train_days: int,
+    validation_days: int,
+    grid_steps: int = 5,
+    durations_hours: Sequence[float] = (2.0, 4.0),
+    start_hours: Sequence[float] = (0, 6, 12, 18),
+) -> EnsemblePredictor:
+    """Grid-search convex weights on a validation slice (two members only).
+
+    Fits members on the first ``train_days``, scores Brier on the next
+    ``validation_days``, and returns a new ensemble with the best weights.
+    """
+    if len(ensemble.members) != 2:
+        raise PredictionError("weight tuning supports exactly two members")
+    total = train_days + validation_days
+    if total > dataset.n_days:
+        raise PredictionError("train + validation exceeds the trace")
+    from .evaluate import evaluate_predictors
+
+    best_w, best_brier = 0.5, np.inf
+    for k in range(grid_steps + 1):
+        w = k / grid_steps
+        candidate = EnsemblePredictor(
+            ensemble.members, weights=[w, 1.0 - w]
+        )
+        result = evaluate_predictors(
+            dataset.slice_days(0, total),
+            [candidate],
+            train_days=train_days,
+            durations_hours=durations_hours,
+            start_hours=start_hours,
+        )
+        brier = result.scores[0].brier
+        if brier < best_brier:
+            best_w, best_brier = w, brier
+    return EnsemblePredictor(ensemble.members, weights=[best_w, 1.0 - best_w])

@@ -1,0 +1,60 @@
+"""An interval-based (semi-Markov) baseline.
+
+Models each machine as alternating available/unavailable periods whose
+available-interval lengths follow the empirical day-type distribution;
+survival of a window is the probability that the current availability
+interval outlives it, assuming a fresh interval starts at the window
+(a renewal approximation).  It uses Figure 6's information (interval
+lengths by day type) but not Figure 7's (time-of-day structure), so the
+gap between it and the history-window predictor measures how much the
+daily pattern itself is worth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..traces.dataset import TraceDataset
+from ..units import HOUR
+from .base import AvailabilityPredictor, PredictionQuery
+
+__all__ = ["IntervalExponentialPredictor"]
+
+
+class IntervalExponentialPredictor(AvailabilityPredictor):
+    """Exponential survival with day-type-specific mean interval lengths."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean_interval_h = {False: float("nan"), True: float("nan")}
+
+    def fit(self, dataset: TraceDataset) -> "IntervalExponentialPredictor":
+        super().fit(dataset)
+        weekday, weekend = [], []
+        for iv in dataset.all_intervals(include_censored=False):
+            (weekend if dataset.is_weekend_time(iv.start) else weekday).append(
+                iv.length / HOUR
+            )
+        if not weekday or not weekend:
+            raise PredictionError("trace too short to fit interval statistics")
+        self._mean_interval_h[False] = float(np.mean(weekday))
+        self._mean_interval_h[True] = float(np.mean(weekend))
+        return self
+
+    def _rate(self, query: PredictionQuery) -> float:
+        weekend = self.matrix.is_weekend_day(query.day)
+        mean_h = self._mean_interval_h[weekend]
+        if not np.isfinite(mean_h) or mean_h <= 0:
+            raise PredictionError("predictor not fitted")
+        return 1.0 / mean_h
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        return self._rate(query) * query.duration_hours
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        return float(np.exp(-self._rate(query) * query.duration_hours))
+
+    @property
+    def name(self) -> str:
+        return "IntervalExponential"

@@ -1,0 +1,132 @@
+"""Online (streaming) availability prediction.
+
+A deployed FGCS node cannot refit on a frozen dataset: events arrive one
+at a time as the detector emits them, and predictions must be available
+continuously.  :class:`OnlinePredictor` maintains the per-(machine, day,
+hour) counts incrementally — ``observe`` events as they are detected, ask
+for windows at any moment — and is provably equivalent to refitting the
+batch :class:`~repro.prediction.history.HistoryWindowPredictor` on the
+events observed so far (see the equivalence test).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Literal
+
+import numpy as np
+
+from ..core.events import UnavailabilityEvent
+from ..errors import PredictionError
+from ..units import DAY, HOUR
+from .base import PredictionQuery
+
+__all__ = ["OnlinePredictor"]
+
+
+class OnlinePredictor:
+    """Incrementally updated history-window predictor.
+
+    Parameters
+    ----------
+    n_machines:
+        Machines in the testbed (ids 0..n-1).
+    history_days:
+        Same-type days consulted per query.
+    start_weekday:
+        Weekday of day 0 (0 = Monday).
+    laplace:
+        Survival smoothing, as in the batch predictor.
+    """
+
+    def __init__(
+        self,
+        n_machines: int,
+        *,
+        history_days: int = 8,
+        start_weekday: int = 0,
+        laplace: float = 0.5,
+        statistic: Literal["mean", "median"] = "mean",
+    ) -> None:
+        if n_machines <= 0:
+            raise PredictionError("n_machines must be positive")
+        if history_days < 1:
+            raise PredictionError("history_days must be >= 1")
+        self.n_machines = n_machines
+        self.history_days = history_days
+        self.start_weekday = start_weekday
+        self.laplace = laplace
+        self.statistic = statistic
+        #: (machine, day) -> 24-vector of counts; sparse by day.
+        self._counts: dict[tuple[int, int], np.ndarray] = defaultdict(
+            lambda: np.zeros(24, dtype=np.int64)
+        )
+        self._latest_time = 0.0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, event: UnavailabilityEvent) -> None:
+        """Ingest one detected unavailability event (by start time)."""
+        if not 0 <= event.machine_id < self.n_machines:
+            raise PredictionError(
+                f"machine {event.machine_id} outside testbed"
+            )
+        day, rem = divmod(event.start, DAY)
+        self._counts[(event.machine_id, int(day))][int(rem // HOUR)] += 1
+        self._latest_time = max(self._latest_time, event.start)
+
+    def observe_all(self, events) -> "OnlinePredictor":
+        for e in events:
+            self.observe(e)
+        return self
+
+    # -- querying -------------------------------------------------------------
+
+    def _is_weekend(self, day: int) -> bool:
+        return (day + self.start_weekday) % 7 >= 5
+
+    def _history_days_before(self, day: int) -> list[int]:
+        target = self._is_weekend(day)
+        days = []
+        d = day - 1
+        while d >= 0 and len(days) < self.history_days:
+            if self._is_weekend(d) == target:
+                days.append(d)
+            d -= 1
+        return days
+
+    def _window_count(
+        self, machine_id: int, day: int, query: PredictionQuery
+    ) -> float:
+        total = 0.0
+        shift = day - query.day
+        for cell_day, hour, overlap in query.hour_cells():
+            counts = self._counts.get((machine_id, cell_day + shift))
+            if counts is not None:
+                total += overlap * counts[hour]
+        return total
+
+    def _history_counts(self, query: PredictionQuery) -> np.ndarray:
+        days = self._history_days_before(query.day)
+        if not days:
+            raise PredictionError(
+                f"no same-type history observed before day {query.day}"
+            )
+        return np.array(
+            [self._window_count(query.machine_id, d, query) for d in days]
+        )
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        counts = self._history_counts(query)
+        if self.statistic == "median":
+            return float(np.median(counts))
+        return float(counts.mean())
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        counts = self._history_counts(query)
+        clean = float(np.count_nonzero(counts < 0.5))
+        return (clean + self.laplace) / (counts.size + 2 * self.laplace)
+
+    @property
+    def name(self) -> str:
+        return f"Online(d={self.history_days},{self.statistic})"

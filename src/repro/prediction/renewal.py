@@ -1,0 +1,96 @@
+"""Renewal-age survival prediction from the interval-length distribution.
+
+Figure 6's message is that availability-interval lengths have strong
+structure: almost no interval ends before 2 hours, most end between 2 and
+4 hours (weekdays) or 4 and 6 (weekends).  That makes the *age* of the
+current availability interval — how long ago the machine's last
+unavailability ended — highly informative:
+
+    P(survive another w hours | age a) = S(a + w) / S(a)
+
+with ``S`` the empirical interval-length survival function per day type.
+A machine that just came back is very likely to stay available for the
+next couple of hours; one that has been available for three hours is due.
+
+This predictor answers a different query shape than the count-matrix
+predictors (it needs the machine's current age), so it stands alone; the
+age-aware scheduling policy is its consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..traces.dataset import TraceDataset
+from ..units import HOUR
+
+__all__ = ["RenewalAgePredictor"]
+
+
+class RenewalAgePredictor:
+    """Conditional survival of availability intervals given current age."""
+
+    def __init__(self, *, tail_rate_quantile: float = 0.9) -> None:
+        #: Beyond the observed data, the tail decays exponentially at the
+        #: hazard implied by the intervals above this quantile.
+        if not 0.5 <= tail_rate_quantile < 1.0:
+            raise PredictionError("tail_rate_quantile must be in [0.5, 1)")
+        self.tail_rate_quantile = tail_rate_quantile
+        self._lengths: dict[bool, np.ndarray] = {}
+        self._tail_rate: dict[bool, float] = {}
+
+    def fit(self, dataset: TraceDataset) -> "RenewalAgePredictor":
+        """Collect interval lengths by day type (of the interval start)."""
+        weekday, weekend = [], []
+        for iv in dataset.all_intervals(include_censored=False):
+            (weekend if dataset.is_weekend_time(iv.start) else weekday).append(
+                iv.length / HOUR
+            )
+        if len(weekday) < 10 or len(weekend) < 10:
+            raise PredictionError(
+                "too few intervals to fit a renewal model; use a longer trace"
+            )
+        for key, data in ((False, weekday), (True, weekend)):
+            arr = np.sort(np.asarray(data, dtype=float))
+            self._lengths[key] = arr
+            # Mean residual length above the tail quantile -> tail hazard.
+            q = float(np.quantile(arr, self.tail_rate_quantile))
+            tail = arr[arr > q] - q
+            mean_tail = float(tail.mean()) if tail.size else 1.0
+            self._tail_rate[key] = 1.0 / max(mean_tail, 1e-6)
+        return self
+
+    def survival_function(self, length_h: float, *, weekend: bool) -> float:
+        """S(length) = P(interval longer than ``length_h``)."""
+        if not self._lengths:
+            raise PredictionError("RenewalAgePredictor is not fitted")
+        arr = self._lengths[weekend]
+        n = arr.size
+        below = int(np.searchsorted(arr, length_h, side="right"))
+        s = (n - below) / n
+        if s > 0:
+            return s
+        # Exponential tail beyond the largest observed interval.
+        overshoot = max(length_h - float(arr[-1]), 0.0)
+        return (1.0 / n) * float(np.exp(-self._tail_rate[weekend] * overshoot))
+
+    def survival(
+        self, age_h: float, window_h: float, *, weekend: bool
+    ) -> float:
+        """P(no failure for another ``window_h`` | available ``age_h``)."""
+        if age_h < 0 or window_h < 0:
+            raise PredictionError("age and window must be >= 0")
+        s_now = self.survival_function(age_h, weekend=weekend)
+        s_later = self.survival_function(age_h + window_h, weekend=weekend)
+        if s_now <= 0:
+            return 0.0
+        return min(s_later / s_now, 1.0)
+
+    def expected_residual(self, age_h: float, *, weekend: bool) -> float:
+        """E[remaining availability | age] in hours (numeric integral)."""
+        grid = np.linspace(0.0, 24.0, 97)
+        surv = np.array(
+            [self.survival(age_h, w, weekend=weekend) for w in grid]
+        )
+        return float(np.trapezoid(surv, grid))

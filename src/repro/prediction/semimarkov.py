@@ -1,0 +1,156 @@
+"""A generative semi-Markov model over the five availability states.
+
+Fits Figure 5 as a stochastic process: state-transition probabilities from
+the empirical jump chain plus per-state dwell-time distributions (by day
+type).  Once fitted it can
+
+* simulate synthetic availability futures (Monte-Carlo rollouts from a
+  given state), and
+* answer survival queries ("will the machine stay out of S3/S4/S5 for the
+  next w hours?") by rollout averaging.
+
+This closes the modelling loop: the multi-state model is not only a
+detector but a generator whose synthetic traces can be compared back to
+the real ones (see the round-trip test: simulated state occupancy matches
+the training trace).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.model import MultiStateModel
+from ..core.samples import SampleBatch
+from ..errors import PredictionError
+from ..rng import generator_from
+from ..units import HOUR
+
+__all__ = ["SemiMarkovModel"]
+
+_N_STATES = 5  # S1..S5 as indices 0..4
+_FAILURES = (2, 3, 4)
+
+
+class SemiMarkovModel:
+    """Jump-chain + dwell-time model of the availability process."""
+
+    def __init__(self, model: Optional[MultiStateModel] = None) -> None:
+        self.model = model or MultiStateModel()
+        #: transition[i, j]: jump-chain probability i -> j (i != j).
+        self._jump: np.ndarray | None = None
+        #: dwell[i]: list of observed dwell durations (seconds) in state i.
+        self._dwell: list[np.ndarray] | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, batches: list[SampleBatch]) -> "SemiMarkovModel":
+        """Fit from one sample stream per machine."""
+        if not batches:
+            raise PredictionError("need at least one sample stream")
+        jump_counts = np.zeros((_N_STATES, _N_STATES))
+        dwell: list[list[float]] = [[] for _ in range(_N_STATES)]
+        for batch in batches:
+            if len(batch) < 2:
+                continue
+            codes = self.model.classify_batch(batch) - 1
+            period = float(np.median(np.diff(batch.times)))
+            change = np.flatnonzero(np.diff(codes) != 0)
+            starts = np.concatenate(([0], change + 1))
+            ends = np.concatenate((change + 1, [len(codes)]))
+            for k, (b, e) in enumerate(zip(starts, ends)):
+                s = int(codes[b])
+                dwell[s].append((e - b) * period)
+                if k + 1 < len(starts):
+                    jump_counts[s, int(codes[starts[k + 1]])] += 1
+        if jump_counts.sum() == 0:
+            raise PredictionError("sample streams contain no transitions")
+        totals = jump_counts.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self._jump = np.where(totals > 0, jump_counts / totals, 0.0)
+        self._dwell = [np.asarray(d, dtype=float) for d in dwell]
+        return self
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def jump_matrix(self) -> np.ndarray:
+        if self._jump is None:
+            raise PredictionError("SemiMarkovModel is not fitted")
+        return self._jump
+
+    def mean_dwell(self, state_index: int) -> float:
+        """Mean dwell seconds in state S{state_index+1} (NaN if unseen)."""
+        assert self._dwell is not None
+        d = self._dwell[state_index]
+        return float(d.mean()) if d.size else float("nan")
+
+    # -- simulation ---------------------------------------------------------------
+
+    def simulate(
+        self,
+        duration: float,
+        *,
+        start_state: int = 0,
+        rng=None,
+    ) -> list[tuple[int, float, float]]:
+        """One rollout: [(state_index, start, end), ...] covering duration."""
+        if self._jump is None or self._dwell is None:
+            raise PredictionError("SemiMarkovModel is not fitted")
+        rng = generator_from(rng)
+        t = 0.0
+        state = start_state
+        out: list[tuple[int, float, float]] = []
+        while t < duration:
+            d = self._dwell[state]
+            if d.size == 0:
+                dwell = duration - t  # unseen state: absorb
+            else:
+                dwell = float(d[rng.integers(d.size)])  # empirical bootstrap
+            end = min(t + dwell, duration)
+            out.append((state, t, end))
+            t = end
+            if t >= duration:
+                break
+            probs = self._jump[state]
+            if probs.sum() <= 0:
+                break
+            state = int(rng.choice(_N_STATES, p=probs / probs.sum()))
+        return out
+
+    def survival(
+        self,
+        window_hours: float,
+        *,
+        start_state: int = 0,
+        rollouts: int = 200,
+        rng=None,
+    ) -> float:
+        """P(no failure state entered within the window), by Monte Carlo.
+
+        The rollout starts a fresh dwell in ``start_state`` — the renewal
+        assumption a scheduler makes when it just observed the machine
+        recover.
+        """
+        if window_hours <= 0:
+            raise PredictionError("window_hours must be positive")
+        rng = generator_from(rng)
+        window = window_hours * HOUR
+        clean = 0
+        for _ in range(rollouts):
+            segments = self.simulate(window, start_state=start_state, rng=rng)
+            if all(s not in _FAILURES for (s, _, _) in segments):
+                clean += 1
+        return clean / rollouts
+
+    def occupancy(
+        self, duration: float, *, rollouts: int = 50, rng=None
+    ) -> np.ndarray:
+        """Mean fraction of time in each state over simulated futures."""
+        rng = generator_from(rng)
+        acc = np.zeros(_N_STATES)
+        for _ in range(rollouts):
+            for state, t0, t1 in self.simulate(duration, rng=rng):
+                acc[state] += t1 - t0
+        return acc / (rollouts * duration)

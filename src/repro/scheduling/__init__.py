@@ -1,0 +1,55 @@
+"""Proactive guest-job scheduling (the paper's motivating application).
+
+Section 1 argues that availability prediction enables proactive job
+management with "significantly improved job response time compared to the
+methods which are oblivious to future unavailability".  This package
+closes that loop: guest jobs with known runtimes arrive over a traced
+testbed; placement policies choose machines; jobs die and restart when an
+unavailability event hits their machine; response times are compared
+between oblivious, prediction-based and oracle placement.
+"""
+
+from .deferral import SubmissionPlan, best_submission_window, plan_across_machines
+from .executor import ExecutionOutcome, TraceExecutor
+from .experiment import (
+    ReplicatedComparison,
+    ReplicatedResult,
+    SchedulingComparison,
+    replicate_scheduling_experiment,
+    run_scheduling_experiment,
+)
+from .groups import GroupMetrics, group_metrics
+from .jobs import JobSpec, generate_job_stream
+from .policies import (
+    AgeAwarePolicy,
+    LeastLoadedPolicy,
+    OraclePolicy,
+    PlacementPolicy,
+    PredictivePolicy,
+    RandomPolicy,
+    RiskAversePolicy,
+)
+
+__all__ = [
+    "AgeAwarePolicy",
+    "ExecutionOutcome",
+    "GroupMetrics",
+    "JobSpec",
+    "group_metrics",
+    "LeastLoadedPolicy",
+    "OraclePolicy",
+    "PlacementPolicy",
+    "PredictivePolicy",
+    "RandomPolicy",
+    "ReplicatedComparison",
+    "ReplicatedResult",
+    "RiskAversePolicy",
+    "SchedulingComparison",
+    "replicate_scheduling_experiment",
+    "SubmissionPlan",
+    "TraceExecutor",
+    "best_submission_window",
+    "generate_job_stream",
+    "plan_across_machines",
+    "run_scheduling_experiment",
+]

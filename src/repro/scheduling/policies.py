@@ -1,0 +1,231 @@
+"""Placement policies: oblivious, predictive, and oracle.
+
+A policy picks one machine from the currently free candidates for a job
+with a known remaining runtime.  The experiment compares:
+
+* :class:`RandomPolicy` — uniformly random (fully oblivious);
+* :class:`LeastLoadedPolicy` — lowest recent host load (load-aware but
+  oblivious to *future* unavailability, like classic cycle scavengers);
+* :class:`PredictivePolicy` — maximizes predicted survival of the job's
+  execution window (the paper's proactive management);
+* :class:`OraclePolicy` — knows the actual future events (upper bound).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..prediction.base import AvailabilityPredictor, PredictionQuery
+from ..traces.dataset import TraceDataset
+from ..units import DAY, HOUR
+from .jobs import JobSpec
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomPolicy",
+    "LeastLoadedPolicy",
+    "PredictivePolicy",
+    "OraclePolicy",
+]
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a machine for a job from the free candidates."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        now: float,
+        job: JobSpec,
+        remaining: float,
+        candidates: Sequence[int],
+    ) -> int:
+        """Return the chosen machine id (must be one of ``candidates``)."""
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniformly random placement."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng or np.random.default_rng(0)
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        return int(candidates[self.rng.integers(len(candidates))])
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Pick the machine with the lowest host load in the current hour.
+
+    Uses the dataset's hourly-load signal — information a live system has
+    from its monitors — but no availability forecast.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, dataset: TraceDataset) -> None:
+        if dataset.hourly_load is None:
+            raise ConfigError("LeastLoadedPolicy needs dataset.hourly_load")
+        self.hourly_load = dataset.hourly_load
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        hour = min(int(now // HOUR), self.hourly_load.shape[1] - 1)
+        loads = [
+            (float(np.nan_to_num(self.hourly_load[m, hour], nan=1.0)), m)
+            for m in candidates
+        ]
+        return min(loads)[1]
+
+
+class PredictivePolicy(PlacementPolicy):
+    """Maximize predicted survival over the job's execution window."""
+
+    name = "predictive"
+
+    def __init__(self, predictor: AvailabilityPredictor) -> None:
+        self.predictor = predictor
+        self.name = f"predictive({predictor.name})"
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        day, rem = divmod(now, DAY)
+        query_base = dict(
+            day=int(day),
+            start_hour=min(rem / HOUR, 23.999),
+            duration_hours=max(remaining / HOUR, 1e-3),
+        )
+        best_m, best_p = candidates[0], -1.0
+        for m in candidates:
+            p = self.predictor.predict_survival(
+                PredictionQuery(machine_id=m, **query_base)
+            )
+            if p > best_p:
+                best_m, best_p = m, p
+        return int(best_m)
+
+
+class RiskAversePolicy(PlacementPolicy):
+    """Maximize the *lower confidence bound* of predicted survival.
+
+    With short histories the survival point estimates are noisy; ranking
+    by the Beta-posterior lower bound prefers machines whose clean record
+    is statistically solid over lucky small samples (the bandit-style
+    pessimism-under-uncertainty rule, inverted for safety).
+    """
+
+    name = "risk-averse"
+
+    def __init__(self, predictor, *, confidence: float = 0.8) -> None:
+        """``predictor`` must expose ``predict_survival_interval`` (the
+        history-window predictor does)."""
+        self.predictor = predictor
+        self.confidence = confidence
+        self.name = f"risk-averse({getattr(predictor, 'name', 'predictor')})"
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        day, rem = divmod(now, DAY)
+        best_m, best_lo = candidates[0], -1.0
+        for m in candidates:
+            query = PredictionQuery(
+                machine_id=m,
+                day=int(day),
+                start_hour=min(rem / HOUR, 23.999),
+                duration_hours=max(remaining / HOUR, 1e-3),
+            )
+            lo, _ = self.predictor.predict_survival_interval(
+                query, confidence=self.confidence
+            )
+            if lo > best_lo:
+                best_m, best_lo = m, lo
+        return int(best_m)
+
+
+class AgeAwarePolicy(PlacementPolicy):
+    """Renewal-age prediction: prefer the machine whose *current
+    availability interval* is most likely to outlive the job.
+
+    Causal by construction — the machine's age (time since its last
+    unavailability ended) is observable at placement time; only the
+    interval-length statistics come from training data.
+    """
+
+    name = "age-aware"
+
+    def __init__(self, dataset: TraceDataset, predictor) -> None:
+        """``dataset`` is the trace being executed over (used only for the
+        past: when each machine's last event ended); ``predictor`` is a
+        fitted :class:`~repro.prediction.renewal.RenewalAgePredictor`."""
+        self._ends = {
+            m: [e.end for e in dataset.events_for(m)]
+            for m in range(dataset.n_machines)
+        }
+        self._start_weekday = dataset.start_weekday
+        self.predictor = predictor
+
+    def age_of(self, machine_id: int, now: float) -> float:
+        """Hours since the machine's last unavailability ended."""
+        ends = self._ends[machine_id]
+        i = bisect.bisect_right(ends, now)
+        last_end = ends[i - 1] if i > 0 else 0.0
+        return (now - last_end) / HOUR
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        from ..units import is_weekend
+
+        weekend = is_weekend(now, self._start_weekday)
+        window_h = remaining / HOUR
+        best_m, best_p = candidates[0], -1.0
+        for m in candidates:
+            p = self.predictor.survival(
+                self.age_of(m, now), window_h, weekend=weekend
+            )
+            if p > best_p:
+                best_m, best_p = m, p
+        return int(best_m)
+
+
+class OraclePolicy(PlacementPolicy):
+    """Knows the real future.  Best-fit: among machines whose next
+    unavailability falls after the job would complete, pick the *tightest*
+    window (conserving long windows for long jobs); if no machine can host
+    the job uninterrupted, pick the farthest next event."""
+
+    name = "oracle"
+
+    def __init__(self, dataset: TraceDataset) -> None:
+        self._starts = {
+            m: [e.start for e in dataset.events_for(m)]
+            for m in range(dataset.n_machines)
+        }
+        self._span = dataset.span
+
+    def next_event_after(self, machine_id: int, t: float) -> float:
+        starts = self._starts[machine_id]
+        i = bisect.bisect_right(starts, t)
+        return starts[i] if i < len(starts) else float("inf")
+
+    def select(
+        self, now: float, job: JobSpec, remaining: float, candidates: Sequence[int]
+    ) -> int:
+        slack = {m: self.next_event_after(m, now) - now for m in candidates}
+        fitting = [m for m in candidates if slack[m] >= remaining]
+        if fitting:
+            return int(min(fitting, key=lambda m: slack[m]))
+        return int(max(candidates, key=lambda m: slack[m]))

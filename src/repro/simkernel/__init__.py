@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-driven simulator: an event heap keyed by
+(time, priority, sequence number), a virtual clock, and periodic-callback
+helpers.  The OS-level machine simulation (:mod:`repro.oskernel`) and the
+testbed driver (:mod:`repro.fgcs.testbed`) are built on top of it.
+"""
+
+from .event import Event
+from .queue import EventQueue
+from .simulator import Simulator
+
+__all__ = ["Event", "EventQueue", "Simulator"]

@@ -1,0 +1,40 @@
+"""Simulation events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Signature of an event action: called with the firing time.
+Action = Callable[[float], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Events order by ``(time, priority, seq)``: ties at the same instant are
+    broken first by explicit priority (lower runs first), then by insertion
+    order, which makes simulations fully deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Action = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    payload: Any = field(compare=False, default=None)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the action (the queue checks ``cancelled`` first)."""
+        self.action(self.time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        label = self.name or self.action.__name__
+        return f"<Event {label!r} t={self.time:.6g} prio={self.priority}{state}>"

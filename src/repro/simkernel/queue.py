@@ -1,0 +1,95 @@
+"""Binary-heap event queue with lazy cancellation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from ..errors import SimulationError
+from .event import Action, Event
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by firing time.
+
+    Cancellation is lazy: cancelled events stay in the heap and are skipped
+    on pop, which keeps both ``push`` and ``cancel`` O(log n) / O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Action,
+        *,
+        priority: int = 0,
+        name: str = "",
+        payload: object = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        ev = Event(
+            time=time,
+            priority=priority,
+            seq=self._seq,
+            action=action,
+            name=name,
+            payload=payload,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the earliest live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def drain_until(self, time: float) -> Iterator[Event]:
+        """Yield (and remove) all live events with ``event.time <= time``.
+
+        Events scheduled *during* iteration that also fall inside the window
+        are yielded as well, in correct order.
+        """
+        while True:
+            t = self.peek_time()
+            if t is None or t > time:
+                return
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Drop every event."""
+        self._heap.clear()
+        self._live = 0

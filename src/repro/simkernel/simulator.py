@@ -1,0 +1,158 @@
+"""The virtual clock and event loop."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .event import Action, Event
+from .queue import EventQueue
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The clock only moves forward, driven by the event queue.  Components
+    schedule callbacks with :meth:`at` / :meth:`after` / :meth:`every` and
+    the owner advances time with :meth:`run_until` or :meth:`run`.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.after(5.0, lambda t: fired.append(t))
+    >>> sim.run_until(10.0)
+    >>> fired
+    [5.0]
+    >>> sim.now
+    10.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def at(
+        self, time: float, action: Action, *, priority: int = 0, name: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, name=name)
+
+    def after(
+        self, delay: float, action: Action, *, priority: int = 0, name: str = ""
+    ) -> Event:
+        """Schedule ``action`` after a non-negative delay."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, action, priority=priority, name=name)
+
+    def every(
+        self,
+        period: float,
+        action: Action,
+        *,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> Callable[[], None]:
+        """Schedule ``action`` periodically; returns a cancel function.
+
+        The first firing is at ``start`` (default ``now + period``); firings
+        stop after ``until`` if given, or when the returned cancel function
+        is called.
+        """
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        state: dict[str, object] = {"event": None, "stopped": False}
+
+        def reschedule(t: float) -> None:
+            if state["stopped"]:
+                return
+            action(t)
+            nxt = t + period
+            if until is not None and nxt > until:
+                state["event"] = None
+                return
+            state["event"] = self._queue.push(
+                nxt, reschedule, priority=priority, name=name
+            )
+
+        first = (self._now + period) if start is None else start
+        if until is None or first <= until:
+            state["event"] = self.at(first, reschedule, priority=priority, name=name)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            ev = state["event"]
+            if isinstance(ev, Event):
+                self._queue.cancel(ev)
+
+        return cancel
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_until(self, time: float) -> None:
+        """Fire every event up to and including ``time``; clock ends at ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time}")
+        if self._running:
+            raise SimulationError("simulator is re-entrant: already running")
+        self._running = True
+        try:
+            for ev in self._queue.drain_until(time):
+                self._now = ev.time
+                ev.fire()
+            self._now = time
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Fire events until the queue drains; returns the number fired."""
+        if self._running:
+            raise SimulationError("simulator is re-entrant: already running")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                ev = self._queue.pop()
+                self._now = ev.time
+                ev.fire()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def step(self) -> Optional[Event]:
+        """Fire exactly the next event, if any, and return it."""
+        if not self._queue:
+            return None
+        ev = self._queue.pop()
+        self._now = ev.time
+        ev.fire()
+        return ev

@@ -1,0 +1,40 @@
+"""Trace dataset infrastructure.
+
+The three-month availability trace is the paper's central artifact.  This
+package defines the on-disk record schema, JSONL/CSV readers and writers,
+an in-memory dataset with machine/day-type slicing, the end-to-end
+generator, and validation checks.
+"""
+
+from .dataset import TraceDataset
+from .external import load_event_list_csv
+from .filters import (
+    concat_in_time,
+    filter_events,
+    merge_datasets,
+    min_duration,
+    only_causes,
+    only_hours,
+    only_machines,
+)
+from .generate import generate_dataset
+from .io import load_dataset, save_dataset
+from .records import EventRecord
+from .validate import validate_dataset
+
+__all__ = [
+    "EventRecord",
+    "TraceDataset",
+    "concat_in_time",
+    "filter_events",
+    "generate_dataset",
+    "load_dataset",
+    "load_event_list_csv",
+    "merge_datasets",
+    "min_duration",
+    "only_causes",
+    "only_hours",
+    "only_machines",
+    "save_dataset",
+    "validate_dataset",
+]

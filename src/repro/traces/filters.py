@@ -1,0 +1,199 @@
+"""Dataset filtering and transformation utilities.
+
+Analyses often need views of a trace: only CPU-contention events, only a
+machine subset, only daytime events, events above a duration.  These
+helpers return new :class:`~repro.traces.dataset.TraceDataset` objects
+(events are immutable, so views are cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..core.events import UnavailabilityEvent
+from ..core.states import AvailState
+from ..errors import TraceError
+from ..units import HOUR
+from .dataset import TraceDataset
+
+__all__ = [
+    "filter_events",
+    "only_causes",
+    "only_machines",
+    "only_hours",
+    "min_duration",
+    "merge_datasets",
+]
+
+
+def filter_events(
+    dataset: TraceDataset,
+    predicate: Callable[[UnavailabilityEvent], bool],
+) -> TraceDataset:
+    """A dataset keeping only events satisfying ``predicate``."""
+    return TraceDataset(
+        events=[e for e in dataset.events if predicate(e)],
+        n_machines=dataset.n_machines,
+        span=dataset.span,
+        start_weekday=dataset.start_weekday,
+        hourly_load=dataset.hourly_load,
+        metadata=dict(dataset.metadata),
+    )
+
+
+def only_causes(
+    dataset: TraceDataset, *causes: str | AvailState
+) -> TraceDataset:
+    """Keep events of the given causes ('cpu'/'memory'/'revocation') or
+    states (AvailState)."""
+    wanted_causes = set()
+    for c in causes:
+        if isinstance(c, AvailState):
+            from ..core.states import state_cause
+
+            wanted_causes.add(state_cause(c))
+        elif c in ("cpu", "memory", "revocation"):
+            wanted_causes.add(c)
+        else:
+            raise TraceError(f"unknown cause {c!r}")
+    return filter_events(dataset, lambda e: e.cause in wanted_causes)
+
+
+def only_machines(
+    dataset: TraceDataset, machines: Sequence[int]
+) -> TraceDataset:
+    """Keep the given machines, renumbered 0..k-1."""
+    machines = list(machines)
+    if not machines:
+        raise TraceError("need at least one machine")
+    for m in machines:
+        if not 0 <= m < dataset.n_machines:
+            raise TraceError(f"machine {m} out of range")
+    index = {m: i for i, m in enumerate(machines)}
+    events = [
+        UnavailabilityEvent(
+            machine_id=index[e.machine_id],
+            start=e.start,
+            end=e.end,
+            state=e.state,
+            mean_host_load=e.mean_host_load,
+            mean_free_mb=e.mean_free_mb,
+        )
+        for e in dataset.events
+        if e.machine_id in index
+    ]
+    hourly = (
+        dataset.hourly_load[machines, :] if dataset.hourly_load is not None else None
+    )
+    return TraceDataset(
+        events=events,
+        n_machines=len(machines),
+        span=dataset.span,
+        start_weekday=dataset.start_weekday,
+        hourly_load=hourly,
+        metadata=dict(dataset.metadata),
+    )
+
+
+def only_hours(
+    dataset: TraceDataset, start_hour: float, end_hour: float
+) -> TraceDataset:
+    """Keep events *starting* within the [start, end) hour-of-day window
+    (wrapping windows like 22-06 supported)."""
+    if not (0 <= start_hour < 24 and 0 <= end_hour <= 24):
+        raise TraceError("hours must be within a day")
+
+    def in_window(e: UnavailabilityEvent) -> bool:
+        h = (e.start % (24 * HOUR)) / HOUR
+        if start_hour <= end_hour:
+            return start_hour <= h < end_hour
+        return h >= start_hour or h < end_hour
+
+    return filter_events(dataset, in_window)
+
+
+def min_duration(dataset: TraceDataset, seconds: float) -> TraceDataset:
+    """Keep events lasting at least ``seconds``."""
+    if seconds < 0:
+        raise TraceError("seconds must be >= 0")
+    return filter_events(dataset, lambda e: e.duration >= seconds)
+
+
+def concat_in_time(first: TraceDataset, second: TraceDataset) -> TraceDataset:
+    """Append ``second`` after ``first`` on the time axis.
+
+    Both must cover the same machines; ``first``'s span must be whole days
+    so weekday alignment carries through.  Useful for building
+    non-stationary traces (e.g. a workload-regime change at a semester
+    boundary) out of stationary generators.
+    """
+    if first.n_machines != second.n_machines:
+        raise TraceError("datasets must have the same machine count")
+    from ..units import DAY
+
+    if first.span % DAY != 0:
+        raise TraceError("first dataset's span must be whole days")
+    expected_weekday = (first.start_weekday + first.n_days) % 7
+    if second.start_weekday != expected_weekday:
+        raise TraceError(
+            f"second dataset must start on weekday {expected_weekday} "
+            f"to continue the calendar (got {second.start_weekday})"
+        )
+    events = list(first.events)
+    for e in second.events:
+        events.append(
+            UnavailabilityEvent(
+                machine_id=e.machine_id,
+                start=e.start + first.span,
+                end=e.end + first.span,
+                state=e.state,
+                mean_host_load=e.mean_host_load,
+                mean_free_mb=e.mean_free_mb,
+            )
+        )
+    hourly = None
+    if first.hourly_load is not None and second.hourly_load is not None:
+        import numpy as np
+
+        hourly = np.concatenate([first.hourly_load, second.hourly_load], axis=1)
+    return TraceDataset(
+        events=events,
+        n_machines=first.n_machines,
+        span=first.span + second.span,
+        start_weekday=first.start_weekday,
+        hourly_load=hourly,
+    )
+
+
+def merge_datasets(datasets: Iterable[TraceDataset]) -> TraceDataset:
+    """Concatenate testbeds observed over the same span into one dataset
+    (machines renumbered consecutively)."""
+    datasets = list(datasets)
+    if not datasets:
+        raise TraceError("need at least one dataset")
+    span = datasets[0].span
+    weekday = datasets[0].start_weekday
+    for d in datasets[1:]:
+        if d.span != span or d.start_weekday != weekday:
+            raise TraceError("datasets must share span and start weekday")
+    events = []
+    offset = 0
+    for d in datasets:
+        for e in d.events:
+            events.append(
+                UnavailabilityEvent(
+                    machine_id=e.machine_id + offset,
+                    start=e.start,
+                    end=e.end,
+                    state=e.state,
+                    mean_host_load=e.mean_host_load,
+                    mean_free_mb=e.mean_free_mb,
+                )
+            )
+        offset += d.n_machines
+    return TraceDataset(
+        events=events,
+        n_machines=offset,
+        span=span,
+        start_weekday=weekday,
+    )

@@ -1,0 +1,124 @@
+"""Trace persistence: JSONL (lossless, with metadata) and CSV (events only).
+
+JSONL layout: the first line is a header object (schema version, span,
+machine count, start weekday, metadata, optional hourly-load array); every
+further line is one :class:`~repro.traces.records.EventRecord`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .dataset import TraceDataset
+from .records import EventRecord
+
+__all__ = ["save_dataset", "load_dataset", "save_events_csv", "load_events_csv"]
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: TraceDataset, path: PathLike) -> None:
+    """Write a dataset to a JSONL file (``.jsonl`` suggested)."""
+    path = Path(path)
+    header = {
+        "schema": SCHEMA_VERSION,
+        "kind": "fgcs-trace",
+        "n_machines": dataset.n_machines,
+        "span": dataset.span,
+        "start_weekday": dataset.start_weekday,
+        "metadata": dataset.metadata,
+        "hourly_load": (
+            None
+            if dataset.hourly_load is None
+            else [[_none_if_nan(x) for x in row] for row in dataset.hourly_load]
+        ),
+    }
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for ev in dataset.events:
+            fh.write(json.dumps(EventRecord.from_event(ev).to_dict()) + "\n")
+
+
+def load_dataset(path: PathLike) -> TraceDataset:
+    """Read a dataset from a JSONL file written by :func:`save_dataset`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: bad header: {exc}") from exc
+        if header.get("kind") != "fgcs-trace":
+            raise TraceError(f"{path}: not an FGCS trace file")
+        if header.get("schema") != SCHEMA_VERSION:
+            raise TraceError(
+                f"{path}: unsupported schema {header.get('schema')!r}"
+            )
+        events = []
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = EventRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise TraceError(f"{path}:{lineno}: bad event record: {exc}") from exc
+            events.append(rec.to_event())
+    hourly = header.get("hourly_load")
+    hourly_arr = None
+    if hourly is not None:
+        hourly_arr = np.array(
+            [[np.nan if x is None else x for x in row] for row in hourly],
+            dtype=np.float64,
+        )
+    return TraceDataset(
+        events=events,
+        n_machines=int(header["n_machines"]),
+        span=float(header["span"]),
+        start_weekday=int(header.get("start_weekday", 0)),
+        hourly_load=hourly_arr,
+        metadata=dict(header.get("metadata", {})),
+    )
+
+
+def save_events_csv(dataset: TraceDataset, path: PathLike) -> None:
+    """Write the event table as CSV (for spreadsheets/other tools)."""
+    path = Path(path)
+    fields = ["machine_id", "start", "end", "state", "mean_host_load", "mean_free_mb"]
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for ev in dataset.events:
+            writer.writerow(EventRecord.from_event(ev).to_dict())
+
+
+def load_events_csv(
+    path: PathLike, *, n_machines: int, span: float, start_weekday: int = 0
+) -> TraceDataset:
+    """Read an event CSV back into a dataset (metadata must be supplied)."""
+    path = Path(path)
+    events = []
+    with path.open("r", newline="", encoding="utf-8") as fh:
+        for row in csv.DictReader(fh):
+            cleaned = {k: (None if v == "" else v) for k, v in row.items()}
+            events.append(EventRecord.from_dict(cleaned).to_event())
+    return TraceDataset(
+        events=events,
+        n_machines=n_machines,
+        span=span,
+        start_weekday=start_weekday,
+    )
+
+
+def _none_if_nan(x: float) -> float | None:
+    return None if np.isnan(x) else float(x)

@@ -1,0 +1,78 @@
+"""Flat, serializable trace records."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from ..core.events import UnavailabilityEvent
+from ..core.states import AvailState
+from ..errors import TraceError
+
+__all__ = ["EventRecord"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One unavailability occurrence as stored in a trace file.
+
+    Field-for-field what the paper's traces record: start/end time, the
+    failure state, and the resources that were available around the event.
+    """
+
+    machine_id: int
+    start: float
+    end: float
+    state: str  # "S3" | "S4" | "S5"
+    mean_host_load: float
+    mean_free_mb: float
+
+    def __post_init__(self) -> None:
+        if self.state not in ("S3", "S4", "S5"):
+            raise TraceError(f"invalid failure state {self.state!r}")
+        if not self.end > self.start:
+            raise TraceError("event record needs end > start")
+
+    @classmethod
+    def from_event(cls, event: UnavailabilityEvent) -> "EventRecord":
+        return cls(
+            machine_id=event.machine_id,
+            start=event.start,
+            end=event.end,
+            state=event.state.value,
+            mean_host_load=event.mean_host_load,
+            mean_free_mb=event.mean_free_mb,
+        )
+
+    def to_event(self) -> UnavailabilityEvent:
+        return UnavailabilityEvent(
+            machine_id=self.machine_id,
+            start=self.start,
+            end=self.end,
+            state=AvailState(self.state),
+            mean_host_load=self.mean_host_load,
+            mean_free_mb=self.mean_free_mb,
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        # JSON has no NaN; use None.
+        for key in ("mean_host_load", "mean_free_mb"):
+            if isinstance(d[key], float) and math.isnan(d[key]):
+                d[key] = None
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EventRecord":
+        d = dict(d)
+        for key in ("mean_host_load", "mean_free_mb"):
+            if d.get(key) is None:
+                d[key] = float("nan")
+        return cls(
+            machine_id=int(d["machine_id"]),
+            start=float(d["start"]),
+            end=float(d["end"]),
+            state=str(d["state"]),
+            mean_host_load=float(d["mean_host_load"]),
+            mean_free_mb=float(d["mean_free_mb"]),
+        )

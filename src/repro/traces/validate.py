@@ -1,0 +1,59 @@
+"""Trace dataset sanity checks.
+
+Catches malformed datasets early: overlapping events, out-of-range values,
+impossible durations, URR inconsistencies.  Returns a list of human-readable
+problems (empty = valid); ``strict=True`` raises instead.
+"""
+
+from __future__ import annotations
+
+from ..core.states import AvailState
+from ..errors import TraceError
+from ..units import DAY
+from .dataset import TraceDataset
+
+__all__ = ["validate_dataset"]
+
+#: An unavailability outliving this is suspicious even for HW failures.
+_MAX_PLAUSIBLE_EVENT: float = 7 * DAY
+
+
+def validate_dataset(dataset: TraceDataset, *, strict: bool = False) -> list[str]:
+    """Check internal consistency; returns problem descriptions."""
+    problems: list[str] = []
+
+    for mid in range(dataset.n_machines):
+        evs = dataset.events_for(mid)
+        for a, b in zip(evs, evs[1:]):
+            if b.start < a.end - 1e-9:
+                problems.append(
+                    f"machine {mid}: overlapping events at {a.end:.0f}/{b.start:.0f}"
+                )
+
+    for e in dataset.events:
+        if e.duration > _MAX_PLAUSIBLE_EVENT:
+            problems.append(
+                f"machine {e.machine_id}: implausible {e.state.value} duration "
+                f"{e.duration / DAY:.1f} days at t={e.start:.0f}"
+            )
+        if e.state is not AvailState.S5:
+            if not (e.mean_host_load == e.mean_host_load):  # NaN check
+                problems.append(
+                    f"machine {e.machine_id}: UEC event without load reading "
+                    f"at t={e.start:.0f}"
+                )
+            elif e.state is AvailState.S3 and e.mean_host_load < 0.5:
+                problems.append(
+                    f"machine {e.machine_id}: S3 event with mean load "
+                    f"{e.mean_host_load:.2f} at t={e.start:.0f}"
+                )
+
+    if dataset.hourly_load is not None:
+        hl = dataset.hourly_load
+        finite = hl[hl == hl]
+        if finite.size and (finite.min() < -1e-9 or finite.max() > 1 + 1e-9):
+            problems.append("hourly_load values outside [0, 1]")
+
+    if strict and problems:
+        raise TraceError("; ".join(problems))
+    return problems

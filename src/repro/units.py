@@ -1,0 +1,85 @@
+"""Time and size units used throughout the FGCS reproduction.
+
+All simulation times are expressed in **seconds** as floats, all memory
+sizes in **megabytes (MB)** as floats, and all CPU usages as dimensionless
+fractions in ``[0, 1]``.  This module centralizes the conversion constants
+so that magic numbers never appear inline.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+
+MILLISECOND: float = 1e-3
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+
+#: Hours in a day; used by the hour-of-day analyses (Figure 7).
+HOURS_PER_DAY: int = 24
+
+#: Days in a week, with Monday == 0 per :func:`weekday_of`.
+DAYS_PER_WEEK: int = 7
+
+# --- memory ---------------------------------------------------------------
+
+MB: float = 1.0
+GB: float = 1024.0
+
+
+def hours(x: float) -> float:
+    """Convert hours to seconds."""
+    return x * HOUR
+
+
+def minutes(x: float) -> float:
+    """Convert minutes to seconds."""
+    return x * MINUTE
+
+
+def days(x: float) -> float:
+    """Convert days to seconds."""
+    return x * DAY
+
+
+def hour_of_day(t: float) -> float:
+    """The fractional hour of day (``[0, 24)``) of absolute time ``t`` seconds.
+
+    Time zero is midnight at the start of day 0.
+    """
+    return (t % DAY) / HOUR
+
+
+def day_index(t: float) -> int:
+    """The zero-based day number containing absolute time ``t``."""
+    return int(t // DAY)
+
+
+def weekday_of(t: float, start_weekday: int = 0) -> int:
+    """Day-of-week (0=Monday .. 6=Sunday) for absolute time ``t``.
+
+    ``start_weekday`` is the weekday of day 0.  The paper's trace ran
+    August--November 2005; our synthetic trace starts on a Monday by default.
+    """
+    return (day_index(t) + start_weekday) % DAYS_PER_WEEK
+
+
+def is_weekend(t: float, start_weekday: int = 0) -> bool:
+    """True if absolute time ``t`` falls on a Saturday or Sunday."""
+    return weekday_of(t, start_weekday) >= 5
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form (e.g. ``2h03m``)."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        m, s = divmod(seconds, MINUTE)
+        return f"{int(m)}m{int(s):02d}s"
+    h, rem = divmod(seconds, HOUR)
+    m = rem // MINUTE
+    return f"{int(h)}h{int(m):02d}m"

@@ -1,0 +1,40 @@
+"""Workload models.
+
+* :mod:`~repro.workloads.synthetic` — the compute/sleep synthetic programs
+  of Section 3.2.1 (host programs with a target isolated CPU usage, fully
+  CPU-bound guests);
+* :mod:`~repro.workloads.spec` — models of the four SPEC CPU2000 guest
+  applications of Table 1;
+* :mod:`~repro.workloads.musbus` — models of the six Musbus-generated host
+  workloads H1–H6 of Table 1;
+* :mod:`~repro.workloads.hostgroups` — the paper's random host-group
+  construction (M processes with isolated usages summing to a target L_H);
+* :mod:`~repro.workloads.labuser` — the stochastic student-lab workload
+  model driving the three-month trace study;
+* :mod:`~repro.workloads.loadmodel` — the fluid host-load signal generator
+  used for long traces.
+"""
+
+from .hostgroups import HostGroup, random_host_group
+from .musbus import MUSBUS_WORKLOADS, MusbusWorkload
+from .profiles import PROFILES, enterprise_desktops, home_pcs, student_lab
+from .replay import FineGrainedReplay
+from .spec import SPEC_APPS, SpecApp
+from .synthetic import cpu_bound_program, host_task, periodic_program
+
+__all__ = [
+    "FineGrainedReplay",
+    "HostGroup",
+    "MUSBUS_WORKLOADS",
+    "MusbusWorkload",
+    "PROFILES",
+    "SPEC_APPS",
+    "SpecApp",
+    "cpu_bound_program",
+    "enterprise_desktops",
+    "home_pcs",
+    "host_task",
+    "periodic_program",
+    "random_host_group",
+    "student_lab",
+]

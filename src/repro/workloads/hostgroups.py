@@ -1,0 +1,116 @@
+"""Random host-group construction (Section 3.2.1).
+
+The paper measures contention against *host groups*: M host processes whose
+isolated CPU usages sum to a target L_H.  "To create a host group with a
+given L_H that consists of M processes, we randomly chose M host programs
+with different isolated CPU usages and ran them together ... multiple
+combinations of host processes were used ... the average of the
+measurements is plotted."  This module reproduces that sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..oskernel.tasks import Task
+from .synthetic import DEFAULT_CYCLE_PERIOD, host_task
+
+__all__ = ["HostGroup", "random_duty_composition", "random_host_group"]
+
+#: Host programs in the paper have isolated usage between 10% and 100%.
+MIN_DUTY: float = 0.10
+MAX_DUTY: float = 1.00
+#: The paper's programs come in 10% steps; compositions snap to this grid.
+DUTY_GRID: float = 0.05
+
+
+@dataclass(frozen=True)
+class HostGroup:
+    """A host group: per-process isolated duties plus task construction."""
+
+    duties: tuple[float, ...]
+    period: float = DEFAULT_CYCLE_PERIOD
+
+    def __post_init__(self) -> None:
+        if not self.duties:
+            raise ExperimentError("host group needs at least one process")
+        for d in self.duties:
+            if not 0 < d <= MAX_DUTY + 1e-9:
+                raise ExperimentError(f"per-process duty {d} out of (0, 1]")
+
+    @property
+    def total_duty(self) -> float:
+        """The group's aggregate isolated CPU usage L_H."""
+        return float(sum(self.duties))
+
+    @property
+    def size(self) -> int:
+        """M, the number of host processes."""
+        return len(self.duties)
+
+    def tasks(self, *, nice: int = 0, name_prefix: str = "host") -> list[Task]:
+        """Instantiate the group's processes as host tasks.
+
+        Cycle phases are staggered slightly so M identical processes do not
+        compute in lockstep (real processes never start simultaneously).
+        """
+        tasks = []
+        for i, d in enumerate(self.duties):
+            # Distinct periods desynchronize the cycles: an 11% spread makes
+            # burst overlaps decorrelate within a few cycles, so short
+            # measurements average over alignments instead of freezing one.
+            period = self.period * (1.0 + 0.11 * i)
+            tasks.append(
+                host_task(f"{name_prefix}{i}", d, period=period, nice=nice)
+            )
+        return tasks
+
+
+def random_duty_composition(
+    total: float, m: int, rng: np.random.Generator
+) -> tuple[float, ...]:
+    """Sample M per-process duties on the paper's grid summing to ``total``.
+
+    Uses a Dirichlet split snapped to the duty grid, with the rounding
+    residual folded into the largest share; rejects and resamples while any
+    component falls outside the paper's 10%..100% per-program range.
+    """
+    if m < 1:
+        raise ExperimentError("m must be >= 1")
+    if not MIN_DUTY * m - 1e-9 <= total <= MAX_DUTY * m + 1e-9:
+        raise ExperimentError(
+            f"total duty {total} infeasible for {m} processes in "
+            f"[{MIN_DUTY}, {MAX_DUTY}] each"
+        )
+    if m == 1:
+        return (round(total / DUTY_GRID) * DUTY_GRID,)
+
+    for _ in range(1000):
+        shares = rng.dirichlet(np.ones(m)) * total
+        snapped = np.round(shares / DUTY_GRID) * DUTY_GRID
+        # Fold the snapping residual into the largest component.
+        residual = total - snapped.sum()
+        snapped[int(np.argmax(snapped))] += residual
+        snapped = np.round(snapped / DUTY_GRID) * DUTY_GRID
+        if (
+            np.all(snapped >= MIN_DUTY - 1e-9)
+            and np.all(snapped <= MAX_DUTY + 1e-9)
+            and abs(snapped.sum() - total) < DUTY_GRID / 2
+        ):
+            return tuple(float(x) for x in snapped)
+    # Fallback: even split (always feasible given the range check above).
+    return tuple(float(total / m) for _ in range(m))
+
+
+def random_host_group(
+    total: float,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    period: float = DEFAULT_CYCLE_PERIOD,
+) -> HostGroup:
+    """A random host group with aggregate isolated usage ``total`` and size ``m``."""
+    return HostGroup(random_duty_composition(total, m, rng), period=period)

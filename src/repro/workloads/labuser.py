@@ -1,0 +1,326 @@
+"""Stochastic model of student-lab host workloads (the Section 5 testbed).
+
+The paper's 20 machines live in a general-purpose student lab: host
+workloads come from students editing, compiling and testing at all hours,
+with strong diurnal and weekday/weekend patterns, a daily 4 AM ``updatedb``
+cron job that saturates every machine for ~30 minutes, console users who
+reboot "slow" machines, and rare hardware/software failures.
+
+Two pieces:
+
+* :class:`ActivityProfile` — the diurnal/weekly *activity intensity* and
+  its integral ("activity time").  Heavy-load episodes arrive by a renewal
+  process in activity time, so their wall-clock spacing stretches overnight
+  and on weekends.  This one mechanism yields both the weekday/weekend
+  interval-length contrast of Figure 6 and the hour-of-day occurrence
+  profile of Figure 7.
+* :class:`EpisodePlanner` — plans the full-span list of load episodes for
+  one machine: CPU-heavy and memory-heavy student activity, the updatedb
+  job, occasional overload *flaps* (which create the paper's ~5% of
+  sub-5-minute availability intervals), sub-minute transient spikes (which
+  the detector must ignore), reboots and failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import LabWorkloadConfig, TestbedConfig
+from ..errors import ConfigError
+from ..units import DAY, HOUR, MINUTE
+
+__all__ = ["ActivityProfile", "EpisodeKind", "EpisodePlanner", "PlannedEpisode"]
+
+
+class EpisodeKind(enum.Enum):
+    """What kind of load episode the planner scheduled."""
+
+    CPU = "cpu"  # sustained host CPU load above Th2 -> S3
+    MEMORY = "memory"  # host memory demand exhausts free memory -> S4
+    UPDATEDB = "updatedb"  # the 4 AM cron job: CPU-bound, all machines -> S3
+    TRANSIENT = "transient"  # sub-minute spike above Th2: suspension only
+    REBOOT = "reboot"  # console-user reboot -> short S5
+    FAILURE = "failure"  # hardware/software failure -> long S5
+
+    @property
+    def is_urr(self) -> bool:
+        return self in (EpisodeKind.REBOOT, EpisodeKind.FAILURE)
+
+    @property
+    def is_detectable(self) -> bool:
+        """Should the detector emit an unavailability event for it?"""
+        return self is not EpisodeKind.TRANSIENT
+
+
+@dataclass(frozen=True)
+class PlannedEpisode:
+    """One planned load episode on a machine (ground truth for tests)."""
+
+    kind: EpisodeKind
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ActivityProfile:
+    """Diurnal/weekly lab-activity intensity and its cumulative integral.
+
+    Intensity is a smooth daytime plateau over a small overnight floor,
+    scaled down on weekends.  ``advance(t, delta)`` answers "at what time
+    has ``delta`` hours of *activity* elapsed since ``t``?" via a
+    precomputed minute-resolution integral over the trace span.
+    """
+
+    #: Grid resolution for the cumulative-activity table, seconds.
+    GRID_STEP: float = 60.0
+
+    def __init__(
+        self,
+        lab: Optional[LabWorkloadConfig] = None,
+        testbed: Optional[TestbedConfig] = None,
+    ) -> None:
+        self.lab = lab or LabWorkloadConfig()
+        self.testbed = testbed or TestbedConfig()
+        span = self.testbed.duration
+        n = int(span / self.GRID_STEP) + 2
+        self._grid_t = np.arange(n) * self.GRID_STEP
+        intensity = self.intensity(self._grid_t)
+        # Cumulative activity in "activity hours" (trapezoidal).
+        steps = 0.5 * (intensity[1:] + intensity[:-1]) * (self.GRID_STEP / HOUR)
+        self._grid_a = np.concatenate(([0.0], np.cumsum(steps)))
+
+    def intensity(self, t: np.ndarray | float) -> np.ndarray:
+        """Relative lab-activity intensity at absolute time(s) ``t``.
+
+        A smooth plateau between ``day_start_hour`` and ``day_end_hour``
+        (1.0 on weekdays, ``weekend_factor`` on weekends) over a small
+        overnight floor.  The flat daytime shape concentrates episode
+        spacings, matching the paper's tight 2--4 h / 4--6 h interval
+        bands.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        lab = self.lab
+        hour = (t % DAY) / HOUR
+        rise = 1.0 / (1.0 + np.exp(-(hour - lab.day_start_hour) / lab.edge_hours))
+        fall = 1.0 / (1.0 + np.exp(-(lab.day_end_hour - hour) / lab.edge_hours))
+        plateau = rise * fall
+        day_idx = (t // DAY).astype(np.int64)
+        weekend = ((day_idx + self.testbed.start_weekday) % 7) >= 5
+        scale = np.where(weekend, lab.weekend_factor, lab.weekday_peak)
+        return lab.night_floor + (1.0 - lab.night_floor) * scale * plateau
+
+    def cumulative(self, t: float) -> float:
+        """Activity hours elapsed from time 0 to ``t``."""
+        return float(np.interp(t, self._grid_t, self._grid_a))
+
+    def advance(self, t: float, activity_hours: float) -> float:
+        """The time at which ``activity_hours`` have elapsed past ``t``.
+
+        Returns ``inf`` if the span ends first.
+        """
+        if activity_hours < 0:
+            raise ConfigError("activity_hours must be >= 0")
+        target = self.cumulative(t) + activity_hours
+        if target > self._grid_a[-1]:
+            return float("inf")
+        return float(np.interp(target, self._grid_a, self._grid_t))
+
+
+class EpisodePlanner:
+    """Plans one machine's load episodes over the whole trace span.
+
+    The planner is deterministic given its RNG; the synthesizer
+    (:mod:`repro.workloads.loadmodel`) turns the plan into monitor samples.
+    """
+
+    #: Mean availability gap between heavy episodes, in *activity hours*.
+    #: At full intensity this is the wall-clock gap; overnight it stretches
+    #: by ~1/night_floor.  Calibrated against Table 2 / Figure 6.
+    MEAN_GAP_ACTIVITY_HOURS: float = 3.0
+    #: Lognormal sigma of the gap distribution (concentrates weekday
+    #: daytime gaps in the paper's 2--4 h band).
+    GAP_SIGMA: float = 0.12
+    #: Probability that an episode is followed by a quick *flap*: a short
+    #: availability gap (< 5 min) and another short overload.
+    FLAP_PROBABILITY: float = 0.060
+    #: Minimum duration of a detectable heavy episode, seconds.
+    MIN_EPISODE: float = 5 * MINUTE
+    #: Mean number of sub-minute transient spikes per day (suspensions).
+    TRANSIENTS_PER_DAY: float = 3.0
+
+    def __init__(
+        self,
+        profile: ActivityProfile,
+        rng: np.random.Generator,
+        *,
+        busyness: float = 1.0,
+    ) -> None:
+        """``busyness`` scales this machine's heavy-episode rate: desks near
+        the door see more students than the corner ones.  It widens the
+        per-machine Table 2 ranges and gives prediction-based placement a
+        real machine-choice signal."""
+        if busyness <= 0:
+            raise ConfigError("busyness must be positive")
+        self.profile = profile
+        self.rng = rng
+        self.busyness = busyness
+        self.lab = profile.lab
+        self.testbed = profile.testbed
+
+    # -- public -----------------------------------------------------------
+
+    def plan(self) -> list[PlannedEpisode]:
+        """The machine's full episode plan, time-ordered, non-overlapping."""
+        span = self.testbed.duration
+        urr = self._plan_urr(span)
+        heavy = self._plan_heavy(span)
+        updatedb = self._plan_updatedb(span)
+        transients = self._plan_transients(span)
+
+        # URR wins every conflict (the machine is down); updatedb wins over
+        # student activity; transients yield to everything.
+        episodes = list(urr)
+        episodes += _without_overlaps(updatedb, episodes)
+        episodes += _without_overlaps(heavy, episodes)
+        episodes += _without_overlaps(transients, episodes)
+        episodes.sort(key=lambda e: e.start)
+        return episodes
+
+    # -- URR ---------------------------------------------------------------
+
+    def _plan_urr(self, span: float) -> list[PlannedEpisode]:
+        lab = self.lab
+        month = 30 * DAY
+        episodes: list[PlannedEpisode] = []
+        # Reboots: console users reboot machines that feel slow, so they
+        # happen during active hours -- a Poisson process in activity time.
+        n_active_hours = self.profile.cumulative(span)
+        reboot_rate = lab.reboot_rate_per_month * (span / month)
+        t = 0.0
+        mean_gap = n_active_hours / max(reboot_rate, 1e-9)
+        while True:
+            gap = self.rng.exponential(mean_gap)
+            t = self.profile.advance(t, gap)
+            if not np.isfinite(t) or t >= span:
+                break
+            dt = lab.reboot_downtime * self.rng.uniform(0.8, 1.2)
+            episodes.append(PlannedEpisode(EpisodeKind.REBOOT, t, min(t + dt, span)))
+            t = episodes[-1].end
+        # Failures: rare, uniform in wall time, long repair.
+        n_failures = self.rng.poisson(lab.failure_rate_per_month * span / month)
+        for _ in range(n_failures):
+            t0 = self.rng.uniform(0, span)
+            dt = self.rng.exponential(lab.failure_downtime_mean)
+            dt = max(dt, 2 * MINUTE)  # must exceed the reboot cutoff
+            episodes.append(
+                PlannedEpisode(EpisodeKind.FAILURE, t0, min(t0 + dt, span))
+            )
+        episodes.sort(key=lambda e: e.start)
+        return _drop_mutual_overlaps(episodes)
+
+    # -- heavy student activity ------------------------------------------------
+
+    def _heavy_kind(self) -> EpisodeKind:
+        if self.rng.random() < self.lab.memory_heavy_fraction:
+            return EpisodeKind.MEMORY
+        return EpisodeKind.CPU
+
+    def _heavy_duration(self) -> float:
+        lab = self.lab
+        mu = np.log(lab.heavy_duration_mean) - 0.5 * lab.heavy_duration_sigma**2
+        d = float(self.rng.lognormal(mu, lab.heavy_duration_sigma))
+        return max(d, self.MIN_EPISODE)
+
+    def _plan_heavy(self, span: float) -> list[PlannedEpisode]:
+        """Renewal process in activity time, plus occasional flaps."""
+        episodes: list[PlannedEpisode] = []
+        # Start mid-gap on average so day 0 is statistically like any other.
+        t = self.profile.advance(0.0, self.rng.uniform(0, self.MEAN_GAP_ACTIVITY_HOURS))
+        while np.isfinite(t) and t < span:
+            dur = self._heavy_duration()
+            end = min(t + dur, span)
+            episodes.append(PlannedEpisode(self._heavy_kind(), t, end))
+            if end >= span:
+                break
+            if self.rng.random() < self.FLAP_PROBABILITY:
+                # Flap: the load dips for under five minutes and comes back.
+                gap = float(self.rng.uniform(0.5 * MINUTE, 4.5 * MINUTE))
+                t = end + gap
+                continue
+            mu = (
+                np.log(self.MEAN_GAP_ACTIVITY_HOURS) - 0.5 * self.GAP_SIGMA**2
+            )
+            gap_a = float(self.rng.lognormal(mu, self.GAP_SIGMA)) / self.busyness
+            t = self.profile.advance(end, gap_a)
+        return episodes
+
+    # -- updatedb -----------------------------------------------------------------
+
+    def _plan_updatedb(self, span: float) -> list[PlannedEpisode]:
+        lab = self.lab
+        episodes = []
+        n_days = int(span // DAY)
+        for day in range(n_days):
+            start = day * DAY + lab.updatedb_hour * HOUR
+            # cron fires on the minute; duration varies slightly with
+            # filesystem churn.
+            dur = lab.updatedb_duration * self.rng.uniform(0.9, 1.1)
+            end = min(start + dur, span)
+            if start < span:
+                episodes.append(PlannedEpisode(EpisodeKind.UPDATEDB, start, end))
+        return episodes
+
+    # -- transients -------------------------------------------------------------------
+
+    def _plan_transients(self, span: float) -> list[PlannedEpisode]:
+        """Sub-minute Th2 spikes (remote X clients, bursts of system work).
+
+        The paper keeps these inside S1/S2: the guest is suspended briefly
+        but no unavailability occurs.  They exercise the detector's grace
+        rule in every generated trace.
+        """
+        n = self.rng.poisson(self.TRANSIENTS_PER_DAY * span / DAY)
+        episodes = []
+        for _ in range(n):
+            t0 = self.profile.advance(
+                0.0, self.rng.uniform(0, self.profile.cumulative(span))
+            )
+            if not np.isfinite(t0) or t0 >= span:
+                continue
+            dur = float(self.rng.uniform(15.0, 45.0))
+            episodes.append(
+                PlannedEpisode(EpisodeKind.TRANSIENT, t0, min(t0 + dur, span))
+            )
+        episodes.sort(key=lambda e: e.start)
+        return _drop_mutual_overlaps(episodes)
+
+
+def _overlaps(a: PlannedEpisode, b: PlannedEpisode, margin: float = MINUTE) -> bool:
+    return a.start < b.end + margin and b.start < a.end + margin
+
+
+def _without_overlaps(
+    candidates: list[PlannedEpisode], existing: list[PlannedEpisode]
+) -> list[PlannedEpisode]:
+    """Candidates that do not collide with already-accepted episodes."""
+    kept = []
+    for c in candidates:
+        if not any(_overlaps(c, e) for e in existing):
+            kept.append(c)
+    return kept
+
+
+def _drop_mutual_overlaps(episodes: list[PlannedEpisode]) -> list[PlannedEpisode]:
+    """Keep the earlier of any overlapping pair (input must be sorted)."""
+    kept: list[PlannedEpisode] = []
+    for e in episodes:
+        if not kept or not _overlaps(e, kept[-1]):
+            kept.append(e)
+    return kept

@@ -1,0 +1,126 @@
+"""Models of the Musbus interactive host workloads H1–H6 of Table 1.
+
+The paper simulates interactive host users on text terminals with the
+Musbus Unix benchmark suite: a mix of editing, command-line utilities and
+compiler invocations, with file sizes varied to produce six workloads of
+different CPU and memory intensity.  We model each Hi as a small set of
+component processes whose aggregate isolated CPU usage and resident size
+match Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..oskernel.tasks import Task
+from .synthetic import periodic_program
+
+__all__ = ["MusbusComponent", "MusbusWorkload", "MUSBUS_WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class MusbusComponent:
+    """One component process of a Musbus workload."""
+
+    name: str
+    #: Isolated CPU usage of the component.
+    duty: float
+    #: Resident-set size, MB.
+    resident_mb: float
+    #: Work-cycle period, seconds (editors cycle fast, compilers slow).
+    period: float = 1.0
+
+
+@dataclass(frozen=True)
+class MusbusWorkload:
+    """A Musbus-generated host workload (one row of Table 1).
+
+    ``components`` split the aggregate CPU and memory footprint across an
+    editor-like, a utility-like and (for the heavier workloads) a
+    compiler-like process; their duties sum to ``cpu_usage`` and their
+    resident sets to ``resident_mb``.
+    """
+
+    name: str
+    cpu_usage: float
+    resident_mb: float
+    virtual_mb: float
+    components: tuple[MusbusComponent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            return
+        duty = sum(c.duty for c in self.components)
+        mem = sum(c.resident_mb for c in self.components)
+        if abs(duty - self.cpu_usage) > 1e-6:
+            raise ConfigError(
+                f"{self.name}: component duties sum to {duty}, "
+                f"expected {self.cpu_usage}"
+            )
+        if abs(mem - self.resident_mb) > 1e-6:
+            raise ConfigError(
+                f"{self.name}: component memory sums to {mem}, "
+                f"expected {self.resident_mb}"
+            )
+
+    def host_tasks(self, *, nice: int = 0) -> list[Task]:
+        """Instantiate the workload as host tasks."""
+        tasks = []
+        for comp in self.components:
+            tasks.append(
+                Task(
+                    f"{self.name}.{comp.name}",
+                    periodic_program(comp.duty, comp.period),
+                    nice=nice,
+                    resident_mb=comp.resident_mb,
+                    is_guest=False,
+                )
+            )
+        return tasks
+
+
+def _wl(
+    name: str,
+    cpu: float,
+    res: float,
+    virt: float,
+    parts: list[tuple[str, float, float, float]],
+) -> MusbusWorkload:
+    return MusbusWorkload(
+        name,
+        cpu_usage=cpu,
+        resident_mb=res,
+        virtual_mb=virt,
+        components=tuple(MusbusComponent(n, d, m, p) for (n, d, m, p) in parts),
+    )
+
+
+#: Table 1, host workloads.  Component splits are our modelling choice;
+#: aggregates are the paper's measurements.
+MUSBUS_WORKLOADS: dict[str, MusbusWorkload] = {
+    "H1": _wl(
+        "H1", 0.086, 71.0, 122.0,
+        [("edit", 0.026, 21.0, 0.6), ("utils", 0.060, 50.0, 1.0)],
+    ),
+    "H2": _wl(
+        "H2", 0.092, 213.0, 247.0,
+        [("edit", 0.030, 48.0, 0.6), ("utils", 0.062, 165.0, 1.0)],
+    ),
+    "H3": _wl(
+        "H3", 0.172, 53.0, 151.0,
+        [("edit", 0.040, 17.0, 0.6), ("utils", 0.132, 36.0, 1.0)],
+    ),
+    "H4": _wl(
+        "H4", 0.219, 68.0, 122.0,
+        [("edit", 0.045, 18.0, 0.6), ("cc", 0.174, 50.0, 2.0)],
+    ),
+    "H5": _wl(
+        "H5", 0.570, 210.0, 236.0,
+        [("edit", 0.050, 25.0, 0.6), ("cc", 0.520, 185.0, 2.0)],
+    ),
+    "H6": _wl(
+        "H6", 0.662, 84.0, 113.0,
+        [("edit", 0.052, 16.0, 0.6), ("cc", 0.610, 68.0, 2.0)],
+    ),
+}

@@ -1,0 +1,115 @@
+"""Alternative testbed workload profiles (the paper's future work).
+
+Section 6: "we plan to collect trace on testbeds with different patterns
+of host workloads, for example a testbed containing enterprise desktop
+resources.  We expect that data collected on the proposed testbeds will
+present similar predictability."  These profiles let the reproduction test
+that conjecture (see ``bench_ext_profiles``):
+
+* :func:`student_lab` — the paper's testbed (the library default);
+* :func:`enterprise_desktops` — office machines: sharp 9-to-5 plateau,
+  near-dead weekends and nights, far fewer console reboots (machines have
+  one owner), patch-window reboots instead of updatedb;
+* :func:`home_pcs` — evening-peaked usage, machines suspended overnight
+  (long URR), almost no reboots-in-anger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import FgcsConfig, LabWorkloadConfig, TestbedConfig
+from ..units import DAY, HOUR, MINUTE
+
+__all__ = ["student_lab", "enterprise_desktops", "home_pcs", "PROFILES"]
+
+
+def student_lab(
+    *, n_machines: int = 20, days: int = 92, seed: int = 2006
+) -> FgcsConfig:
+    """The paper's Purdue student-lab testbed (library defaults)."""
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=n_machines, duration=days * DAY),
+        seed=seed,
+    )
+
+
+def enterprise_desktops(
+    *, n_machines: int = 20, days: int = 92, seed: int = 2006
+) -> FgcsConfig:
+    """An office fleet: business-hours plateau, quiet nights/weekends.
+
+    Owners are single users who rarely reboot in anger; IT pushes a patch
+    job at 3 AM (the updatedb analogue).  Heavy load comes from builds and
+    spreadsheets during work hours only.
+    """
+    lab = LabWorkloadConfig(
+        weekend_factor=0.12,  # almost nobody in the office
+        day_start_hour=8.5,
+        day_end_hour=18.0,
+        edge_hours=0.8,  # sharp arrival/departure
+        night_floor=0.05,
+        heavy_duration_mean=50 * MINUTE,
+        heavy_duration_sigma=0.6,
+        memory_heavy_fraction=0.22,
+        light_load_mean=0.06,
+        moderate_load_mean=0.30,
+        updatedb_hour=3.0,
+        updatedb_duration=20 * MINUTE,
+        updatedb_load=0.90,
+        reboot_rate_per_month=0.5,  # personal machines: few angry reboots
+        failure_rate_per_month=0.2,
+        reboot_downtime=38.0,
+        failure_downtime_mean=3 * HOUR,
+    )
+    return dataclasses.replace(
+        FgcsConfig(),
+        lab=lab,
+        testbed=TestbedConfig(n_machines=n_machines, duration=days * DAY),
+        seed=seed,
+    )
+
+
+def home_pcs(
+    *, n_machines: int = 20, days: int = 92, seed: int = 2006
+) -> FgcsConfig:
+    """Volunteer home PCs: evening peak, similar weekends, overnight idle.
+
+    The paper notes reboots "would be very rare on hosts used by only one
+    local user, such as home PCs"; revocation instead comes from owners
+    shutting machines down (long URR).
+    """
+    lab = LabWorkloadConfig(
+        weekend_factor=0.95,  # weekends look like weekdays at home
+        day_start_hour=17.0,  # owners come home in the evening
+        day_end_hour=23.5,
+        edge_hours=1.0,
+        night_floor=0.10,
+        heavy_duration_mean=45 * MINUTE,
+        heavy_duration_sigma=0.8,
+        memory_heavy_fraction=0.35,  # games / photo editing
+        light_load_mean=0.05,
+        moderate_load_mean=0.25,
+        updatedb_hour=4.0,
+        updatedb_duration=25 * MINUTE,
+        updatedb_load=0.85,
+        reboot_rate_per_month=0.3,
+        failure_rate_per_month=1.0,  # shutdowns modelled as failures
+        reboot_downtime=38.0,
+        failure_downtime_mean=6 * HOUR,
+    )
+    return dataclasses.replace(
+        FgcsConfig(),
+        lab=lab,
+        testbed=TestbedConfig(n_machines=n_machines, duration=days * DAY),
+        seed=seed,
+    )
+
+
+#: Name -> factory, for CLIs and sweep harnesses.
+PROFILES = {
+    "student-lab": student_lab,
+    "enterprise": enterprise_desktops,
+    "home": home_pcs,
+}

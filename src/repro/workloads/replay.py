@@ -1,0 +1,145 @@
+"""Cross-fidelity replay: run a coarse episode plan on the fine machine.
+
+The library has two fidelity levels (DESIGN.md): the quantum-level machine
+simulation for contention experiments and the fluid load model for the
+three-month trace.  This module bridges them: it takes an
+:class:`~repro.workloads.labuser.EpisodePlanner` plan and *acts it out* on
+a real simulated machine — spawning host tasks whose scheduling produces
+the planned load, toggling service liveness for URR — so the production
+monitor/detector stack observes a machine-day at quantum resolution.
+
+The cross-validation test asserts that the detector recovers the same
+events from the fine replay as the fluid synthesis produces, machine-day
+for machine-day: the two fidelity levels agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FgcsConfig
+from ..errors import SimulationError
+from ..oskernel.tasks import Task
+from ..simkernel import Simulator
+from .labuser import EpisodeKind, PlannedEpisode
+from .synthetic import periodic_program
+
+__all__ = ["FineGrainedReplay"]
+
+#: Host duty acted out during CPU-heavy episodes (safely above Th2).
+_CPU_EPISODE_DUTY = 0.80
+#: Host duty during the updatedb cron.
+_UPDATEDB_DUTY = 0.92
+#: Duty of the always-on background host activity (below Th1).
+_BASELINE_DUTY = 0.06
+#: Host CPU duty during memory-heavy episodes (S2 band, below Th2).
+_MEMORY_EPISODE_DUTY = 0.40
+
+
+class FineGrainedReplay:
+    """Acts out an episode plan on one iShare node.
+
+    Parameters
+    ----------
+    sim:
+        Simulator shared with the node.
+    config:
+        FGCS configuration (thresholds, monitor, machine memory).
+    episodes:
+        The plan to act out (from :class:`EpisodePlanner` or hand-built).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[FgcsConfig],
+        episodes: list[PlannedEpisode],
+        *,
+        name: str = "replay",
+    ) -> None:
+        # Imported here: workloads is a dependency of fgcs, so a module-
+        # level import of the node would be circular.
+        from ..fgcs.ishare import IShareNode
+
+        self.sim = sim
+        self.config = config or FgcsConfig()
+        self.episodes = sorted(episodes, key=lambda e: e.start)
+        for a, b in zip(self.episodes, self.episodes[1:]):
+            if b.start < a.end - 1e-6:
+                raise SimulationError("episode plan must be non-overlapping")
+        self.node = IShareNode(sim, self.config, name=name, detect=True)
+        self._memory_hog_mb = self._memory_pressure_mb()
+
+    def _memory_pressure_mb(self) -> float:
+        """Resident size pushing free memory below the guest need, while
+        keeping the machine itself short of actual thrashing.
+
+        The fluid model treats memory exhaustion as a signal (free memory
+        under the guest working set); the fine machine would genuinely
+        thrash if working sets exceeded RAM, stretching the acting task
+        and distorting the planned episode end.  So the hog is sized to
+        land in the band [not enough for a guest, still enough for the
+        hosts] — accounting for the resident baseline task.
+        """
+        from ..core.model import DEFAULT_GUEST_WORKING_SET_MB
+
+        avail = (
+            self.config.testbed.machine_memory_mb
+            - self.config.testbed.machine_kernel_mb
+        )
+        baseline_resident = 250.0
+        return avail - baseline_resident - DEFAULT_GUEST_WORKING_SET_MB + 30.0
+
+    # -- plan staging ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Publish the node and schedule the whole plan."""
+        self.node.publish()
+        self.node.spawn_host(
+            Task(
+                "background",
+                periodic_program(_BASELINE_DUTY, period=1.0),
+                resident_mb=250.0,
+            )
+        )
+        for i, ep in enumerate(self.episodes):
+            if ep.kind.is_urr:
+                self.sim.at(ep.start, lambda t, ep=ep: self._go_down(ep))
+                self.sim.at(ep.end, lambda t: self._come_up())
+            else:
+                self.sim.at(
+                    ep.start, lambda t, ep=ep, i=i: self._spawn_episode(ep, i)
+                )
+
+    def _episode_task(self, ep: PlannedEpisode, index: int) -> Task:
+        duty, resident = {
+            EpisodeKind.CPU: (_CPU_EPISODE_DUTY, 80.0),
+            EpisodeKind.UPDATEDB: (_UPDATEDB_DUTY, 40.0),
+            EpisodeKind.TRANSIENT: (_CPU_EPISODE_DUTY + 0.05, 20.0),
+            EpisodeKind.MEMORY: (_MEMORY_EPISODE_DUTY, self._memory_hog_mb),
+        }[ep.kind]
+        period = 1.0
+        cycles = max(int(round(ep.duration / period)), 1)
+        return Task(
+            f"{ep.kind.value}{index}",
+            periodic_program(duty, period, cycles=cycles),
+            resident_mb=resident,
+        )
+
+    def _spawn_episode(self, ep: PlannedEpisode, index: int) -> None:
+        self.node.spawn_host(self._episode_task(ep, index))
+        self.node.machine.reap()
+
+    def _go_down(self, ep: PlannedEpisode) -> None:
+        self.node.monitor.service_up = False
+
+    def _come_up(self) -> None:
+        self.node.monitor.service_up = True
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, until: float) -> list:
+        """Run the replay and return the detected unavailability events."""
+        self.sim.run_until(until)
+        self.node.finish()
+        return list(self.node.events)

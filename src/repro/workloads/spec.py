@@ -1,0 +1,74 @@
+"""Models of the SPEC CPU2000 guest applications of Table 1.
+
+The paper uses four CPU-bound SPEC benchmarks as realistic guests for the
+memory-contention experiments.  Table 1 records their measured footprints
+on the 300 MHz / 384 MB Solaris machine; we reproduce those exact numbers
+as model constants and expose each app as a guest task factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..oskernel.tasks import Task
+from .synthetic import cpu_bound_program, periodic_program
+
+__all__ = ["SpecApp", "SPEC_APPS", "spec_guest_task"]
+
+
+@dataclass(frozen=True)
+class SpecApp:
+    """One SPEC CPU2000 application as characterized in Table 1."""
+
+    name: str
+    #: Isolated CPU usage (the apps are CPU-bound: 97--99%).
+    cpu_usage: float
+    #: Resident-set size, MB.
+    resident_mb: float
+    #: Virtual size, MB.
+    virtual_mb: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cpu_usage <= 1:
+            raise ConfigError("cpu_usage must be in (0, 1]")
+        if self.resident_mb <= 0 or self.virtual_mb < self.resident_mb:
+            raise ConfigError("need virtual_mb >= resident_mb > 0")
+
+    def guest_task(self, *, nice: int = 0, total_cpu: float | None = None) -> Task:
+        """Instantiate this application as a guest task."""
+        return spec_guest_task(self, nice=nice, total_cpu=total_cpu)
+
+
+#: Table 1, guest applications.
+SPEC_APPS: dict[str, SpecApp] = {
+    "apsi": SpecApp("apsi", cpu_usage=0.98, resident_mb=193.0, virtual_mb=205.0),
+    "galgel": SpecApp("galgel", cpu_usage=0.99, resident_mb=29.0, virtual_mb=155.0),
+    "bzip2": SpecApp("bzip2", cpu_usage=0.97, resident_mb=180.0, virtual_mb=182.0),
+    "mcf": SpecApp("mcf", cpu_usage=0.99, resident_mb=96.0, virtual_mb=96.0),
+}
+
+
+def spec_guest_task(
+    app: SpecApp | str, *, nice: int = 0, total_cpu: float | None = None
+) -> Task:
+    """A guest task modelling a SPEC application.
+
+    CPU usage below 100% reflects the small I/O stalls of the real
+    benchmark; we model it as a long compute loop with brief sleeps.
+    """
+    if isinstance(app, str):
+        try:
+            app = SPEC_APPS[app]
+        except KeyError:
+            raise ConfigError(
+                f"unknown SPEC app {app!r}; choose from {sorted(SPEC_APPS)}"
+            ) from None
+    if app.cpu_usage >= 0.995:
+        program = cpu_bound_program(total_cpu)
+    else:
+        # Long cycles: the app computes for seconds between short stalls.
+        program = periodic_program(app.cpu_usage, period=5.0)
+    return Task(
+        app.name, program, nice=nice, resident_mb=app.resident_mb, is_guest=True
+    )

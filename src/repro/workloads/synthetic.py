@@ -1,0 +1,140 @@
+"""Synthetic compute/sleep programs (Section 3.2.1).
+
+The paper's synthetic host programs run a loop of "compute, then sleep",
+with the sleep time chosen so that the program's *isolated CPU usage* (its
+usage when running alone) hits a target between 10% and 100%.  Guests are
+fully CPU-bound.  All programs have tiny resident sets so CPU contention is
+isolated from memory effects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..oskernel.tasks import Phase, Task, compute_phase, sleep_phase
+
+__all__ = [
+    "cpu_bound_program",
+    "periodic_program",
+    "host_task",
+    "guest_task",
+    "DEFAULT_CYCLE_PERIOD",
+]
+
+#: Work-cycle period of the synthetic host programs, seconds.  The paper
+#: does not state its value; 1 s cycles reproduce its threshold structure
+#: (see the ablation bench ``bench_ablation_cycle_period``).
+DEFAULT_CYCLE_PERIOD: float = 1.0
+
+#: Chunk size for "infinite" compute phases; large enough that phase
+#: bookkeeping is negligible, finite so accounting arithmetic stays exact.
+_COMPUTE_CHUNK: float = 3600.0
+
+
+def cpu_bound_program(total_cpu: Optional[float] = None) -> Iterator[Phase]:
+    """A fully CPU-bound program (the paper's guest).
+
+    Yields compute work until ``total_cpu`` CPU-seconds are done, or forever
+    if ``total_cpu`` is ``None``.
+    """
+    if total_cpu is None:
+        while True:
+            yield compute_phase(_COMPUTE_CHUNK)
+    else:
+        if total_cpu < 0:
+            raise ConfigError("total_cpu must be >= 0")
+        remaining = total_cpu
+        while remaining > 0:
+            chunk = min(_COMPUTE_CHUNK, remaining)
+            yield compute_phase(chunk)
+            remaining -= chunk
+
+
+def periodic_program(
+    duty: float,
+    period: float = DEFAULT_CYCLE_PERIOD,
+    *,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    cycles: Optional[int] = None,
+) -> Iterator[Phase]:
+    """A compute/sleep loop with isolated CPU usage ``duty``.
+
+    Each cycle computes ``duty * period`` CPU-seconds then sleeps the
+    remainder.  ``jitter`` (a fraction of the period) perturbs cycle lengths
+    to model real workloads; with a seeded ``rng`` the program is still
+    deterministic.
+
+    Parameters
+    ----------
+    duty:
+        Target isolated CPU usage in (0, 1].
+    period:
+        Cycle wall-clock length when running alone, seconds.
+    jitter:
+        Std-dev of lognormal cycle-length noise as a fraction of ``period``.
+    cycles:
+        Stop after this many cycles (``None`` = run forever).
+    """
+    if not 0 < duty <= 1:
+        raise ConfigError(f"duty must be in (0, 1], got {duty}")
+    if period <= 0:
+        raise ConfigError("period must be positive")
+    if jitter < 0:
+        raise ConfigError("jitter must be >= 0")
+    if jitter > 0 and rng is None:
+        raise ConfigError("jitter requires an rng")
+
+    if duty == 1.0:
+        yield from cpu_bound_program(None if cycles is None else cycles * period)
+        return
+
+    counter = itertools.count() if cycles is None else range(cycles)
+    for _ in counter:
+        p = period
+        if jitter > 0:
+            assert rng is not None
+            p = period * float(rng.lognormal(mean=0.0, sigma=jitter))
+        yield compute_phase(duty * p)
+        yield sleep_phase((1.0 - duty) * p)
+
+
+def host_task(
+    name: str,
+    duty: float,
+    *,
+    period: float = DEFAULT_CYCLE_PERIOD,
+    nice: int = 0,
+    resident_mb: float = 1.0,
+    jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Task:
+    """A synthetic host process with the given isolated CPU usage."""
+    return Task(
+        name,
+        periodic_program(duty, period, jitter=jitter, rng=rng),
+        nice=nice,
+        resident_mb=resident_mb,
+        is_guest=False,
+    )
+
+
+def guest_task(
+    name: str = "guest",
+    *,
+    duty: float = 1.0,
+    period: float = DEFAULT_CYCLE_PERIOD,
+    nice: int = 0,
+    resident_mb: float = 1.0,
+    total_cpu: Optional[float] = None,
+) -> Task:
+    """A synthetic guest process (fully CPU-bound by default)."""
+    if duty >= 1.0:
+        program = cpu_bound_program(total_cpu)
+    else:
+        program = periodic_program(duty, period)
+    return Task(name, program, nice=nice, resident_mb=resident_mb, is_guest=True)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (generated traces, contention sweeps) are session-scoped so
+the suite builds each once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import FgcsConfig, TestbedConfig
+from repro.traces.generate import generate_dataset
+from repro.units import DAY
+
+
+@pytest.fixture(scope="session")
+def small_config() -> FgcsConfig:
+    """A 4-machine, 21-day testbed: fast but long enough for statistics."""
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=4, duration=21 * DAY),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    """Generated trace for the small testbed (session-cached)."""
+    return generate_dataset(small_config)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A 6-machine, 42-day trace for prediction/scheduling tests."""
+    cfg = dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=6, duration=42 * DAY),
+        seed=7,
+    )
+    return generate_dataset(cfg)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,130 @@
+"""Tests for change-point detection and adaptive prediction over
+non-stationary (regime-change) traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError, TraceError
+from repro.prediction import (
+    ChangePointAdaptivePredictor,
+    HistoryWindowPredictor,
+    detect_change_points,
+    evaluate_predictors,
+)
+from repro.traces.filters import concat_in_time
+from repro.traces.generate import generate_dataset
+from repro.units import DAY
+from repro.workloads.profiles import enterprise_desktops, student_lab
+
+
+@pytest.fixture(scope="module")
+def regime_change_dataset():
+    """28 quiet enterprise days followed by 28 busy student-lab days."""
+    quiet = generate_dataset(enterprise_desktops(n_machines=4, days=28, seed=3))
+    busy_cfg = student_lab(n_machines=4, days=28, seed=4)
+    busy = generate_dataset(busy_cfg)
+    return concat_in_time(quiet, busy)
+
+
+class TestDetectChangePoints:
+    def test_clean_step_detected(self):
+        series = [5.0] * 20 + [15.0] * 20
+        changes = detect_change_points(series)
+        assert len(changes) == 1
+        assert changes[0] == 20
+
+    def test_stationary_series_clean(self):
+        rng = np.random.default_rng(0)
+        series = rng.poisson(8.0, 60).astype(float)
+        assert detect_change_points(series) == []
+
+    def test_two_steps_detected(self):
+        series = [5.0] * 20 + [15.0] * 20 + [2.0] * 20
+        changes = detect_change_points(series)
+        assert 20 in changes
+        assert 40 in changes
+
+    def test_short_series_never_splits(self):
+        assert detect_change_points([1.0, 100.0] * 3) == []
+
+    def test_min_segment_validated(self):
+        with pytest.raises(PredictionError):
+            detect_change_points([1.0] * 30, min_segment=1)
+
+    def test_threshold_controls_sensitivity(self):
+        series = [8.0] * 20 + [11.0] * 20  # a mild shift
+        loose = detect_change_points(series, z_threshold=1.5)
+        strict = detect_change_points(series, z_threshold=50.0)
+        assert loose and not strict
+
+
+class TestConcatInTime:
+    def test_spans_and_events_shift(self, regime_change_dataset):
+        ds = regime_change_dataset
+        assert ds.n_days == 56
+        # The busy half dominates the event count.
+        first_half = sum(1 for e in ds.events if e.start < 28 * DAY)
+        second_half = len(ds) - first_half
+        assert second_half > 1.3 * first_half
+
+    def test_mismatched_machines_rejected(self):
+        a = generate_dataset(student_lab(n_machines=2, days=7, seed=1),
+                             keep_hourly_load=False)
+        b = generate_dataset(student_lab(n_machines=3, days=7, seed=1),
+                             keep_hourly_load=False)
+        with pytest.raises(TraceError):
+            concat_in_time(a, b)
+
+    def test_weekday_continuity_enforced(self):
+        import dataclasses
+
+        a = generate_dataset(student_lab(n_machines=2, days=8, seed=1),
+                             keep_hourly_load=False)
+        b = generate_dataset(student_lab(n_machines=2, days=7, seed=1),
+                             keep_hourly_load=False)
+        # 8 days after Monday is Tuesday; b starts Monday.
+        with pytest.raises(TraceError):
+            concat_in_time(a, b)
+
+    def test_hourly_load_concatenated(self, regime_change_dataset):
+        hl = regime_change_dataset.hourly_load
+        assert hl is not None
+        assert hl.shape == (4, 56 * 24)
+
+
+class TestChangePointAdaptivePredictor:
+    def test_detects_the_regime_boundary(self, regime_change_dataset):
+        p = ChangePointAdaptivePredictor(history_days=8).fit(
+            regime_change_dataset.slice_days(0, 42)
+        )
+        assert 26 <= p.regime_start_day <= 30
+
+    def test_beats_long_history_after_change(self, regime_change_dataset):
+        """A long-history predictor averages across the regime change;
+        the adaptive one truncates to the new regime and wins."""
+        result = evaluate_predictors(
+            regime_change_dataset,
+            [
+                HistoryWindowPredictor(history_days=20),
+                ChangePointAdaptivePredictor(history_days=8),
+            ],
+            train_days=42,
+            durations_hours=(2.0, 4.0),
+            start_hours=(0, 6, 12, 18),
+        )
+        adaptive = result.score_of("ChangePointAdaptive(d=8)")
+        stale = result.score_of("HistoryWindow(d=20,mean)")
+        assert adaptive.brier < stale.brier
+
+    def test_stationary_trace_keeps_full_history(self, medium_dataset):
+        p = ChangePointAdaptivePredictor().fit(
+            medium_dataset.slice_days(0, 35)
+        )
+        assert p.regime_start_day == 0
+
+    def test_unfitted_raises(self):
+        from repro.prediction.base import PredictionQuery
+
+        p = ChangePointAdaptivePredictor()
+        with pytest.raises(PredictionError):
+            p.predict_count(PredictionQuery(0, 1, 0.0, 1.0))

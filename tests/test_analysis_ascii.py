@@ -1,0 +1,93 @@
+"""Tests for the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii import (
+    bar_chart,
+    line_chart,
+    render_figure6_chart,
+    render_figure7_chart,
+)
+from repro.errors import ReproError
+
+
+class TestLineChart:
+    def test_basic_shape(self):
+        x = np.linspace(0, 10, 30)
+        text = line_chart(x, {"linear": x / 10.0}, height=8, width=30)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 3  # rows + axis + labels + legend
+        assert "linear" in lines[-1]
+        assert "*" in text
+
+    def test_two_series_distinct_glyphs(self):
+        x = np.linspace(0, 1, 20)
+        text = line_chart(x, {"a": x, "b": 1 - x})
+        assert "*" in text and "o" in text
+        assert "* a" in text and "o b" in text
+
+    def test_collision_marker(self):
+        x = np.linspace(0, 1, 10)
+        text = line_chart(x, {"a": x, "b": x.copy()})
+        assert "#" in text  # identical series overlap everywhere
+
+    def test_y_range_respected(self):
+        x = np.linspace(0, 1, 10)
+        text = line_chart(x, {"a": x * 0.5}, y_range=(0.0, 1.0), height=5)
+        assert text.splitlines()[0].startswith("   1.00")
+
+    def test_title(self):
+        x = np.linspace(0, 1, 5)
+        assert line_chart(x, {"a": x}, title="T").startswith("T")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {})
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"a": [1.0]})
+
+    def test_flat_series_does_not_crash(self):
+        x = np.linspace(0, 1, 10)
+        text = line_chart(x, {"flat": np.zeros(10)})
+        assert "*" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_whiskers(self):
+        text = bar_chart(
+            ["x"], [2.0], lo=[1.0], hi=[4.0], width=8, title="T"
+        )
+        assert "-" in text
+        assert "|" in text.splitlines()[1]
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "0.0" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestFigureCharts:
+    def test_figure6_chart(self, small_dataset):
+        from repro.analysis import interval_distribution
+
+        text = render_figure6_chart(interval_distribution(small_dataset))
+        assert "weekday" in text and "weekend" in text
+        assert text.count("\n") > 10
+
+    def test_figure7_chart(self, small_dataset):
+        from repro.analysis import daily_pattern
+
+        pattern = daily_pattern(small_dataset)
+        text = render_figure7_chart(pattern, weekend=False)
+        assert "Weekdays" in text
+        assert len(text.splitlines()) == 25  # title + 24 hours

@@ -1,0 +1,64 @@
+"""Tests for the deliverable-capacity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import capacity_report
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import ReproError
+from repro.traces.dataset import TraceDataset
+from repro.units import DAY, HOUR
+
+
+def make_dataset(load=0.2):
+    events = [
+        UnavailabilityEvent(0, 6 * HOUR, 8 * HOUR, AvailState.S3, 0.9, 500.0),
+        UnavailabilityEvent(0, 20 * HOUR, 21 * HOUR, AvailState.S3, 0.9, 500.0),
+    ]
+    hourly = np.full((1, 24), load)
+    return TraceDataset(
+        events=events, n_machines=1, span=1 * DAY, hourly_load=hourly
+    )
+
+
+class TestCapacityReport:
+    def test_basic_arithmetic(self):
+        ds = make_dataset(load=0.2)
+        report = capacity_report(ds)
+        # One complete interval: 8h -> 20h = 12 h at 80% idle = 9.6 CPU-h.
+        assert report.interval_cpu_hours.n == 1
+        assert report.interval_cpu_hours.mean == pytest.approx(9.6, rel=0.01)
+        assert report.mean_harvest_fraction == pytest.approx(0.8, rel=0.01)
+        assert report.total_cpu_hours == pytest.approx(9.6, rel=0.01)
+
+    def test_availability_fraction(self):
+        ds = make_dataset()
+        report = capacity_report(ds)
+        # Complete interval is 12 h of the 24 h wall (censored excluded).
+        assert report.availability_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_higher_load_lowers_harvest(self):
+        lo = capacity_report(make_dataset(load=0.1))
+        hi = capacity_report(make_dataset(load=0.5))
+        assert lo.total_cpu_hours > hi.total_cpu_hours
+
+    def test_requires_hourly_load(self):
+        ds = TraceDataset(events=[], n_machines=1, span=DAY)
+        with pytest.raises(ReproError):
+            capacity_report(ds)
+
+    def test_on_generated_trace(self, small_dataset):
+        report = capacity_report(small_dataset)
+        assert 0.5 < report.availability_fraction < 0.95
+        assert 0.5 < report.mean_harvest_fraction < 1.0
+        assert report.total_cpu_hours > 100
+        assert "CPU-hours" in report.summary()
+
+    def test_no_complete_intervals_rejected(self):
+        hourly = np.full((1, 24), 0.2)
+        ds = TraceDataset(
+            events=[], n_machines=1, span=DAY, hourly_load=hourly
+        )
+        with pytest.raises(ReproError):
+            capacity_report(ds)

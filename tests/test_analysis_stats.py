@@ -1,0 +1,102 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_ci, ecdf, summarize
+from repro.errors import ReproError
+
+
+class TestEcdf:
+    def test_basic(self):
+        e = ecdf([3.0, 1.0, 2.0])
+        assert list(e.values) == [1.0, 2.0, 3.0]
+        assert e.at(0.5) == 0.0
+        assert e.at(1.0) == pytest.approx(1 / 3)
+        assert e.at(2.5) == pytest.approx(2 / 3)
+        assert e.at(3.0) == 1.0
+
+    def test_vector_evaluation(self):
+        e = ecdf([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(e.at(np.array([1.0, 3.0])), [0.25, 0.75])
+
+    def test_quantile(self):
+        e = ecdf(np.arange(1, 101, dtype=float))
+        assert e.quantile(0.5) == 50.0
+        assert e.quantile(1.0) == 100.0
+        with pytest.raises(ReproError):
+            e.quantile(1.5)
+
+    def test_mass_between(self):
+        e = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert e.mass_between(2.0, 3.0) == pytest.approx(0.5)
+        assert e.mass_between(0.0, 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ecdf([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ReproError):
+            ecdf([1.0, float("nan")])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_properties(self, data):
+        e = ecdf(data)
+        grid = np.linspace(min(data) - 1, max(data) + 1, 20)
+        vals = e.at(grid)
+        # Monotone, in [0,1], 0 before min, 1 at/after max.
+        assert np.all(np.diff(vals) >= 0)
+        assert vals[0] == 0.0 or min(data) <= grid[0]
+        assert vals[-1] == 1.0
+
+
+class TestBootstrap:
+    def test_ci_contains_point_for_stable_data(self):
+        data = np.random.default_rng(0).normal(10.0, 1.0, 200)
+        point, lo, hi = bootstrap_ci(data)
+        assert lo <= point <= hi
+        assert 9.5 < point < 10.5
+        assert hi - lo < 1.0
+
+    def test_degenerate_data(self):
+        point, lo, hi = bootstrap_ci([5.0] * 10)
+        assert point == lo == hi == 5.0
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 100.0]
+        point, _, _ = bootstrap_ci(data, statistic=np.median)
+        assert point == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import dataclasses
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = cli.build_parser().parse_args(
+            ["generate", "out.jsonl", "--machines", "3", "--days", "5"]
+        )
+        assert args.command == "generate"
+        assert args.machines == 3
+        assert args.days == 5
+
+    def test_config_from_args(self):
+        args = cli.build_parser().parse_args(
+            ["generate", "x", "--machines", "2", "--days", "3", "--seed", "9"]
+        )
+        cfg = cli._config_from(args)
+        assert cfg.testbed.n_machines == 2
+        assert cfg.testbed.n_days == 3
+        assert cfg.seed == 9
+
+
+class TestCommands:
+    def test_generate_then_analyze(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = cli.main(
+            ["generate", str(out), "--machines", "2", "--days", "7"]
+        )
+        assert rc == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "machine-days" in captured.out
+
+        rc = cli.main(["analyze", "--trace", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "Figure 6" in captured.out
+        assert "Figure 7" in captured.out
+
+    def test_thresholds_command(self, capsys):
+        rc = cli.main(["thresholds", "--duration", "20.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Th1" in out and "Th2" in out
+
+    def test_predict_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        cli.main(["generate", str(out), "--machines", "2", "--days", "28"])
+        capsys.readouterr()
+        rc = cli.main(
+            ["predict", "--trace", str(out), "--train-days", "21"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Brier" in text
+        assert "HistoryWindow" in text
+
+    def test_report_command(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        cli.main(["generate", str(trace), "--machines", "3", "--days", "21"])
+        capsys.readouterr()
+        out = tmp_path / "report"
+        cli.main(["report", str(out), "--trace", str(trace)])
+        names = {p.name for p in out.iterdir()}
+        assert {
+            "table2.txt",
+            "figure6.txt",
+            "figure7.txt",
+            "interval_fits.txt",
+            "predictability.txt",
+            "weekday_profile.txt",
+            "capacity.txt",
+            "landmarks.txt",
+        } <= names
+        assert "Table 2" in (out / "table2.txt").read_text()
+
+    def test_profile_option(self, tmp_path, capsys):
+        out = tmp_path / "ent.jsonl"
+        rc = cli.main(
+            ["generate", str(out), "--machines", "2", "--days", "7",
+             "--profile", "enterprise"]
+        )
+        assert rc == 0
+        from repro.traces import load_dataset
+
+        ds = load_dataset(out)
+        assert len(ds) > 0
+
+    def test_schedule_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        cli.main(["generate", str(out), "--machines", "3", "--days", "28"])
+        capsys.readouterr()
+        rc = cli.main(
+            ["schedule", "--trace", str(out), "--train-days", "21"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "oracle" in text and "random" in text

@@ -1,0 +1,62 @@
+"""Additional CLI coverage: landmark checking, error paths, help text."""
+
+import pytest
+
+from repro import cli
+
+
+class TestAnalyzeCheck:
+    def test_check_flag_runs_landmarks(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        cli.main(["generate", str(trace), "--machines", "4", "--days", "21",
+                  "--seed", "42"])
+        capsys.readouterr()
+        rc = cli.main(["analyze", "--trace", str(trace), "--check"])
+        out = capsys.readouterr().out
+        assert "PASS" in out or "FAIL" in out
+        # A small trace may fail some count-range landmarks; the command
+        # must still render everything before returning its verdict.
+        assert "Table 2" in out
+        assert rc in (0, 1)
+
+    def test_analyze_includes_ascii_charts(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        cli.main(["generate", str(trace), "--machines", "2", "--days", "14"])
+        capsys.readouterr()
+        cli.main(["analyze", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "weekday" in out and "weekend" in out
+        assert "|" in out  # chart gutters
+
+
+class TestErrorPaths:
+    def test_missing_trace_file(self, tmp_path):
+        with pytest.raises(Exception):
+            cli.main(["analyze", "--trace", str(tmp_path / "missing.jsonl")])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["generate", "x.jsonl", "--profile", "mars-rover"]
+            )
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for cmd in ("generate", "analyze", "thresholds", "predict",
+                    "schedule", "report"):
+            assert cmd in out
+
+
+class TestReportExitCode:
+    def test_report_reflects_landmark_outcome(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        cli.main(["generate", str(trace), "--machines", "4", "--days", "21",
+                  "--seed", "42"])
+        capsys.readouterr()
+        rc = cli.main(["report", str(tmp_path / "rep"), "--trace", str(trace)])
+        # rc mirrors the landmark verdict (small traces may drift on the
+        # count-range landmarks); the artifacts must exist either way.
+        assert rc in (0, 1)
+        assert (tmp_path / "rep" / "landmarks.txt").exists()

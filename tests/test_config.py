@@ -1,0 +1,124 @@
+"""Tests for repro.config validation and defaults."""
+
+import pytest
+
+from repro.config import (
+    FgcsConfig,
+    LabWorkloadConfig,
+    MemoryConfig,
+    MonitorConfig,
+    SchedulerConfig,
+    TestbedConfig,
+    ThresholdConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestSchedulerConfig:
+    def test_defaults_are_24_like(self):
+        cfg = SchedulerConfig()
+        assert cfg.quantum == pytest.approx(0.010)
+        assert cfg.timeslice(0) == pytest.approx(0.060)
+
+    def test_timeslice_monotone_in_nice(self):
+        cfg = SchedulerConfig()
+        slices = [cfg.timeslice(n) for n in range(-5, 20)]
+        assert all(a >= b for a, b in zip(slices, slices[1:]))
+
+    def test_timeslice_bounds(self):
+        cfg = SchedulerConfig()
+        assert cfg.timeslice(19) == pytest.approx(cfg.min_timeslice)
+        with pytest.raises(ConfigError):
+            cfg.timeslice(20)
+        with pytest.raises(ConfigError):
+            cfg.timeslice(-21)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(quantum=0.0)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(base_timeslice=0.001, min_timeslice=0.002)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(sleeper_cap_factor=0.5)
+
+
+class TestMemoryConfig:
+    def test_paper_defaults(self):
+        cfg = MemoryConfig()
+        assert cfg.physical_mb == 384.0
+        assert cfg.kernel_mb == 100.0
+        assert cfg.available_mb == 284.0
+
+    def test_rejects_kernel_exceeding_physical(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(physical_mb=100, kernel_mb=100)
+
+    def test_rejects_bad_thrash_factor(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(thrash_progress_factor=0.0)
+        with pytest.raises(ConfigError):
+            MemoryConfig(thrash_progress_factor=1.5)
+
+
+class TestThresholdConfig:
+    def test_paper_defaults(self):
+        cfg = ThresholdConfig()
+        assert cfg.th1 == pytest.approx(0.20)
+        assert cfg.th2 == pytest.approx(0.60)
+        assert cfg.noticeable_slowdown == pytest.approx(0.05)
+        assert cfg.suspension_grace == pytest.approx(60.0)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            ThresholdConfig(th1=0.6, th2=0.2)
+        with pytest.raises(ConfigError):
+            ThresholdConfig(th1=0.0, th2=0.5)
+        with pytest.raises(ConfigError):
+            ThresholdConfig(th1=0.2, th2=1.2)
+
+
+class TestTestbedConfig:
+    def test_paper_defaults(self):
+        cfg = TestbedConfig()
+        assert cfg.n_machines == 20
+        assert cfg.n_days == 92
+        # ~1800 machine-days, as the paper reports.
+        assert 1700 <= cfg.n_machines * cfg.n_days <= 1900
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TestbedConfig(n_machines=0)
+        with pytest.raises(ConfigError):
+            TestbedConfig(start_weekday=7)
+
+
+class TestLabWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LabWorkloadConfig(weekend_factor=0.0)
+        with pytest.raises(ConfigError):
+            LabWorkloadConfig(memory_heavy_fraction=1.5)
+        with pytest.raises(ConfigError):
+            LabWorkloadConfig(heavy_duration_mean=-1.0)
+
+
+class TestMonitorConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(period=0.0)
+        with pytest.raises(ConfigError):
+            MonitorConfig(noise_std=-0.1)
+
+
+class TestFgcsConfig:
+    def test_with_seed_replaces_only_seed(self):
+        cfg = FgcsConfig()
+        other = cfg.with_seed(99)
+        assert other.seed == 99
+        assert other.thresholds == cfg.thresholds
+        assert other.testbed == cfg.testbed
+
+    def test_frozen(self):
+        cfg = FgcsConfig()
+        with pytest.raises(Exception):
+            cfg.seed = 1  # type: ignore[misc]

@@ -1,0 +1,199 @@
+"""Tests for the Section 3.2 contention experiments.
+
+Durations are kept short: these check the *structure* of the experiments;
+the full-resolution reproductions live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig, SchedulerConfig
+from repro.contention.experiment import (
+    calibrated_host_group,
+    measure_contention,
+)
+from repro.contention.sweeps import (
+    figure1_sweep,
+    figure2_sweep,
+    figure3_sweep,
+    figure4_sweep,
+)
+from repro.contention.thresholds import calibrate_thresholds, extract_thresholds
+from repro.errors import ExperimentError
+from repro.workloads.synthetic import guest_task, host_task
+
+
+class TestMeasureContention:
+    def test_reduction_rate_computation(self):
+        meas = measure_contention(
+            lambda: [host_task("h", 0.8)],
+            lambda: guest_task(),
+            duration=60.0,
+        )
+        assert meas.isolated_host_usage == pytest.approx(0.8, abs=0.03)
+        assert meas.contended_host_usage < meas.isolated_host_usage
+        assert 0.3 < meas.reduction_rate < 0.5
+        assert meas.noticeable
+
+    def test_no_guest_means_no_reduction(self):
+        meas = measure_contention(
+            lambda: [host_task("h", 0.5)], None, duration=30.0
+        )
+        assert meas.reduction_rate == 0.0
+        assert not meas.noticeable
+
+    def test_low_load_not_noticeable(self):
+        meas = measure_contention(
+            lambda: [host_task("h", 0.1)],
+            lambda: guest_task(),
+            duration=60.0,
+        )
+        assert not meas.noticeable
+
+    def test_nice19_guest_reduces_slowdown(self):
+        kwargs = dict(duration=60.0)
+        m0 = measure_contention(
+            lambda: [host_task("h", 0.8)], lambda: guest_task(nice=0), **kwargs
+        )
+        m19 = measure_contention(
+            lambda: [host_task("h", 0.8)], lambda: guest_task(nice=19), **kwargs
+        )
+        assert m19.reduction_rate < m0.reduction_rate
+
+    def test_invalid_durations(self):
+        with pytest.raises(ExperimentError):
+            measure_contention(lambda: [], None, duration=0.0)
+        with pytest.raises(ExperimentError):
+            measure_contention(lambda: [], None, warmup=-1.0)
+
+    def test_thrash_fraction_reported(self):
+        mem = MemoryConfig(physical_mb=384, kernel_mb=100)
+        meas = measure_contention(
+            lambda: [host_task("h", 0.3, resident_mb=200)],
+            lambda: guest_task(resident_mb=200),
+            duration=30.0,
+            memory_config=mem,
+        )
+        assert meas.thrash_fraction == pytest.approx(1.0, abs=0.05)
+
+
+class TestCalibratedHostGroup:
+    def test_measured_usage_hits_target(self, rng):
+        from repro.oskernel import Machine
+
+        group = calibrated_host_group(0.6, 2, rng)
+        m = Machine()
+        for t in group.tasks():
+            m.spawn(t)
+        m.run_for(60.0)
+        assert m.host_cpu_time() / 60.0 == pytest.approx(0.6, abs=0.04)
+
+
+class TestFigure1Sweep:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        kwargs = dict(
+            lh_grid=(0.1, 0.2, 0.3, 0.6, 0.8, 1.0),
+            group_sizes=(1, 2),
+            combinations=1,
+            duration=45.0,
+        )
+        return figure1_sweep(0, **kwargs), figure1_sweep(19, **kwargs)
+
+    def test_shapes(self, sweeps):
+        s0, _ = sweeps
+        assert s0.reduction.shape == (6, 2)
+        assert np.isnan(s0.reduction[0, 1])  # LH=0.1 infeasible for M=2
+
+    def test_nice0_reduction_grows_with_lh(self, sweeps):
+        s0, _ = sweeps
+        series = [r for (_, r) in s0.series(1)]
+        assert series[-1] > series[0]
+        assert series[-1] == pytest.approx(0.5, abs=0.05)
+
+    def test_nice19_below_nice0(self, sweeps):
+        s0, s19 = sweeps
+        # At every feasible high-load cell the reniced guest hurts less.
+        for i in range(3, 6):
+            assert s19.reduction[i, 0] < s0.reduction[i, 0]
+
+    def test_crossing_detected(self, sweeps):
+        s0, s19 = sweeps
+        t0 = s0.threshold()
+        t19 = s19.threshold()
+        assert t0 is not None and t19 is not None
+        assert t0 < t19
+
+    def test_extract_thresholds(self, sweeps):
+        est = extract_thresholds(*sweeps)
+        assert 0.1 <= est.th1 <= 0.35
+        assert est.th1 < est.th2 <= 0.8
+        cfg = est.to_config()
+        assert cfg.th1 == pytest.approx(est.th1)
+
+    def test_extraction_validates_nice(self, sweeps):
+        s0, s19 = sweeps
+        with pytest.raises(ExperimentError):
+            extract_thresholds(s19, s0)
+
+
+class TestFigure2Sweep:
+    def test_gradual_renice_adds_nothing(self):
+        res = figure2_sweep(
+            lh_grid=(0.3, 0.8), priorities=(0, 10, 19), duration=45.0
+        )
+        assert res.reduction.shape == (2, 3)
+        # Monotone: lower priority -> less slowdown.
+        for i in range(2):
+            assert res.reduction[i, 0] >= res.reduction[i, 2] - 0.02
+        gains = res.gradual_renice_gain()
+        # Where nice 0 is unacceptable, intermediate priorities do not fix
+        # it (the paper's conclusion: jump straight to 19).
+        assert not any(gains.values())
+
+
+class TestFigure3Sweep:
+    def test_priority0_gains_about_2pp(self):
+        res = figure3_sweep(
+            host_duties=(0.2,), guest_duties=(1.0, 0.8), duration=120.0
+        )
+        assert res.labels == ["0.2+1", "0.2+0.8"]
+        assert 0.0 < res.mean_gap < 0.05
+        # Guest usage bounded by demand and by what the host leaves.
+        assert np.all(res.guest_usage_nice0 <= 1.0)
+        assert np.all(res.guest_usage_nice19 > 0.5)
+
+
+class TestFigure4Sweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4_sweep(
+            guests=("apsi", "galgel"),
+            hosts=("H1", "H2", "H6"),
+            priorities=(0, 19),
+            duration=45.0,
+        )
+
+    def test_thrashing_pairs_match_paper(self, result):
+        pairs = result.thrashing_pairs()
+        assert ("apsi", "H2") in pairs  # 193+213+100 > 384
+        assert ("galgel", "H2") not in pairs  # 29+213+100 < 384
+        assert ("apsi", "H1") not in pairs  # 193+71+100 < 384
+
+    def test_thrashing_independent_of_priority(self, result):
+        c0 = result.cell("apsi", "H2", 0)
+        c19 = result.cell("apsi", "H2", 19)
+        assert c0.thrashing and c19.thrashing
+        assert c0.reduction > 0.05 and c19.reduction > 0.05
+
+    def test_light_host_unaffected(self, result):
+        # H1 at 8.6% CPU, no memory pressure with galgel: no slowdown.
+        assert result.cell("galgel", "H1", 19).reduction < 0.05
+
+    def test_heavy_host_needs_termination(self, result):
+        # H6 at 66.2% CPU exceeds Th2: noticeable at both priorities.
+        assert result.cell("galgel", "H6", 0).reduction > 0.05
+
+    def test_cell_lookup_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell("mcf", "H1", 0)

@@ -1,0 +1,176 @@
+"""Tests for the streaming and batch unavailability detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import BatchDetector, UnavailabilityDetector, detect_events
+from repro.core.model import MultiStateModel
+from repro.core.samples import MonitorSample, SampleBatch
+from repro.core.states import AvailState
+from repro.errors import TraceError
+
+PERIOD = 10.0
+
+
+def make_batch(loads, free=None, up=None):
+    n = len(loads)
+    return SampleBatch(
+        times=(np.arange(n) + 1) * PERIOD,
+        host_load=np.asarray(loads, dtype=float),
+        free_mb=np.full(n, 500.0) if free is None else np.asarray(free, float),
+        machine_up=np.ones(n, bool) if up is None else np.asarray(up, bool),
+    )
+
+
+def stream(batch, end_time=None, **kwargs):
+    det = UnavailabilityDetector(0, **kwargs)
+    events = []
+    for s in batch:
+        events.extend(det.feed(s))
+    events.extend(det.finalize(end_time))
+    return events
+
+
+class TestS3Detection:
+    def test_sustained_overload_detected(self):
+        loads = [0.1] * 5 + [0.9] * 30 + [0.1] * 5
+        batch = make_batch(loads)
+        events = detect_events(batch)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.state is AvailState.S3
+        assert ev.start == pytest.approx(60.0)  # first overload sample
+        assert ev.end == pytest.approx(360.0)  # first recovered sample
+        assert ev.mean_host_load == pytest.approx(0.9, abs=0.01)
+
+    def test_transient_excursion_ignored(self):
+        # 50 seconds above Th2: shorter than the 60 s grace.
+        loads = [0.1] * 5 + [0.9] * 5 + [0.1] * 5
+        assert detect_events(make_batch(loads)) == []
+
+    def test_excursion_just_over_grace_detected(self):
+        loads = [0.1] * 5 + [0.9] * 7 + [0.1] * 5
+        events = detect_events(make_batch(loads))
+        assert len(events) == 1
+
+    def test_flapping_creates_two_events(self):
+        loads = [0.9] * 10 + [0.1] * 2 + [0.9] * 10 + [0.1] * 3
+        events = detect_events(make_batch(loads))
+        assert len(events) == 2
+        gap = events[1].start - events[0].end
+        assert gap == pytest.approx(20.0)
+
+    def test_open_event_closed_at_end_time(self):
+        loads = [0.9] * 30
+        events = detect_events(make_batch(loads), end_time=400.0)
+        assert len(events) == 1
+        assert events[0].end == 400.0
+
+
+class TestS4S5Detection:
+    def test_memory_event_immediate(self):
+        free = [500.0] * 3 + [50.0] * 2 + [500.0] * 3
+        events = detect_events(make_batch([0.1] * 8, free=free))
+        assert len(events) == 1
+        assert events[0].state is AvailState.S4
+        # No grace: two samples (20 s) suffice.
+        assert events[0].duration == pytest.approx(20.0)
+
+    def test_urr_event(self):
+        up = [True] * 3 + [False] * 4 + [True] * 3
+        events = detect_events(make_batch([0.1] * 10, up=up))
+        assert len(events) == 1
+        assert events[0].state is AvailState.S5
+        assert np.isnan(events[0].mean_host_load)
+
+    def test_urr_reboot_classification(self):
+        up = [True] * 3 + [False] * 4 + [True] * 3
+        (ev,) = detect_events(make_batch([0.1] * 10, up=up))
+        assert ev.is_reboot  # 40 s < 1 minute... actually 40s duration
+        long_up = [True] * 2 + [False] * 30 + [True] * 2
+        (ev2,) = detect_events(make_batch([0.1] * 34, up=long_up))
+        assert not ev2.is_reboot
+
+    def test_precedence_s5_splits_s3(self):
+        loads = [0.9] * 30
+        up = [True] * 10 + [False] * 10 + [True] * 10
+        events = detect_events(make_batch(loads, up=up))
+        states = [e.state for e in events]
+        assert states == [AvailState.S3, AvailState.S5, AvailState.S3]
+
+    def test_s4_beats_s3_per_sample(self):
+        loads = [0.9] * 20
+        free = [50.0] * 20
+        events = detect_events(make_batch(loads, free=free))
+        assert all(e.state is AvailState.S4 for e in events)
+
+
+class TestStreamingDetector:
+    def test_matches_batch_on_scenarios(self):
+        scenarios = [
+            [0.1] * 5 + [0.9] * 30 + [0.1] * 5,
+            [0.9] * 10 + [0.1] * 2 + [0.9] * 10,
+            [0.1] * 20,
+            [0.9] * 4,
+        ]
+        for loads in scenarios:
+            batch = make_batch(loads)
+            end = float(batch.times[-1])
+            a = stream(batch, end)
+            b = detect_events(batch, end_time=end)
+            assert len(a) == len(b)
+            for x, y in zip(a, b):
+                assert x.state is y.state
+                assert x.start == y.start and x.end == y.end
+                assert x.mean_host_load == pytest.approx(
+                    y.mean_host_load, nan_ok=True
+                )
+
+    def test_rejects_unordered_samples(self):
+        det = UnavailabilityDetector()
+        det.feed(MonitorSample(10.0, 0.1, 500.0, True))
+        with pytest.raises(TraceError):
+            det.feed(MonitorSample(5.0, 0.1, 500.0, True))
+
+    def test_finalize_only_once(self):
+        det = UnavailabilityDetector()
+        det.feed(MonitorSample(10.0, 0.1, 500.0, True))
+        det.finalize()
+        with pytest.raises(TraceError):
+            det.finalize()
+        with pytest.raises(TraceError):
+            det.feed(MonitorSample(20.0, 0.1, 500.0, True))
+
+    def test_empty_stream(self):
+        det = UnavailabilityDetector()
+        assert det.finalize() == []
+
+    def test_custom_grace(self):
+        loads = [0.9] * 5  # 40 s run
+        batch = make_batch(loads)
+        assert detect_events(batch, grace=30.0, end_time=50.0) != []
+        assert detect_events(batch, grace=60.0, end_time=50.0) == []
+
+
+class TestBatchDetectorEdges:
+    def test_empty_batch(self):
+        b = make_batch([])
+        assert BatchDetector().detect(b) == []
+
+    def test_single_sample_overload_no_event(self):
+        # One sample, no end_time extension: zero-duration run.
+        b = make_batch([0.9])
+        assert BatchDetector().detect(b) == []
+
+    def test_machine_id_propagated(self):
+        b = make_batch([0.9] * 30)
+        events = detect_events(b, machine_id=7, end_time=400.0)
+        assert events[0].machine_id == 7
+
+    def test_custom_model_thresholds(self):
+        from repro.config import ThresholdConfig
+
+        model = MultiStateModel(thresholds=ThresholdConfig(th1=0.1, th2=0.3))
+        b = make_batch([0.5] * 30)
+        events = detect_events(b, model=model, end_time=400.0)
+        assert len(events) == 1

@@ -1,0 +1,107 @@
+"""Property-based tests: streaming and batch detectors are equivalent, and
+detector outputs satisfy structural invariants on arbitrary signals."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import BatchDetector, UnavailabilityDetector
+from repro.core.samples import SampleBatch
+from repro.core.states import AvailState
+
+PERIOD = 10.0
+
+
+@st.composite
+def signal(draw):
+    """A random monitor signal built from segments, so failure runs of
+    interesting lengths appear often."""
+    n_segments = draw(st.integers(1, 8))
+    loads, free, up = [], [], []
+    for _ in range(n_segments):
+        seg_len = draw(st.integers(1, 15))
+        kind = draw(st.sampled_from(["idle", "busy", "over", "mem", "down"]))
+        for _ in range(seg_len):
+            if kind == "idle":
+                loads.append(draw(st.floats(0.0, 0.19)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "busy":
+                loads.append(draw(st.floats(0.25, 0.55)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "over":
+                loads.append(draw(st.floats(0.65, 1.0)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "mem":
+                loads.append(draw(st.floats(0.0, 0.55)))
+                free.append(draw(st.floats(0.0, 100.0)))
+                up.append(True)
+            else:
+                loads.append(0.0)
+                free.append(500.0)
+                up.append(False)
+    n = len(loads)
+    return SampleBatch(
+        times=(np.arange(n) + 1) * PERIOD,
+        host_load=np.array(loads),
+        free_mb=np.array(free),
+        machine_up=np.array(up, dtype=bool),
+    )
+
+
+@given(signal())
+@settings(max_examples=150, deadline=None)
+def test_streaming_equals_batch(batch):
+    end = float(batch.times[-1]) + PERIOD
+    batch_events = BatchDetector().detect(batch, end_time=end)
+    det = UnavailabilityDetector(0)
+    stream_events = []
+    for s in batch:
+        stream_events.extend(det.feed(s))
+    stream_events.extend(det.finalize(end))
+    assert len(batch_events) == len(stream_events)
+    for a, b in zip(batch_events, stream_events):
+        assert a.state is b.state
+        assert a.start == b.start
+        assert a.end == b.end
+        both_nan = np.isnan(a.mean_host_load) and np.isnan(b.mean_host_load)
+        assert both_nan or abs(a.mean_host_load - b.mean_host_load) < 1e-9
+
+
+@given(signal())
+@settings(max_examples=150, deadline=None)
+def test_event_invariants(batch):
+    end = float(batch.times[-1]) + PERIOD
+    events = BatchDetector().detect(batch, end_time=end)
+    for ev in events:
+        # Positive duration, inside the observed span.
+        assert ev.end > ev.start
+        assert batch.times[0] <= ev.start <= end
+        assert ev.end <= end
+        # S3 events always outlive the grace.
+        if ev.state is AvailState.S3:
+            assert ev.duration > 60.0
+    # Time-ordered and non-overlapping.
+    for a, b in zip(events, events[1:]):
+        assert b.start >= a.end
+
+
+@given(signal())
+@settings(max_examples=100, deadline=None)
+def test_events_cover_only_failure_samples(batch):
+    """Every S4/S5 sample lies inside some event; no S1/S2 sample does
+    (S3's grace rule makes short overloads legitimately uncovered)."""
+    from repro.core.model import MultiStateModel
+
+    end = float(batch.times[-1]) + PERIOD
+    events = BatchDetector().detect(batch, end_time=end)
+    model = MultiStateModel()
+    codes = model.classify_batch(batch)
+    for i, t in enumerate(batch.times):
+        covered = any(ev.start <= t < ev.end for ev in events)
+        if codes[i] in (4, 5):
+            assert covered
+        elif codes[i] in (1, 2):
+            assert not covered

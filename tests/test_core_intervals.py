@@ -1,0 +1,172 @@
+"""Tests for availability-interval extraction and events."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    REBOOT_MAX_DURATION,
+    AvailabilityInterval,
+    UnavailabilityEvent,
+    classify_urr,
+)
+from repro.core.intervals import availability_intervals, merge_short_gaps
+from repro.core.states import AvailState
+from repro.errors import TraceError
+
+
+def ev(start, end, state=AvailState.S3, machine=0):
+    return UnavailabilityEvent(
+        machine_id=machine, start=start, end=end, state=state
+    )
+
+
+class TestUnavailabilityEvent:
+    def test_duration(self):
+        assert ev(10.0, 40.0).duration == 30.0
+
+    def test_positive_duration_required(self):
+        with pytest.raises(TraceError):
+            ev(10.0, 10.0)
+
+    def test_failure_state_required(self):
+        with pytest.raises(TraceError):
+            UnavailabilityEvent(0, 0.0, 1.0, AvailState.S1)
+
+    def test_cause_mapping(self):
+        assert ev(0, 1, AvailState.S3).cause == "cpu"
+        assert ev(0, 1, AvailState.S4).cause == "memory"
+        assert ev(0, 1, AvailState.S5).cause == "revocation"
+
+    def test_reboot_classification(self):
+        short = ev(0.0, REBOOT_MAX_DURATION - 1, AvailState.S5)
+        long = ev(0.0, REBOOT_MAX_DURATION + 1, AvailState.S5)
+        assert short.is_reboot
+        assert not long.is_reboot
+        assert classify_urr(short) == "reboot"
+        assert classify_urr(long) == "failure"
+        with pytest.raises(TraceError):
+            classify_urr(ev(0, 1, AvailState.S3))
+        assert not ev(0.0, 10.0, AvailState.S3).is_reboot
+
+    def test_hours_spanned(self):
+        e = ev(3500.0, 7300.0)  # 0:58 - 2:01
+        assert e.hours_spanned() == [0, 1, 2]
+        e2 = ev(3600.0, 7200.0)  # exactly hour 1
+        assert e2.hours_spanned() == [1]
+
+    def test_hours_spanned_wraps_midnight(self):
+        e = ev(23 * 3600.0, 25 * 3600.0)
+        assert e.hours_spanned() == [23, 0]
+
+
+class TestAvailabilityIntervals:
+    def test_basic_complement(self):
+        events = [ev(100.0, 200.0), ev(500.0, 600.0)]
+        ivs = availability_intervals(events, span_start=0.0, span_end=1000.0)
+        spans = [(i.start, i.end, i.censored) for i in ivs]
+        assert spans == [
+            (0.0, 100.0, True),
+            (200.0, 500.0, False),
+            (600.0, 1000.0, True),
+        ]
+
+    def test_no_events_single_censored_interval(self):
+        ivs = availability_intervals([], span_start=0.0, span_end=100.0)
+        assert len(ivs) == 1
+        assert ivs[0].censored
+
+    def test_event_at_boundary(self):
+        events = [ev(0.0, 50.0), ev(900.0, 1000.0)]
+        ivs = availability_intervals(events, span_start=0.0, span_end=1000.0)
+        assert len(ivs) == 1
+        assert (ivs[0].start, ivs[0].end) == (50.0, 900.0)
+        # Follows a failure and precedes one: not censored.
+        assert not ivs[0].censored
+
+    def test_event_overflowing_span_clipped(self):
+        events = [ev(-50.0, 30.0), ev(990.0, 1100.0)]
+        ivs = availability_intervals(events, span_start=0.0, span_end=1000.0)
+        assert len(ivs) == 1
+        assert (ivs[0].start, ivs[0].end) == (30.0, 990.0)
+
+    def test_unsorted_input_handled(self):
+        events = [ev(500.0, 600.0), ev(100.0, 200.0)]
+        ivs = availability_intervals(events, span_start=0.0, span_end=700.0)
+        assert [i.start for i in ivs] == [0.0, 200.0, 600.0]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(TraceError):
+            availability_intervals(
+                [ev(0.0, 100.0), ev(50.0, 150.0)], span_start=0.0, span_end=200.0
+            )
+
+    def test_mixed_machines_rejected(self):
+        with pytest.raises(TraceError):
+            availability_intervals(
+                [ev(0.0, 10.0, machine=0), ev(20.0, 30.0, machine=1)],
+                span_start=0.0,
+                span_end=100.0,
+            )
+
+    def test_bad_span_rejected(self):
+        with pytest.raises(TraceError):
+            availability_intervals([], span_start=10.0, span_end=10.0)
+
+    def test_interval_positive_length_required(self):
+        with pytest.raises(TraceError):
+            AvailabilityInterval(machine_id=0, start=5.0, end=5.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 9000), st.floats(60, 600)
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property(self, raw):
+        """Events + intervals exactly tile the span with no overlap."""
+        # Build non-overlapping events.
+        events = []
+        cursor = 0.0
+        for offset, dur in sorted(raw):
+            start = max(cursor, offset)
+            end = start + dur
+            if end > 10000.0:
+                break
+            events.append(ev(start, end))
+            cursor = end + 1.0
+        ivs = availability_intervals(events, span_start=0.0, span_end=10000.0)
+        total = sum(i.length for i in ivs) + sum(
+            min(e.end, 10000.0) - max(e.start, 0.0) for e in events
+        )
+        assert math.isclose(total, 10000.0, rel_tol=1e-9)
+
+
+class TestMergeShortGaps:
+    def test_merges_below_threshold(self):
+        events = [ev(0.0, 100.0), ev(200.0, 300.0), ev(1000.0, 1100.0)]
+        merged = merge_short_gaps(events, min_gap=150.0)
+        assert merged == [(0.0, 300.0), (1000.0, 1100.0)]
+
+    def test_no_merge_when_gaps_large(self):
+        events = [ev(0.0, 100.0), ev(500.0, 600.0)]
+        assert merge_short_gaps(events, min_gap=100.0) == [
+            (0.0, 100.0),
+            (500.0, 600.0),
+        ]
+
+    def test_default_is_five_minutes(self):
+        events = [ev(0.0, 60.0), ev(60.0 + 299.0, 600.0)]
+        assert len(merge_short_gaps(events)) == 1
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            merge_short_gaps([], min_gap=-1.0)
+
+    def test_empty(self):
+        assert merge_short_gaps([]) == []

@@ -1,0 +1,105 @@
+"""Tests for monitor samples and batches."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import MonitorSample, SampleBatch
+from repro.errors import TraceError
+
+
+class TestMonitorSample:
+    def test_valid(self):
+        s = MonitorSample(time=1.0, host_load=0.5, free_mb=100.0, machine_up=True)
+        assert s.host_load == 0.5
+
+    def test_load_out_of_range(self):
+        with pytest.raises(TraceError):
+            MonitorSample(time=0.0, host_load=1.5, free_mb=0.0, machine_up=True)
+        with pytest.raises(TraceError):
+            MonitorSample(time=0.0, host_load=-0.1, free_mb=0.0, machine_up=True)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(TraceError):
+            MonitorSample(
+                time=float("nan"), host_load=0.5, free_mb=0.0, machine_up=True
+            )
+
+
+class TestSampleBatch:
+    def make(self, n=10):
+        return SampleBatch(
+            times=np.arange(1, n + 1, dtype=float),
+            host_load=np.full(n, 0.3),
+            free_mb=np.full(n, 500.0),
+            machine_up=np.ones(n, dtype=bool),
+        )
+
+    def test_len_and_iter(self):
+        b = self.make(5)
+        assert len(b) == 5
+        samples = list(b)
+        assert all(isinstance(s, MonitorSample) for s in samples)
+        assert samples[0].time == 1.0
+
+    def test_times_must_increase(self):
+        with pytest.raises(TraceError):
+            SampleBatch(
+                times=np.array([1.0, 1.0]),
+                host_load=np.zeros(2),
+                free_mb=np.zeros(2),
+                machine_up=np.ones(2, bool),
+            )
+
+    def test_column_lengths_must_match(self):
+        with pytest.raises(TraceError):
+            SampleBatch(
+                times=np.arange(3.0),
+                host_load=np.zeros(2),
+                free_mb=np.zeros(3),
+                machine_up=np.ones(3, bool),
+            )
+
+    def test_load_range_validated(self):
+        with pytest.raises(TraceError):
+            SampleBatch(
+                times=np.array([1.0]),
+                host_load=np.array([2.0]),
+                free_mb=np.array([0.0]),
+                machine_up=np.ones(1, bool),
+            )
+
+    def test_round_trip_from_samples(self):
+        b = self.make(4)
+        b2 = SampleBatch.from_samples(list(b))
+        np.testing.assert_array_equal(b.times, b2.times)
+        np.testing.assert_array_equal(b.host_load, b2.host_load)
+
+    def test_slice(self):
+        b = self.make(10)
+        s = b.slice(3.0, 7.0)
+        assert list(s.times) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_concat(self):
+        a = self.make(3)
+        b = SampleBatch(
+            times=np.array([10.0, 11.0]),
+            host_load=np.zeros(2),
+            free_mb=np.zeros(2),
+            machine_up=np.ones(2, bool),
+        )
+        c = a.concat(b)
+        assert len(c) == 5
+
+    def test_concat_must_keep_order(self):
+        a = self.make(3)
+        with pytest.raises(TraceError):
+            a.concat(a)
+
+    def test_empty_batch_ok(self):
+        b = SampleBatch(
+            times=np.array([]),
+            host_load=np.array([]),
+            free_mb=np.array([]),
+            machine_up=np.array([], dtype=bool),
+        )
+        assert len(b) == 0

@@ -1,0 +1,99 @@
+"""Tests for the five-state model (states, classification)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ThresholdConfig
+from repro.core.model import DEFAULT_GUEST_WORKING_SET_MB, MultiStateModel
+from repro.core.samples import MonitorSample, SampleBatch
+from repro.core.states import FAILURE_STATES, UEC_STATES, AvailState, state_cause
+from repro.errors import ConfigError
+
+
+class TestStates:
+    def test_failure_states(self):
+        assert FAILURE_STATES == {AvailState.S3, AvailState.S4, AvailState.S5}
+        assert AvailState.S3.is_failure
+        assert not AvailState.S1.is_failure
+        assert not AvailState.S2.is_failure
+
+    def test_uec_states(self):
+        assert UEC_STATES == {AvailState.S3, AvailState.S4}
+        assert AvailState.S3.is_uec
+        assert not AvailState.S5.is_uec
+
+    def test_causes(self):
+        assert state_cause(AvailState.S3) == "cpu"
+        assert state_cause(AvailState.S4) == "memory"
+        assert state_cause(AvailState.S5) == "revocation"
+        with pytest.raises(ValueError):
+            state_cause(AvailState.S1)
+
+    def test_descriptions_exist(self):
+        for s in AvailState:
+            assert s.description
+
+
+class TestClassification:
+    @pytest.fixture()
+    def model(self):
+        return MultiStateModel(thresholds=ThresholdConfig(th1=0.2, th2=0.6))
+
+    @pytest.mark.parametrize(
+        "load,expected",
+        [
+            (0.0, AvailState.S1),
+            (0.19, AvailState.S1),
+            (0.20, AvailState.S2),  # boundary: Th1 <= L_H <= Th2 is S2
+            (0.45, AvailState.S2),
+            (0.60, AvailState.S2),  # boundary inclusive per the paper
+            (0.61, AvailState.S3),
+            (1.00, AvailState.S3),
+        ],
+    )
+    def test_cpu_bands(self, model, load, expected):
+        assert model.classify_values(load, 500.0, True) is expected
+
+    def test_memory_precedence_over_cpu(self, model):
+        assert model.classify_values(0.9, 50.0, True) is AvailState.S4
+
+    def test_offline_precedence_over_all(self, model):
+        assert model.classify_values(0.9, 50.0, False) is AvailState.S5
+
+    def test_memory_boundary(self, model):
+        ws = model.guest_working_set_mb
+        assert model.classify_values(0.1, ws, True) is AvailState.S1
+        assert model.classify_values(0.1, ws - 1, True) is AvailState.S4
+
+    def test_classify_sample(self, model):
+        s = MonitorSample(time=0.0, host_load=0.5, free_mb=400.0, machine_up=True)
+        assert model.classify(s) is AvailState.S2
+
+    def test_recommended_nice(self, model):
+        assert model.recommended_guest_nice(AvailState.S1) == 0
+        assert model.recommended_guest_nice(AvailState.S2) == 19
+        assert model.recommended_guest_nice(AvailState.S3) is None
+
+    def test_invalid_working_set(self):
+        with pytest.raises(ConfigError):
+            MultiStateModel(guest_working_set_mb=0.0)
+
+
+class TestBatchClassification:
+    def test_matches_scalar(self):
+        model = MultiStateModel()
+        rng = np.random.default_rng(0)
+        n = 500
+        batch = SampleBatch(
+            times=np.arange(n, dtype=float),
+            host_load=rng.uniform(0, 1, n),
+            free_mb=rng.uniform(0, 1000, n),
+            machine_up=rng.random(n) > 0.1,
+        )
+        codes = model.classify_batch(batch)
+        for i, sample in enumerate(batch):
+            assert model.code_to_state(int(codes[i])) is model.classify(sample)
+
+    def test_default_working_set_is_conservative(self):
+        # Near the top of the paper's SPEC guest range (29..193 MB).
+        assert 100 <= DEFAULT_GUEST_WORKING_SET_MB <= 200

@@ -1,0 +1,112 @@
+"""Cross-fidelity validation: the fluid trace path and the quantum-level
+replay of the same episode plan must produce the same detected events."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FgcsConfig, TestbedConfig
+from repro.core import detect_events
+from repro.core.model import MultiStateModel
+from repro.core.states import AvailState
+from repro.errors import SimulationError
+from repro.simkernel import Simulator
+from repro.units import DAY, HOUR, MINUTE
+from repro.workloads.labuser import EpisodeKind, PlannedEpisode
+from repro.workloads.loadmodel import MachineTraceGenerator
+from repro.workloads.replay import FineGrainedReplay
+
+
+def hand_plan():
+    """One synthetic machine-day with every episode kind."""
+    return [
+        PlannedEpisode(EpisodeKind.CPU, 2 * HOUR, 2 * HOUR + 40 * MINUTE),
+        PlannedEpisode(EpisodeKind.UPDATEDB, 4 * HOUR, 4 * HOUR + 30 * MINUTE),
+        PlannedEpisode(EpisodeKind.TRANSIENT, 6 * HOUR, 6 * HOUR + 30.0),
+        PlannedEpisode(EpisodeKind.MEMORY, 9 * HOUR, 9 * HOUR + 25 * MINUTE),
+        PlannedEpisode(EpisodeKind.REBOOT, 13 * HOUR, 13 * HOUR + 40.0),
+        PlannedEpisode(EpisodeKind.CPU, 16 * HOUR, 17 * HOUR),
+    ]
+
+
+@pytest.fixture(scope="module")
+def replay_events():
+    sim = Simulator()
+    replay = FineGrainedReplay(sim, FgcsConfig(), hand_plan())
+    replay.start()
+    return replay.run(DAY)
+
+
+class TestFineReplay:
+    def test_detects_all_planted_failures(self, replay_events):
+        detectable = [e for e in hand_plan() if e.kind.is_detectable]
+        assert len(replay_events) == len(detectable)
+
+    def test_states_match_plan(self, replay_events):
+        expect = [
+            AvailState.S3,  # cpu
+            AvailState.S3,  # updatedb
+            AvailState.S4,  # memory
+            AvailState.S5,  # reboot
+            AvailState.S3,  # cpu
+        ]
+        assert [e.state for e in replay_events] == expect
+
+    def test_event_times_match_plan(self, replay_events):
+        period = FgcsConfig().monitor.period
+        detectable = [e for e in hand_plan() if e.kind.is_detectable]
+        for ev, ep in zip(replay_events, detectable):
+            assert ev.start == pytest.approx(ep.start, abs=2 * period)
+            # Compute/sleep quantization can stretch an acted episode by a
+            # couple of cycles.
+            assert ev.end == pytest.approx(ep.end, abs=4 * period)
+
+    def test_transient_suppressed(self, replay_events):
+        # The 30 s transient at 6 h never becomes an event.
+        for ev in replay_events:
+            assert not (
+                abs(ev.start - 6 * HOUR) < 2 * MINUTE and ev.duration < 2 * MINUTE
+            )
+
+    def test_overlapping_plan_rejected(self):
+        sim = Simulator()
+        bad = [
+            PlannedEpisode(EpisodeKind.CPU, 0.0, HOUR),
+            PlannedEpisode(EpisodeKind.CPU, 0.5 * HOUR, 2 * HOUR),
+        ]
+        with pytest.raises(SimulationError):
+            FineGrainedReplay(sim, FgcsConfig(), bad)
+
+
+class TestFluidVsFine:
+    """The same generated plan, observed through both fidelity levels."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return dataclasses.replace(
+            FgcsConfig(),
+            testbed=TestbedConfig(n_machines=1, duration=1 * DAY),
+            seed=23,
+        )
+
+    def test_same_events_both_paths(self, config):
+        gen = MachineTraceGenerator(config)
+        plan = gen.plan(0)
+        model = MultiStateModel(thresholds=config.thresholds)
+
+        # Fluid path: synthesize samples, detect.
+        trace = gen.generate(0)
+        fluid = detect_events(
+            trace.samples, machine_id=0, model=model, end_time=trace.span
+        )
+
+        # Fine path: act the plan out on a quantum-level machine.
+        sim = Simulator()
+        replay = FineGrainedReplay(sim, config, list(plan))
+        replay.start()
+        fine = replay.run(config.testbed.duration)
+
+        assert len(fluid) == len(fine)
+        for a, b in zip(fluid, fine):
+            assert a.state is b.state
+            assert abs(a.start - b.start) <= 3 * config.monitor.period

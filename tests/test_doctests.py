@@ -1,0 +1,42 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Keeps every usage example in the API documentation executable and true.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.detector
+import repro.core.model
+import repro.fgcs.monitor
+import repro.fgcs.testbed
+import repro.oskernel.machine
+import repro.scheduling.executor
+import repro.simkernel.simulator
+import repro.workloads.loadmodel
+
+MODULES = [
+    repro,
+    repro.core.detector,
+    repro.core.model,
+    repro.fgcs.monitor,
+    repro.fgcs.testbed,
+    repro.oskernel.machine,
+    repro.scheduling.executor,
+    repro.simkernel.simulator,
+    repro.workloads.loadmodel,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        extraglobs={},
+    )
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    # Modules listed here are expected to actually carry examples.
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,289 @@
+"""Tests for the extension modules: factored prediction, predictability
+analysis, gap-based URR inference, workload profiles, group metrics, and
+state-transition statistics."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictability import predictability_report
+from repro.analysis.transitions import state_transitions
+from repro.core import detect_events
+from repro.core.gaps import drop_down_samples, infer_downtime_from_gaps
+from repro.core.model import MultiStateModel
+from repro.core.samples import SampleBatch
+from repro.core.states import AvailState
+from repro.errors import PredictionError, ReproError, TraceError
+from repro.prediction import FactoredPredictor, HistoryWindowPredictor
+from repro.prediction.base import PredictionQuery
+from repro.scheduling import JobSpec, RandomPolicy, TraceExecutor, group_metrics
+from repro.traces.dataset import TraceDataset
+from repro.units import DAY, HOUR
+from repro.workloads.profiles import PROFILES, enterprise_desktops, home_pcs
+
+
+class TestFactoredPredictor:
+    def test_busier_machine_predicts_more(self, medium_dataset):
+        p = FactoredPredictor().fit(medium_dataset)
+        counts = [
+            len(medium_dataset.events_for(m))
+            for m in range(medium_dataset.n_machines)
+        ]
+        busy = int(np.argmax(counts))
+        idle = int(np.argmin(counts))
+        q_busy = PredictionQuery(busy, 30, 12.0, 4.0)
+        q_idle = PredictionQuery(idle, 30, 12.0, 4.0)
+        assert p.predict_count(q_busy) > p.predict_count(q_idle)
+
+    def test_shape_respects_day_type(self, medium_dataset):
+        p = FactoredPredictor().fit(medium_dataset)
+        weekday = PredictionQuery(0, 28, 14.0, 2.0)  # Monday
+        weekend = PredictionQuery(0, 33, 14.0, 2.0)  # Saturday
+        assert p.predict_count(weekday) > p.predict_count(weekend)
+
+    def test_diurnal_shape(self, medium_dataset):
+        p = FactoredPredictor().fit(medium_dataset)
+        midday = PredictionQuery(0, 28, 13.0, 2.0)
+        night = PredictionQuery(0, 28, 1.0, 2.0)
+        assert p.predict_count(midday) > p.predict_count(night)
+
+    def test_shrinkage_pulls_toward_mean(self, medium_dataset):
+        raw = FactoredPredictor(shrinkage=0.0).fit(medium_dataset)
+        pooled = FactoredPredictor(shrinkage=100.0).fit(medium_dataset)
+        q = lambda m: PredictionQuery(m, 28, 12.0, 4.0)
+        spread_raw = abs(
+            raw.predict_count(q(0)) - raw.predict_count(q(1))
+        )
+        spread_pooled = abs(
+            pooled.predict_count(q(0)) - pooled.predict_count(q(1))
+        )
+        assert spread_pooled <= spread_raw + 1e-12
+
+    def test_unfitted_and_validation(self):
+        with pytest.raises(PredictionError):
+            FactoredPredictor(shrinkage=-1.0)
+        with pytest.raises(PredictionError):
+            FactoredPredictor().predict_count(PredictionQuery(0, 1, 0.0, 1.0))
+
+
+class TestPredictabilityReport:
+    def test_same_type_beats_cross_type(self, medium_dataset):
+        report = predictability_report(medium_dataset)
+        assert report.same_type_correlation > report.cross_type_correlation
+        assert report.separability > 0.02
+        assert report.same_type_distance < report.cross_type_distance
+
+    def test_correlation_flat_over_weeks(self, medium_dataset):
+        """Recent history stays useful for weeks — multi-day averaging is
+        sound, as the paper's prediction proposal assumes."""
+        report = predictability_report(medium_dataset)
+        lags = [c for c in report.correlation_by_week_lag if c == c]
+        assert len(lags) >= 3
+        assert min(lags) > 0.5 * max(lags)
+
+    def test_summary_renders(self, medium_dataset):
+        text = predictability_report(medium_dataset).summary()
+        assert "same-type" in text
+
+    def test_short_trace_rejected(self):
+        ds = TraceDataset(events=[], n_machines=1, span=7 * DAY)
+        with pytest.raises(ReproError):
+            predictability_report(ds)
+
+
+def make_batch_with_gap():
+    """Up for 100 samples, silent for 50 periods, up again for 50."""
+    period = 10.0
+    t1 = (np.arange(1, 101)) * period
+    t2 = (np.arange(151, 201)) * period
+    times = np.concatenate([t1, t2])
+    n = times.size
+    return SampleBatch(
+        times, np.full(n, 0.1), np.full(n, 800.0), np.ones(n, bool)
+    ), period
+
+
+class TestGapInference:
+    def test_gap_becomes_s5(self):
+        batch, period = make_batch_with_gap()
+        filled = infer_downtime_from_gaps(batch, period=period)
+        events = detect_events(filled, end_time=float(filled.times[-1]))
+        assert len(events) == 1
+        assert events[0].state is AvailState.S5
+        assert events[0].start == pytest.approx(1010.0, abs=period)
+        assert events[0].end == pytest.approx(1510.0, abs=period)
+
+    def test_no_gap_no_change(self):
+        period = 10.0
+        times = np.arange(1, 50) * period
+        batch = SampleBatch(
+            times, np.full(49, 0.1), np.full(49, 800.0), np.ones(49, bool)
+        )
+        filled = infer_downtime_from_gaps(batch, period=period)
+        assert len(filled) == len(batch)
+
+    def test_trailing_silence_detected(self):
+        period = 10.0
+        times = np.arange(1, 50) * period
+        batch = SampleBatch(
+            times, np.full(49, 0.1), np.full(49, 800.0), np.ones(49, bool)
+        )
+        filled = infer_downtime_from_gaps(
+            batch, period=period, span_end=1000.0
+        )
+        events = detect_events(filled, end_time=1000.0)
+        assert len(events) == 1
+        assert events[0].state is AvailState.S5
+        assert events[0].end == pytest.approx(1000.0, abs=period)
+
+    def test_round_trip_matches_explicit_flags(self, small_config):
+        """drop samples -> infer gaps -> detect == detect on explicit flags."""
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        gen = MachineTraceGenerator(small_config)
+        trace = gen.generate(0)
+        model = MultiStateModel(thresholds=small_config.thresholds)
+        direct = detect_events(
+            trace.samples, machine_id=0, model=model, end_time=trace.span
+        )
+        received = drop_down_samples(trace.samples)
+        reconstructed = infer_downtime_from_gaps(
+            received,
+            period=small_config.monitor.period,
+            span_end=trace.span,
+        )
+        indirect = detect_events(
+            reconstructed, machine_id=0, model=model, end_time=trace.span
+        )
+        assert len(direct) == len(indirect)
+        for a, b in zip(direct, indirect):
+            assert a.state is b.state
+            assert abs(a.start - b.start) <= small_config.monitor.period
+            assert abs(a.end - b.end) <= small_config.monitor.period
+
+    def test_validation(self):
+        batch, period = make_batch_with_gap()
+        with pytest.raises(TraceError):
+            infer_downtime_from_gaps(batch, period=0.0)
+        with pytest.raises(TraceError):
+            infer_downtime_from_gaps(batch, period=10.0, gap_factor=1.0)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", list(PROFILES))
+    def test_profiles_generate(self, name):
+        from repro.traces.generate import generate_dataset
+
+        cfg = PROFILES[name](n_machines=2, days=7, seed=4)
+        ds = generate_dataset(cfg, keep_hourly_load=False)
+        assert len(ds) > 5
+
+    def test_enterprise_is_quieter_on_weekends(self):
+        from repro.analysis.daily import daily_pattern
+        from repro.traces.generate import generate_dataset
+
+        cfg = enterprise_desktops(n_machines=3, days=21, seed=4)
+        ds = generate_dataset(cfg, keep_hourly_load=False)
+        pattern = daily_pattern(ds)
+        wd = pattern.mean_profile(weekend=False)[9:18].mean()
+        we = pattern.mean_profile(weekend=True)[9:18].mean()
+        assert wd > 2.5 * we
+
+    def test_home_pcs_peak_in_evening(self):
+        from repro.analysis.daily import daily_pattern
+        from repro.traces.generate import generate_dataset
+
+        cfg = home_pcs(n_machines=3, days=21, seed=4)
+        ds = generate_dataset(cfg, keep_hourly_load=False)
+        pattern = daily_pattern(ds)
+        wd = pattern.mean_profile(weekend=False)
+        assert wd[18:23].mean() > 2 * wd[9:13].mean()
+
+
+class TestGroupMetrics:
+    def run_group_jobs(self, events=()):
+        ds = TraceDataset(events=list(events), n_machines=3, span=2 * DAY)
+        jobs = [
+            JobSpec(0, 0.0, 3600.0, group_id=0),
+            JobSpec(1, 0.0, 7200.0, group_id=0),
+            JobSpec(2, 100.0, 1800.0),  # singleton
+        ]
+        return TraceExecutor(ds).run(jobs, RandomPolicy())
+
+    def test_group_response_is_last_member(self):
+        outcomes = self.run_group_jobs()
+        m = group_metrics(outcomes)
+        assert m.n_groups == 1
+        assert m.n_singletons == 1
+        assert m.completed_groups == 1
+        assert m.mean_group_response_h == pytest.approx(2.0)
+        assert m.mean_group_stretch == pytest.approx(1.0)
+        assert m.group_completion_rate == 1.0
+
+    def test_incomplete_group_not_counted(self):
+        ds = TraceDataset(events=[], n_machines=1, span=5000.0)
+        jobs = [
+            JobSpec(0, 0.0, 3600.0, group_id=0),
+            JobSpec(1, 0.0, 360000.0, group_id=0),  # cannot finish in span
+        ]
+        outcomes = TraceExecutor(ds).run(jobs, RandomPolicy())
+        m = group_metrics(outcomes)
+        assert m.completed_groups == 0
+        assert m.mean_group_response_h == float("inf")
+
+
+class TestStateTransitions:
+    def make_batch(self, loads, free=None, up=None):
+        n = len(loads)
+        return SampleBatch(
+            (np.arange(n) + 1) * 10.0,
+            np.asarray(loads, float),
+            np.full(n, 800.0) if free is None else np.asarray(free, float),
+            np.ones(n, bool) if up is None else np.asarray(up, bool),
+        )
+
+    def test_counts_and_occupancy(self):
+        batch = self.make_batch([0.1, 0.1, 0.4, 0.4, 0.9, 0.1])
+        stats = state_transitions(batch)
+        assert stats.counts[0, 0] == 1  # S1->S1
+        assert stats.counts[0, 1] == 1  # S1->S2
+        assert stats.counts[1, 2] == 1  # S2->S3
+        assert stats.counts[2, 0] == 1  # S3->S1
+        assert stats.occupancy[0] == pytest.approx(3 / 6)
+
+    def test_probability_rows_sum_to_one(self, small_config):
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        trace = MachineTraceGenerator(small_config).generate(0)
+        stats = state_transitions(
+            trace.samples, MultiStateModel(thresholds=small_config.thresholds)
+        )
+        p = stats.probability_matrix()
+        sums = np.nansum(p, axis=1)
+        observed = stats.counts.sum(axis=1) > 0
+        np.testing.assert_allclose(sums[observed], 1.0)
+
+    def test_availability_dominates_generated_trace(self, small_config):
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        trace = MachineTraceGenerator(small_config).generate(1)
+        stats = state_transitions(
+            trace.samples, MultiStateModel(thresholds=small_config.thresholds)
+        )
+        assert stats.occupancy[0] + stats.occupancy[1] > 0.6
+        # States are sticky at 10 s sampling: self-transitions dominate.
+        assert stats.rate_between("S1", "S1") > 0.9
+        # Mean S3 dwell exceeds the 1-minute grace (else no S3 events).
+        assert stats.mean_dwell[2] > 60.0
+
+    def test_render(self, small_config):
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        trace = MachineTraceGenerator(small_config).generate(0)
+        text = state_transitions(trace.samples).render()
+        assert "from\\to" in text
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ReproError):
+            state_transitions(self.make_batch([0.1]))

@@ -1,0 +1,136 @@
+"""Tests for the iShare node/registry and the testbed driver."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FgcsConfig, TestbedConfig
+from repro.core.states import AvailState
+from repro.errors import SimulationError
+from repro.fgcs.guest_job import GuestJobState
+from repro.fgcs.ishare import IShareNode, IShareRegistry
+from repro.fgcs.testbed import run_testbed, summarize_machines
+from repro.simkernel import Simulator
+from repro.units import DAY, HOUR
+from repro.workloads.synthetic import guest_task, host_task
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def node(sim):
+    return IShareNode(sim, FgcsConfig())
+
+
+class TestIShareNode:
+    def test_publish_starts_monitoring(self, sim, node):
+        node.publish()
+        sim.run_until(100.0)
+        assert len(node.monitor.samples) == 10
+
+    def test_cannot_publish_twice(self, node):
+        node.publish()
+        with pytest.raises(SimulationError):
+            node.publish()
+
+    def test_submit_requires_publication(self, node):
+        with pytest.raises(SimulationError):
+            node.submit(guest_task())
+
+    def test_guest_runs_and_completes(self, sim, node):
+        node.publish()
+        job = node.submit(guest_task(total_cpu=30.0))
+        sim.run_until(120.0)
+        assert job.state is GuestJobState.COMPLETED
+
+    def test_guest_reniced_under_moderate_host_load(self, sim, node):
+        node.publish()
+        node.spawn_host(host_task("h", 0.4))
+        job = node.submit(guest_task(total_cpu=1e5))
+        sim.run_until(120.0)
+        assert job.state is GuestJobState.RUNNING_LOW
+        assert job.task.nice == 19
+
+    def test_guest_killed_under_heavy_host_load(self, sim, node):
+        node.publish()
+        node.spawn_host(host_task("h", 0.95))
+        job = node.submit(guest_task(total_cpu=1e5))
+        sim.run_until(300.0)
+        assert job.state is GuestJobState.KILLED_CPU
+        node.finish()
+        assert any(e.state is AvailState.S3 for e in node.events)
+
+    def test_revocation_kills_guest_and_monitor(self, sim, node):
+        node.publish()
+        job = node.submit(guest_task(total_cpu=1e5))
+        sim.run_until(50.0)
+        node.revoke()
+        assert job.state is GuestJobState.KILLED_REVOKED
+        n_before = len(node.monitor.samples)
+        sim.run_until(200.0)
+        assert len(node.monitor.samples) == n_before
+
+
+class TestIShareRegistry:
+    def test_publish_discover_unpublish(self, sim):
+        reg = IShareRegistry()
+        a = IShareNode(sim, name="a")
+        b = IShareNode(sim, name="b")
+        reg.publish(a)
+        reg.publish(b)
+        assert {n.name for n in reg.discover()} == {"a", "b"}
+        reg.unpublish("a")
+        assert {n.name for n in reg.discover()} == {"b"}
+        assert not a.published
+
+    def test_duplicate_name_rejected(self, sim):
+        reg = IShareRegistry()
+        reg.publish(IShareNode(sim, name="x"))
+        with pytest.raises(SimulationError):
+            reg.publish(IShareNode(sim, name="x"))
+
+    def test_unknown_lookups(self, sim):
+        reg = IShareRegistry()
+        with pytest.raises(SimulationError):
+            reg.unpublish("nope")
+        with pytest.raises(SimulationError):
+            reg.get("nope")
+
+
+class TestTestbed:
+    def test_run_testbed_small(self):
+        cfg = dataclasses.replace(
+            FgcsConfig(),
+            testbed=TestbedConfig(n_machines=2, duration=7 * DAY),
+            seed=3,
+        )
+        result = run_testbed(cfg)
+        assert len(result.summaries) == 2
+        assert result.dataset.n_machines == 2
+        for s in result.summaries:
+            assert s.total == s.cpu + s.memory + s.revocation
+            assert s.reboots <= s.revocation
+            # ~5 events/day on this workload model.
+            assert 15 <= s.total <= 60
+
+    def test_count_ranges(self, small_dataset):
+        from repro.fgcs.testbed import TestbedResult
+
+        result = TestbedResult(
+            dataset=small_dataset, summaries=summarize_machines(small_dataset)
+        )
+        lo, hi = result.count_range("total")
+        assert lo <= hi
+        plo, phi = result.percentage_range("cpu")
+        assert 0 <= plo <= phi <= 1
+
+    def test_summaries_match_dataset_counts(self, small_dataset):
+        summaries = summarize_machines(small_dataset)
+        for s in summaries:
+            counts = small_dataset.counts_by_cause(s.machine_id)
+            assert s.cpu == counts["cpu"]
+            assert s.memory == counts["memory"]
+            assert s.revocation == counts["revocation"]

@@ -1,0 +1,102 @@
+"""Tests for guest-job migration across nodes (fine simulation)."""
+
+import pytest
+
+from repro.config import FgcsConfig
+from repro.errors import SimulationError
+from repro.fgcs.ishare import IShareNode
+from repro.fgcs.migration import MigrationController
+from repro.simkernel import Simulator
+from repro.workloads.synthetic import host_task
+
+
+def make_cluster(n=2, detect=False):
+    sim = Simulator()
+    nodes = []
+    for i in range(n):
+        node = IShareNode(sim, FgcsConfig(), name=f"n{i}", detect=detect)
+        node.publish()
+        nodes.append(node)
+    return sim, nodes
+
+
+class TestMigrationController:
+    def test_job_completes_on_idle_cluster(self):
+        sim, nodes = make_cluster()
+        ctl = MigrationController(sim, nodes)
+        job = ctl.submit(60.0)
+        sim.run_until(200.0)
+        assert job.done
+        assert job.migrations == 0
+        assert job.response_time == pytest.approx(60.0, abs=15.0)
+
+    def test_migrates_away_from_overloaded_node(self):
+        sim, nodes = make_cluster(2)
+        ctl = MigrationController(sim, nodes)
+        # Node 0 looks idle now but will be overloaded; the policy may
+        # place there, after which the job must migrate to node 1.
+        nodes[0].spawn_host(host_task("storm", 0.95))
+        job = ctl.submit(300.0)
+        sim.run_until(1200.0)
+        assert job.done
+        if job.placements[0] == "n0":
+            assert job.migrations >= 1
+            assert job.placements[-1] == "n1"
+        assert ctl.summary()["completed"] == 1.0
+
+    @staticmethod
+    def run_forced_bad_start(checkpoint):
+        """Job lands on a node that then overloads; default policy
+        migrates it to the healthy node afterwards."""
+        sim, nodes = make_cluster(2)
+        ctl = MigrationController(sim, nodes, checkpoint_period=checkpoint)
+        job = ctl.submit(600.0)  # placed on n0 (first on the idle tie)
+        nodes[0].spawn_host(host_task("storm", 0.95))
+        sim.run_until(3000.0)
+        return job
+
+    def test_restart_from_scratch_loses_progress(self):
+        job = self.run_forced_bad_start(None)
+        assert job.done
+        assert job.migrations >= 1
+        assert job.lost_cpu > 0.0
+        assert job.placements[0] == "n0"
+        assert job.placements[-1] == "n1"
+
+    def test_checkpointing_preserves_progress(self):
+        plain = self.run_forced_bad_start(None)
+        ckpt = self.run_forced_bad_start(10.0)
+        assert ckpt.migrations >= 1
+        assert ckpt.lost_cpu <= plain.lost_cpu
+        # With 10 s checkpoints at most 10 s is lost per migration.
+        assert ckpt.lost_cpu < 10.0 * (ckpt.migrations + 1)
+        assert ckpt.completed_cpu == pytest.approx(600.0)
+
+    def test_queueing_when_all_nodes_busy(self):
+        sim, nodes = make_cluster(1)
+        ctl = MigrationController(sim, nodes)
+        first = ctl.submit(100.0)
+        second = ctl.submit(100.0)
+        sim.run_until(400.0)
+        assert first.done and second.done
+        assert second.finish_time > first.finish_time
+
+    def test_validation(self):
+        sim, nodes = make_cluster(1)
+        with pytest.raises(SimulationError):
+            MigrationController(sim, [])
+        with pytest.raises(SimulationError):
+            MigrationController(sim, nodes, checkpoint_period=0.0)
+        ctl = MigrationController(sim, nodes)
+        with pytest.raises(SimulationError):
+            ctl.submit(0.0)
+
+    def test_summary_fields(self):
+        sim, nodes = make_cluster()
+        ctl = MigrationController(sim, nodes)
+        ctl.submit(30.0)
+        sim.run_until(100.0)
+        s = ctl.summary()
+        assert s["jobs"] == 1.0
+        assert s["completed"] == 1.0
+        assert s["mean_response"] < 100.0

@@ -1,0 +1,212 @@
+"""Tests for the resource monitor and the guest manager policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import MonitorConfig, ThresholdConfig
+from repro.core.model import MultiStateModel
+from repro.core.samples import MonitorSample
+from repro.errors import SimulationError
+from repro.fgcs.guest_job import GuestJob, GuestJobState
+from repro.fgcs.manager import GuestManager, ManagerAction
+from repro.fgcs.monitor import ResourceMonitor
+from repro.oskernel import Machine
+from repro.workloads.synthetic import guest_task, host_task
+
+
+class TestResourceMonitor:
+    def test_samples_host_usage(self):
+        m = Machine()
+        m.spawn(host_task("h", 0.5))
+        mon = ResourceMonitor(m)
+        m.run_for(20.0)
+        s = mon.sample()
+        assert s.host_load == pytest.approx(0.5, abs=0.05)
+        assert s.machine_up
+
+    def test_guest_usage_excluded_from_host_load(self):
+        m = Machine()
+        m.spawn(host_task("h", 0.3))
+        m.spawn(guest_task())
+        mon = ResourceMonitor(m)
+        m.run_for(20.0)
+        s = mon.sample()
+        assert s.host_load < 0.5  # guest CPU not counted as host load
+
+    def test_free_memory_reported(self):
+        m = Machine()
+        m.spawn(host_task("h", 0.1, resident_mb=100.0))
+        mon = ResourceMonitor(m)
+        m.run_for(10.0)
+        s = mon.sample()
+        assert s.free_mb == pytest.approx(m.memory.config.available_mb - 100.0)
+
+    def test_service_down_flag(self):
+        m = Machine()
+        mon = ResourceMonitor(m)
+        mon.service_up = False
+        m.run_for(10.0)
+        assert not mon.sample().machine_up
+
+    def test_double_sample_same_instant_rejected(self):
+        m = Machine()
+        mon = ResourceMonitor(m)
+        m.run_for(10.0)
+        mon.sample()
+        with pytest.raises(SimulationError):
+            mon.sample()
+
+    def test_noise_applied_with_rng(self):
+        m = Machine()
+        m.spawn(host_task("h", 0.5))
+        mon = ResourceMonitor(
+            m, MonitorConfig(noise_std=0.05), rng=np.random.default_rng(0)
+        )
+        loads = []
+        for _ in range(20):
+            m.run_for(10.0)
+            loads.append(mon.sample().host_load)
+        assert np.std(loads) > 0.005
+
+    def test_batch_accumulates(self):
+        m = Machine()
+        mon = ResourceMonitor(m)
+        for _ in range(5):
+            m.run_for(10.0)
+            mon.sample()
+        assert len(mon.batch()) == 5
+
+    def test_guest_fits(self):
+        m = Machine()
+        mon = ResourceMonitor(m)
+        assert mon.guest_fits(100.0)
+        m.spawn(host_task("h", 0.1, resident_mb=m.memory.config.available_mb - 50))
+        assert not mon.guest_fits(100.0)
+
+
+def make_manager():
+    machine = Machine()
+    model = MultiStateModel(thresholds=ThresholdConfig())
+    mgr = GuestManager(machine, model)
+    task = guest_task(total_cpu=1e6)
+    machine.spawn(task)
+    job = GuestJob(job_id="j0", task=task, submit_time=0.0)
+    mgr.attach(job)
+    return machine, mgr, job
+
+
+def sample(t, load, free=800.0, up=True):
+    return MonitorSample(time=t, host_load=load, free_mb=free, machine_up=up)
+
+
+class TestGuestManagerPolicy:
+    def test_s1_keeps_default_priority(self):
+        _, mgr, job = make_manager()
+        assert mgr.on_sample(sample(10.0, 0.05)) is ManagerAction.NONE
+        assert job.state is GuestJobState.RUNNING
+        assert job.task.nice == 0
+
+    def test_s2_renices_to_lowest(self):
+        _, mgr, job = make_manager()
+        action = mgr.on_sample(sample(10.0, 0.4))
+        assert action is ManagerAction.RENICE_LOW
+        assert job.state is GuestJobState.RUNNING_LOW
+        assert job.task.nice == 19
+
+    def test_s1_restores_default_priority(self):
+        _, mgr, job = make_manager()
+        mgr.on_sample(sample(10.0, 0.4))
+        action = mgr.on_sample(sample(20.0, 0.1))
+        assert action is ManagerAction.RENICE_DEFAULT
+        assert job.task.nice == 0
+
+    def test_transient_overload_suspends_then_resumes(self):
+        _, mgr, job = make_manager()
+        assert mgr.on_sample(sample(10.0, 0.9)) is ManagerAction.SUSPEND
+        assert job.state is GuestJobState.SUSPENDED
+        assert job.suspension_count == 1
+        # Load drops within the grace: resume.
+        action = mgr.on_sample(sample(40.0, 0.1))
+        assert action is ManagerAction.RESUME
+        assert job.state is GuestJobState.RUNNING
+        assert job.suspended_total == pytest.approx(30.0)
+
+    def test_sustained_overload_terminates(self):
+        _, mgr, job = make_manager()
+        mgr.on_sample(sample(10.0, 0.9))
+        mgr.on_sample(sample(40.0, 0.9))  # still within grace
+        assert job.state is GuestJobState.SUSPENDED
+        action = mgr.on_sample(sample(80.0, 0.9))  # 70 s > 60 s grace
+        assert action is ManagerAction.TERMINATE_CPU
+        assert job.state is GuestJobState.KILLED_CPU
+        assert not job.task.alive
+
+    def test_resume_into_s2_uses_low_priority(self):
+        _, mgr, job = make_manager()
+        mgr.on_sample(sample(10.0, 0.9))
+        action = mgr.on_sample(sample(30.0, 0.4))
+        assert action is ManagerAction.RESUME
+        assert job.state is GuestJobState.RUNNING_LOW
+        assert job.task.nice == 19
+
+    def test_memory_pressure_kills_immediately(self):
+        _, mgr, job = make_manager()
+        action = mgr.on_sample(sample(10.0, 0.1, free=50.0))
+        assert action is ManagerAction.TERMINATE_MEMORY
+        assert job.state is GuestJobState.KILLED_MEMORY
+
+    def test_revocation_loses_job(self):
+        _, mgr, job = make_manager()
+        mgr.on_sample(sample(10.0, 0.1, up=False))
+        assert job.state is GuestJobState.KILLED_REVOKED
+
+    def test_revoke_direct(self):
+        _, mgr, job = make_manager()
+        mgr.revoke(5.0)
+        assert job.state is GuestJobState.KILLED_REVOKED
+        assert job.finish_time == 5.0
+
+    def test_completion_observed(self):
+        machine = Machine()
+        mgr = GuestManager(machine)
+        task = guest_task(total_cpu=5.0)
+        machine.spawn(task)
+        job = GuestJob(job_id="j", task=task, submit_time=0.0)
+        mgr.attach(job)
+        machine.run_for(10.0)
+        action = mgr.on_sample(sample(10.0, 0.0))
+        assert action is ManagerAction.COMPLETED
+        assert job.state is GuestJobState.COMPLETED
+
+    def test_single_guest_rule(self):
+        machine, mgr, job = make_manager()
+        other = guest_task("g2", total_cpu=10.0)
+        machine.spawn(other)
+        with pytest.raises(SimulationError):
+            mgr.attach(GuestJob(job_id="j2", task=other, submit_time=0.0))
+
+    def test_terminal_job_ignores_samples(self):
+        _, mgr, job = make_manager()
+        mgr.revoke(5.0)
+        assert mgr.on_sample(sample(10.0, 0.9)) is ManagerAction.NONE
+
+
+class TestGuestJob:
+    def test_requires_guest_task(self):
+        with pytest.raises(SimulationError):
+            GuestJob(job_id="x", task=host_task("h", 0.5), submit_time=0.0)
+
+    def test_double_terminal_rejected(self):
+        t = guest_task()
+        t.begin(0.0)
+        job = GuestJob(job_id="x", task=t, submit_time=0.0)
+        job.mark_finished(GuestJobState.COMPLETED, 1.0)
+        with pytest.raises(SimulationError):
+            job.mark_finished(GuestJobState.KILLED_CPU, 2.0)
+
+    def test_state_flags(self):
+        assert GuestJobState.RUNNING.alive
+        assert GuestJobState.SUSPENDED.alive
+        assert not GuestJobState.COMPLETED.alive
+        assert GuestJobState.KILLED_CPU.failed
+        assert not GuestJobState.COMPLETED.failed

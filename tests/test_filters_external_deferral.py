@@ -1,0 +1,237 @@
+"""Tests for dataset filters, the external-trace importer, and the
+submission-window optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import PredictionError, TraceError
+from repro.prediction import HistoryWindowPredictor
+from repro.scheduling.deferral import best_submission_window, plan_across_machines
+from repro.traces.dataset import TraceDataset
+from repro.traces.external import load_event_list_csv
+from repro.traces.filters import (
+    merge_datasets,
+    min_duration,
+    only_causes,
+    only_hours,
+    only_machines,
+)
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start, end, state=AvailState.S3):
+    return UnavailabilityEvent(
+        machine_id=machine, start=start, end=end, state=state,
+        mean_host_load=0.9, mean_free_mb=500.0,
+    )
+
+
+@pytest.fixture()
+def ds():
+    events = [
+        ev(0, 2 * HOUR, 3 * HOUR, AvailState.S3),
+        ev(0, 10 * HOUR, 10 * HOUR + 120, AvailState.S5),
+        ev(1, 23 * HOUR, 25 * HOUR, AvailState.S4),
+        ev(2, 30 * HOUR, 33 * HOUR, AvailState.S3),
+    ]
+    return TraceDataset(events=events, n_machines=3, span=2 * DAY)
+
+
+class TestFilters:
+    def test_only_causes(self, ds):
+        cpu = only_causes(ds, "cpu")
+        assert all(e.cause == "cpu" for e in cpu.events)
+        assert len(cpu) == 2
+        mixed = only_causes(ds, "memory", AvailState.S5)
+        assert len(mixed) == 2
+
+    def test_only_causes_validates(self, ds):
+        with pytest.raises(TraceError):
+            only_causes(ds, "disk")
+
+    def test_only_machines_renumbers(self, ds):
+        sub = only_machines(ds, [2, 0])
+        assert sub.n_machines == 2
+        # machine 2 -> 0, machine 0 -> 1.
+        assert {e.machine_id for e in sub.events} == {0, 1}
+        assert len(sub.events_for(0)) == 1  # old machine 2
+        assert len(sub.events_for(1)) == 2  # old machine 0
+
+    def test_only_machines_validates(self, ds):
+        with pytest.raises(TraceError):
+            only_machines(ds, [])
+        with pytest.raises(TraceError):
+            only_machines(ds, [7])
+
+    def test_only_hours_plain_window(self, ds):
+        morning = only_hours(ds, 0.0, 12.0)
+        assert len(morning) == 3  # 02:00, 10:00, 23:00->no, 06:00(day2)
+        assert all((e.start % DAY) / HOUR < 12 for e in morning.events)
+
+    def test_only_hours_wrapping_window(self, ds):
+        night = only_hours(ds, 22.0, 4.0)
+        starts = sorted((e.start % DAY) / HOUR for e in night.events)
+        assert starts == [2.0, 23.0]
+
+    def test_min_duration(self, ds):
+        long = min_duration(ds, HOUR)
+        assert len(long) == 3
+        assert all(e.duration >= HOUR for e in long.events)
+
+    def test_merge_datasets(self, ds):
+        merged = merge_datasets([ds, ds])
+        assert merged.n_machines == 6
+        assert len(merged) == 2 * len(ds)
+        assert len(merged.events_for(3)) == len(ds.events_for(0))
+
+    def test_merge_requires_same_span(self, ds):
+        other = TraceDataset(events=[], n_machines=1, span=DAY)
+        with pytest.raises(TraceError):
+            merge_datasets([ds, other])
+
+
+class TestExternalImport:
+    def write_csv(self, tmp_path, rows, header="node_id,start,end,type"):
+        p = tmp_path / "fta.csv"
+        p.write_text(header + "\n" + "\n".join(rows) + "\n")
+        return p
+
+    def test_basic_import(self, tmp_path):
+        p = self.write_csv(
+            tmp_path,
+            [
+                "alpha,1000,2000,down",
+                "beta,5000,5100,down",
+                "alpha,90000,93600,down",
+            ],
+        )
+        ds = load_event_list_csv(p)
+        assert ds.n_machines == 2
+        assert len(ds) == 3
+        assert all(e.state is AvailState.S5 for e in ds.events)
+        assert ds.span >= 93600
+
+    def test_type_mapping(self, tmp_path):
+        p = self.write_csv(
+            tmp_path,
+            ["n1,100,200,cpu", "n1,300,400,memory", "n1,500,600,"],
+        )
+        ds = load_event_list_csv(p)
+        states = [e.state for e in ds.events]
+        assert states == [AvailState.S3, AvailState.S4, AvailState.S5]
+
+    def test_unknown_type_rejected(self, tmp_path):
+        p = self.write_csv(tmp_path, ["n1,100,200,meteor"])
+        with pytest.raises(TraceError):
+            load_event_list_csv(p)
+
+    def test_origin_rebase(self, tmp_path):
+        epoch = 1_000_000_000
+        p = self.write_csv(
+            tmp_path, [f"n1,{epoch + 100},{epoch + 200},down"]
+        )
+        ds = load_event_list_csv(p, origin=float(epoch), span=DAY)
+        assert ds.events[0].start == pytest.approx(100.0)
+
+    def test_overlap_clipping(self, tmp_path):
+        p = self.write_csv(
+            tmp_path,
+            ["n1,100,500,down", "n1,300,700,down", "n1,350,450,down"],
+        )
+        ds = load_event_list_csv(p)
+        assert len(ds) == 2
+        assert ds.events[1].start == pytest.approx(500.0)
+
+    def test_overlap_strict_mode(self, tmp_path):
+        p = self.write_csv(tmp_path, ["n1,100,500,down", "n1,300,700,down"])
+        with pytest.raises(TraceError):
+            load_event_list_csv(p, clip_overlaps=False)
+
+    def test_zero_length_dropped(self, tmp_path):
+        p = self.write_csv(tmp_path, ["n1,100,100,down", "n1,200,300,down"])
+        ds = load_event_list_csv(p)
+        assert len(ds) == 1
+
+    def test_missing_columns(self, tmp_path):
+        p = self.write_csv(tmp_path, ["n1,100"], header="node_id,start")
+        with pytest.raises(TraceError):
+            load_event_list_csv(p)
+
+    def test_pipeline_runs_on_imported_trace(self, tmp_path):
+        """The Figure 6/7 analyses run unchanged on an imported trace."""
+        from repro.analysis import daily_pattern, interval_distribution
+
+        rows = []
+        for day in range(14):
+            for node in ("a", "b"):
+                start = day * 86400 + 10 * 3600
+                rows.append(f"{node},{start},{start + 1800},down")
+        p = self.write_csv(tmp_path, rows)
+        ds = load_event_list_csv(p)
+        pattern = daily_pattern(ds)
+        assert pattern.counts.sum() == 28
+        dist = interval_distribution(ds)
+        assert len(dist.weekday_hours) + len(dist.weekend_hours) > 0
+
+
+class TestDeferral:
+    @pytest.fixture(scope="class")
+    def predictor(self, medium_dataset):
+        return HistoryWindowPredictor(history_days=8).fit(
+            medium_dataset.slice_days(0, 35)
+        )
+
+    def test_plan_fields(self, predictor):
+        plan = best_submission_window(
+            predictor,
+            machine_id=0,
+            now=36 * DAY + 9 * HOUR,
+            runtime=2 * HOUR,
+        )
+        assert 0 <= plan.survival <= 1
+        assert plan.delay >= 0
+        assert plan.expected_response >= 2 * HOUR
+
+    def test_never_worse_than_immediate(self, predictor):
+        now = 36 * DAY + 8 * HOUR
+        plan = best_submission_window(
+            predictor, machine_id=0, now=now, runtime=3 * HOUR
+        )
+        # Expected response of the chosen window <= immediate submission.
+        from repro.scheduling.deferral import _expected_response
+
+        immediate = _expected_response(0.0, 3 * HOUR, plan.survival_now)
+        assert plan.expected_response <= immediate + 1e-9
+
+    def test_defers_out_of_updatedb(self, predictor):
+        """A job submitted just before 4 AM should dodge the daily cron."""
+        now = 36 * DAY + 3.5 * HOUR
+        plan = best_submission_window(
+            predictor,
+            machine_id=0,
+            now=now,
+            runtime=1 * HOUR,
+            horizon=4 * HOUR,
+        )
+        assert plan.survival > plan.survival_now
+
+    def test_plan_across_machines(self, predictor, medium_dataset):
+        plan = plan_across_machines(
+            predictor,
+            range(medium_dataset.n_machines),
+            now=36 * DAY + 12 * HOUR,
+            runtime=2 * HOUR,
+        )
+        assert 0 <= plan.machine_id < medium_dataset.n_machines
+
+    def test_validation(self, predictor):
+        with pytest.raises(PredictionError):
+            best_submission_window(
+                predictor, machine_id=0, now=36 * DAY, runtime=0.0
+            )
+        with pytest.raises(PredictionError):
+            best_submission_window(
+                predictor, machine_id=0, now=36 * DAY, runtime=1.0, step=0.0
+            )

@@ -1,0 +1,132 @@
+"""Tests for distribution fitting and the generative semi-Markov model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import fit_interval_distributions
+from repro.analysis.intervals import interval_distribution
+from repro.core.model import MultiStateModel
+from repro.core.samples import SampleBatch
+from repro.errors import PredictionError, ReproError
+from repro.prediction.semimarkov import SemiMarkovModel
+
+
+class TestDistributionFits:
+    def test_recovers_exponential(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(3.0, 2000)
+        comp = fit_interval_distributions(data)
+        best = comp.best("ks")
+        # Exponential data: the exponential (or its generalizations) wins.
+        assert comp.fit_of("exponential").ks_statistic < 0.03
+
+    def test_recovers_lognormal(self):
+        rng = np.random.default_rng(1)
+        data = rng.lognormal(1.0, 0.3, 2000)
+        comp = fit_interval_distributions(data)
+        assert comp.best("aic").family in ("lognormal", "gamma", "weibull")
+        assert comp.fit_of("lognormal").ks_statistic < 0.03
+
+    def test_survival_and_quantile(self):
+        rng = np.random.default_rng(2)
+        data = rng.exponential(2.0, 1000)
+        fit = fit_interval_distributions(data).fit_of("exponential")
+        assert fit.survival(0.0) == pytest.approx(1.0)
+        assert 0.2 < fit.survival(2.0) < 0.5
+        assert fit.quantile(0.5) == pytest.approx(2.0 * np.log(2), rel=0.15)
+
+    def test_trace_intervals_are_not_memoryless(self, medium_dataset):
+        """The paper-shaped intervals (hard ~2 h floor) reject the
+        exponential — availability has strong aging, as Brevik/Nurmi/
+        Wolski found for machine availability generally."""
+        dist = interval_distribution(medium_dataset)
+        comp = fit_interval_distributions(dist.weekday_hours)
+        expo = comp.fit_of("exponential").ks_statistic
+        best = comp.best("ks").ks_statistic
+        assert expo > 1.5 * best
+        assert comp.best("aic").family != "exponential"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fit_interval_distributions([1.0] * 5)
+        with pytest.raises(ReproError):
+            fit_interval_distributions(np.ones(100), families=("cauchy",))
+
+    def test_render(self):
+        rng = np.random.default_rng(3)
+        comp = fit_interval_distributions(rng.exponential(1.0, 100))
+        assert "KS distance" in comp.render()
+
+
+def synthetic_stream(rng, n=5000):
+    """A stream alternating long S1 runs with short S3 bursts."""
+    codes = []
+    while len(codes) < n:
+        codes += [0.05] * int(rng.integers(50, 200))  # S1
+        codes += [0.9] * int(rng.integers(10, 30))  # S3
+    codes = codes[:n]
+    return SampleBatch(
+        (np.arange(n) + 1) * 10.0,
+        np.array(codes),
+        np.full(n, 800.0),
+        np.ones(n, bool),
+    )
+
+
+class TestSemiMarkovModel:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(5)
+        return SemiMarkovModel().fit([synthetic_stream(rng) for _ in range(3)])
+
+    def test_jump_matrix_structure(self, fitted):
+        j = fitted.jump_matrix
+        # S1 transitions go to S3 and vice versa in this stream.
+        assert j[0, 2] == pytest.approx(1.0)
+        assert j[2, 0] == pytest.approx(1.0)
+
+    def test_mean_dwell(self, fitted):
+        # S1 runs of 50-200 samples at 10 s.
+        assert 500 < fitted.mean_dwell(0) < 2000
+        assert 100 < fitted.mean_dwell(2) < 300
+
+    def test_simulation_covers_duration(self, fitted):
+        segs = fitted.simulate(3600.0, rng=1)
+        assert segs[0][1] == 0.0
+        assert segs[-1][2] == pytest.approx(3600.0)
+        for (s, t0, t1), (s2, t2, _) in zip(segs, segs[1:]):
+            assert t1 == t2
+            assert s != s2
+
+    def test_survival_decreases_with_window(self, fitted):
+        s_short = fitted.survival(0.1, rollouts=300, rng=2)
+        s_long = fitted.survival(2.0, rollouts=300, rng=2)
+        assert s_short > s_long
+
+    def test_occupancy_matches_training(self, fitted):
+        """Round trip: the generative model reproduces the training
+        occupancy (mostly S1, some S3)."""
+        occ = fitted.occupancy(200_000.0, rollouts=20, rng=3)
+        assert 0.75 < occ[0] < 0.95
+        assert 0.05 < occ[2] < 0.25
+        assert occ.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_fit_on_generated_trace(self, small_config):
+        from repro.workloads.loadmodel import MachineTraceGenerator
+
+        gen = MachineTraceGenerator(small_config)
+        batches = [gen.generate(m).samples for m in range(2)]
+        model = SemiMarkovModel(
+            MultiStateModel(thresholds=small_config.thresholds)
+        ).fit(batches)
+        occ = model.occupancy(5 * 86400.0, rollouts=10, rng=4)
+        # Availability dominates, as in the training data.
+        assert occ[0] + occ[1] > 0.6
+        # Fresh-interval survival for a short window is high.
+        assert model.survival(0.5, rollouts=200, rng=5) > 0.6
+
+    def test_unfitted_raises(self):
+        with pytest.raises(PredictionError):
+            SemiMarkovModel().simulate(10.0)
+        with pytest.raises(PredictionError):
+            SemiMarkovModel().fit([])

@@ -1,0 +1,185 @@
+"""Tests for the simulated machine (time, accounting, memory, controls)."""
+
+import pytest
+
+from repro.config import MemoryConfig, SchedulerConfig
+from repro.errors import SchedulerError
+from repro.oskernel import Machine
+from repro.oskernel.tasks import Task, TaskState
+from repro.workloads.synthetic import cpu_bound_program, guest_task, host_task
+
+
+class TestTimeAdvance:
+    def test_idle_machine_jumps_to_horizon(self):
+        m = Machine()
+        m.run_for(100.0)
+        assert m.now == 100.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulerError):
+            Machine().run_for(-1.0)
+
+    def test_cannot_run_backwards(self):
+        m = Machine()
+        m.run_for(5.0)
+        with pytest.raises(SchedulerError):
+            m.run_until(1.0)
+
+    def test_sleeping_task_wakes_on_time(self):
+        m = Machine()
+        t = host_task("h", 0.5, period=1.0)
+        m.spawn(t)
+        # host computes 0.5s then sleeps 0.5s; at t=0.75 it is sleeping
+        m.run_for(0.75)
+        assert t.state is TaskState.SLEEPING
+        m.run_for(0.5)
+        assert t.cpu_time > 0.5
+
+
+class TestAccounting:
+    def test_lone_cpu_hog_gets_everything(self):
+        m = Machine()
+        g = guest_task()
+        m.spawn(g)
+        m.run_for(50.0)
+        assert g.cpu_time == pytest.approx(50.0, rel=0.01)
+
+    def test_host_guest_split_tracked_separately(self):
+        m = Machine()
+        m.spawn(host_task("h", 1.0))
+        m.spawn(guest_task())
+        m.run_for(20.0)
+        assert m.host_cpu_time() == pytest.approx(10.0, rel=0.05)
+        assert m.guest_cpu_time() == pytest.approx(10.0, rel=0.05)
+
+    def test_snapshot_usage(self):
+        m = Machine()
+        m.spawn(host_task("h", 0.3))
+        m.run_for(5.0)
+        s0 = m.snapshot()
+        m.run_for(10.0)
+        host_u, guest_u = m.snapshot().usage_since(s0)
+        assert host_u == pytest.approx(0.3, abs=0.03)
+        assert guest_u == 0.0
+
+    def test_usage_since_same_time_is_zero(self):
+        m = Machine()
+        s = m.snapshot()
+        assert s.usage_since(s) == (0.0, 0.0)
+
+    def test_reap_preserves_totals(self):
+        m = Machine()
+        g = guest_task(total_cpu=1.0)
+        m.spawn(g)
+        m.run_for(5.0)
+        assert not g.alive
+        before = m.guest_cpu_time()
+        assert m.reap() == 1
+        assert m.guest_cpu_time() == pytest.approx(before)
+        assert g not in m.scheduler.tasks
+
+    def test_isolated_synthetic_usage_matches_target(self):
+        for duty in (0.1, 0.4, 0.7, 1.0):
+            m = Machine()
+            m.spawn(host_task("h", duty))
+            m.run_for(60.0)
+            assert m.host_cpu_time() / 60.0 == pytest.approx(duty, abs=0.02)
+
+
+class TestMemoryAndThrashing:
+    def test_thrashing_detected(self):
+        m = Machine(memory_config=MemoryConfig(physical_mb=384, kernel_mb=100))
+        m.spawn(host_task("h", 0.5, resident_mb=200))
+        assert not m.is_thrashing()
+        m.spawn(guest_task(resident_mb=150))
+        assert m.is_thrashing()
+
+    def test_thrashing_slows_progress(self):
+        cfg = MemoryConfig(physical_mb=384, kernel_mb=100, thrash_progress_factor=0.2)
+        m = Machine(memory_config=cfg)
+        g = guest_task(resident_mb=300)
+        m.spawn(g)
+        m.run_for(10.0)
+        assert g.cpu_time == pytest.approx(2.0, rel=0.05)
+        assert m.thrash_time == pytest.approx(10.0, rel=0.01)
+
+    def test_no_thrash_full_progress(self):
+        m = Machine(memory_config=MemoryConfig(physical_mb=384, kernel_mb=100))
+        g = guest_task(resident_mb=100)
+        m.spawn(g)
+        m.run_for(10.0)
+        assert g.cpu_time == pytest.approx(10.0, rel=0.01)
+
+    def test_killing_guest_ends_thrashing(self):
+        m = Machine(memory_config=MemoryConfig(physical_mb=384, kernel_mb=100))
+        g = guest_task(resident_mb=300)
+        m.spawn(g)
+        assert m.is_thrashing()
+        m.kill(g)
+        assert not m.is_thrashing()
+
+
+class TestControls:
+    def test_suspend_frees_cpu(self):
+        m = Machine()
+        g = guest_task()
+        h = host_task("h", 1.0)
+        m.spawn(g)
+        m.spawn(h)
+        m.suspend(g)
+        s0 = m.snapshot()
+        m.run_for(10.0)
+        host_u, guest_u = m.snapshot().usage_since(s0)
+        assert guest_u == 0.0
+        assert host_u == pytest.approx(1.0, abs=0.02)
+
+    def test_resume_restores_contention(self):
+        m = Machine()
+        g = guest_task()
+        m.spawn(g)
+        m.suspend(g)
+        m.run_for(5.0)
+        m.resume(g)
+        m.run_for(5.0)
+        assert g.cpu_time == pytest.approx(5.0, rel=0.02)
+
+    def test_renice_changes_share(self):
+        m = Machine()
+        g = guest_task()
+        h = host_task("h", 1.0)
+        m.spawn(g)
+        m.spawn(h)
+        m.renice(g, 19)
+        s0 = m.snapshot()
+        m.run_for(30.0)
+        host_u, guest_u = m.snapshot().usage_since(s0)
+        assert host_u > 0.85
+        assert guest_u < 0.15
+
+    def test_find_task(self):
+        m = Machine()
+        g = guest_task("g1")
+        m.spawn(g)
+        assert m.find_task("g1") is g
+        assert m.find_task("nope") is None
+
+    def test_quantum_hook_called(self):
+        m = Machine()
+        m.spawn(guest_task())
+        calls = []
+        m.quantum_hook = lambda t: calls.append(t)
+        m.run_for(0.1)
+        assert len(calls) == 10  # 10 ms quanta
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_accounting(self):
+        def run():
+            m = Machine()
+            m.spawn(host_task("h1", 0.35))
+            m.spawn(host_task("h2", 0.25, period=1.1))
+            m.spawn(guest_task(nice=19))
+            m.run_for(30.0)
+            return (m.host_cpu_time(), m.guest_cpu_time(), m.now)
+
+        assert run() == run()

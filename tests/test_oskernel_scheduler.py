@@ -1,0 +1,189 @@
+"""Tests for the Linux-2.4-style epoch scheduler."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.errors import SchedulerError
+from repro.oskernel.scheduler import EpochScheduler
+from repro.oskernel.tasks import Task
+from repro.workloads.synthetic import cpu_bound_program
+
+
+def make_task(name="t", nice=0):
+    t = Task(name, cpu_bound_program(), nice=nice)
+    t.begin(0.0)
+    return t
+
+
+class TestRegistration:
+    def test_add_grants_full_timeslice(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        assert t.counter == pytest.approx(s.config.timeslice(0))
+
+    def test_double_add_rejected(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        with pytest.raises(SchedulerError):
+            s.add(t)
+
+    def test_remove(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        s.remove(t)
+        assert s.tasks == ()
+
+
+class TestGoodnessAndPick:
+    def test_higher_counter_wins(self):
+        s = EpochScheduler()
+        a, b = make_task("a"), make_task("b")
+        s.add(a)
+        s.add(b)
+        a.counter = 0.05
+        b.counter = 0.02
+        assert s.pick() is a
+
+    def test_nice_breaks_counter_ties(self):
+        s = EpochScheduler()
+        a, b = make_task("a", nice=0), make_task("b", nice=10)
+        s.add(a)
+        s.add(b)
+        a.counter = b.counter = 0.03
+        assert s.pick() is a
+
+    def test_round_robin_on_exact_ties(self):
+        s = EpochScheduler()
+        a, b = make_task("a"), make_task("b")
+        s.add(a)
+        s.add(b)
+        picks = []
+        for _ in range(4):
+            t = s.pick()
+            picks.append(t.name)
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_only_runnable_considered(self):
+        s = EpochScheduler()
+        a, b = make_task("a"), make_task("b")
+        s.add(a)
+        s.add(b)
+        a.suspend()
+        assert s.pick() is b
+
+    def test_none_when_nothing_runnable(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        t.suspend()
+        assert s.pick() is None
+
+    def test_exhausted_counters_trigger_epoch(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        t.counter = 0.0
+        picked = s.pick()
+        assert picked is t
+        assert t.counter > 0  # new epoch granted a slice
+
+
+class TestEpochs:
+    def test_kernel24_recurrence_at_cap_2(self):
+        """With sleeper_cap_factor=2 the recurrence is exactly kernel
+        2.4's ``counter/2 + timeslice``."""
+        s = EpochScheduler(SchedulerConfig(sleeper_cap_factor=2.0))
+        t = make_task()
+        s.add(t)
+        t.counter = 0.060
+        s.new_epoch()
+        assert t.counter == pytest.approx(0.060 / 2 + 0.060)
+
+    def test_default_cap_fixpoint(self):
+        """The default cap's fixpoint is cap * timeslice."""
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        for _ in range(60):
+            s.new_epoch()
+        cap = s.config.sleeper_cap_factor
+        assert t.counter == pytest.approx(cap * s.config.timeslice(0), rel=0.01)
+
+    def test_sleeper_bonus_capped(self):
+        s = EpochScheduler(SchedulerConfig(sleeper_cap_factor=2.0))
+        t = make_task()
+        s.add(t)
+        for _ in range(20):
+            s.new_epoch()
+        assert t.counter <= 2.0 * s.config.timeslice(0) + 1e-12
+
+    def test_exited_tasks_not_recharged(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        t.kill(0.0)
+        t.counter = 0.0
+        s.new_epoch()
+        assert t.counter == 0.0
+
+    def test_charge_clips_at_zero(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        s.charge(t, 10.0)
+        assert t.counter == 0.0
+
+    def test_refresh_after_idle_grants_at_least_one_slice(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        t.counter = 0.001
+        s.refresh_after_idle()
+        assert t.counter == pytest.approx(s.config.timeslice(0))
+
+    def test_refresh_does_not_reduce(self):
+        s = EpochScheduler()
+        t = make_task()
+        s.add(t)
+        t.counter = 0.100
+        s.refresh_after_idle()
+        assert t.counter == pytest.approx(0.100)
+
+
+class TestShareProperties:
+    """Emergent CPU-sharing shapes that the paper's thresholds rest on."""
+
+    def run_shares(self, nices, duration=30.0):
+        from repro.oskernel import Machine
+
+        m = Machine()
+        tasks = []
+        for i, nice in enumerate(nices):
+            t = Task(f"t{i}", cpu_bound_program(), nice=nice)
+            m.spawn(t)
+            tasks.append(t)
+        m.run_for(duration)
+        return [t.cpu_time / duration for t in tasks]
+
+    def test_equal_priority_fair_split(self):
+        shares = self.run_shares([0, 0])
+        assert shares[0] == pytest.approx(0.5, abs=0.02)
+        assert shares[1] == pytest.approx(0.5, abs=0.02)
+
+    def test_three_way_split(self):
+        shares = self.run_shares([0, 0, 0])
+        for s in shares:
+            assert s == pytest.approx(1 / 3, abs=0.02)
+
+    def test_nice19_gets_minor_share(self):
+        shares = self.run_shares([0, 19])
+        # Timeslice ratio 60:7 -> the hog at nice 0 gets ~90%.
+        assert shares[0] > 0.85
+        assert 0.05 < shares[1] < 0.15
+
+    def test_total_never_exceeds_capacity(self):
+        shares = self.run_shares([0, 5, 10, 19])
+        assert sum(shares) == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,150 @@
+"""Tests for simulated tasks and phase programs."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.oskernel.tasks import (
+    Phase,
+    PhaseKind,
+    Task,
+    TaskState,
+    compute_phase,
+    exit_phase,
+    sleep_phase,
+)
+
+
+def simple_program():
+    yield compute_phase(1.0)
+    yield sleep_phase(2.0)
+    yield compute_phase(0.5)
+    yield exit_phase()
+
+
+class TestPhase:
+    def test_negative_amount_rejected(self):
+        with pytest.raises(SchedulerError):
+            compute_phase(-1.0)
+        with pytest.raises(SchedulerError):
+            sleep_phase(float("inf"))
+
+    def test_exit_needs_no_amount(self):
+        assert exit_phase().kind is PhaseKind.EXIT
+
+
+class TestTaskLifecycle:
+    def test_begins_runnable_with_first_compute(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        assert t.state is TaskState.RUNNABLE
+        assert t.remaining_compute == 1.0
+
+    def test_cannot_begin_twice(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        with pytest.raises(SchedulerError):
+            t.begin(1.0)
+
+    def test_progress_through_phases(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        t.account_progress(1.0, 1.0)
+        assert t.state is TaskState.SLEEPING
+        assert t.wake_time == 3.0
+        assert not t.maybe_wake(2.0)
+        assert t.maybe_wake(3.0)
+        assert t.state is TaskState.RUNNABLE
+        t.account_progress(0.5, 3.5)
+        assert t.state is TaskState.EXITED
+        assert t.exit_time == 3.5
+        assert t.cpu_time == pytest.approx(1.5)
+
+    def test_partial_progress_keeps_runnable(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        t.account_progress(0.4, 0.4)
+        assert t.state is TaskState.RUNNABLE
+        assert t.remaining_compute == pytest.approx(0.6)
+
+    def test_progress_on_sleeping_task_raises(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        t.account_progress(1.0, 1.0)
+        with pytest.raises(SchedulerError):
+            t.account_progress(0.1, 1.1)
+
+    def test_zero_phases_skipped(self):
+        def program():
+            yield compute_phase(0.0)
+            yield sleep_phase(0.0)
+            yield compute_phase(2.0)
+
+        t = Task("t", program())
+        t.begin(0.0)
+        assert t.state is TaskState.RUNNABLE
+        assert t.remaining_compute == 2.0
+
+    def test_empty_program_exits_immediately(self):
+        t = Task("t", iter(()))
+        t.begin(0.0)
+        assert t.state is TaskState.EXITED
+
+
+class TestTaskControls:
+    def make_running(self):
+        t = Task("t", simple_program())
+        t.begin(0.0)
+        return t
+
+    def test_suspend_resume_restores_state(self):
+        t = self.make_running()
+        t.suspend()
+        assert t.state is TaskState.SUSPENDED
+        t.resume()
+        assert t.state is TaskState.RUNNABLE
+
+    def test_suspend_sleeping_task(self):
+        t = self.make_running()
+        t.account_progress(1.0, 1.0)  # now sleeping
+        t.suspend()
+        t.resume()
+        assert t.state is TaskState.SLEEPING
+
+    def test_suspend_idempotent(self):
+        t = self.make_running()
+        t.suspend()
+        t.suspend()
+        t.resume()
+        assert t.state is TaskState.RUNNABLE
+
+    def test_resume_without_suspend_is_noop(self):
+        t = self.make_running()
+        t.resume()
+        assert t.state is TaskState.RUNNABLE
+
+    def test_kill(self):
+        t = self.make_running()
+        t.kill(5.0)
+        assert t.state is TaskState.EXITED
+        assert t.exit_time == 5.0
+        t.kill(6.0)  # idempotent
+        assert t.exit_time == 5.0
+
+    def test_cannot_suspend_exited(self):
+        t = self.make_running()
+        t.kill(1.0)
+        with pytest.raises(SchedulerError):
+            t.suspend()
+
+    def test_renice_validates(self):
+        t = self.make_running()
+        t.renice(19)
+        assert t.nice == 19
+        with pytest.raises(SchedulerError):
+            t.renice(20)
+
+    def test_constructor_validates(self):
+        with pytest.raises(SchedulerError):
+            Task("t", simple_program(), nice=25)
+        with pytest.raises(SchedulerError):
+            Task("t", simple_program(), resident_mb=-1.0)

@@ -1,0 +1,268 @@
+"""Tests for the availability predictors and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import PredictionError
+from repro.prediction import (
+    EwmaPredictor,
+    GlobalRatePredictor,
+    HistoryWindowPredictor,
+    HourlyMeanPredictor,
+    IntervalExponentialPredictor,
+    LastDayPredictor,
+    RenewalAgePredictor,
+    evaluate_predictors,
+)
+from repro.prediction.base import CountMatrix, PredictionQuery
+from repro.traces.dataset import TraceDataset
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start, end):
+    return UnavailabilityEvent(
+        machine_id=machine,
+        start=start,
+        end=end,
+        state=AvailState.S3,
+        mean_host_load=0.9,
+        mean_free_mb=500.0,
+    )
+
+
+@pytest.fixture()
+def periodic_dataset():
+    """Every weekday at 10:00 and 14:00 one event; weekends clean.
+
+    Perfectly periodic, so a correct history-window predictor nails it.
+    """
+    events = []
+    for day in range(28):  # 4 weeks from Monday
+        if day % 7 >= 5:
+            continue
+        for hour in (10, 14):
+            start = day * DAY + hour * HOUR
+            events.append(ev(0, start, start + 30 * 60))
+    return TraceDataset(events=events, n_machines=1, span=28 * DAY)
+
+
+class TestPredictionQuery:
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            PredictionQuery(0, 1, 25.0, 1.0)
+        with pytest.raises(PredictionError):
+            PredictionQuery(0, 1, 1.0, 0.0)
+
+    def test_hour_cells_integral(self):
+        q = PredictionQuery(0, 2, 10.0, 3.0)
+        cells = q.hour_cells()
+        assert cells == [(2, 10, 1.0), (2, 11, 1.0), (2, 12, 1.0)]
+
+    def test_hour_cells_fractional(self):
+        q = PredictionQuery(0, 0, 10.5, 1.0)
+        cells = q.hour_cells()
+        assert cells[0] == (0, 10, 0.5)
+        assert cells[1] == (0, 11, pytest.approx(0.5))
+
+    def test_hour_cells_cross_midnight(self):
+        q = PredictionQuery(0, 0, 23.0, 2.0)
+        assert q.hour_cells() == [(0, 23, 1.0), (1, 0, 1.0)]
+
+    def test_times(self):
+        q = PredictionQuery(0, 1, 6.0, 2.0)
+        assert q.start_time == DAY + 6 * HOUR
+        assert q.end_time == DAY + 8 * HOUR
+
+
+class TestCountMatrix:
+    def test_counts_by_start_hour(self, periodic_dataset):
+        m = CountMatrix(periodic_dataset)
+        assert m.counts[0, 0, 10] == 1
+        assert m.counts[0, 0, 14] == 1
+        assert m.counts[0, 5, 10] == 0  # Saturday
+        assert m.counts.sum() == 40
+
+    def test_same_type_days_before(self, periodic_dataset):
+        m = CountMatrix(periodic_dataset)
+        days = m.same_type_days_before(7, limit=3)
+        assert days == [4, 3, 2]  # weekdays before Monday of week 2
+        weekend_days = m.same_type_days_before(6)  # Sunday
+        assert weekend_days == [5]
+
+    def test_window_count_transplants_day(self, periodic_dataset):
+        m = CountMatrix(periodic_dataset)
+        q = PredictionQuery(0, 14, 9.0, 3.0)  # 9-12 window
+        assert m.window_count(0, 0, q) == 1.0  # hits the 10:00 event
+        assert m.window_count(0, 5, q) == 0.0  # Saturday clean
+
+
+class TestHistoryWindowPredictor:
+    def test_nails_periodic_pattern(self, periodic_dataset):
+        p = HistoryWindowPredictor(history_days=5).fit(periodic_dataset)
+        busy = PredictionQuery(0, 21, 9.0, 2.0)  # covers 10:00 weekday
+        clean = PredictionQuery(0, 21, 2.0, 4.0)  # small hours
+        assert p.predict_count(busy) == pytest.approx(1.0)
+        assert p.predict_count(clean) == 0.0
+        assert p.predict_survival(busy) < 0.2
+        assert p.predict_survival(clean) > 0.8
+
+    def test_weekend_uses_weekend_history(self, periodic_dataset):
+        p = HistoryWindowPredictor(history_days=4).fit(periodic_dataset)
+        saturday = PredictionQuery(0, 26, 9.5, 6.0)  # day 26 = Saturday
+        assert p.predict_count(saturday) == 0.0
+        assert p.predict_survival(saturday) > 0.8
+
+    def test_statistics_options(self, periodic_dataset):
+        for stat in ("mean", "median", "trimmed"):
+            p = HistoryWindowPredictor(statistic=stat).fit(periodic_dataset)
+            q = PredictionQuery(0, 21, 9.0, 2.0)
+            assert p.predict_count(q) == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        p = HistoryWindowPredictor()
+        with pytest.raises(PredictionError):
+            p.predict_count(PredictionQuery(0, 1, 0.0, 1.0))
+
+    def test_no_history_raises(self, periodic_dataset):
+        p = HistoryWindowPredictor().fit(periodic_dataset)
+        # Day 5 is the first Saturday: no weekend history before it.
+        with pytest.raises(PredictionError):
+            p.predict_count(PredictionQuery(0, 5, 0.0, 1.0))
+
+    def test_invalid_params(self):
+        with pytest.raises(PredictionError):
+            HistoryWindowPredictor(history_days=0)
+        with pytest.raises(PredictionError):
+            HistoryWindowPredictor(statistic="mode")
+        with pytest.raises(PredictionError):
+            HistoryWindowPredictor(laplace=-1.0)
+
+
+class TestBaselines:
+    def test_global_rate(self, periodic_dataset):
+        p = GlobalRatePredictor().fit(periodic_dataset)
+        q = PredictionQuery(0, 21, 9.5, 24.0)
+        # 40 events / (28 days * 24 h) per machine-hour.
+        assert p.predict_count(q) == pytest.approx(40 / 28, rel=0.01)
+        # Survival via Poisson.
+        assert 0 < p.predict_survival(q) < 1
+
+    def test_hourly_mean_captures_diurnal(self, periodic_dataset):
+        p = HourlyMeanPredictor().fit(periodic_dataset)
+        busy = PredictionQuery(0, 21, 10.0, 1.0)
+        quiet = PredictionQuery(0, 21, 3.0, 1.0)
+        assert p.predict_count(busy) > p.predict_count(quiet)
+
+    def test_last_day(self, periodic_dataset):
+        p = LastDayPredictor().fit(periodic_dataset)
+        q = PredictionQuery(0, 21, 9.0, 2.0)
+        assert p.predict_count(q) == 1.0
+        assert p.predict_survival(q) == 0.1
+
+    def test_ewma_weights_recent(self, periodic_dataset):
+        p = EwmaPredictor(alpha=0.5).fit(periodic_dataset)
+        q = PredictionQuery(0, 21, 9.0, 2.0)
+        assert p.predict_count(q) == pytest.approx(1.0)
+
+    def test_ewma_validates(self):
+        with pytest.raises(PredictionError):
+            EwmaPredictor(alpha=0.0)
+
+    def test_interval_exponential(self, medium_dataset):
+        p = IntervalExponentialPredictor().fit(medium_dataset)
+        short = PredictionQuery(0, 40, 12.0, 0.5)
+        long = PredictionQuery(0, 40, 12.0, 12.0)
+        assert p.predict_survival(short) > p.predict_survival(long)
+
+
+class TestRenewalAgePredictor:
+    def test_survival_decreases_with_window(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        s1 = p.survival(0.5, 1.0, weekend=False)
+        s2 = p.survival(0.5, 4.0, weekend=False)
+        assert s1 > s2
+
+    def test_fresh_machine_survives_short_windows(self, medium_dataset):
+        """Figure 6: almost no interval ends before ~2h, so a machine that
+        just came back is near-certain to last one more hour."""
+        p = RenewalAgePredictor().fit(medium_dataset)
+        assert p.survival(0.1, 1.0, weekend=False) > 0.75
+
+    def test_aged_machine_is_due(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        fresh = p.survival(0.5, 2.0, weekend=False)
+        aged = p.survival(3.0, 2.0, weekend=False)
+        assert fresh > aged
+
+    def test_survival_function_monotone(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        vals = [
+            p.survival_function(x, weekend=False)
+            for x in np.linspace(0, 30, 40)
+        ]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+        assert all(0 <= v <= 1 for v in vals)
+
+    def test_tail_extrapolation_positive(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        assert 0 < p.survival_function(100.0, weekend=False) < 0.01
+
+    def test_expected_residual_positive(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        assert p.expected_residual(0.5, weekend=False) > 0.5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(PredictionError):
+            RenewalAgePredictor().survival(1.0, 1.0, weekend=False)
+
+    def test_validation(self, medium_dataset):
+        p = RenewalAgePredictor().fit(medium_dataset)
+        with pytest.raises(PredictionError):
+            p.survival(-1.0, 1.0, weekend=False)
+        with pytest.raises(PredictionError):
+            RenewalAgePredictor(tail_rate_quantile=0.4)
+
+
+class TestEvaluation:
+    def test_history_beats_global_rate(self, medium_dataset):
+        result = evaluate_predictors(
+            medium_dataset,
+            [GlobalRatePredictor(), HistoryWindowPredictor(history_days=8)],
+            train_days=28,
+            durations_hours=(2.0, 6.0),
+            start_hours=(0, 6, 12, 18),
+        )
+        hist = result.score_of("HistoryWindow(d=8,mean)")
+        glob = result.score_of("GlobalRatePredictor")
+        assert hist.brier < glob.brier
+        assert result.best_by_brier() is hist
+
+    def test_scores_have_calibration(self, medium_dataset):
+        result = evaluate_predictors(
+            medium_dataset,
+            [HistoryWindowPredictor()],
+            train_days=28,
+            durations_hours=(4.0,),
+            start_hours=(8, 16),
+        )
+        (score,) = result.scores
+        assert score.n_queries > 0
+        assert score.calibration
+        for pred_mean, emp, n in score.calibration:
+            assert 0 <= pred_mean <= 1
+            assert 0 <= emp <= 1
+            assert n > 0
+
+    def test_train_days_validated(self, medium_dataset):
+        with pytest.raises(PredictionError):
+            evaluate_predictors(
+                medium_dataset, [GlobalRatePredictor()], train_days=0
+            )
+        with pytest.raises(PredictionError):
+            evaluate_predictors(
+                medium_dataset,
+                [GlobalRatePredictor()],
+                train_days=medium_dataset.n_days,
+            )

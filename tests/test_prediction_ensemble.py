@@ -1,0 +1,101 @@
+"""Tests for the ensemble predictor and weight tuning."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction import (
+    EnsemblePredictor,
+    FactoredPredictor,
+    GlobalRatePredictor,
+    HistoryWindowPredictor,
+    evaluate_predictors,
+)
+from repro.prediction.base import PredictionQuery
+from repro.prediction.ensemble import tune_weights
+
+
+class TestEnsemble:
+    def test_average_of_members(self, medium_dataset):
+        train = medium_dataset.slice_days(0, 28)
+        a = HistoryWindowPredictor(history_days=8)
+        b = GlobalRatePredictor()
+        ens = EnsemblePredictor([a, b]).fit(train)
+        q = PredictionQuery(0, 28, 12.0, 4.0)
+        expected = 0.5 * (a.predict_count(q) + b.predict_count(q))
+        assert ens.predict_count(q) == pytest.approx(expected)
+        s = ens.predict_survival(q)
+        assert 0 <= s <= 1
+
+    def test_weights_respected(self, medium_dataset):
+        train = medium_dataset.slice_days(0, 28)
+        a = HistoryWindowPredictor(history_days=8)
+        b = GlobalRatePredictor()
+        ens = EnsemblePredictor([a, b], weights=[1.0, 0.0]).fit(train)
+        q = PredictionQuery(0, 28, 12.0, 4.0)
+        assert ens.predict_count(q) == pytest.approx(a.predict_count(q))
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            EnsemblePredictor([])
+        with pytest.raises(PredictionError):
+            EnsemblePredictor([GlobalRatePredictor()], weights=[1.0, 2.0])
+        with pytest.raises(PredictionError):
+            EnsemblePredictor([GlobalRatePredictor()], weights=[-1.0])
+
+    def test_ensemble_competitive_on_brier(self, medium_dataset):
+        """The history+factored ensemble is at least as good as the worse
+        member and close to the better one."""
+        members = [
+            HistoryWindowPredictor(history_days=8),
+            FactoredPredictor(),
+        ]
+        result = evaluate_predictors(
+            medium_dataset,
+            [
+                HistoryWindowPredictor(history_days=8),
+                FactoredPredictor(),
+                EnsemblePredictor(
+                    [HistoryWindowPredictor(history_days=8), FactoredPredictor()]
+                ),
+            ],
+            train_days=28,
+            durations_hours=(2.0, 4.0),
+            start_hours=(0, 6, 12, 18),
+        )
+        briers = {s.name: s.brier for s in result.scores}
+        ens = next(v for k, v in briers.items() if k.startswith("Ensemble"))
+        others = [v for k, v in briers.items() if not k.startswith("Ensemble")]
+        assert ens <= max(others) + 1e-9
+        assert ens <= min(others) * 1.1
+
+    def test_tune_weights(self, medium_dataset):
+        ens = EnsemblePredictor(
+            [HistoryWindowPredictor(history_days=8), FactoredPredictor()]
+        )
+        tuned = tune_weights(
+            ens,
+            medium_dataset,
+            train_days=21,
+            validation_days=10,
+            grid_steps=4,
+        )
+        assert tuned.weights.sum() == pytest.approx(1.0)
+        assert len(tuned.weights) == 2
+
+    def test_tune_weights_validation(self, medium_dataset):
+        with pytest.raises(PredictionError):
+            tune_weights(
+                EnsemblePredictor([GlobalRatePredictor()]),
+                medium_dataset,
+                train_days=10,
+                validation_days=5,
+            )
+        with pytest.raises(PredictionError):
+            tune_weights(
+                EnsemblePredictor(
+                    [GlobalRatePredictor(), FactoredPredictor()]
+                ),
+                medium_dataset,
+                train_days=40,
+                validation_days=40,
+            )

@@ -1,0 +1,102 @@
+"""Tests for the streaming predictor, including batch equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import PredictionError
+from repro.prediction import HistoryWindowPredictor, OnlinePredictor
+from repro.prediction.base import PredictionQuery
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start):
+    return UnavailabilityEvent(
+        machine_id=machine,
+        start=start,
+        end=start + 1800.0,
+        state=AvailState.S3,
+        mean_host_load=0.9,
+        mean_free_mb=500.0,
+    )
+
+
+class TestOnlinePredictor:
+    def test_incremental_counts(self):
+        p = OnlinePredictor(n_machines=2, history_days=4)
+        for day in range(8):
+            if day % 7 < 5:
+                p.observe(ev(0, day * DAY + 10 * HOUR))
+        q = PredictionQuery(0, 8, 9.0, 2.0)  # day 8 = Tuesday
+        assert p.predict_count(q) == pytest.approx(1.0)
+        assert p.predict_survival(q) < 0.25
+
+    def test_no_history_raises(self):
+        p = OnlinePredictor(n_machines=1)
+        with pytest.raises(PredictionError):
+            p.predict_count(PredictionQuery(0, 0, 0.0, 1.0))
+
+    def test_machine_range_validated(self):
+        p = OnlinePredictor(n_machines=1)
+        with pytest.raises(PredictionError):
+            p.observe(ev(5, 0.0))
+
+    def test_constructor_validation(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(n_machines=0)
+        with pytest.raises(PredictionError):
+            OnlinePredictor(n_machines=1, history_days=0)
+
+    def test_equivalent_to_batch_refit(self, medium_dataset):
+        """After observing every event in a trace, the online predictor
+        answers exactly like the batch predictor fitted on that trace."""
+        train_days = 35
+        train = medium_dataset.slice_days(0, train_days)
+        batch = HistoryWindowPredictor(
+            history_days=8, laplace=0.5
+        ).fit(train)
+        online = OnlinePredictor(
+            n_machines=medium_dataset.n_machines,
+            history_days=8,
+            start_weekday=medium_dataset.start_weekday,
+            laplace=0.5,
+        ).observe_all(train.events)
+
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            q = PredictionQuery(
+                machine_id=int(rng.integers(medium_dataset.n_machines)),
+                day=int(rng.integers(20, train_days)),
+                start_hour=float(rng.integers(0, 22)),
+                duration_hours=float(rng.integers(1, 3)),
+            )
+            assert online.predict_count(q) == pytest.approx(
+                batch.predict_count(q)
+            )
+            assert online.predict_survival(q) == pytest.approx(
+                batch.predict_survival(q)
+            )
+
+    def test_predictions_improve_as_data_arrives(self, medium_dataset):
+        """More observed history changes (refines) the forecast."""
+        online = OnlinePredictor(
+            n_machines=medium_dataset.n_machines,
+            history_days=8,
+            start_weekday=medium_dataset.start_weekday,
+        )
+        events = sorted(medium_dataset.events, key=lambda e: e.start)
+        half = len(events) // 2
+        online.observe_all(events[:half])
+        q = PredictionQuery(0, 20, 12.0, 4.0)
+        early = online.predict_count(q)
+        online.observe_all(events[half:])
+        late = online.predict_count(q)
+        assert early == early and late == late  # both defined
+
+    def test_median_statistic(self):
+        p = OnlinePredictor(n_machines=1, history_days=3, statistic="median")
+        # Two clean Mondays-like days and one busy one.
+        p.observe(ev(0, 0 * DAY + 10 * HOUR))
+        q = PredictionQuery(0, 3, 9.0, 4.0)
+        assert p.predict_count(q) == pytest.approx(0.0)  # median of 1,0,0

@@ -1,0 +1,183 @@
+"""Property-based tests on cross-cutting invariants.
+
+* the machine never manufactures CPU time (conservation);
+* tasks never exceed their demand;
+* the trace executor never runs two jobs on one machine, never loses a
+  job, and response times respect causality;
+* trace IO round-trips arbitrary event sets;
+* availability intervals and events tile the span exactly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.oskernel import Machine
+from repro.scheduling import JobSpec, RandomPolicy, TraceExecutor
+from repro.traces.dataset import TraceDataset
+from repro.traces.io import load_dataset, save_dataset
+from repro.units import DAY
+from repro.workloads.synthetic import guest_task, host_task
+
+
+@st.composite
+def task_mix(draw):
+    n = draw(st.integers(1, 5))
+    duties = [
+        draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(n)
+    ]
+    nices = [draw(st.sampled_from([0, 5, 10, 19])) for _ in range(n)]
+    return duties, nices
+
+
+class TestMachineConservation:
+    @given(task_mix())
+    @settings(max_examples=20, deadline=None)
+    def test_cpu_time_conserved_and_bounded(self, mix):
+        duties, nices = mix
+        duration = 30.0
+        m = Machine()
+        tasks = []
+        for i, (d, nice) in enumerate(zip(duties, nices)):
+            t = host_task(f"h{i}", d, period=1.0 + 0.11 * i, nice=nice)
+            m.spawn(t)
+            tasks.append((t, d))
+        m.run_for(duration)
+        total = sum(t.cpu_time for t, _ in tasks)
+        # No more CPU than wall time exists...
+        assert total <= duration * (1 + 1e-6)
+        # ...and no task exceeds its own demand by more than jitter.
+        for t, d in tasks:
+            assert t.cpu_time <= d * duration * 1.05 + 1.5
+
+    @given(st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_suspension_preserves_accounting(self, duty):
+        m = Machine()
+        g = guest_task(duty=duty)
+        m.spawn(g)
+        m.run_for(10.0)
+        before = g.cpu_time
+        m.suspend(g)
+        m.run_for(10.0)
+        assert g.cpu_time == before
+        m.resume(g)
+        m.run_for(10.0)
+        assert g.cpu_time > before
+
+
+@st.composite
+def event_set(draw):
+    """Non-overlapping events for a 2-machine, 3-day dataset."""
+    events = []
+    for machine in range(2):
+        cursor = 0.0
+        for _ in range(draw(st.integers(0, 6))):
+            gap = draw(st.floats(min_value=60.0, max_value=20000.0))
+            dur = draw(st.floats(min_value=61.0, max_value=7200.0))
+            start = cursor + gap
+            end = start + dur
+            if end >= 3 * DAY:
+                break
+            state = draw(
+                st.sampled_from([AvailState.S3, AvailState.S4, AvailState.S5])
+            )
+            events.append(
+                UnavailabilityEvent(
+                    machine_id=machine,
+                    start=start,
+                    end=end,
+                    state=state,
+                    mean_host_load=0.9 if state is AvailState.S3 else 0.3,
+                    mean_free_mb=400.0,
+                )
+            )
+            cursor = end
+    return events
+
+
+class TestTraceRoundTrip:
+    @given(event_set())
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl_round_trip(self, tmp_path_factory, events):
+        ds = TraceDataset(events=events, n_machines=2, span=3 * DAY)
+        path = tmp_path_factory.mktemp("prop") / "t.jsonl"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert len(loaded.events) == len(ds.events)
+        for a, b in zip(loaded.events, ds.events):
+            assert a.machine_id == b.machine_id
+            assert a.start == b.start
+            assert a.end == b.end
+            assert a.state is b.state
+
+    @given(event_set())
+    @settings(max_examples=30, deadline=None)
+    def test_intervals_tile_span(self, events):
+        ds = TraceDataset(events=events, n_machines=2, span=3 * DAY)
+        for m in range(2):
+            ivs = ds.intervals_for(m)
+            evs = ds.events_for(m)
+            covered = sum(i.length for i in ivs) + sum(e.duration for e in evs)
+            assert covered == pytest.approx(3 * DAY, rel=1e-9)
+            # No interval overlaps an event.
+            for iv in ivs:
+                for e in evs:
+                    assert iv.end <= e.start + 1e-9 or iv.start >= e.end - 1e-9
+
+
+class _SpyPolicy(RandomPolicy):
+    """Random placement that records every (machine, interval) it causes."""
+
+    def __init__(self):
+        super().__init__(np.random.default_rng(0))
+        self.placements: list[tuple[float, int]] = []
+
+    def select(self, now, job, remaining, candidates):
+        m = super().select(now, job, remaining, candidates)
+        self.placements.append((now, m))
+        return m
+
+
+class TestExecutorInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2 * DAY),
+                st.floats(min_value=600.0, max_value=8 * 3600.0),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        event_set(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_job_accounted_and_causal(self, raw_jobs, events):
+        ds = TraceDataset(events=events, n_machines=2, span=3 * DAY)
+        jobs = [
+            JobSpec(job_id=i, arrival=a, cpu_seconds=c)
+            for i, (a, c) in enumerate(raw_jobs)
+        ]
+        outcomes = TraceExecutor(ds).run(jobs, _SpyPolicy())
+        assert len(outcomes) == len(jobs)
+        for o in outcomes:
+            if o.finished:
+                # Completion after arrival plus at least the work itself.
+                assert o.completion >= o.job.arrival + o.job.cpu_seconds - 1e-6
+                assert o.completion <= ds.span + 1e-6
+            assert o.failures >= 0
+            assert o.wasted_cpu >= 0.0
+
+    def test_no_machine_double_booked(self):
+        ds = TraceDataset(events=[], n_machines=1, span=DAY)
+        jobs = [JobSpec(i, 0.0, 3600.0) for i in range(5)]
+        outcomes = TraceExecutor(ds).run(jobs, RandomPolicy())
+        finishes = sorted(o.completion for o in outcomes)
+        # Serial execution on the single machine: completions 1 h apart.
+        for a, b in zip(finishes, finishes[1:]):
+            assert b - a == pytest.approx(3600.0)

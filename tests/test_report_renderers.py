@@ -1,0 +1,128 @@
+"""Tests for the Figure 1-4 text renderers and risk-aware prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+)
+from repro.contention.sweeps import (
+    Figure1Result,
+    Figure2Result,
+    Figure3Result,
+    Figure4Cell,
+    Figure4Result,
+)
+from repro.errors import PredictionError
+from repro.prediction import HistoryWindowPredictor
+from repro.prediction.base import PredictionQuery
+from repro.scheduling import JobSpec, RiskAversePolicy
+
+
+class TestFigureRenderers:
+    def test_render_figure1(self):
+        res = Figure1Result(
+            guest_nice=0,
+            lh_grid=(0.1, 0.2),
+            group_sizes=(1, 2),
+            reduction=np.array([[0.01, np.nan], [0.08, 0.03]]),
+            isolated_usage=np.array([[0.1, np.nan], [0.2, 0.2]]),
+        )
+        text = render_figure1(res)
+        assert "Figure 1(a)" in text
+        assert "M=1" in text and "M=2" in text
+        assert "-" in text  # the NaN cell
+        assert "8.0%" in text
+
+    def test_render_figure1_nice19_label(self):
+        res = Figure1Result(
+            guest_nice=19,
+            lh_grid=(0.5,),
+            group_sizes=(1,),
+            reduction=np.array([[0.04]]),
+            isolated_usage=np.array([[0.5]]),
+        )
+        assert "Figure 1(b)" in render_figure1(res)
+
+    def test_render_figure2(self):
+        res = Figure2Result(
+            lh_grid=(0.3, 0.8),
+            priorities=(0, 19),
+            reduction=np.array([[0.1, 0.01], [0.4, 0.06]]),
+        )
+        text = render_figure2(res)
+        assert "nice 0" in text and "nice 19" in text
+
+    def test_render_figure3(self):
+        res = Figure3Result(
+            combos=((0.2, 1.0), (0.1, 0.8)),
+            guest_usage_nice0=np.array([0.81, 0.72]),
+            guest_usage_nice19=np.array([0.80, 0.72]),
+        )
+        text = render_figure3(res)
+        assert "0.2+1" in text
+        assert "mean gap" in text
+
+    def test_render_figure4(self):
+        cells = tuple(
+            Figure4Cell(guest=g, host=h, guest_nice=n, reduction=0.1,
+                        thrashing=(g == "apsi" and h == "H2"))
+            for g in ("apsi", "galgel")
+            for h in ("H1", "H2")
+            for n in (0, 19)
+        )
+        text = render_figure4(Figure4Result(cells=cells))
+        assert "Figure 4(a)" in text and "Figure 4(b)" in text
+        assert "*" in text  # the thrashing marker
+
+
+class TestSurvivalIntervals:
+    @pytest.fixture(scope="class")
+    def predictor(self, medium_dataset):
+        return HistoryWindowPredictor(history_days=8).fit(
+            medium_dataset.slice_days(0, 35)
+        )
+
+    def test_interval_brackets_point(self, predictor):
+        q = PredictionQuery(0, 30, 12.0, 2.0)
+        point = predictor.predict_survival(q)
+        lo, hi = predictor.predict_survival_interval(q)
+        assert 0.0 <= lo <= point <= hi <= 1.0
+
+    def test_wider_at_lower_confidence(self, predictor):
+        q = PredictionQuery(0, 30, 12.0, 2.0)
+        lo50, hi50 = predictor.predict_survival_interval(q, confidence=0.5)
+        lo95, hi95 = predictor.predict_survival_interval(q, confidence=0.95)
+        assert lo95 <= lo50 and hi50 <= hi95
+
+    def test_confidence_validated(self, predictor):
+        q = PredictionQuery(0, 30, 12.0, 2.0)
+        with pytest.raises(PredictionError):
+            predictor.predict_survival_interval(q, confidence=1.5)
+
+    def test_risk_averse_policy_selects(self, predictor, medium_dataset):
+        policy = RiskAversePolicy(predictor)
+        job = JobSpec(0, 30 * 86400.0 + 12 * 3600.0, 2 * 3600.0)
+        m = policy.select(
+            job.arrival, job, job.cpu_seconds,
+            list(range(medium_dataset.n_machines)),
+        )
+        assert 0 <= m < medium_dataset.n_machines
+
+    def test_risk_averse_prefers_solid_history(self):
+        """A machine with a long clean record beats one with a short one,
+        even at equal point estimates."""
+
+        class Stub:
+            name = "stub"
+
+            def predict_survival_interval(self, query, confidence=0.8):
+                # machine 0: 2-day history; machine 1: 20-day history.
+                return (0.55, 1.0) if query.machine_id == 0 else (0.85, 0.98)
+
+        policy = RiskAversePolicy(Stub())
+        job = JobSpec(0, 0.0, 3600.0)
+        assert policy.select(0.0, job, 3600.0, [0, 1]) == 1

@@ -1,0 +1,82 @@
+"""Tests for repro.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory, generator_from, interleave_choice, spawn_streams
+
+
+class TestRngFactory:
+    def test_same_key_same_stream(self):
+        f = RngFactory(1)
+        a = f.generator("x", 3).random(5)
+        b = f.generator("x", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        f = RngFactory(1)
+        a = f.generator("x", 3).random(5)
+        b = f.generator("x", 4).random(5)
+        c = f.generator("y", 3).random(5)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).generator("x").random(5)
+        b = RngFactory(2).generator("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        f1 = RngFactory(9)
+        a1 = f1.generator("a").random(3)
+        b1 = f1.generator("b").random(3)
+        f2 = RngFactory(9)
+        b2 = f2.generator("b").random(3)
+        a2 = f2.generator("a").random(3)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_bad_key_type(self):
+        with pytest.raises(TypeError):
+            RngFactory(0).generator(3.14)
+
+    def test_child_factory_independent(self):
+        f = RngFactory(5)
+        child = f.child("sub")
+        a = f.generator("k").random(4)
+        b = child.generator("k").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_child_deterministic(self):
+        a = RngFactory(5).child("sub").generator("k").random(4)
+        b = RngFactory(5).child("sub").generator("k").random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHelpers:
+    def test_generator_from_passthrough(self):
+        g = np.random.default_rng(0)
+        assert generator_from(g) is g
+
+    def test_generator_from_seed(self):
+        a = generator_from(7).random(3)
+        b = generator_from(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_streams_independent(self):
+        s1, s2 = spawn_streams(3, 2)
+        assert not np.array_equal(s1.random(10), s2.random(10))
+
+    def test_interleave_choice_respects_weights(self):
+        rng = np.random.default_rng(0)
+        picks = [
+            interleave_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(20)
+        ]
+        assert all(p == "b" for p in picks)
+
+    def test_interleave_choice_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            interleave_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            interleave_choice(rng, ["a", "b"], [0.0, 0.0])

@@ -1,0 +1,237 @@
+"""Tests for job streams, placement policies and the trace executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import ConfigError
+from repro.prediction.renewal import RenewalAgePredictor
+from repro.scheduling import (
+    AgeAwarePolicy,
+    JobSpec,
+    OraclePolicy,
+    RandomPolicy,
+    TraceExecutor,
+    generate_job_stream,
+    run_scheduling_experiment,
+)
+from repro.scheduling.experiment import summarize_outcomes
+from repro.traces.dataset import TraceDataset
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start, end):
+    return UnavailabilityEvent(
+        machine_id=machine,
+        start=start,
+        end=end,
+        state=AvailState.S3,
+        mean_host_load=0.9,
+        mean_free_mb=500.0,
+    )
+
+
+def empty_dataset(n_machines=2, span=2 * DAY):
+    return TraceDataset(events=[], n_machines=n_machines, span=span)
+
+
+class TestJobStream:
+    def test_stream_properties(self, rng):
+        jobs = generate_job_stream(span=7 * DAY, rng=rng)
+        assert jobs
+        assert all(0 <= j.arrival < 7 * DAY for j in jobs)
+        assert all(j.cpu_seconds > 0 for j in jobs)
+        # Arrivals non-decreasing, ids unique.
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert len({j.job_id for j in jobs}) == len(jobs)
+
+    def test_groups_generated(self, rng):
+        jobs = generate_job_stream(
+            span=14 * DAY, rng=rng, group_probability=1.0
+        )
+        groups = {j.group_id for j in jobs}
+        assert -1 not in groups
+        sizes = [sum(1 for j in jobs if j.group_id == g) for g in groups]
+        assert all(2 <= s <= 4 for s in sizes)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            generate_job_stream(span=DAY, rng=rng, mean_interarrival=0.0)
+        with pytest.raises(ConfigError):
+            JobSpec(job_id=0, arrival=-1.0, cpu_seconds=10.0)
+        with pytest.raises(ConfigError):
+            JobSpec(job_id=0, arrival=0.0, cpu_seconds=0.0)
+
+
+class TestExecutorBasics:
+    def test_job_completes_on_clean_machine(self):
+        ds = empty_dataset()
+        out = TraceExecutor(ds).run(
+            [JobSpec(0, 0.0, 3600.0)], RandomPolicy()
+        )
+        assert out[0].finished
+        assert out[0].response_time == 3600.0
+        assert out[0].failures == 0
+
+    def test_job_killed_and_restarted(self):
+        # Machine 0 fails at t=1000 for 1000 s; machine 1 is clean but the
+        # single-machine testbed forces the restart to wait.
+        ds = TraceDataset(
+            events=[ev(0, 1000.0, 2000.0)], n_machines=1, span=DAY
+        )
+        out = TraceExecutor(ds).run([JobSpec(0, 0.0, 3600.0)], RandomPolicy())
+        o = out[0]
+        assert o.finished
+        assert o.failures == 1
+        assert o.wasted_cpu == pytest.approx(1000.0)
+        # Restarted at 2000 after the event: completes at 5600.
+        assert o.completion == pytest.approx(5600.0)
+
+    def test_checkpointing_preserves_progress(self):
+        ds = TraceDataset(
+            events=[ev(0, 1000.0, 2000.0)], n_machines=1, span=DAY
+        )
+        out = TraceExecutor(ds, checkpointing=True).run(
+            [JobSpec(0, 0.0, 3600.0)], RandomPolicy()
+        )
+        o = out[0]
+        assert o.failures == 1
+        assert o.wasted_cpu == 0.0
+        # 1000 s done, 2600 s remaining after the 1000 s outage.
+        assert o.completion == pytest.approx(2000.0 + 2600.0)
+
+    def test_one_job_per_machine(self):
+        ds = empty_dataset(n_machines=1)
+        jobs = [JobSpec(0, 0.0, 1000.0), JobSpec(1, 0.0, 1000.0)]
+        out = TraceExecutor(ds).run(jobs, RandomPolicy())
+        # Second job queues behind the first.
+        assert out[0].completion == pytest.approx(1000.0)
+        assert out[1].completion == pytest.approx(2000.0)
+
+    def test_placement_avoids_down_machine(self):
+        ds = TraceDataset(
+            events=[ev(0, 0.0, 5000.0)], n_machines=2, span=DAY
+        )
+        out = TraceExecutor(ds).run([JobSpec(0, 10.0, 600.0)], RandomPolicy())
+        assert out[0].failures == 0
+        assert out[0].completion == pytest.approx(610.0)
+
+    def test_unfinished_job_reported(self):
+        ds = empty_dataset(n_machines=1, span=1000.0)
+        out = TraceExecutor(ds).run([JobSpec(0, 500.0, 10000.0)], RandomPolicy())
+        assert not out[0].finished
+        assert out[0].response_time == float("inf")
+
+    def test_arrival_past_span_rejected(self):
+        ds = empty_dataset(span=100.0)
+        with pytest.raises(ConfigError):
+            TraceExecutor(ds).run([JobSpec(0, 200.0, 10.0)], RandomPolicy())
+
+    def test_empty_job_list(self):
+        assert TraceExecutor(empty_dataset()).run([], RandomPolicy()) == []
+
+    def test_outcome_stretch(self):
+        ds = empty_dataset()
+        (o,) = TraceExecutor(ds).run([JobSpec(0, 0.0, 100.0)], RandomPolicy())
+        assert o.stretch == pytest.approx(1.0)
+
+
+class TestOraclePolicy:
+    def test_prefers_machine_that_fits(self):
+        ds = TraceDataset(
+            events=[ev(0, 500.0, 600.0), ev(1, 5000.0, 5100.0)],
+            n_machines=2,
+            span=DAY,
+        )
+        oracle = OraclePolicy(ds)
+        # Job of 1000 s at t=0: machine 1 (next event at 5000) fits.
+        assert oracle.select(0.0, JobSpec(0, 0.0, 1000.0), 1000.0, [0, 1]) == 1
+
+    def test_best_fit_conserves_long_windows(self):
+        ds = TraceDataset(
+            events=[ev(0, 2000.0, 2100.0), ev(1, 50000.0, 50100.0)],
+            n_machines=2,
+            span=DAY,
+        )
+        oracle = OraclePolicy(ds)
+        # A short job fits both; best-fit picks the tighter window (m0).
+        assert oracle.select(0.0, JobSpec(0, 0.0, 600.0), 600.0, [0, 1]) == 0
+
+    def test_farthest_when_nothing_fits(self):
+        ds = TraceDataset(
+            events=[ev(0, 500.0, 600.0), ev(1, 900.0, 1000.0)],
+            n_machines=2,
+            span=DAY,
+        )
+        oracle = OraclePolicy(ds)
+        assert oracle.select(0.0, JobSpec(0, 0.0, 5000.0), 5000.0, [0, 1]) == 1
+
+    def test_oracle_never_killed_when_avoidable(self):
+        ds = TraceDataset(
+            events=[ev(0, 3000.0, 4000.0)], n_machines=2, span=DAY
+        )
+        out = TraceExecutor(ds).run(
+            [JobSpec(0, 0.0, 3600.0)], OraclePolicy(ds)
+        )
+        assert out[0].failures == 0
+
+
+class TestAgeAwarePolicy:
+    def test_age_computation(self, medium_dataset):
+        predictor = RenewalAgePredictor().fit(medium_dataset)
+        policy = AgeAwarePolicy(medium_dataset, predictor)
+        events = medium_dataset.events_for(0)
+        anchor = events[3].end
+        assert policy.age_of(0, anchor + 3600.0) == pytest.approx(1.0)
+
+    def test_prefers_fresh_machine(self, medium_dataset):
+        predictor = RenewalAgePredictor().fit(medium_dataset)
+        policy = AgeAwarePolicy(medium_dataset, predictor)
+        # Construct a moment where machine ages differ: take an event end
+        # on machine 0 and check against a machine whose last event is old.
+        ev0 = medium_dataset.events_for(0)[10]
+        now = ev0.end + 60.0
+        ages = [policy.age_of(m, now) for m in range(medium_dataset.n_machines)]
+        fresh = int(np.argmin(ages))
+        chosen = policy.select(
+            now, JobSpec(0, now, 2 * HOUR), 2 * HOUR, list(range(len(ages)))
+        )
+        # The policy should prefer young-age machines for a 2 h job.
+        assert ages[chosen] <= sorted(ages)[1] + 1e-9 or chosen == fresh
+
+
+class TestExperiment:
+    def test_full_panel_runs(self, medium_dataset):
+        comp = run_scheduling_experiment(medium_dataset, train_days=28)
+        names = [r.policy for r in comp.results]
+        assert "random" in names and "oracle" in names
+        rnd = comp.result_of("random")
+        orc = comp.result_of("oracle")
+        age = comp.result_of("age-aware")
+        # The oracle dominates; age-aware prediction cuts kills vs random.
+        assert orc.total_failures < age.total_failures < rnd.total_failures
+        assert orc.mean_response_h <= rnd.mean_response_h
+        assert rnd.completion_rate > 0.9
+
+    def test_speedup_helper(self, medium_dataset):
+        comp = run_scheduling_experiment(medium_dataset, train_days=28)
+        assert comp.speedup("oracle", "random") >= 1.0
+
+    def test_train_days_validated(self, medium_dataset):
+        with pytest.raises(ConfigError):
+            run_scheduling_experiment(medium_dataset, train_days=0)
+
+    def test_summarize_outcomes_empty_finished(self):
+        from repro.scheduling.executor import ExecutionOutcome
+
+        outcomes = [
+            ExecutionOutcome(
+                job=JobSpec(0, 0.0, 100.0), completion=None, failures=2,
+                wasted_cpu=50.0,
+            )
+        ]
+        r = summarize_outcomes("x", outcomes)
+        assert r.completed == 0
+        assert r.mean_response_h == float("inf")

@@ -1,0 +1,46 @@
+"""Tests for the replicated (paired) scheduling comparison."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scheduling import replicate_scheduling_experiment
+
+
+@pytest.fixture(scope="module")
+def comparison(medium_dataset):
+    return replicate_scheduling_experiment(
+        medium_dataset, train_days=28, seeds=(1, 2, 3)
+    )
+
+
+class TestReplication:
+    def test_all_policies_present(self, comparison):
+        names = set(comparison.policies())
+        assert {"random", "oracle", "age-aware"} <= names
+        assert comparison.seeds == (1, 2, 3)
+
+    def test_result_of_summaries(self, comparison):
+        r = comparison.result_of("oracle")
+        assert r.replications == 3
+        assert r.response_ci[0] <= r.mean_response_h <= r.response_ci[1]
+        assert r.kills_ci[0] <= r.mean_kills <= r.kills_ci[1]
+        assert "oracle" in str(r)
+
+    def test_paired_difference_oracle_beats_random(self, comparison):
+        point, lo, hi = comparison.paired_difference(
+            "kills", "random", "oracle"
+        )
+        assert lo <= point <= hi
+        assert point > 0  # oracle kills fewer jobs on every stream
+
+    def test_paired_difference_self_is_zero(self, comparison):
+        point, lo, hi = comparison.paired_difference(
+            "kills", "random", "random"
+        )
+        assert point == 0.0 and lo == 0.0 and hi == 0.0
+
+    def test_needs_two_seeds(self, medium_dataset):
+        with pytest.raises(ConfigError):
+            replicate_scheduling_experiment(
+                medium_dataset, train_days=28, seeds=(1,)
+            )

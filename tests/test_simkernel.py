@@ -1,0 +1,172 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simkernel import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda t: fired.append(3))
+        q.push(1.0, lambda t: fired.append(1))
+        q.push(2.0, lambda t: fired.append(2))
+        while q:
+            q.pop().fire()
+        assert fired == [1, 2, 3]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda t: fired.append("b"), priority=1)
+        q.push(1.0, lambda t: fired.append("a"), priority=0)
+        q.push(1.0, lambda t: fired.append("c"), priority=1)
+        while q:
+            q.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancel_is_lazy_but_effective(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda t: fired.append(1))
+        q.push(2.0, lambda t: fired.append(2))
+        q.cancel(ev)
+        assert len(q) == 1
+        while q:
+            q.pop().fire()
+        assert fired == [2]
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda t: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda t: None)
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda t: None)
+        q.push(5.0, lambda t: None)
+        q.cancel(ev)
+        assert q.peek_time() == 5.0
+
+    def test_drain_until_includes_boundary(self):
+        q = EventQueue()
+        q.push(1.0, lambda t: None)
+        q.push(2.0, lambda t: None)
+        q.push(3.0, lambda t: None)
+        times = [ev.time for ev in q.drain_until(2.0)]
+        assert times == [1.0, 2.0]
+        assert len(q) == 1
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda _: None)
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(popped)
+
+
+class TestSimulator:
+    def test_run_until_fires_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5.0, lambda t: fired.append(("a", t)))
+        sim.at(2.0, lambda t: fired.append(("b", t)))
+        sim.run_until(10.0)
+        assert fired == [("b", 2.0), ("a", 5.0)]
+        assert sim.now == 10.0
+
+    def test_after_schedules_relative(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.after(5.0, lambda t: fired.append(t))
+        sim.run_until(110.0)
+        assert fired == [105.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda t: None)
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda t: None)
+
+    def test_cannot_run_backwards(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3.0:
+                sim.after(1.0, chain)
+
+        sim.after(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_every_periodic_and_cancel(self):
+        sim = Simulator()
+        fired = []
+        cancel = sim.every(1.0, lambda t: fired.append(t))
+        sim.run_until(3.5)
+        cancel()
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_every_with_start_and_until(self):
+        sim = Simulator()
+        fired = []
+        sim.every(2.0, lambda t: fired.append(t), start=1.0, until=5.0)
+        sim.run_until(20.0)
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_every_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda t: None)
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda t: fired.append(1))
+        sim.at(2.0, lambda t: fired.append(2))
+        n = sim.run()
+        assert n == 2
+        assert sim.pending == 0
+
+    def test_step_returns_event(self):
+        sim = Simulator()
+        sim.at(1.0, lambda t: None, name="x")
+        ev = sim.step()
+        assert ev is not None and ev.name == "x"
+        assert sim.step() is None
+
+    def test_no_reentrant_run(self):
+        sim = Simulator()
+
+        def bad(t):
+            sim.run_until(t + 1)
+
+        sim.at(1.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run_until(2.0)

@@ -1,0 +1,245 @@
+"""Tests for trace records, IO, dataset slicing and validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import TraceError
+from repro.traces.dataset import TraceDataset
+from repro.traces.io import (
+    load_dataset,
+    load_events_csv,
+    save_dataset,
+    save_events_csv,
+)
+from repro.traces.records import EventRecord
+from repro.traces.validate import validate_dataset
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start, end, state=AvailState.S3, load=0.9):
+    return UnavailabilityEvent(
+        machine_id=machine,
+        start=start,
+        end=end,
+        state=state,
+        mean_host_load=load,
+        mean_free_mb=500.0,
+    )
+
+
+@pytest.fixture()
+def dataset():
+    events = [
+        ev(0, 1 * HOUR, 2 * HOUR),
+        ev(0, 30 * HOUR, 31 * HOUR, AvailState.S4, 0.3),
+        ev(1, 5 * HOUR, 5 * HOUR + 30, AvailState.S5, float("nan")),
+        ev(1, 50 * HOUR, 52 * HOUR),
+    ]
+    return TraceDataset(events=events, n_machines=2, span=3 * DAY, start_weekday=4)
+
+
+class TestEventRecord:
+    def test_round_trip(self):
+        e = ev(3, 10.0, 20.0)
+        rec = EventRecord.from_event(e)
+        assert rec.to_event() == e
+
+    def test_nan_serialization(self):
+        e = ev(0, 1.0, 2.0, AvailState.S5, float("nan"))
+        d = EventRecord.from_event(e).to_dict()
+        assert d["mean_host_load"] is None
+        back = EventRecord.from_dict(d)
+        assert math.isnan(back.mean_host_load)
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(TraceError):
+            EventRecord(0, 1.0, 2.0, "S1", 0.5, 100.0)
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(TraceError):
+            EventRecord(0, 2.0, 2.0, "S3", 0.5, 100.0)
+
+
+class TestTraceDataset:
+    def test_events_sorted_and_counted(self, dataset):
+        assert len(dataset) == 4
+        assert dataset.events[0].machine_id == 0
+        assert dataset.counts_by_cause() == {
+            "cpu": 2,
+            "memory": 1,
+            "revocation": 1,
+        }
+        assert dataset.counts_by_cause(0) == {
+            "cpu": 1,
+            "memory": 1,
+            "revocation": 0,
+        }
+
+    def test_machine_days(self, dataset):
+        assert dataset.machine_days == pytest.approx(6.0)
+        assert dataset.n_days == 3
+
+    def test_events_for(self, dataset):
+        assert len(dataset.events_for(0)) == 2
+        assert len(dataset.events_for(1)) == 2
+
+    def test_out_of_range_machine_rejected(self):
+        with pytest.raises(TraceError):
+            TraceDataset(events=[ev(5, 0.0, 1.0)], n_machines=2, span=DAY)
+
+    def test_event_outside_span_rejected(self):
+        with pytest.raises(TraceError):
+            TraceDataset(events=[ev(0, 0.0, 2 * DAY)], n_machines=1, span=DAY)
+
+    def test_day_type_helpers(self, dataset):
+        # start_weekday=4 (Friday): day 0 Fri, day 1 Sat, day 2 Sun.
+        assert dataset.weekday_indices() == [0]
+        assert dataset.weekend_indices() == [1, 2]
+        assert not dataset.is_weekend_time(0.0)
+        assert dataset.is_weekend_time(1.5 * DAY)
+
+    def test_intervals_complement_events(self, dataset):
+        ivs = dataset.intervals_for(0)
+        total = sum(i.length for i in ivs) + sum(
+            e.duration for e in dataset.events_for(0)
+        )
+        assert total == pytest.approx(dataset.span)
+
+    def test_all_intervals_excludes_censored_by_default(self, dataset):
+        with_c = dataset.all_intervals(include_censored=True)
+        without = dataset.all_intervals()
+        assert len(with_c) > len(without)
+        assert all(not i.censored for i in without)
+
+    def test_slice_days(self, dataset):
+        sl = dataset.slice_days(1, 3)
+        assert sl.span == pytest.approx(2 * DAY)
+        assert sl.start_weekday == 5  # Saturday
+        # Events from day 0 dropped; later events shifted.
+        assert all(0 <= e.start < sl.span for e in sl.events)
+        assert len(sl.events) == 2
+        assert sl.events[0].start == pytest.approx(30 * HOUR - DAY)
+
+    def test_slice_days_clips_boundary_events(self):
+        events = [ev(0, 23 * HOUR, 25 * HOUR)]
+        ds = TraceDataset(events=events, n_machines=1, span=2 * DAY)
+        sl = ds.slice_days(1, 2)
+        assert len(sl.events) == 1
+        assert sl.events[0].start == 0.0
+        assert sl.events[0].end == pytest.approx(1 * HOUR)
+
+    def test_slice_days_validates(self, dataset):
+        with pytest.raises(TraceError):
+            dataset.slice_days(2, 2)
+        with pytest.raises(TraceError):
+            dataset.slice_days(0, 99)
+
+    def test_hourly_load_shape_validated(self):
+        with pytest.raises(TraceError):
+            TraceDataset(
+                events=[],
+                n_machines=2,
+                span=DAY,
+                hourly_load=np.zeros((2, 5)),
+            )
+
+
+class TestIO:
+    def test_jsonl_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.n_machines == dataset.n_machines
+        assert loaded.span == dataset.span
+        assert loaded.start_weekday == dataset.start_weekday
+        assert len(loaded.events) == len(dataset.events)
+        for a, b in zip(loaded.events, dataset.events):
+            assert a.machine_id == b.machine_id
+            assert a.start == b.start and a.end == b.end
+            assert a.state is b.state
+
+    def test_jsonl_round_trip_with_hourly_load(self, dataset, tmp_path):
+        n_hours = int(dataset.span // HOUR)
+        hourly = np.random.default_rng(0).uniform(0, 1, (2, n_hours))
+        hourly[0, 0] = np.nan
+        ds = TraceDataset(
+            events=dataset.events,
+            n_machines=2,
+            span=dataset.span,
+            start_weekday=4,
+            hourly_load=hourly,
+        )
+        path = tmp_path / "t.jsonl"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(loaded.hourly_load, hourly)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(TraceError):
+            load_dataset(p)
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "something-else", "schema": 1}\n')
+        with pytest.raises(TraceError):
+            load_dataset(p)
+
+    def test_load_rejects_empty(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(TraceError):
+            load_dataset(p)
+
+    def test_load_reports_bad_record_line(self, dataset, tmp_path):
+        p = tmp_path / "t.jsonl"
+        save_dataset(dataset, p)
+        with p.open("a") as fh:
+            fh.write('{"oops": 1}\n')
+        with pytest.raises(TraceError, match=":6"):
+            load_dataset(p)
+
+    def test_csv_round_trip(self, dataset, tmp_path):
+        p = tmp_path / "t.csv"
+        save_events_csv(dataset, p)
+        loaded = load_events_csv(
+            p, n_machines=2, span=dataset.span, start_weekday=4
+        )
+        assert len(loaded.events) == len(dataset.events)
+        assert loaded.events[0].state is dataset.events[0].state
+
+
+class TestValidate:
+    def test_clean_dataset_passes(self, dataset):
+        assert validate_dataset(dataset) == []
+
+    def test_generated_dataset_passes(self, small_dataset):
+        assert validate_dataset(small_dataset) == []
+
+    def test_detects_implausible_duration(self):
+        ds = TraceDataset(
+            events=[ev(0, 0.0, 8 * DAY)], n_machines=1, span=10 * DAY
+        )
+        problems = validate_dataset(ds)
+        assert any("implausible" in p for p in problems)
+
+    def test_detects_s3_with_low_load(self):
+        ds = TraceDataset(
+            events=[ev(0, 0.0, HOUR, AvailState.S3, load=0.1)],
+            n_machines=1,
+            span=DAY,
+        )
+        problems = validate_dataset(ds)
+        assert any("mean load" in p for p in problems)
+
+    def test_strict_raises(self):
+        ds = TraceDataset(
+            events=[ev(0, 0.0, 8 * DAY)], n_machines=1, span=10 * DAY
+        )
+        with pytest.raises(TraceError):
+            validate_dataset(ds, strict=True)

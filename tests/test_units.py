@@ -1,0 +1,71 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_hierarchy(self):
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+        assert units.WEEK == 7 * units.DAY
+
+    def test_conversion_helpers(self):
+        assert units.hours(2) == 7200.0
+        assert units.minutes(3) == 180.0
+        assert units.days(1.5) == 1.5 * 86400.0
+
+
+class TestCalendar:
+    def test_hour_of_day_wraps(self):
+        assert units.hour_of_day(0.0) == 0.0
+        assert units.hour_of_day(units.DAY + 3 * units.HOUR) == 3.0
+        assert units.hour_of_day(2.5 * units.HOUR) == 2.5
+
+    def test_day_index(self):
+        assert units.day_index(0.0) == 0
+        assert units.day_index(units.DAY - 1) == 0
+        assert units.day_index(units.DAY) == 1
+
+    def test_weekday_of_default_start(self):
+        # Day 0 is a Monday by default.
+        assert units.weekday_of(0.0) == 0
+        assert units.weekday_of(5 * units.DAY) == 5
+        assert units.weekday_of(7 * units.DAY) == 0
+
+    def test_weekday_of_custom_start(self):
+        # Start on a Saturday.
+        assert units.weekday_of(0.0, start_weekday=5) == 5
+        assert units.weekday_of(2 * units.DAY, start_weekday=5) == 0
+
+    def test_is_weekend(self):
+        assert not units.is_weekend(0.0)  # Monday
+        assert units.is_weekend(5 * units.DAY)  # Saturday
+        assert units.is_weekend(6 * units.DAY + 12 * units.HOUR)  # Sunday
+        assert not units.is_weekend(7 * units.DAY)  # next Monday
+
+    @pytest.mark.parametrize("start", range(7))
+    def test_weekend_count_per_week(self, start):
+        weekend_days = sum(
+            units.is_weekend(d * units.DAY, start_weekday=start) for d in range(7)
+        )
+        assert weekend_days == 2
+
+
+class TestFmtDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (5.0, "5.0s"),
+            (90.0, "1m30s"),
+            (3600.0, "1h00m"),
+            (3 * 3600 + 15 * 60, "3h15m"),
+        ],
+    )
+    def test_formats(self, seconds, expected):
+        assert units.fmt_duration(seconds) == expected
+
+    def test_negative(self):
+        assert units.fmt_duration(-90.0) == "-1m30s"

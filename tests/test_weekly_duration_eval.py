@@ -1,0 +1,84 @@
+"""Tests for the day-of-week profile and per-duration evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.weekly import weekday_profile
+from repro.core.events import UnavailabilityEvent
+from repro.core.states import AvailState
+from repro.errors import ReproError
+from repro.prediction import HistoryWindowPredictor, evaluate_by_duration
+from repro.traces.dataset import TraceDataset
+from repro.units import DAY, HOUR
+
+
+def ev(machine, start):
+    return UnavailabilityEvent(
+        machine_id=machine, start=start, end=start + 1800.0,
+        state=AvailState.S3, mean_host_load=0.9, mean_free_mb=500.0,
+    )
+
+
+class TestWeekdayProfile:
+    def test_periodic_weekday_pattern(self):
+        events = []
+        for day in range(28):
+            if day % 7 < 5:
+                events.append(ev(0, day * DAY + 10 * HOUR))
+        ds = TraceDataset(events=events, n_machines=1, span=28 * DAY)
+        profile = weekday_profile(ds)
+        np.testing.assert_allclose(profile.daily_mean[:5], 1.0)
+        np.testing.assert_allclose(profile.daily_mean[5:], 0.0)
+        assert profile.n_days.sum() == 28
+        # Mon..Fri profiles are identical -> perfectly correlated.
+        assert profile.within_weekday_similarity() == pytest.approx(1.0)
+        assert profile.split_is_sufficient()
+
+    def test_generated_trace_justifies_binary_split(self, medium_dataset):
+        profile = weekday_profile(medium_dataset)
+        # Weekdays carry more unavailability than weekend days.
+        assert profile.daily_mean[:5].mean() > profile.daily_mean[5:].mean()
+        # And the binary split is the right granularity.
+        assert profile.within_weekday_similarity() > 0.6
+        assert profile.split_is_sufficient(margin=-0.05)
+
+    def test_render(self, medium_dataset):
+        text = weekday_profile(medium_dataset).render()
+        assert "Mon" in text and "Sun" in text
+
+    def test_too_short_rejected(self):
+        ds = TraceDataset(events=[], n_machines=1, span=7 * DAY)
+        with pytest.raises(ReproError):
+            weekday_profile(ds)
+
+
+class TestEvaluateByDuration:
+    def test_scores_per_duration(self, medium_dataset):
+        scores = evaluate_by_duration(
+            medium_dataset,
+            HistoryWindowPredictor(history_days=8),
+            train_days=28,
+            durations_hours=(1.0, 4.0, 8.0),
+            start_hours=(0, 8, 16),
+            machines=(0, 1),
+        )
+        assert set(scores) == {1.0, 4.0, 8.0}
+        for s in scores.values():
+            assert s.n_queries > 0
+            assert 0 <= s.brier <= 1
+
+    def test_hardest_windows_match_interval_scale(self, medium_dataset):
+        """Uncertainty peaks for windows comparable to the characteristic
+        availability-interval length (~2-4 h): very short windows are
+        almost always clean and very long ones almost always fail, so
+        both extremes predict easily."""
+        scores = evaluate_by_duration(
+            medium_dataset,
+            HistoryWindowPredictor(history_days=8),
+            train_days=28,
+            durations_hours=(1.0, 2.0, 12.0),
+            start_hours=tuple(range(0, 24, 4)),
+        )
+        assert scores[2.0].brier > scores[1.0].brier
+        assert scores[2.0].brier > scores[12.0].brier
+        assert scores[12.0].brier < 0.05  # "will fail" is near-certain

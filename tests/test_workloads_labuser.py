@@ -1,0 +1,157 @@
+"""Tests for the lab-workload model (activity profile, episode planner)."""
+
+import numpy as np
+import pytest
+
+from repro.config import LabWorkloadConfig, TestbedConfig
+from repro.errors import ConfigError
+from repro.units import DAY, HOUR, MINUTE
+from repro.workloads.labuser import (
+    ActivityProfile,
+    EpisodeKind,
+    EpisodePlanner,
+    PlannedEpisode,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return ActivityProfile(
+        LabWorkloadConfig(), TestbedConfig(n_machines=2, duration=14 * DAY)
+    )
+
+
+class TestActivityProfile:
+    def test_daytime_above_night(self, profile):
+        midday = profile.intensity(12 * HOUR + 3 * HOUR)  # 3pm Monday
+        night = profile.intensity(3 * HOUR)  # 3am Monday
+        assert midday > 3 * night
+
+    def test_weekend_scaled_down(self, profile):
+        monday_noon = profile.intensity(12 * HOUR)
+        saturday_noon = profile.intensity(5 * DAY + 12 * HOUR)
+        assert saturday_noon < monday_noon
+        assert saturday_noon > 0.3 * monday_noon
+
+    def test_intensity_bounds(self, profile):
+        t = np.linspace(0, 14 * DAY, 5000)
+        i = profile.intensity(t)
+        assert np.all(i > 0)
+        assert np.all(i <= 1.0 + 1e-9)
+
+    def test_cumulative_monotone(self, profile):
+        times = np.linspace(0, 13 * DAY, 100)
+        cums = [profile.cumulative(t) for t in times]
+        assert all(a < b for a, b in zip(cums, cums[1:]))
+
+    def test_advance_inverts_cumulative(self, profile):
+        t0 = 2 * DAY + 10 * HOUR
+        t1 = profile.advance(t0, 2.0)
+        gained = profile.cumulative(t1) - profile.cumulative(t0)
+        assert gained == pytest.approx(2.0, abs=0.02)
+
+    def test_advance_past_span_is_inf(self, profile):
+        assert profile.advance(13.9 * DAY, 1e6) == float("inf")
+
+    def test_advance_zero_is_identity(self, profile):
+        t = 3 * DAY
+        assert profile.advance(t, 0.0) == pytest.approx(t, abs=61)
+
+    def test_advance_rejects_negative(self, profile):
+        with pytest.raises(ConfigError):
+            profile.advance(0.0, -1.0)
+
+    def test_overnight_stretch(self, profile):
+        """The same activity gap takes much longer wall-clock overnight."""
+        daytime = profile.advance(11 * HOUR, 1.0) - 11 * HOUR
+        overnight = profile.advance(23.5 * HOUR, 1.0) - 23.5 * HOUR
+        assert overnight > 2 * daytime
+
+
+class TestEpisodePlanner:
+    @pytest.fixture(scope="class")
+    def plan(self, profile):
+        rng = np.random.default_rng(3)
+        return EpisodePlanner(profile, rng).plan()
+
+    def test_sorted_non_overlapping(self, plan):
+        for a, b in zip(plan, plan[1:]):
+            assert a.start <= b.start
+            assert a.end <= b.start + 1e-6
+
+    def test_episodes_within_span(self, plan, profile):
+        span = profile.testbed.duration
+        for e in plan:
+            assert 0 <= e.start < e.end <= span
+
+    def test_updatedb_daily_at_4am(self, plan, profile):
+        updatedbs = [e for e in plan if e.kind is EpisodeKind.UPDATEDB]
+        n_days = profile.testbed.n_days
+        # Allow a few to be displaced by overlapping URR.
+        assert n_days - 2 <= len(updatedbs) <= n_days
+        for e in updatedbs:
+            hour = (e.start % DAY) / HOUR
+            assert hour == pytest.approx(4.0, abs=0.01)
+            assert 0.8 * 30 * MINUTE <= e.duration <= 1.2 * 30 * MINUTE
+
+    def test_heavy_episodes_exist_with_both_kinds(self, plan):
+        kinds = {e.kind for e in plan}
+        assert EpisodeKind.CPU in kinds
+        assert EpisodeKind.MEMORY in kinds
+
+    def test_transients_are_sub_minute(self, plan):
+        transients = [e for e in plan if e.kind is EpisodeKind.TRANSIENT]
+        assert transients, "expected some transient spikes"
+        for e in transients:
+            assert e.duration < 60.0
+            assert not e.kind.is_detectable
+
+    def test_heavy_episodes_exceed_grace(self, plan):
+        for e in plan:
+            if e.kind in (EpisodeKind.CPU, EpisodeKind.MEMORY):
+                assert e.duration >= 5 * MINUTE
+
+    def test_urr_split(self, plan):
+        reboots = [e for e in plan if e.kind is EpisodeKind.REBOOT]
+        failures = [e for e in plan if e.kind is EpisodeKind.FAILURE]
+        for e in reboots:
+            assert e.duration < MINUTE
+        for e in failures:
+            assert e.duration >= 2 * MINUTE
+
+    def test_busyness_scales_event_count(self, profile):
+        def count(busyness, seed=5):
+            rng = np.random.default_rng(seed)
+            plan = EpisodePlanner(profile, rng, busyness=busyness).plan()
+            return sum(
+                1
+                for e in plan
+                if e.kind in (EpisodeKind.CPU, EpisodeKind.MEMORY)
+            )
+
+        assert count(1.5) > count(0.7)
+
+    def test_busyness_validated(self, profile):
+        with pytest.raises(ConfigError):
+            EpisodePlanner(profile, np.random.default_rng(0), busyness=0.0)
+
+    def test_deterministic_given_seed(self, profile):
+        p1 = EpisodePlanner(profile, np.random.default_rng(11)).plan()
+        p2 = EpisodePlanner(profile, np.random.default_rng(11)).plan()
+        assert p1 == p2
+
+
+class TestEpisodeKind:
+    def test_urr_flags(self):
+        assert EpisodeKind.REBOOT.is_urr
+        assert EpisodeKind.FAILURE.is_urr
+        assert not EpisodeKind.CPU.is_urr
+
+    def test_detectable_flags(self):
+        assert EpisodeKind.CPU.is_detectable
+        assert EpisodeKind.UPDATEDB.is_detectable
+        assert not EpisodeKind.TRANSIENT.is_detectable
+
+    def test_planned_episode_duration(self):
+        e = PlannedEpisode(EpisodeKind.CPU, 10.0, 70.0)
+        assert e.duration == 60.0

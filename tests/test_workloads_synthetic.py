@@ -1,0 +1,112 @@
+"""Tests for synthetic workload programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.oskernel import Machine
+from repro.oskernel.tasks import PhaseKind
+from repro.workloads.synthetic import (
+    cpu_bound_program,
+    guest_task,
+    host_task,
+    periodic_program,
+)
+
+
+class TestCpuBoundProgram:
+    def test_infinite_yields_compute_forever(self):
+        prog = cpu_bound_program()
+        for _ in range(5):
+            phase = next(prog)
+            assert phase.kind is PhaseKind.COMPUTE
+            assert phase.amount > 0
+
+    def test_finite_total(self):
+        prog = cpu_bound_program(5000.0)
+        total = sum(p.amount for p in prog)
+        assert total == pytest.approx(5000.0)
+
+    def test_zero_total(self):
+        assert list(cpu_bound_program(0.0)) == []
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ConfigError):
+            list(cpu_bound_program(-1.0))
+
+
+class TestPeriodicProgram:
+    def test_duty_cycle_structure(self):
+        prog = periodic_program(0.3, period=1.0)
+        c = next(prog)
+        s = next(prog)
+        assert c.kind is PhaseKind.COMPUTE
+        assert c.amount == pytest.approx(0.3)
+        assert s.kind is PhaseKind.SLEEP
+        assert s.amount == pytest.approx(0.7)
+
+    def test_full_duty_is_pure_compute(self):
+        prog = periodic_program(1.0, cycles=3)
+        phases = list(prog)
+        assert all(p.kind is PhaseKind.COMPUTE for p in phases)
+        assert sum(p.amount for p in phases) == pytest.approx(3.0)
+
+    def test_cycles_limit(self):
+        phases = list(periodic_program(0.5, cycles=4))
+        assert len(phases) == 8
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ConfigError):
+            next(periodic_program(0.5, jitter=0.1))
+
+    def test_jitter_preserves_duty(self):
+        rng = np.random.default_rng(0)
+        phases = list(periodic_program(0.4, jitter=0.2, rng=rng, cycles=200))
+        compute = sum(p.amount for p in phases if p.kind is PhaseKind.COMPUTE)
+        total = sum(p.amount for p in phases)
+        assert compute / total == pytest.approx(0.4, abs=0.01)
+
+    @pytest.mark.parametrize("duty", [0.0, 1.5, -0.1])
+    def test_invalid_duty(self, duty):
+        with pytest.raises(ConfigError):
+            next(periodic_program(duty))
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigError):
+            next(periodic_program(0.5, period=0.0))
+
+
+class TestTaskFactories:
+    def test_host_task_flags(self):
+        t = host_task("h", 0.5)
+        assert not t.is_guest
+        assert t.nice == 0
+
+    def test_guest_task_flags(self):
+        g = guest_task(nice=19, resident_mb=100)
+        assert g.is_guest
+        assert g.nice == 19
+        assert g.resident_mb == 100
+
+    @pytest.mark.parametrize("duty", [0.1, 0.5, 0.9])
+    def test_isolated_usage_calibrated(self, duty):
+        """The feedback loop of the paper's synthetic programs: isolated
+        CPU usage matches the target."""
+        m = Machine()
+        m.spawn(host_task("h", duty))
+        m.run_for(60.0)
+        assert m.host_cpu_time() / 60.0 == pytest.approx(duty, abs=0.02)
+
+    def test_partial_guest(self):
+        m = Machine()
+        m.spawn(guest_task(duty=0.6))
+        m.run_for(60.0)
+        assert m.guest_cpu_time() / 60.0 == pytest.approx(0.6, abs=0.02)
+
+    def test_guest_with_total_cpu_exits(self):
+        m = Machine()
+        g = guest_task(total_cpu=5.0)
+        m.spawn(g)
+        m.run_for(10.0)
+        assert not g.alive
+        assert g.cpu_time == pytest.approx(5.0)

@@ -1,0 +1,137 @@
+"""Tests for the Table 1 workload models (SPEC guests, Musbus hosts) and
+random host groups."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ExperimentError
+from repro.oskernel import Machine
+from repro.workloads.hostgroups import (
+    HostGroup,
+    random_duty_composition,
+    random_host_group,
+)
+from repro.workloads.musbus import MUSBUS_WORKLOADS
+from repro.workloads.spec import SPEC_APPS, spec_guest_task
+
+
+class TestSpecApps:
+    def test_table1_values(self):
+        """The exact footprints from Table 1."""
+        assert SPEC_APPS["apsi"].resident_mb == 193.0
+        assert SPEC_APPS["apsi"].virtual_mb == 205.0
+        assert SPEC_APPS["galgel"].resident_mb == 29.0
+        assert SPEC_APPS["bzip2"].resident_mb == 180.0
+        assert SPEC_APPS["mcf"].resident_mb == 96.0
+        for app in SPEC_APPS.values():
+            assert app.cpu_usage >= 0.97  # all CPU-bound
+
+    def test_guest_task_inherits_footprint(self):
+        t = spec_guest_task("mcf", nice=19)
+        assert t.is_guest
+        assert t.resident_mb == 96.0
+        assert t.nice == 19
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_guest_task("gcc")
+
+    def test_measured_isolated_usage_matches_table(self):
+        for name in ("apsi", "galgel"):
+            m = Machine()
+            m.spawn(spec_guest_task(name))
+            m.run_for(30.0)
+            measured = m.guest_cpu_time() / 30.0
+            assert measured == pytest.approx(SPEC_APPS[name].cpu_usage, abs=0.02)
+
+
+class TestMusbusWorkloads:
+    def test_table1_aggregates(self):
+        expected = {
+            "H1": (0.086, 71.0),
+            "H2": (0.092, 213.0),
+            "H3": (0.172, 53.0),
+            "H4": (0.219, 68.0),
+            "H5": (0.570, 210.0),
+            "H6": (0.662, 84.0),
+        }
+        for name, (cpu, mem) in expected.items():
+            wl = MUSBUS_WORKLOADS[name]
+            assert wl.cpu_usage == pytest.approx(cpu)
+            assert wl.resident_mb == pytest.approx(mem)
+
+    def test_components_sum_to_aggregates(self):
+        for wl in MUSBUS_WORKLOADS.values():
+            assert sum(c.duty for c in wl.components) == pytest.approx(wl.cpu_usage)
+            assert sum(c.resident_mb for c in wl.components) == pytest.approx(
+                wl.resident_mb
+            )
+
+    def test_measured_isolated_usage(self):
+        for name in ("H1", "H4", "H6"):
+            wl = MUSBUS_WORKLOADS[name]
+            m = Machine()
+            for t in wl.host_tasks():
+                m.spawn(t)
+            m.run_for(60.0)
+            assert m.host_cpu_time() / 60.0 == pytest.approx(
+                wl.cpu_usage, abs=0.03
+            )
+
+    def test_host_tasks_are_hosts(self):
+        for t in MUSBUS_WORKLOADS["H3"].host_tasks():
+            assert not t.is_guest
+
+
+class TestHostGroups:
+    def test_composition_sums_to_target(self, rng):
+        for total, m in [(0.5, 2), (1.0, 3), (2.0, 4), (0.3, 1)]:
+            duties = random_duty_composition(total, m, rng)
+            assert len(duties) == m
+            assert sum(duties) == pytest.approx(total, abs=0.026)
+            assert all(0.1 - 1e-9 <= d <= 1.0 + 1e-9 for d in duties)
+
+    def test_infeasible_rejected(self, rng):
+        with pytest.raises(ExperimentError):
+            random_duty_composition(0.1, 2, rng)  # needs >= 0.2
+        with pytest.raises(ExperimentError):
+            random_duty_composition(3.5, 3, rng)  # over 1.0 each
+        with pytest.raises(ExperimentError):
+            random_duty_composition(0.5, 0, rng)
+
+    def test_group_tasks_have_staggered_periods(self, rng):
+        group = random_host_group(1.0, 3, rng)
+        tasks = group.tasks()
+        assert len(tasks) == 3
+        # All host tasks, distinct names.
+        assert len({t.name for t in tasks}) == 3
+
+    def test_calibrated_group_usage_matches_lh(self, rng):
+        """The paper picks combinations whose *measured* total equals L_H;
+        calibrated_host_group reproduces that selection."""
+        from repro.contention.experiment import calibrated_host_group
+
+        group = calibrated_host_group(0.8, 3, rng)
+        m = Machine()
+        for t in group.tasks():
+            m.spawn(t)
+        m.run_for(60.0)
+        assert m.host_cpu_time() / 60.0 == pytest.approx(0.8, abs=0.04)
+
+    def test_uncalibrated_group_undershoots(self, rng):
+        """Self-contention makes a nominal-sum group measure below L_H —
+        the phenomenon the calibration corrects for."""
+        group = random_host_group(0.8, 3, rng)
+        m = Machine()
+        for t in group.tasks():
+            m.spawn(t)
+        m.run_for(60.0)
+        assert m.host_cpu_time() / 60.0 <= 0.8 + 0.02
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ExperimentError):
+            HostGroup(())
+
+    def test_composition_varies_between_draws(self, rng):
+        draws = {random_duty_composition(1.0, 3, rng) for _ in range(10)}
+        assert len(draws) > 1
