@@ -1,0 +1,92 @@
+"""Parallel-execution scaling: wall-clock vs worker count, equality pinned.
+
+Not a paper artifact — this pins the performance envelope of the
+``repro.parallel`` execution layer: 20-machine testbed generation and a
+Figure 1 sweep at jobs in {1, 2, 4}, asserting that every job count
+produces *identical* results (the layer's core contract) and recording
+the measured speedups alongside the ``bench_engine_perf`` numbers.
+
+The >= 2x speedup assertion for 4 workers only runs on hosts with at
+least 4 CPUs; on smaller machines the equality checks still run and the
+timings are still recorded.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import emit, once
+from repro.config import ExecutionConfig
+from repro.contention.sweeps import figure1_sweep
+from repro.traces.generate import generate_dataset
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _cpus() -> int:
+    return os.cpu_count() or 1
+
+
+def test_testbed_generation_scaling(benchmark, out_dir, paper_config):
+    """Default 20-machine, 92-day generation at jobs in {1, 2, 4}."""
+    runs: dict[int, tuple] = {}
+
+    def sweep_job_counts():
+        for jobs in JOB_COUNTS:
+            t0 = time.perf_counter()
+            dataset = generate_dataset(
+                paper_config, execution=ExecutionConfig(jobs=jobs)
+            )
+            runs[jobs] = (dataset, time.perf_counter() - t0)
+        return runs
+
+    once(benchmark, sweep_job_counts)
+
+    base_dataset, base_time = runs[1]
+    lines = [
+        f"testbed generation scaling ({_cpus()} CPUs available)",
+        f"  config: {paper_config.testbed.n_machines} machines x "
+        f"{paper_config.testbed.n_days} days",
+    ]
+    for jobs in JOB_COUNTS:
+        dataset, elapsed = runs[jobs]
+        assert dataset.equals(base_dataset), f"jobs={jobs} diverged from serial"
+        lines.append(
+            f"  jobs={jobs}: {elapsed:6.2f}s  speedup {base_time / elapsed:5.2f}x"
+        )
+    emit(out_dir, "parallel_scaling.txt", "\n".join(lines))
+
+    if _cpus() >= 4:
+        assert base_time / runs[4][1] >= 2.0, (
+            f"expected >= 2x at 4 workers, got {base_time / runs[4][1]:.2f}x"
+        )
+
+
+def test_figure1_sweep_scaling(benchmark, out_dir):
+    """Figure 1 sweep cells fan out with bit-identical reductions."""
+    kwargs = dict(group_sizes=(1, 2, 3), combinations=2, duration=60.0)
+    runs: dict[int, tuple] = {}
+
+    def sweep_job_counts():
+        for jobs in JOB_COUNTS:
+            t0 = time.perf_counter()
+            result = figure1_sweep(0, **kwargs, jobs=jobs)
+            runs[jobs] = (result, time.perf_counter() - t0)
+        return runs
+
+    once(benchmark, sweep_job_counts)
+
+    base_result, base_time = runs[1]
+    lines = [f"figure1 sweep scaling ({_cpus()} CPUs available)"]
+    for jobs in JOB_COUNTS:
+        result, elapsed = runs[jobs]
+        np.testing.assert_array_equal(result.reduction, base_result.reduction)
+        np.testing.assert_array_equal(
+            result.isolated_usage, base_result.isolated_usage
+        )
+        lines.append(
+            f"  jobs={jobs}: {elapsed:6.2f}s  speedup {base_time / elapsed:5.2f}x"
+        )
+    emit(out_dir, "parallel_scaling_figure1.txt", "\n".join(lines))
+    assert base_result.threshold() is not None

@@ -13,8 +13,9 @@ from typing import Sequence
 
 from ..config import FgcsConfig
 from ..errors import ReproError
+from ..parallel.backend import get_backend
 from ..traces.generate import generate_dataset
-from .compare import check_paper_landmarks
+from .compare import LandmarkCheck, check_paper_landmarks
 
 __all__ = ["RobustnessReport", "seed_sweep"]
 
@@ -52,20 +53,49 @@ class RobustnessReport:
         )
 
 
+def _seed_landmarks(
+    payload: tuple[FgcsConfig, int],
+) -> list[LandmarkCheck]:
+    """One seed's full generate→detect→check run (the parallel work unit).
+
+    Generation inside the worker is forced serial — the sweep is the
+    parallel axis here, and pools must not nest — while any configured
+    dataset cache is still honored.
+    """
+    import dataclasses
+
+    base, seed = payload
+    cfg = base.with_seed(seed)
+    dataset = generate_dataset(
+        cfg,
+        keep_hourly_load=False,
+        execution=dataclasses.replace(cfg.execution, jobs=1),
+    )
+    return check_paper_landmarks(dataset)
+
+
 def seed_sweep(
     seeds: Sequence[int],
     *,
     base_config: FgcsConfig | None = None,
+    jobs: int = 1,
 ) -> RobustnessReport:
-    """Run the full pipeline per seed and tally landmark outcomes."""
+    """Run the full pipeline per seed and tally landmark outcomes.
+
+    Seeds are independent reruns of the whole pipeline, so ``jobs > 1``
+    fans them out over worker processes; tallies are merged in seed order
+    and are identical for every ``jobs`` value.
+    """
     seeds = tuple(seeds)
     if not seeds:
         raise ReproError("need at least one seed")
     base = base_config or FgcsConfig()
     results: dict[str, tuple[int, int, float]] = {}
-    for seed in seeds:
-        dataset = generate_dataset(base.with_seed(seed), keep_hourly_load=False)
-        for check in check_paper_landmarks(dataset):
+    per_seed = get_backend(jobs).map(
+        _seed_landmarks, [(base, seed) for seed in seeds]
+    )
+    for checks in per_seed:
+        for check in checks:
             passes, total, worst = results.get(
                 check.name, (0, 0, check.measured)
             )

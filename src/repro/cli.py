@@ -48,6 +48,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="student-lab",
         help="testbed workload pattern (paper's testbed: student-lab)",
     )
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel stages (0 = one per CPU; "
+        "results are identical for any value)",
+    )
+    common.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk trace dataset cache (off by default)",
+    )
+    common.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the dataset cache even when --cache-dir is set",
+    )
 
     p_gen = sub.add_parser(
         "generate", parents=[common], help="generate a testbed trace"
@@ -69,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_thr.add_argument(
         "--duration", type=float, default=120.0, help="seconds simulated per run"
+    )
+    p_thr.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep cells (0 = one per CPU)",
     )
 
     p_pred = sub.add_parser(
@@ -97,10 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from(args: argparse.Namespace) -> FgcsConfig:
+    from .config import ExecutionConfig
     from .workloads.profiles import PROFILES
 
     factory = PROFILES[getattr(args, "profile", "student-lab")]
-    return factory(n_machines=args.machines, days=args.days, seed=args.seed)
+    config = factory(n_machines=args.machines, days=args.days, seed=args.seed)
+    return config.with_execution(
+        ExecutionConfig(
+            jobs=getattr(args, "jobs", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+            use_cache=not getattr(args, "no_cache", False),
+        )
+    )
 
 
 def _load_or_generate(args: argparse.Namespace):
@@ -167,7 +198,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_thresholds(args: argparse.Namespace) -> int:
     from .contention.thresholds import calibrate_thresholds
 
-    estimate = calibrate_thresholds(duration=args.duration)
+    estimate = calibrate_thresholds(duration=args.duration, jobs=args.jobs)
     print(
         f"calibrated Th1 = {estimate.th1:.2f} (paper: 0.20), "
         f"Th2 = {estimate.th2:.2f} (paper: 0.60)"

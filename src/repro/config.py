@@ -9,6 +9,7 @@ without monkey-patching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 from .units import DAY, HOUR, MB, MINUTE
@@ -251,6 +252,37 @@ class LabWorkloadConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionConfig:
+    """How expensive pipelines execute: worker pool size and dataset cache.
+
+    Execution settings change *how fast* results are computed, never *what*
+    is computed — every wired pipeline is bit-for-bit identical for any
+    ``jobs`` value — so this config is excluded from dataset cache keys
+    (see :func:`repro.parallel.cache.config_fingerprint`).
+    """
+
+    #: Worker processes for parallel stages.  ``1`` runs in-process with no
+    #: pool (always safe, no pickling); ``0`` means one worker per
+    #: available CPU; ``N > 1`` uses a process pool of that size.
+    jobs: int = 1
+    #: Directory for the content-addressed on-disk dataset cache.
+    #: ``None`` disables caching entirely.
+    cache_dir: Optional[str] = None
+    #: Master switch so a CLI can keep a configured ``cache_dir`` but skip
+    #: reading/writing it for one run (``--no-cache``).
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigError("jobs must be >= 0 (0 = one worker per CPU)")
+
+    @property
+    def cache_enabled(self) -> bool:
+        """True when a cache directory is configured and not switched off."""
+        return self.use_cache and self.cache_dir is not None
+
+
+@dataclass(frozen=True)
 class FgcsConfig:
     """Bundle of all sub-configs; the single object most APIs accept."""
 
@@ -260,6 +292,8 @@ class FgcsConfig:
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
     lab: LabWorkloadConfig = field(default_factory=LabWorkloadConfig)
+    #: How to execute the expensive pipelines (never affects results).
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     #: Root seed for all random streams.
     seed: int = 2006
 
@@ -268,6 +302,12 @@ class FgcsConfig:
         from dataclasses import replace
 
         return replace(self, seed=seed)
+
+    def with_execution(self, execution: ExecutionConfig) -> "FgcsConfig":
+        """A copy of this config with different execution settings."""
+        from dataclasses import replace
+
+        return replace(self, execution=execution)
 
 
 DEFAULT_CONFIG = FgcsConfig()

@@ -9,7 +9,7 @@ report the *reduction rate* of host CPU usage
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..config import MemoryConfig, SchedulerConfig
 from ..errors import ExperimentError
@@ -99,6 +99,7 @@ def calibrated_host_group(
     m: int,
     rng,
     *,
+    duties: Optional[Sequence[float]] = None,
     scheduler_config: Optional[SchedulerConfig] = None,
     tolerance: float = 0.02,
     max_iter: int = 4,
@@ -111,11 +112,18 @@ def calibrated_host_group(
     with each other, so nominal duties summing to L_H measure slightly
     lower.  This helper reproduces that selection by scaling a random
     composition until the measured usage matches.
+
+    ``duties`` supplies a pre-drawn composition instead of sampling one
+    from ``rng`` (which may then be ``None``); the calibration itself is
+    deterministic, so callers can draw compositions centrally and fan the
+    calibration out to worker processes.
     """
     from ..oskernel import Machine
     from ..workloads.hostgroups import HostGroup, random_duty_composition
 
-    duties = list(random_duty_composition(total, m, rng))
+    duties = list(
+        random_duty_composition(total, m, rng) if duties is None else duties
+    )
     scale = 1.0
     for _ in range(max_iter):
         scaled = tuple(min(d * scale, 1.0) for d in duties)

@@ -3,6 +3,13 @@
 Each sweep returns a structured result holding the same series the figure
 plots; the benchmark harness renders them as text tables and EXPERIMENTS.md
 records them against the paper's values.
+
+Every sweep is a grid of independent simulator cells, so the grid fans
+out over a process pool (``jobs > 1``) with bit-for-bit identical results
+to the serial run.  Figures 2–4 are fully deterministic; Figure 1's only
+randomness — the host-group duty compositions — is drawn up front in the
+parent process, from one stream in grid order, and shipped to the workers
+inside their payloads, so the dispatch order cannot perturb the draws.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ import numpy as np
 
 from ..config import MemoryConfig, SchedulerConfig
 from ..errors import ExperimentError
+from ..parallel.backend import get_backend
 from ..rng import generator_from
+from ..workloads.hostgroups import random_duty_composition
 from ..workloads.musbus import MUSBUS_WORKLOADS, MusbusWorkload
 from ..workloads.spec import SPEC_APPS, SpecApp, spec_guest_task
 from ..workloads.synthetic import guest_task, host_task
@@ -74,6 +83,43 @@ class Figure1Result:
         return min(exceed) if exceed else None
 
 
+def _figure1_cell(
+    payload: tuple[
+        int,
+        int,
+        int,
+        float,
+        int,
+        tuple[tuple[float, ...], ...],
+        float,
+        Optional[SchedulerConfig],
+    ],
+) -> tuple[int, int, float, float]:
+    """One (L_H, M) cell of Figure 1: mean over its host-group combos.
+
+    The cell's random duty compositions are drawn *before* dispatch (by
+    ``figure1_sweep``, from one stream, in grid order) and arrive in the
+    payload; from here on everything — group calibration, the contention
+    measurement — is deterministic, so cells compute identical values in
+    any order or process.
+    """
+    i, j, guest_nice, lh, m, compositions, duration, scheduler_config = payload
+    reds, isos = [], []
+    for duties in compositions:
+        group = calibrated_host_group(
+            lh, m, None, duties=duties, scheduler_config=scheduler_config
+        )
+        meas = measure_contention(
+            lambda g=group: g.tasks(),
+            lambda: guest_task(nice=guest_nice),
+            duration=duration,
+            scheduler_config=scheduler_config,
+        )
+        reds.append(meas.reduction_rate)
+        isos.append(meas.isolated_host_usage)
+    return i, j, float(np.mean(reds)), float(np.mean(isos))
+
+
 def figure1_sweep(
     guest_nice: int,
     *,
@@ -83,6 +129,7 @@ def figure1_sweep(
     duration: float = 120.0,
     seed: int = 0,
     scheduler_config: Optional[SchedulerConfig] = None,
+    jobs: int = 1,
 ) -> Figure1Result:
     """The Figure 1 experiment: reduction rate vs L_H for M = 1..5.
 
@@ -91,6 +138,12 @@ def figure1_sweep(
     processes were used ... the average of the measurements is plotted").
 
     ``guest_nice=0`` reproduces Figure 1(a), ``guest_nice=19`` Figure 1(b).
+    ``jobs`` fans the ~50 cells out over worker processes; results are
+    identical for every value: the random duty compositions are drawn here,
+    serially, from one stream in grid order — the sweep's only stochastic
+    step, and one whose draw count never depends on measurement results —
+    and each cell's (purely deterministic) simulation gets its compositions
+    in the payload.
     """
     if combinations < 1:
         raise ExperimentError("combinations must be >= 1")
@@ -100,26 +153,21 @@ def figure1_sweep(
     reduction = np.full((len(lh_grid), len(group_sizes)), np.nan)
     isolated = np.full_like(reduction, np.nan)
 
+    cells = []
     for i, lh in enumerate(lh_grid):
         for j, m in enumerate(group_sizes):
             if lh < 0.1 * m - 1e-9:  # infeasible: each program needs >= 10%
                 continue
-            reds, isos = [], []
             n_combos = combinations if m > 1 else 1  # M=1 has one combo
-            for _ in range(n_combos):
-                group = calibrated_host_group(
-                    lh, m, rng, scheduler_config=scheduler_config
-                )
-                meas = measure_contention(
-                    lambda g=group: g.tasks(),
-                    lambda: guest_task(nice=guest_nice),
-                    duration=duration,
-                    scheduler_config=scheduler_config,
-                )
-                reds.append(meas.reduction_rate)
-                isos.append(meas.isolated_host_usage)
-            reduction[i, j] = float(np.mean(reds))
-            isolated[i, j] = float(np.mean(isos))
+            compositions = tuple(
+                random_duty_composition(lh, m, rng) for _ in range(n_combos)
+            )
+            cells.append(
+                (i, j, guest_nice, lh, m, compositions, duration, scheduler_config)
+            )
+    for i, j, red, iso in get_backend(jobs).map(_figure1_cell, cells):
+        reduction[i, j] = red
+        isolated[i, j] = iso
 
     return Figure1Result(
         guest_nice=guest_nice,
@@ -162,26 +210,39 @@ class Figure2Result:
         return out
 
 
+def _figure2_cell(
+    payload: tuple[int, int, float, int, float, Optional[SchedulerConfig]],
+) -> tuple[int, int, float]:
+    """One (L_H, priority) cell of Figure 2 (fully deterministic)."""
+    i, j, lh, nice, duration, scheduler_config = payload
+    meas = measure_contention(
+        lambda lh=lh: [host_task("h0", lh)],
+        lambda nice=nice: guest_task(nice=nice),
+        duration=duration,
+        scheduler_config=scheduler_config,
+    )
+    return i, j, meas.reduction_rate
+
+
 def figure2_sweep(
     *,
     lh_grid: Sequence[float] = tuple(round(0.1 * k, 2) for k in range(2, 11)),
     priorities: Sequence[int] = (0, 5, 10, 15, 19),
     duration: float = 120.0,
     scheduler_config: Optional[SchedulerConfig] = None,
+    jobs: int = 1,
 ) -> Figure2Result:
     """The Figure 2 experiment: one host process vs guests of varying nice."""
     lh_grid = tuple(lh_grid)
     priorities = tuple(priorities)
     reduction = np.zeros((len(lh_grid), len(priorities)))
-    for i, lh in enumerate(lh_grid):
-        for j, nice in enumerate(priorities):
-            meas = measure_contention(
-                lambda lh=lh: [host_task("h0", lh)],
-                lambda nice=nice: guest_task(nice=nice),
-                duration=duration,
-                scheduler_config=scheduler_config,
-            )
-            reduction[i, j] = meas.reduction_rate
+    cells = [
+        (i, j, lh, nice, duration, scheduler_config)
+        for i, lh in enumerate(lh_grid)
+        for j, nice in enumerate(priorities)
+    ]
+    for i, j, red in get_backend(jobs).map(_figure2_cell, cells):
+        reduction[i, j] = red
     return Figure2Result(lh_grid=lh_grid, priorities=priorities, reduction=reduction)
 
 
@@ -208,32 +269,43 @@ class Figure3Result:
         return float(np.mean(self.guest_usage_nice0 - self.guest_usage_nice19))
 
 
+def _figure3_cell(
+    payload: tuple[int, int, float, float, float, Optional[SchedulerConfig]],
+) -> tuple[int, int, float]:
+    """One (combo, priority) cell of Figure 3 (fully deterministic)."""
+    k, nice, h, g, duration, scheduler_config = payload
+    # CPU-intensive guests stall at sub-100 ms granularity (short
+    # I/O waits between compute stretches), unlike the 1 s cycles
+    # of the synthetic *host* programs.  The short cycle also
+    # avoids phase-locking with the host's period.
+    meas = measure_contention(
+        lambda h=h: [host_task("h0", h)],
+        lambda g=g, nice=nice: guest_task(duty=g, nice=nice, period=0.1),
+        duration=duration,
+        scheduler_config=scheduler_config,
+    )
+    return k, nice, meas.guest_usage
+
+
 def figure3_sweep(
     *,
     host_duties: Sequence[float] = (0.2, 0.1),
     guest_duties: Sequence[float] = (1.0, 0.9, 0.8, 0.7),
     duration: float = 240.0,
     scheduler_config: Optional[SchedulerConfig] = None,
+    jobs: int = 1,
 ) -> Figure3Result:
     """The Figure 3 experiment: does always-lowest priority waste guest CPU?"""
     combos = tuple((h, g) for h in host_duties for g in guest_duties)
     usage0 = np.zeros(len(combos))
     usage19 = np.zeros(len(combos))
-    for k, (h, g) in enumerate(combos):
-        for nice, out in ((0, usage0), (19, usage19)):
-            # CPU-intensive guests stall at sub-100 ms granularity (short
-            # I/O waits between compute stretches), unlike the 1 s cycles
-            # of the synthetic *host* programs.  The short cycle also
-            # avoids phase-locking with the host's period.
-            meas = measure_contention(
-                lambda h=h: [host_task("h0", h)],
-                lambda g=g, nice=nice: guest_task(
-                    duty=g, nice=nice, period=0.1
-                ),
-                duration=duration,
-                scheduler_config=scheduler_config,
-            )
-            out[k] = meas.guest_usage
+    cells = [
+        (k, nice, h, g, duration, scheduler_config)
+        for k, (h, g) in enumerate(combos)
+        for nice in (0, 19)
+    ]
+    for k, nice, usage in get_backend(jobs).map(_figure3_cell, cells):
+        (usage0 if nice == 0 else usage19)[k] = usage
     return Figure3Result(
         combos=combos, guest_usage_nice0=usage0, guest_usage_nice19=usage19
     )
@@ -268,6 +340,31 @@ class Figure4Result:
         return {(c.guest, c.host) for c in self.cells if c.thrashing}
 
 
+def _figure4_cell(
+    payload: tuple[
+        str, str, int, float, MemoryConfig, Optional[SchedulerConfig]
+    ],
+) -> Figure4Cell:
+    """One Figure 4 bar (fully deterministic)."""
+    gname, hname, nice, duration, memory_config, scheduler_config = payload
+    workload: MusbusWorkload = MUSBUS_WORKLOADS[hname]
+    app: SpecApp = SPEC_APPS[gname]
+    meas = measure_contention(
+        lambda w=workload: w.host_tasks(),
+        lambda a=app, nice=nice: spec_guest_task(a, nice=nice),
+        duration=duration,
+        memory_config=memory_config,
+        scheduler_config=scheduler_config,
+    )
+    return Figure4Cell(
+        guest=gname,
+        host=hname,
+        guest_nice=nice,
+        reduction=meas.reduction_rate,
+        thrashing=meas.thrash_fraction > 0.5,
+    )
+
+
 def figure4_sweep(
     *,
     guests: Sequence[str] = ("apsi", "galgel", "bzip2", "mcf"),
@@ -276,6 +373,7 @@ def figure4_sweep(
     duration: float = 120.0,
     memory_config: Optional[MemoryConfig] = None,
     scheduler_config: Optional[SchedulerConfig] = None,
+    jobs: int = 1,
 ) -> Figure4Result:
     """The Figure 4 experiment: SPEC guests vs Musbus hosts on 384 MB.
 
@@ -284,26 +382,12 @@ def figure4_sweep(
     CPU thresholds govern, with host CPU usages taken from Table 1.
     """
     memory_config = memory_config or MemoryConfig()
-    cells: list[Figure4Cell] = []
-    for hname in hosts:
-        workload: MusbusWorkload = MUSBUS_WORKLOADS[hname]
-        for gname in guests:
-            app: SpecApp = SPEC_APPS[gname]
-            for nice in priorities:
-                meas = measure_contention(
-                    lambda w=workload: w.host_tasks(),
-                    lambda a=app, nice=nice: spec_guest_task(a, nice=nice),
-                    duration=duration,
-                    memory_config=memory_config,
-                    scheduler_config=scheduler_config,
-                )
-                cells.append(
-                    Figure4Cell(
-                        guest=gname,
-                        host=hname,
-                        guest_nice=nice,
-                        reduction=meas.reduction_rate,
-                        thrashing=meas.thrash_fraction > 0.5,
-                    )
-                )
-    return Figure4Result(cells=tuple(cells))
+    cells = [
+        (gname, hname, nice, duration, memory_config, scheduler_config)
+        for hname in hosts
+        for gname in guests
+        for nice in priorities
+    ]
+    return Figure4Result(
+        cells=tuple(get_backend(jobs).map(_figure4_cell, cells))
+    )

@@ -113,12 +113,14 @@ def calibrate_thresholds(
     duration: float = 120.0,
     seed: int = 0,
     scheduler_config: Optional[SchedulerConfig] = None,
+    jobs: int = 1,
 ) -> ThresholdEstimate:
     """Run both Figure 1 sweeps and extract thresholds in one call.
 
     This is the "offline experiments to determine the values of these
     thresholds on specific systems" step of Section 3; FGCS deployments
-    run it once per platform.
+    run it once per platform.  ``jobs`` fans the sweep cells out over
+    worker processes without changing the derived thresholds.
     """
     kwargs = dict(
         lh_grid=lh_grid,
@@ -127,6 +129,7 @@ def calibrate_thresholds(
         duration=duration,
         seed=seed,
         scheduler_config=scheduler_config,
+        jobs=jobs,
     )
     sweep0 = figure1_sweep(0, **kwargs)
     sweep19 = figure1_sweep(19, **kwargs)

@@ -1,0 +1,36 @@
+"""Deterministic parallel execution for the expensive pipelines.
+
+Every hot loop in the reproduction — per-machine trace generation, the
+Figure 1–4 contention sweeps, the robustness seed sweep, the scheduling
+replications — is embarrassingly parallel *and* deterministic, because
+each unit of work draws from its own :class:`~numpy.random.SeedSequence`
+-spawned stream keyed by stable identifiers (seed, machine id, cell
+index).  This package provides:
+
+* an execution-backend abstraction (:class:`SerialBackend`,
+  :class:`ProcessPoolBackend`) selected from a ``jobs`` count, with the
+  invariant that ``jobs=N`` output equals ``jobs=1`` output bit for bit;
+* a content-addressed on-disk cache for generated trace datasets
+  (:mod:`repro.parallel.cache`), keyed by a stable fingerprint of the
+  frozen config plus schema versions.
+"""
+
+from .backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    resolve_jobs,
+)
+from .cache import DatasetCache, config_fingerprint, dataset_cache_key
+
+__all__ = [
+    "DatasetCache",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "config_fingerprint",
+    "dataset_cache_key",
+    "get_backend",
+    "resolve_jobs",
+]

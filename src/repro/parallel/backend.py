@@ -1,0 +1,140 @@
+"""Execution backends: order-preserving ``map`` over picklable payloads.
+
+The contract every backend honors:
+
+* ``map(fn, items)`` returns ``[fn(items[0]), fn(items[1]), ...]`` — the
+  result order always matches the item order, regardless of completion
+  order, so callers assemble identical outputs under any backend;
+* ``fn`` and every item must be picklable for the process-pool backend
+  (module-level functions with tuple payloads; all configs are frozen
+  dataclasses and pickle cleanly);
+* the optional ``progress(index, total)`` callback fires exactly once per
+  item, always in the parent process: the serial backend fires it *before*
+  each item (submission order), the pool backend fires it as results
+  arrive (completion order).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence, TypeVar
+
+from ..config import ExecutionConfig
+from ..errors import ConfigError
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "get_backend",
+    "resolve_jobs",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+ProgressFn = Callable[[int, int], None]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``jobs`` setting to a concrete worker count.
+
+    ``0`` means one worker per available CPU; negative values are invalid.
+    """
+    if jobs < 0:
+        raise ConfigError("jobs must be >= 0 (0 = one worker per CPU)")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class ExecutionBackend(ABC):
+    """Strategy for running a batch of independent tasks."""
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item, returning results in item order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution — no pool, no pickling requirements."""
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
+        total = len(items)
+        out: list[R] = []
+        for i, item in enumerate(items):
+            if progress is not None:
+                progress(i, total)
+            out.append(fn(item))
+        return out
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """``concurrent.futures`` process pool with order-preserving results.
+
+    Tasks run in worker processes; results are collected as they complete
+    but returned in submission order.  A worker exception propagates to the
+    caller after the remaining futures are cancelled.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ConfigError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
+        total = len(items)
+        if total == 0:
+            return []
+        results: list[R] = [None] * total  # type: ignore[list-item]
+        with ProcessPoolExecutor(max_workers=min(self.max_workers, total)) as pool:
+            index_of = {pool.submit(fn, item): i for i, item in enumerate(items)}
+            pending = set(index_of)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = index_of[fut]
+                        results[i] = fut.result()
+                        if progress is not None:
+                            progress(i, total)
+            except BaseException:
+                for fut in pending:
+                    fut.cancel()
+                raise
+        return results
+
+
+def get_backend(jobs: int | ExecutionConfig = 1) -> ExecutionBackend:
+    """The backend for a ``jobs`` setting (or an :class:`ExecutionConfig`).
+
+    ``jobs=1`` (the default) selects :class:`SerialBackend`; anything else
+    resolves to a :class:`ProcessPoolBackend` of that many workers.  Both
+    produce identical results for deterministic payload functions.
+    """
+    if isinstance(jobs, ExecutionConfig):
+        jobs = jobs.jobs
+    n = resolve_jobs(jobs)
+    if n == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(n)

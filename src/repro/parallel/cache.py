@@ -1,0 +1,144 @@
+"""Content-addressed on-disk cache for generated trace datasets.
+
+The cache key is a SHA-256 fingerprint over (a) a canonical JSON encoding
+of the frozen config dataclass tree, (b) the trace-file schema version
+(:data:`repro.traces.io.SCHEMA_VERSION`), and (c) a generator code-schema
+version (:data:`CODE_SCHEMA_VERSION`, bumped whenever the generation
+semantics change so stale entries can never be served).  Execution
+settings (``FgcsConfig.execution``) are excluded: worker count and cache
+location never change what is generated.
+
+Entries are stored through the existing :mod:`repro.traces.io` JSONL
+serialization, written atomically (temp file + rename) so a crashed run
+can leave at worst a stale temp file, never a truncated entry.  Corrupted
+or unreadable entries are treated as misses and removed, falling back to
+regeneration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import TraceError
+from ..traces.dataset import TraceDataset
+from ..traces.io import SCHEMA_VERSION, load_dataset, save_dataset
+
+__all__ = [
+    "CODE_SCHEMA_VERSION",
+    "DatasetCache",
+    "config_fingerprint",
+    "dataset_cache_key",
+]
+
+#: Version of the *generation code* semantics.  Bump whenever the trace
+#: generator, detector, or workload planner changes its output for an
+#: unchanged config, so previously cached datasets are invalidated.
+CODE_SCHEMA_VERSION = 1
+
+#: Dataclass fields excluded from fingerprints, per dataclass type name.
+#: Execution settings affect wall-clock only, never results.
+_EXCLUDED_FIELDS: dict[str, frozenset[str]] = {
+    "FgcsConfig": frozenset({"execution"}),
+}
+
+
+def _canonical(obj: object) -> object:
+    """A JSON-encodable canonical form of a (nested) config value."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        skip = _EXCLUDED_FIELDS.get(type(obj).__name__, frozenset())
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+                if f.name not in skip
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "name": obj.name}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, float):
+        # repr round-trips exactly and distinguishes 1.0 from 1.
+        return {"__float__": repr(obj)}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot fingerprint value of type {type(obj).__name__}")
+
+
+def config_fingerprint(config: object, *, extra: tuple = ()) -> str:
+    """Stable hex fingerprint of a frozen config (plus optional extras).
+
+    Stable across processes and interpreter restarts (no reliance on
+    salted ``hash()``), and identical for equal configs regardless of how
+    they were constructed.  ``extra`` distinguishes different artifacts
+    derived from the same config (e.g. with/without hourly load).
+    """
+    payload = {
+        "schema": {"trace": SCHEMA_VERSION, "code": CODE_SCHEMA_VERSION},
+        "config": _canonical(config),
+        "extra": [_canonical(x) for x in extra],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def dataset_cache_key(config: object, *, keep_hourly_load: bool = True) -> str:
+    """The cache key for :func:`repro.traces.generate.generate_dataset`."""
+    return config_fingerprint(
+        config, extra=("trace-dataset", keep_hourly_load)
+    )
+
+
+class DatasetCache:
+    """A directory of cached :class:`TraceDataset` files, one per key.
+
+    ``get`` never raises on a bad entry: anything unreadable (truncated
+    file, wrong schema, garbage) is removed and reported as a miss, so the
+    caller regenerates and overwrites it.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.jsonl"
+
+    def get(self, key: str) -> Optional[TraceDataset]:
+        """The cached dataset for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return load_dataset(path)
+        except (TraceError, OSError, ValueError, KeyError):
+            # Corrupted/truncated/stale entry: drop it and regenerate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, dataset: TraceDataset) -> Path:
+        """Store a dataset under ``key`` atomically; returns the path."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        try:
+            save_dataset(dataset, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return path

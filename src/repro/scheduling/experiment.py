@@ -215,6 +215,22 @@ class ReplicatedComparison:
         return list(self.raw)
 
 
+def _replicate_one(
+    payload: tuple[TraceDataset, int, int, float, float],
+) -> tuple[PolicyResult, ...]:
+    """One replicate: the full policy panel on one job stream (parallel
+    work unit; everything it needs arrives in the picklable payload)."""
+    dataset, train_days, seed, mean_interarrival, mean_runtime = payload
+    comparison = run_scheduling_experiment(
+        dataset,
+        train_days=train_days,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        mean_runtime=mean_runtime,
+    )
+    return comparison.results
+
+
 def replicate_scheduling_experiment(
     dataset: TraceDataset,
     *,
@@ -222,25 +238,30 @@ def replicate_scheduling_experiment(
     seeds: Sequence[int] = (7, 8, 9, 10, 11),
     mean_interarrival: float = 2.5 * HOUR,
     mean_runtime: float = 2 * HOUR,
+    jobs: int = 1,
 ) -> ReplicatedComparison:
     """The policy comparison over several independent job streams.
 
     A single job stream's policy ordering can be luck; replication plus
     paired per-seed differences turn "the oracle beats random" into a
-    statistical statement.
+    statistical statement.  Replicates are independent (each builds its
+    own job stream and policies from its seed), so ``jobs > 1`` fans them
+    out over worker processes with results identical to the serial run.
     """
+    from ..parallel.backend import get_backend
+
     if len(seeds) < 2:
         raise ConfigError("need at least two seeds to form intervals")
     per_policy: dict[str, dict[str, list[float]]] = {}
-    for seed in seeds:
-        comparison = run_scheduling_experiment(
-            dataset,
-            train_days=train_days,
-            seed=seed,
-            mean_interarrival=mean_interarrival,
-            mean_runtime=mean_runtime,
-        )
-        for r in comparison.results:
+    per_seed = get_backend(jobs).map(
+        _replicate_one,
+        [
+            (dataset, train_days, seed, mean_interarrival, mean_runtime)
+            for seed in seeds
+        ],
+    )
+    for results in per_seed:
+        for r in results:
             slot = per_policy.setdefault(r.policy, {"resp": [], "kills": []})
             slot["resp"].append(r.mean_response_h)
             slot["kills"].append(float(r.total_failures))

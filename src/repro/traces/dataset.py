@@ -16,6 +16,11 @@ from ..units import DAY, HOUR, is_weekend
 __all__ = ["TraceDataset"]
 
 
+def _float_eq(a: float, b: float) -> bool:
+    """Exact float equality with NaN == NaN (NaN marks 'unobserved')."""
+    return a == b or (a != a and b != b)
+
+
 @dataclass
 class TraceDataset:
     """Unavailability events for a testbed over a traced span.
@@ -154,6 +159,45 @@ class TraceDataset:
             hourly_load=hourly,
             metadata=dict(self.metadata),
         )
+
+    # -- equality -------------------------------------------------------------------------
+
+    def equals(self, other: "TraceDataset") -> bool:
+        """Exact equality: same events, shape, metadata, and hourly load.
+
+        Plain dataclass ``==`` is unusable here because the optional
+        ``hourly_load`` array has no unambiguous truth value; this compares
+        it with :func:`numpy.array_equal` treating NaNs as equal (NaN marks
+        hours the machine was down).  Used by the determinism tests to
+        assert ``jobs=N`` output matches ``jobs=1`` and cache round-trips.
+        """
+        if not isinstance(other, TraceDataset):
+            return False
+        if (
+            self.n_machines != other.n_machines
+            or self.span != other.span
+            or self.start_weekday != other.start_weekday
+            or self.metadata != other.metadata
+            or len(self.events) != len(other.events)
+        ):
+            return False
+        for a, b in zip(self.events, other.events):
+            if (
+                a.machine_id != b.machine_id
+                or a.start != b.start
+                or a.end != b.end
+                or a.state is not b.state
+                or not _float_eq(a.mean_host_load, b.mean_host_load)
+                or not _float_eq(a.mean_free_mb, b.mean_free_mb)
+            ):
+                return False
+        if (self.hourly_load is None) != (other.hourly_load is None):
+            return False
+        if self.hourly_load is not None:
+            return bool(
+                np.array_equal(self.hourly_load, other.hourly_load, equal_nan=True)
+            )
+        return True
 
     # -- summaries ------------------------------------------------------------------------
 

@@ -3,7 +3,13 @@
 For each machine: plan workload episodes, synthesize monitor samples, run
 the unavailability detector, keep the events plus an hourly load summary,
 and discard the raw samples.  Memory use stays at one machine's samples
-(~25 MB) regardless of testbed size.
+(~25 MB) regardless of testbed size — each worker builds only its own
+machine's samples and returns events plus one hourly-load row.
+
+Machines are independent units of work drawing from per-machine random
+streams (``RngFactory(seed).generator(kind, machine_id)``), so generation
+fans out over a process pool without changing a single byte of output:
+``jobs=N`` produces exactly the ``jobs=1`` dataset.
 """
 
 from __future__ import annotations
@@ -12,8 +18,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..config import FgcsConfig
+from ..config import ExecutionConfig, FgcsConfig
 from ..core.detector import BatchDetector
+from ..core.events import UnavailabilityEvent
 from ..core.model import MultiStateModel
 from ..units import HOUR
 from ..workloads.loadmodel import MachineTraceGenerator
@@ -22,11 +29,35 @@ from .dataset import TraceDataset
 __all__ = ["generate_dataset"]
 
 
+def _generate_machine(
+    payload: tuple[FgcsConfig, int, bool],
+) -> tuple[list[UnavailabilityEvent], Optional[np.ndarray]]:
+    """One machine's (events, hourly-load row) — the parallel work unit.
+
+    Module-level (picklable) and self-contained: builds the generator and
+    detector from the config so a pool worker needs nothing but the
+    payload.  Deterministic per ``(config.seed, machine_id)``.
+    """
+    config, machine_id, keep_hourly_load = payload
+    gen = MachineTraceGenerator(config)
+    detector = BatchDetector(MultiStateModel(thresholds=config.thresholds))
+    trace = gen.generate(machine_id)
+    events = detector.detect(
+        trace.samples, machine_id=machine_id, end_time=trace.span
+    )
+    hourly_row = None
+    if keep_hourly_load:
+        n_hours = int(config.testbed.duration // HOUR)
+        hourly_row = gen.hourly_mean_load(trace)[:n_hours]
+    return events, hourly_row
+
+
 def generate_dataset(
     config: Optional[FgcsConfig] = None,
     *,
     keep_hourly_load: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> TraceDataset:
     """Generate the full testbed trace dataset.
 
@@ -37,7 +68,17 @@ def generate_dataset(
     keep_hourly_load:
         Also record each machine's mean host load per wall-clock hour.
     progress:
-        Optional callback ``progress(machine_index, n_machines)``.
+        Optional callback ``progress(machine_index, n_machines)``, fired
+        exactly once per machine, always in the calling process.  With a
+        serial backend (``jobs=1``) it fires in submission order, *before*
+        each machine is generated; with a process-pool backend it fires in
+        completion order, *after* each machine's result arrives.  Every
+        machine index in ``0 .. n_machines - 1`` is reported exactly once
+        either way.
+    execution:
+        Worker-pool and cache settings; defaults to ``config.execution``.
+        The result is bit-for-bit identical for every ``jobs`` value, and
+        a cache hit returns a dataset equal to a freshly generated one.
 
     Returns
     -------
@@ -46,26 +87,39 @@ def generate_dataset(
         pipeline the paper ran on live machines.
     """
     config = config or FgcsConfig()
-    gen = MachineTraceGenerator(config)
-    model = MultiStateModel(thresholds=config.thresholds)
-    detector = BatchDetector(model)
+    execution = execution if execution is not None else config.execution
+
+    cache = None
+    key = None
+    if execution.cache_enabled:
+        from ..parallel.cache import DatasetCache, dataset_cache_key
+
+        cache = DatasetCache(execution.cache_dir)
+        key = dataset_cache_key(config, keep_hourly_load=keep_hourly_load)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    from ..parallel.backend import get_backend
 
     n = config.testbed.n_machines
     n_hours = int(config.testbed.duration // HOUR)
     hourly = np.full((n, n_hours), np.nan) if keep_hourly_load else None
 
-    events = []
-    for mid in range(n):
-        if progress is not None:
-            progress(mid, n)
-        trace = gen.generate(mid)
-        events.extend(
-            detector.detect(trace.samples, machine_id=mid, end_time=trace.span)
-        )
-        if hourly is not None:
-            hourly[mid, :] = gen.hourly_mean_load(trace)[:n_hours]
+    backend = get_backend(execution)
+    per_machine = backend.map(
+        _generate_machine,
+        [(config, mid, keep_hourly_load) for mid in range(n)],
+        progress=progress,
+    )
 
-    return TraceDataset(
+    events: list[UnavailabilityEvent] = []
+    for mid, (machine_events, hourly_row) in enumerate(per_machine):
+        events.extend(machine_events)
+        if hourly is not None and hourly_row is not None:
+            hourly[mid, :] = hourly_row
+
+    dataset = TraceDataset(
         events=events,
         n_machines=n,
         span=config.testbed.duration,
@@ -78,3 +132,6 @@ def generate_dataset(
             "monitor_period": config.monitor.period,
         },
     )
+    if cache is not None and key is not None:
+        cache.put(key, dataset)
+    return dataset

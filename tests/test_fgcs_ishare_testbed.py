@@ -134,3 +134,25 @@ class TestTestbed:
             assert s.cpu == counts["cpu"]
             assert s.memory == counts["memory"]
             assert s.revocation == counts["revocation"]
+
+    def test_single_pass_matches_per_machine_scans(self, small_dataset):
+        """Regression pin for the single-pass rewrite: identical
+        MachineSummary tuples to the original four-scans-per-machine
+        formulation."""
+        from repro.fgcs.testbed import MachineSummary
+
+        expected = []
+        for mid in range(small_dataset.n_machines):
+            evs = small_dataset.events_for(mid)
+            urr = [e for e in evs if e.state is AvailState.S5]
+            expected.append(
+                MachineSummary(
+                    machine_id=mid,
+                    total=len(evs),
+                    cpu=sum(1 for e in evs if e.state is AvailState.S3),
+                    memory=sum(1 for e in evs if e.state is AvailState.S4),
+                    revocation=len(urr),
+                    reboots=sum(1 for e in urr if e.is_reboot),
+                )
+            )
+        assert summarize_machines(small_dataset) == tuple(expected)

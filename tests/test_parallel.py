@@ -1,0 +1,214 @@
+"""Tests for the deterministic parallel execution layer.
+
+The layer's contract: for every wired pipeline, ``jobs=N`` output equals
+``jobs=1`` output exactly — same events, same arrays, same tallies.
+Pool sizes here stay small (2) so the suite runs fine on single-CPU CI.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutionConfig, FgcsConfig, TestbedConfig
+from repro.errors import ConfigError
+from repro.parallel import (
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    resolve_jobs,
+)
+from repro.traces.generate import generate_dataset
+from repro.units import DAY
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestBackendSelection:
+    def test_jobs_one_is_serial(self):
+        assert isinstance(get_backend(1), SerialBackend)
+
+    def test_jobs_many_is_pool(self):
+        backend = get_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 3
+
+    def test_jobs_zero_means_all_cpus(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+        with pytest.raises(ConfigError):
+            ExecutionConfig(jobs=-2)
+
+    def test_execution_config_accepted(self):
+        assert isinstance(get_backend(ExecutionConfig(jobs=1)), SerialBackend)
+        assert isinstance(
+            get_backend(ExecutionConfig(jobs=2)), ProcessPoolBackend
+        )
+
+
+class TestBackendMap:
+    def test_serial_and_pool_agree_in_order(self):
+        items = list(range(17))
+        expected = [x * x for x in items]
+        assert SerialBackend().map(_square, items) == expected
+        assert ProcessPoolBackend(2).map(_square, items) == expected
+
+    def test_empty_items(self):
+        assert SerialBackend().map(_square, []) == []
+        assert ProcessPoolBackend(2).map(_square, []) == []
+
+    def test_serial_progress_submission_order(self):
+        calls = []
+        SerialBackend().map(_square, [1, 2, 3], progress=lambda i, n: calls.append((i, n)))
+        assert calls == [(0, 3), (1, 3), (2, 3)]
+
+    def test_pool_progress_each_index_once(self):
+        calls = []
+        ProcessPoolBackend(2).map(
+            _square, list(range(6)), progress=lambda i, n: calls.append((i, n))
+        )
+        assert sorted(calls) == [(i, 6) for i in range(6)]
+
+    def test_pool_propagates_worker_errors(self):
+        with pytest.raises(ZeroDivisionError):
+            ProcessPoolBackend(2).map(_reciprocal, [1, 0, 2])
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=3, duration=3 * DAY),
+        seed=11,
+    )
+
+
+class TestGenerateDatasetParallel:
+    def test_pool_equals_serial(self, tiny_config):
+        serial = generate_dataset(tiny_config, execution=ExecutionConfig(jobs=1))
+        pooled = generate_dataset(tiny_config, execution=ExecutionConfig(jobs=2))
+        assert serial.equals(pooled)
+
+    def test_pool_equals_serial_without_hourly(self, tiny_config):
+        serial = generate_dataset(
+            tiny_config, keep_hourly_load=False, execution=ExecutionConfig(jobs=1)
+        )
+        pooled = generate_dataset(
+            tiny_config, keep_hourly_load=False, execution=ExecutionConfig(jobs=2)
+        )
+        assert serial.equals(pooled)
+        assert pooled.hourly_load is None
+
+    def test_execution_from_config(self, tiny_config):
+        cfg = tiny_config.with_execution(ExecutionConfig(jobs=2))
+        assert generate_dataset(cfg).equals(generate_dataset(tiny_config))
+
+    def test_progress_fires_under_pool(self, tiny_config):
+        calls = []
+        generate_dataset(
+            tiny_config,
+            execution=ExecutionConfig(jobs=2),
+            progress=lambda i, n: calls.append((i, n)),
+        )
+        # Completion order is nondeterministic; coverage is not.
+        assert sorted(calls) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_progress_fires_serially_in_order(self, tiny_config):
+        calls = []
+        generate_dataset(
+            tiny_config,
+            execution=ExecutionConfig(jobs=1),
+            progress=lambda i, n: calls.append((i, n)),
+        )
+        assert calls == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestSweepsParallel:
+    def test_figure1_pool_equals_serial(self):
+        from repro.contention.sweeps import figure1_sweep
+
+        kwargs = dict(
+            lh_grid=(0.2, 0.6), group_sizes=(1, 2), combinations=2, duration=20.0
+        )
+        s1 = figure1_sweep(0, **kwargs, jobs=1)
+        s2 = figure1_sweep(0, **kwargs, jobs=2)
+        np.testing.assert_array_equal(s1.reduction, s2.reduction)
+        np.testing.assert_array_equal(s1.isolated_usage, s2.isolated_usage)
+
+    def test_figure2_pool_equals_serial(self):
+        from repro.contention.sweeps import figure2_sweep
+
+        kwargs = dict(lh_grid=(0.3, 0.8), priorities=(0, 19), duration=20.0)
+        np.testing.assert_array_equal(
+            figure2_sweep(**kwargs, jobs=1).reduction,
+            figure2_sweep(**kwargs, jobs=2).reduction,
+        )
+
+    def test_figure3_pool_equals_serial(self):
+        from repro.contention.sweeps import figure3_sweep
+
+        kwargs = dict(host_duties=(0.2,), guest_duties=(1.0, 0.8), duration=30.0)
+        s1 = figure3_sweep(**kwargs, jobs=1)
+        s2 = figure3_sweep(**kwargs, jobs=2)
+        np.testing.assert_array_equal(s1.guest_usage_nice0, s2.guest_usage_nice0)
+        np.testing.assert_array_equal(s1.guest_usage_nice19, s2.guest_usage_nice19)
+
+    def test_figure4_pool_equals_serial(self):
+        from repro.contention.sweeps import figure4_sweep
+
+        kwargs = dict(
+            guests=("apsi", "galgel"), hosts=("H1", "H2"), duration=20.0
+        )
+        assert figure4_sweep(**kwargs, jobs=1) == figure4_sweep(**kwargs, jobs=2)
+
+
+class TestSeedSweepParallel:
+    def test_pool_equals_serial(self, tiny_config):
+        from repro.analysis.robustness import seed_sweep
+
+        cfg = dataclasses.replace(
+            tiny_config, testbed=TestbedConfig(n_machines=2, duration=10 * DAY)
+        )
+        serial = seed_sweep((1, 2, 3), base_config=cfg, jobs=1)
+        pooled = seed_sweep((1, 2, 3), base_config=cfg, jobs=2)
+        assert serial.seeds == pooled.seeds
+        assert serial.results.keys() == pooled.results.keys()
+        for name, (passes, total, worst) in serial.results.items():
+            p_passes, p_total, p_worst = pooled.results[name]
+            assert (passes, total) == (p_passes, p_total)
+            # Exact equality, NaN-aware (a landmark can measure NaN on
+            # traces with no qualifying events).
+            assert worst == p_worst or (worst != worst and p_worst != p_worst)
+
+
+class TestReplicationParallel:
+    def test_pool_equals_serial(self, small_dataset):
+        from repro.scheduling import replicate_scheduling_experiment
+
+        kwargs = dict(train_days=14, seeds=(1, 2))
+        serial = replicate_scheduling_experiment(small_dataset, **kwargs, jobs=1)
+        pooled = replicate_scheduling_experiment(small_dataset, **kwargs, jobs=2)
+        assert serial.seeds == pooled.seeds
+        assert serial.raw == pooled.raw
+
+
+class TestRunTestbedParallel:
+    def test_pool_equals_serial_summaries(self, tiny_config):
+        from repro.fgcs.testbed import run_testbed
+
+        serial = run_testbed(tiny_config, execution=ExecutionConfig(jobs=1))
+        pooled = run_testbed(tiny_config, execution=ExecutionConfig(jobs=2))
+        assert serial.summaries == pooled.summaries
+        assert serial.dataset.equals(pooled.dataset)

@@ -1,0 +1,148 @@
+"""Tests for the content-addressed on-disk dataset cache.
+
+Covers the satellite contract: key stability across processes,
+invalidation when any config field or schema version changes, and
+corrupted/truncated entries falling back to regeneration.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import ExecutionConfig, FgcsConfig, MonitorConfig, TestbedConfig
+from repro.parallel import cache as cache_mod
+from repro.parallel.cache import (
+    DatasetCache,
+    config_fingerprint,
+    dataset_cache_key,
+)
+from repro.traces.generate import generate_dataset
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=2, duration=2 * DAY),
+        seed=17,
+    )
+
+
+class TestFingerprint:
+    def test_equal_configs_equal_keys(self, cfg):
+        clone = dataclasses.replace(cfg)
+        assert config_fingerprint(cfg) == config_fingerprint(clone)
+
+    def test_any_field_change_changes_key(self, cfg):
+        base = config_fingerprint(cfg)
+        assert config_fingerprint(cfg.with_seed(cfg.seed + 1)) != base
+        assert (
+            config_fingerprint(
+                dataclasses.replace(cfg, monitor=MonitorConfig(period=15.0))
+            )
+            != base
+        )
+        assert (
+            config_fingerprint(
+                dataclasses.replace(
+                    cfg, testbed=TestbedConfig(n_machines=3, duration=2 * DAY)
+                )
+            )
+            != base
+        )
+
+    def test_execution_settings_do_not_change_key(self, cfg):
+        assert config_fingerprint(cfg) == config_fingerprint(
+            cfg.with_execution(ExecutionConfig(jobs=8, cache_dir="/tmp/x"))
+        )
+
+    def test_extras_distinguish_artifacts(self, cfg):
+        assert dataset_cache_key(cfg, keep_hourly_load=True) != dataset_cache_key(
+            cfg, keep_hourly_load=False
+        )
+
+    def test_schema_version_changes_key(self, cfg, monkeypatch):
+        base = config_fingerprint(cfg)
+        monkeypatch.setattr(cache_mod, "CODE_SCHEMA_VERSION", 999)
+        assert config_fingerprint(cfg) != base
+
+    def test_stable_across_processes(self, cfg):
+        """The key must not depend on salted ``hash()`` or process state."""
+        here = config_fingerprint(cfg)
+        code = (
+            "import dataclasses\n"
+            "from repro.config import FgcsConfig, TestbedConfig\n"
+            "from repro.parallel.cache import config_fingerprint\n"
+            "from repro.units import DAY\n"
+            "cfg = dataclasses.replace(FgcsConfig(), "
+            "testbed=TestbedConfig(n_machines=2, duration=2 * DAY), seed=17)\n"
+            "print(config_fingerprint(cfg))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == here
+
+
+class TestDatasetCache:
+    def test_miss_then_hit_round_trips_equal(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        assert len(list(tmp_path.iterdir())) == 1
+        hit = generate_dataset(cfg, execution=execution)
+        assert fresh.equals(hit)
+
+    def test_hit_actually_reads_the_cache(self, cfg, tmp_path):
+        """Plant a sentinel in the stored entry; a hit must surface it."""
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        dataset = generate_dataset(cfg, execution=execution)
+        key = dataset_cache_key(cfg, keep_hourly_load=True)
+        dataset.metadata["sentinel"] = "from-cache"
+        DatasetCache(tmp_path).put(key, dataset)
+        again = generate_dataset(cfg, execution=execution)
+        assert again.metadata.get("sentinel") == "from-cache"
+
+    def test_no_cache_flag_skips_cache(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path), use_cache=False)
+        assert not execution.cache_enabled
+        generate_dataset(cfg, execution=execution)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupted_entry_regenerates(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        (path,) = tmp_path.iterdir()
+        path.write_text("this is not a trace file\n{]", encoding="utf-8")
+        recovered = generate_dataset(cfg, execution=execution)
+        assert fresh.equals(recovered)
+        # The bad entry was replaced with a good one.
+        assert generate_dataset(cfg, execution=execution).equals(fresh)
+
+    def test_truncated_entry_regenerates(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        (path,) = tmp_path.iterdir()
+        blob = path.read_bytes()
+        # Cut mid-record (event lines are far longer than 10 bytes), so the
+        # last line can never parse as valid JSON.
+        path.write_bytes(blob[:-10])
+        recovered = generate_dataset(cfg, execution=execution)
+        assert fresh.equals(recovered)
+
+    def test_get_on_missing_key_is_none(self, tmp_path):
+        assert DatasetCache(tmp_path).get("0" * 64) is None
+
+    def test_different_config_different_entry(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        generate_dataset(cfg, execution=execution)
+        generate_dataset(cfg.with_seed(99), execution=execution)
+        assert len(list(tmp_path.iterdir())) == 2
