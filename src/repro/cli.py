@@ -11,14 +11,22 @@ Commands
 * ``predict`` — evaluate the availability predictors on a trace;
 * ``schedule`` — run the proactive-vs-oblivious scheduling comparison;
 * ``report`` — write every analysis artifact for a trace to a directory.
+
+Every command also takes the telemetry flags (``--log-level``,
+``--log-json``, ``--metrics-out PATH``); ``--metrics-out`` writes a JSON
+run manifest (seed, config fingerprint, versions, phase spans, metrics)
+at the end of the run.  Telemetry never changes results: outputs are
+bit-identical with it on or off.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from ._version import __version__
 from .config import FgcsConfig
 
 __all__ = ["main", "build_parser"]
@@ -32,9 +40,34 @@ def build_parser() -> argparse.ArgumentParser:
             "Availability in Fine-Grained Cycle Sharing Systems' (ICPP 2006)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    common = argparse.ArgumentParser(add_help=False)
+    # Telemetry flags shared by *every* command (including ``thresholds``,
+    # which doesn't take the testbed options below).
+    obs_common = argparse.ArgumentParser(add_help=False)
+    obs_common.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="logging verbosity on stderr (default: warning)",
+    )
+    obs_common.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit JSON-lines logs (also silences the progress line)",
+    )
+    obs_common.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest (seed, config fingerprint, phase "
+        "spans, metrics) to PATH at the end of the run",
+    )
+
+    common = argparse.ArgumentParser(add_help=False, parents=[obs_common])
     common.add_argument("--seed", type=int, default=2006, help="root RNG seed")
     common.add_argument(
         "--machines", type=int, default=20, help="testbed size (paper: 20)"
@@ -82,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_thr = sub.add_parser(
-        "thresholds", help="calibrate Th1/Th2 via the Section 3.2 experiments"
+        "thresholds",
+        parents=[obs_common],
+        help="calibrate Th1/Th2 via the Section 3.2 experiments",
     )
     p_thr.add_argument(
         "--duration", type=float, default=120.0, help="seconds simulated per run"
@@ -134,6 +169,21 @@ def _config_from(args: argparse.Namespace) -> FgcsConfig:
     )
 
 
+def _progress(
+    args: argparse.Namespace, stage: str
+) -> Optional[Callable[[int, int], None]]:
+    """The ``[k/N] <stage>`` stderr progress callback, or ``None``.
+
+    Silent when stderr is not a TTY or under ``--log-json`` (machine-
+    readable output stays clean).
+    """
+    from .obs import cli_progress
+
+    if getattr(args, "log_json", False):
+        return None
+    return cli_progress(stage)
+
+
 def _load_or_generate(args: argparse.Namespace):
     from .traces import generate_dataset, load_dataset
 
@@ -141,17 +191,16 @@ def _load_or_generate(args: argparse.Namespace):
         print(f"loading trace from {args.trace}", file=sys.stderr)
         return load_dataset(args.trace)
     print("generating trace (use 'generate' to save one for reuse)", file=sys.stderr)
-    return generate_dataset(_config_from(args))
+    return generate_dataset(
+        _config_from(args), progress=_progress(args, args.command)
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
     from .traces import generate_dataset, save_dataset
 
     config = _config_from(args)
-    dataset = generate_dataset(
-        config,
-        progress=lambda i, n: print(f"machine {i + 1}/{n}", file=sys.stderr),
-    )
+    dataset = generate_dataset(config, progress=_progress(args, "generate"))
     save_dataset(dataset, args.output)
     print(
         f"wrote {len(dataset)} events over {dataset.machine_days:.0f} "
@@ -171,20 +220,43 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     from .analysis.ascii import render_figure6_chart, render_figure7_chart
 
+    from .units import DAY
+
     dataset = _load_or_generate(args)
     print(render_table2(cause_breakdown(dataset)))
     print()
+    # Short traces may cover only one day type; render what exists so a
+    # 2-day smoke run still produces Table 2 and a valid manifest.
+    has_weekend = any(
+        dataset.is_weekend_time(d * DAY) for d in range(dataset.n_days)
+    )
+    has_weekday = any(
+        not dataset.is_weekend_time(d * DAY) for d in range(dataset.n_days)
+    )
     dist = interval_distribution(dataset)
-    print(render_figure6(dist))
-    print()
-    print(render_figure6_chart(dist))
-    print()
-    pattern = daily_pattern(dataset)
-    print(render_figure7(pattern))
-    print()
-    print(render_figure7_chart(pattern, weekend=False))
-    print()
-    print(render_figure7_chart(pattern, weekend=True))
+    if dist.weekday_hours.size and dist.weekend_hours.size:
+        print(render_figure6(dist))
+        print()
+        print(render_figure6_chart(dist))
+        print()
+    else:
+        print(
+            "Figure 6 skipped: needs weekday and weekend availability "
+            "intervals (trace too short)"
+        )
+        print()
+    if has_weekday and has_weekend:
+        pattern = daily_pattern(dataset)
+        print(render_figure7(pattern))
+        print()
+        print(render_figure7_chart(pattern, weekend=False))
+        print()
+        print(render_figure7_chart(pattern, weekend=True))
+    else:
+        print(
+            "Figure 7 skipped: needs both weekday and weekend days "
+            "(trace too short)"
+        )
     if args.check:
         print()
         checks = check_paper_landmarks(dataset)
@@ -314,10 +386,74 @@ _COMMANDS = {
     "report": cmd_report,
 }
 
+#: Counters every manifest should carry even when they stayed at zero, so
+#: consumers can rely on the keys being present.
+_DECLARED_COUNTERS = (
+    "cache.hit",
+    "cache.miss",
+    "cache.corrupt_evicted",
+    "cache.write",
+    "parallel.units",
+)
+
+
+def _write_manifest(
+    args: argparse.Namespace,
+    argv: list[str],
+    exit_code: int,
+    registry,
+    started_at: str,
+    duration_s: float,
+) -> None:
+    from .obs import build_manifest
+
+    fingerprint = None
+    if hasattr(args, "machines"):
+        from .parallel.cache import config_fingerprint
+
+        fingerprint = config_fingerprint(_config_from(args))
+    manifest = build_manifest(
+        command=args.command,
+        argv=argv,
+        registry=registry,
+        duration_s=duration_s,
+        started_at=started_at,
+        exit_code=exit_code,
+        seed=getattr(args, "seed", None),
+        config_fingerprint=fingerprint,
+    )
+    path = manifest.write(args.metrics_out)
+    if args.log_json:
+        # Keep the stderr stream pure JSON-lines: route through the logger.
+        logging.getLogger("repro.cli").info("wrote run manifest to %s", path)
+    else:
+        print(f"wrote run manifest to {path}", file=sys.stderr)
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    import time
+    from datetime import datetime, timezone
+
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(argv_list)
+
+    from .obs import MetricsRegistry, setup_logging, use_registry
+
+    setup_logging(level=args.log_level, json_lines=args.log_json)
+    registry = MetricsRegistry()
+    for name in _DECLARED_COUNTERS:
+        registry.inc(name, 0)
+
+    started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    t0 = time.perf_counter()
+    with use_registry(registry):
+        with registry.span(args.command):
+            rc = _COMMANDS[args.command](args)
+    if args.metrics_out:
+        _write_manifest(
+            args, argv_list, rc, registry, started_at, time.perf_counter() - t0
+        )
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

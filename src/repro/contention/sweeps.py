@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import MemoryConfig, SchedulerConfig
 from ..errors import ExperimentError
+from ..obs.metrics import span
 from ..parallel.backend import get_backend
 from ..rng import generator_from
 from ..workloads.hostgroups import random_duty_composition
@@ -165,9 +166,10 @@ def figure1_sweep(
             cells.append(
                 (i, j, guest_nice, lh, m, compositions, duration, scheduler_config)
             )
-    for i, j, red, iso in get_backend(jobs).map(_figure1_cell, cells):
-        reduction[i, j] = red
-        isolated[i, j] = iso
+    with span(f"contention.figure1.nice{guest_nice}"):
+        for i, j, red, iso in get_backend(jobs).map(_figure1_cell, cells):
+            reduction[i, j] = red
+            isolated[i, j] = iso
 
     return Figure1Result(
         guest_nice=guest_nice,
@@ -241,8 +243,9 @@ def figure2_sweep(
         for i, lh in enumerate(lh_grid)
         for j, nice in enumerate(priorities)
     ]
-    for i, j, red in get_backend(jobs).map(_figure2_cell, cells):
-        reduction[i, j] = red
+    with span("contention.figure2"):
+        for i, j, red in get_backend(jobs).map(_figure2_cell, cells):
+            reduction[i, j] = red
     return Figure2Result(lh_grid=lh_grid, priorities=priorities, reduction=reduction)
 
 
@@ -304,8 +307,9 @@ def figure3_sweep(
         for k, (h, g) in enumerate(combos)
         for nice in (0, 19)
     ]
-    for k, nice, usage in get_backend(jobs).map(_figure3_cell, cells):
-        (usage0 if nice == 0 else usage19)[k] = usage
+    with span("contention.figure3"):
+        for k, nice, usage in get_backend(jobs).map(_figure3_cell, cells):
+            (usage0 if nice == 0 else usage19)[k] = usage
     return Figure3Result(
         combos=combos, guest_usage_nice0=usage0, guest_usage_nice19=usage19
     )
@@ -388,6 +392,7 @@ def figure4_sweep(
         for gname in guests
         for nice in priorities
     ]
-    return Figure4Result(
-        cells=tuple(get_backend(jobs).map(_figure4_cell, cells))
-    )
+    with span("contention.figure4"):
+        return Figure4Result(
+            cells=tuple(get_backend(jobs).map(_figure4_cell, cells))
+        )

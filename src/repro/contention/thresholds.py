@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from ..config import SchedulerConfig, ThresholdConfig
 from ..errors import ExperimentError
+from ..obs.metrics import span
 from .sweeps import FIG1_LH_GRID, Figure1Result, figure1_sweep
 
 __all__ = ["ThresholdEstimate", "extract_thresholds", "calibrate_thresholds"]
@@ -131,6 +132,8 @@ def calibrate_thresholds(
         scheduler_config=scheduler_config,
         jobs=jobs,
     )
-    sweep0 = figure1_sweep(0, **kwargs)
-    sweep19 = figure1_sweep(19, **kwargs)
+    with span("thresholds.sweep_nice0"):
+        sweep0 = figure1_sweep(0, **kwargs)
+    with span("thresholds.sweep_nice19"):
+        sweep19 = figure1_sweep(19, **kwargs)
     return extract_thresholds(sweep0, sweep19, criterion=criterion)

@@ -1,0 +1,54 @@
+"""repro.obs — structured run telemetry for the whole pipeline.
+
+The paper's results are statistical claims over ~1800 machine-days of
+simulated trace; this package makes every run account for itself:
+
+* :class:`MetricsRegistry` — injectable counters, gauges, and timing
+  histograms (p50/p95/max), snapshot-able to a plain dict; the ambient
+  registry is disabled (zero-cost) unless a caller opts in via
+  :func:`use_registry` / :func:`set_registry`;
+* :func:`span` — nested wall-clock phase timings recorded as a tree;
+* :func:`setup_logging` — structured logging on stdlib ``logging``
+  (human format by default, JSON-lines via ``--log-json``);
+* :class:`RunManifest` / :func:`build_manifest` — the end-of-run JSON
+  document (seed, config fingerprint, versions, argv, spans, metrics)
+  written by the CLI's ``--metrics-out PATH``;
+* :class:`EventTrace` — opt-in simkernel observer counting fired events
+  by type with a bounded JSONL-dumpable sample;
+* :func:`cli_progress` — the ``[k/N] <stage>`` stderr progress line for
+  interactive runs.
+
+Telemetry is gathered in the parent process only and is excluded from
+cache keys and dataset equality: pipeline outputs are bit-identical with
+telemetry enabled or disabled.
+"""
+
+from .logs import LOG_LEVELS, JsonLinesFormatter, setup_logging
+from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    span,
+    use_registry,
+)
+from .progress import cli_progress
+from .trace_events import EventTrace
+
+__all__ = [
+    "EventTrace",
+    "Histogram",
+    "JsonLinesFormatter",
+    "LOG_LEVELS",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "RunManifest",
+    "build_manifest",
+    "cli_progress",
+    "get_registry",
+    "set_registry",
+    "setup_logging",
+    "span",
+    "use_registry",
+]

@@ -1,0 +1,67 @@
+"""Structured logging setup on the stdlib ``logging`` package.
+
+All repro modules log through ``logging.getLogger(__name__)`` (so every
+logger lives under the ``repro`` namespace) and never configure handlers
+themselves — library users keep full control.  :func:`setup_logging` is
+the one-call configuration the CLI applies: a single stderr handler on
+the ``repro`` logger, either a terse human format or JSON-lines
+(``--log-json``) for machine consumption.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["JsonLinesFormatter", "LOG_LEVELS", "setup_logging"]
+
+#: Accepted ``--log-level`` values, least to most severe.
+LOG_LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error")
+
+_HUMAN_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HUMAN_DATEFMT = "%H:%M:%S"
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log record: ts, level, logger, msg (+ exc)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, ensure_ascii=False)
+
+
+def setup_logging(
+    level: str = "warning",
+    *,
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root repro logger.
+
+    Idempotent: calling again replaces the previously installed handler
+    (the CLI calls it once per invocation).  Only the ``repro`` namespace
+    is touched — the global root logger and other libraries are left
+    alone.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLinesFormatter()
+        if json_lines
+        else logging.Formatter(_HUMAN_FORMAT, datefmt=_HUMAN_DATEFMT)
+    )
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

@@ -1,0 +1,118 @@
+"""Run manifests: one JSON document recording what a run did.
+
+A :class:`RunManifest` is written at the end of every CLI command when
+``--metrics-out PATH`` is given.  It records enough to account for (and
+reproduce) the run: the command and argv, package and schema versions,
+the root seed, the config fingerprint (the same one that keys the
+dataset cache), wall-clock start/duration, the exit code, the nested
+phase spans, and the full metrics snapshot.
+
+The manifest is *derived from* a run but never feeds back into one:
+fingerprints, cache keys, and dataset equality ignore it entirely, so
+telemetry can never perturb results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
+
+#: Version of the manifest document layout itself.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """The JSON-serializable record of one run."""
+
+    #: CLI command (``generate``, ``analyze``, ...) or a caller-chosen label.
+    command: str
+    #: Exact argv the run was invoked with.
+    argv: list[str]
+    #: ``repro`` package version.
+    version: str
+    #: Schema versions: ``{"manifest": .., "trace": .., "code": ..}``.
+    schema: dict
+    #: Root RNG seed, when the command has one.
+    seed: Optional[int]
+    #: :func:`repro.parallel.cache.config_fingerprint` of the resolved
+    #: config, when the command builds one (``None`` for e.g. thresholds).
+    config_fingerprint: Optional[str]
+    #: ISO-8601 UTC timestamp of run start.
+    started_at: str
+    #: Total wall-clock duration, seconds.
+    duration_s: float
+    #: Process exit code of the command.
+    exit_code: int
+    #: Nested phase spans (the ``spans`` part of the metrics snapshot).
+    spans: list = field(default_factory=list)
+    #: Counters/gauges/histograms recorded during the run.
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        return cls(**data)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialize to ``path`` as stable, human-diffable JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def build_manifest(
+    *,
+    command: str,
+    argv: list[str],
+    registry: MetricsRegistry,
+    duration_s: float,
+    started_at: str,
+    exit_code: int = 0,
+    seed: Optional[int] = None,
+    config_fingerprint: Optional[str] = None,
+) -> RunManifest:
+    """Assemble a manifest from a finished run's registry and metadata.
+
+    Package/schema versions are read here so every manifest carries them;
+    the imports are deferred to keep :mod:`repro.obs` free of import
+    cycles with the pipeline packages it instruments.
+    """
+    from .._version import __version__
+    from ..parallel.cache import CODE_SCHEMA_VERSION
+    from ..traces.io import SCHEMA_VERSION
+
+    snapshot = registry.snapshot()
+    spans = snapshot.pop("spans")
+    return RunManifest(
+        command=command,
+        argv=list(argv),
+        version=__version__,
+        schema={
+            "manifest": MANIFEST_SCHEMA_VERSION,
+            "trace": SCHEMA_VERSION,
+            "code": CODE_SCHEMA_VERSION,
+        },
+        seed=seed,
+        config_fingerprint=config_fingerprint,
+        started_at=started_at,
+        duration_s=round(duration_s, 6),
+        exit_code=exit_code,
+        spans=spans,
+        metrics=snapshot,
+    )

@@ -1,0 +1,238 @@
+"""Process-wide (but injectable) metrics: counters, gauges, histograms, spans.
+
+One :class:`MetricsRegistry` collects everything a run wants to report:
+
+* **counters** — monotonically accumulated numbers (``cache.hit``);
+* **gauges** — last-write-wins values (``parallel.workers``);
+* **histograms** — raw-sample timing distributions summarized as
+  count/mean/p50/p95/max (``parallel.unit_seconds``);
+* **spans** — nested wall-clock phase timings (``generate.machines``
+  inside ``analyze``), recorded as a tree.
+
+The registry honors two contracts the pipelines rely on:
+
+* **zero-cost when disabled** — every mutator returns immediately on a
+  disabled registry, and instrumented call sites guard their
+  ``perf_counter`` reads behind ``registry.enabled``, so library users who
+  never opt in pay nothing;
+* **never perturbs results** — telemetry is gathered in the parent
+  process only, lives outside every config dataclass, and is excluded
+  from cache keys and dataset equality; outputs are bit-identical with
+  telemetry on or off (asserted by ``tests/test_obs_wiring.py``).
+
+Access goes through a module-level current registry: the default is
+disabled, the CLI installs an enabled one per invocation via
+:func:`use_registry`, and tests inject their own.  Spans assume a single
+recording thread (the parent process's main thread — all instrumented
+call sites live there); counters/gauges/histograms are lock-protected.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "span",
+    "use_registry",
+]
+
+Number = Union[int, float]
+
+
+class Histogram:
+    """Raw-sample distribution summarized as count/mean/p50/p95/max.
+
+    Runs record at most a few thousand observations (work units, map
+    calls), so samples are kept verbatim and percentiles are exact
+    (nearest-rank on the sorted samples).
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def observe(self, value: Number) -> None:
+        self._samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        return tuple(self._samples)
+
+    def summary(self) -> dict:
+        """Plain-dict summary; ``{"count": 0}`` when nothing was observed."""
+        if not self._samples:
+            return {"count": 0}
+        ordered = sorted(self._samples)
+        n = len(ordered)
+
+        def rank(q: float) -> float:
+            # Nearest-rank percentile: smallest sample with cumulative
+            # frequency >= q.
+            return ordered[max(0, math.ceil(q * n) - 1)]
+
+        return {
+            "count": n,
+            "mean": sum(ordered) / n,
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "max": ordered[-1],
+        }
+
+
+class MetricsRegistry:
+    """A run's worth of counters, gauges, histograms, and phase spans."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._counters: dict[str, Number] = {}
+        self._gauges: dict[str, Number] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: list[dict] = []
+        self._span_stack: list[dict] = []
+
+    # -- counters / gauges / histograms --------------------------------------
+
+    def inc(self, name: str, n: Number = 1) -> None:
+        """Add ``n`` to counter ``name`` (``n=0`` declares it at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter_value(self, name: str) -> Number:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one sample into histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._histograms.setdefault(name, Histogram()).observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into histogram ``name``."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    # -- spans ----------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Optional[dict]]:
+        """Record a named wall-clock phase; nests under an enclosing span.
+
+        Yields the (mutable) span record so callers can attach extra keys;
+        ``duration_s`` is filled in on exit.  Disabled registries yield
+        ``None`` and record nothing.
+        """
+        if not self.enabled:
+            yield None
+            return
+        t0 = time.perf_counter()
+        record: dict = {
+            "name": name,
+            "start_s": round(t0 - self._epoch, 6),
+            "duration_s": None,
+            "children": [],
+        }
+        parent = self._span_stack[-1] if self._span_stack else None
+        (parent["children"] if parent else self._spans).append(record)
+        self._span_stack.append(record)
+        try:
+            yield record
+        finally:
+            record["duration_s"] = round(time.perf_counter() - t0, 6)
+            if self._span_stack and self._span_stack[-1] is record:
+                self._span_stack.pop()
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as a JSON-serializable plain dict."""
+        import copy
+
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: self._histograms[k].summary()
+                    for k in sorted(self._histograms)
+                },
+                "spans": copy.deepcopy(self._spans),
+            }
+
+    def reset(self) -> None:
+        """Drop everything recorded (keeps the enabled flag)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self._span_stack.clear()
+            self._epoch = time.perf_counter()
+
+
+#: The ambient registry: disabled by default so library use is untelemetered
+#: (and free) unless a caller opts in.
+_DISABLED = MetricsRegistry(enabled=False)
+_current: MetricsRegistry = _DISABLED
+
+
+def get_registry() -> MetricsRegistry:
+    """The current ambient registry (disabled no-op unless one was set)."""
+    return _current
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the ambient one (``None`` restores the
+    disabled default); returns what was installed."""
+    global _current
+    _current = registry if registry is not None else _DISABLED
+    return _current
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the duration of the block, then restore."""
+    global _current
+    previous = _current
+    _current = registry
+    try:
+        yield registry
+    finally:
+        _current = previous
+
+
+def span(name: str):
+    """A phase span on the *current* registry (no-op when disabled)."""
+    return get_registry().span(name)

@@ -1,0 +1,41 @@
+"""Interactive progress reporting for the CLI.
+
+The parallel backends already fire ``progress(index, total)`` once per
+work unit in the parent process (see :mod:`repro.parallel.backend`);
+:func:`cli_progress` turns that hook into a stderr progress line
+(``[k/N] <stage>``) when — and only when — a human is watching: output
+must be a TTY, and the CLI suppresses it under ``--log-json`` so
+machine-readable streams stay clean.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Callable, Optional
+
+__all__ = ["cli_progress"]
+
+
+def cli_progress(
+    stage: str,
+    *,
+    stream: Optional[IO[str]] = None,
+    enabled: Optional[bool] = None,
+) -> Optional[Callable[[int, int], None]]:
+    """A ``progress(index, total)`` callback printing ``[k/N] <stage>``.
+
+    Returns ``None`` when progress should stay silent — by default when
+    ``stream`` (stderr) is not a TTY, so redirected/piped runs produce no
+    chatter.  ``enabled`` overrides the TTY auto-detection either way.
+    """
+    out = stream if stream is not None else sys.stderr
+    if enabled is None:
+        isatty = getattr(out, "isatty", None)
+        enabled = bool(isatty and isatty())
+    if not enabled:
+        return None
+
+    def progress(index: int, total: int) -> None:
+        print(f"[{index + 1}/{total}] {stage}", file=out, flush=True)
+
+    return progress

@@ -1,0 +1,79 @@
+"""Opt-in simkernel event tracing: per-type counts + a bounded sample.
+
+Attach an :class:`EventTrace` to a :class:`repro.simkernel.Simulator`
+(``Simulator(observer=trace)``) and every fired event is counted by its
+name (falling back to the action's function name).  The first
+``max_samples`` events are also kept verbatim and can be dumped as JSONL
+for debugging a misbehaving simulation without drowning in output — a
+92-day testbed fires millions of events; the sample stays bounded.
+
+The observer is pure accounting: it never mutates events or the queue,
+so attaching one cannot change simulation results.  The default
+(``observer=None``) skips the hook entirely — one ``is None`` test per
+fired event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+__all__ = ["EventTrace"]
+
+
+class EventTrace:
+    """Counts fired simulation events by type; keeps a bounded sample."""
+
+    def __init__(self, max_samples: int = 1024) -> None:
+        if max_samples < 0:
+            raise ValueError("max_samples must be >= 0")
+        self.max_samples = max_samples
+        self.total = 0
+        #: event name -> number of firings.
+        self.counts: dict[str, int] = {}
+        self._samples: list[dict] = []
+
+    @staticmethod
+    def _name_of(event) -> str:
+        name = getattr(event, "name", "")
+        if name:
+            return name
+        action = getattr(event, "action", None)
+        return getattr(action, "__name__", "") or "<anonymous>"
+
+    def record(self, event) -> None:
+        """Observe one fired event (called by the simulator)."""
+        name = self._name_of(event)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.total += 1
+        if len(self._samples) < self.max_samples:
+            self._samples.append(
+                {
+                    "seq": event.seq,
+                    "time": event.time,
+                    "priority": event.priority,
+                    "name": name,
+                }
+            )
+
+    @property
+    def samples(self) -> tuple[dict, ...]:
+        """The first ``max_samples`` fired events, in firing order."""
+        return tuple(self._samples)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary: total, per-name counts, sample size."""
+        return {
+            "total": self.total,
+            "by_name": {k: self.counts[k] for k in sorted(self.counts)},
+            "sampled": len(self._samples),
+        }
+
+    def dump_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the bounded sample as JSON-lines; returns the path."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for sample in self._samples:
+                fh.write(json.dumps(sample, sort_keys=True) + "\n")
+        return path

@@ -12,17 +12,33 @@ The contract every backend honors:
   item, always in the parent process: the serial backend fires it *before*
   each item (submission order), the pool backend fires it as results
   arrive (completion order).
+
+When the ambient metrics registry is enabled, every ``map`` records
+per-work-unit timings into it — measured entirely in the parent, so
+worker payloads and results are untouched and outputs stay bit-identical
+with telemetry on or off:
+
+* ``parallel.unit_seconds`` (histogram) — serial: each item's call time;
+  pooled: wall-clock spacing between result arrivals in the parent (a
+  throughput view — per-worker CPU time never crosses the process
+  boundary);
+* ``parallel.queue_wait_seconds`` (histogram) — pooled only: submission
+  of the batch to first completed result (pool spin-up + first task);
+* ``parallel.map_seconds`` (histogram) — whole-batch wall clock;
+* ``parallel.units`` (counter) and ``parallel.workers`` (gauge).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence, TypeVar
 
 from ..config import ExecutionConfig
 from ..errors import ConfigError
+from ..obs.metrics import get_registry
 
 __all__ = [
     "ExecutionBackend",
@@ -74,12 +90,23 @@ class SerialBackend(ExecutionBackend):
         *,
         progress: Optional[ProgressFn] = None,
     ) -> list[R]:
+        registry = get_registry()
         total = len(items)
         out: list[R] = []
+        t_map = time.perf_counter() if registry.enabled else 0.0
         for i, item in enumerate(items):
             if progress is not None:
                 progress(i, total)
-            out.append(fn(item))
+            if registry.enabled:
+                t0 = time.perf_counter()
+                out.append(fn(item))
+                registry.observe("parallel.unit_seconds", time.perf_counter() - t0)
+            else:
+                out.append(fn(item))
+        if registry.enabled and total:
+            registry.inc("parallel.units", total)
+            registry.gauge("parallel.workers", 1)
+            registry.observe("parallel.map_seconds", time.perf_counter() - t_map)
         return out
 
 
@@ -103,16 +130,34 @@ class ProcessPoolBackend(ExecutionBackend):
         *,
         progress: Optional[ProgressFn] = None,
     ) -> list[R]:
+        registry = get_registry()
         total = len(items)
         if total == 0:
             return []
         results: list[R] = [None] * total  # type: ignore[list-item]
-        with ProcessPoolExecutor(max_workers=min(self.max_workers, total)) as pool:
+        n_workers = min(self.max_workers, total)
+        t_submit = time.perf_counter() if registry.enabled else 0.0
+        t_last = t_submit
+        first_arrival = True
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
             index_of = {pool.submit(fn, item): i for i, item in enumerate(items)}
             pending = set(index_of)
             try:
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    if registry.enabled:
+                        now = time.perf_counter()
+                        if first_arrival:
+                            first_arrival = False
+                            registry.observe(
+                                "parallel.queue_wait_seconds", now - t_submit
+                            )
+                        # Arrival spacing, split evenly across a batch of
+                        # simultaneous completions.
+                        per_unit = (now - t_last) / len(done)
+                        for _ in done:
+                            registry.observe("parallel.unit_seconds", per_unit)
+                        t_last = now
                     for fut in done:
                         i = index_of[fut]
                         results[i] = fut.result()
@@ -122,6 +167,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 for fut in pending:
                     fut.cancel()
                 raise
+        if registry.enabled:
+            registry.inc("parallel.units", total)
+            registry.gauge("parallel.workers", n_workers)
+            registry.observe("parallel.map_seconds", time.perf_counter() - t_submit)
         return results
 
 

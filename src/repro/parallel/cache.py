@@ -11,8 +11,11 @@ location never change what is generated.
 Entries are stored through the existing :mod:`repro.traces.io` JSONL
 serialization, written atomically (temp file + rename) so a crashed run
 can leave at worst a stale temp file, never a truncated entry.  Corrupted
-or unreadable entries are treated as misses and removed, falling back to
-regeneration.
+or unreadable entries are treated as misses and removed (with a logged
+warning), falling back to regeneration.  Cache traffic is counted on the
+ambient metrics registry (``cache.hit`` / ``cache.miss`` /
+``cache.corrupt_evicted`` / ``cache.write``) so run manifests show where
+the traffic went.
 """
 
 from __future__ import annotations
@@ -21,13 +24,17 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import TraceError
+from ..obs.metrics import get_registry
 from ..traces.dataset import TraceDataset
 from ..traces.io import SCHEMA_VERSION, load_dataset, save_dataset
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CODE_SCHEMA_VERSION",
@@ -114,21 +121,35 @@ class DatasetCache:
 
     def get(self, key: str) -> Optional[TraceDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss."""
+        registry = get_registry()
         path = self.path_for(key)
         if not path.exists():
+            registry.inc("cache.miss")
             return None
         try:
-            return load_dataset(path)
-        except (TraceError, OSError, ValueError, KeyError):
+            dataset = load_dataset(path)
+        except (TraceError, OSError, ValueError, KeyError) as exc:
             # Corrupted/truncated/stale entry: drop it and regenerate.
+            registry.inc("cache.corrupt_evicted")
+            registry.inc("cache.miss")
+            logger.warning(
+                "evicting corrupt/unreadable dataset cache entry %s (%s: %s); "
+                "regenerating",
+                key,
+                type(exc).__name__,
+                exc,
+            )
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        registry.inc("cache.hit")
+        return dataset
 
     def put(self, key: str, dataset: TraceDataset) -> Path:
         """Store a dataset under ``key`` atomically; returns the path."""
+        get_registry().inc("cache.write")
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")

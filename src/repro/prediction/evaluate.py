@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import PredictionError
+from ..obs.metrics import span
 from ..traces.dataset import TraceDataset
 from .base import AvailabilityPredictor, CountMatrix, PredictionQuery
 
@@ -111,33 +112,37 @@ def evaluate_predictors(
             f"train_days must be in [1, {dataset.n_days - 1}], got {train_days}"
         )
     train = dataset.slice_days(0, train_days)
-    queries = make_queries(
-        dataset,
-        first_day=train_days,
-        durations_hours=durations_hours,
-        start_hours=start_hours,
-        machines=machines,
-    )
-    if not queries:
-        raise PredictionError("no evaluation queries (test span too short)")
+    with span("predict.queries"):
+        queries = make_queries(
+            dataset,
+            first_day=train_days,
+            durations_hours=durations_hours,
+            start_hours=start_hours,
+            machines=machines,
+        )
+        if not queries:
+            raise PredictionError("no evaluation queries (test span too short)")
 
-    # Ground truth from the full dataset.
-    truth_matrix = CountMatrix(dataset)
-    actual_counts = np.array(
-        [truth_matrix.window_count(q.machine_id, q.day, q) for q in queries]
-    )
-    event_free = (actual_counts < 0.5).astype(float)
+        # Ground truth from the full dataset.
+        truth_matrix = CountMatrix(dataset)
+        actual_counts = np.array(
+            [truth_matrix.window_count(q.machine_id, q.day, q) for q in queries]
+        )
+        event_free = (actual_counts < 0.5).astype(float)
 
     scores = []
     for predictor in predictors:
-        predictor.fit(train)
-        pred_counts = np.array([predictor.predict_count(q) for q in queries])
-        pred_survival = np.clip(
-            np.array([predictor.predict_survival(q) for q in queries]), 0.0, 1.0
-        )
-        mae = float(np.abs(pred_counts - actual_counts).mean())
-        brier = float(((pred_survival - event_free) ** 2).mean())
-        calibration = _calibration(pred_survival, event_free, calibration_bins)
+        with span(f"predict.{predictor.name}"):
+            predictor.fit(train)
+            pred_counts = np.array([predictor.predict_count(q) for q in queries])
+            pred_survival = np.clip(
+                np.array([predictor.predict_survival(q) for q in queries]),
+                0.0,
+                1.0,
+            )
+            mae = float(np.abs(pred_counts - actual_counts).mean())
+            brier = float(((pred_survival - event_free) ** 2).mean())
+            calibration = _calibration(pred_survival, event_free, calibration_bins)
         scores.append(
             PredictorScore(
                 name=predictor.name,

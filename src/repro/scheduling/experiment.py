@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs.metrics import span
 from ..prediction.history import HistoryWindowPredictor
 from ..prediction.renewal import RenewalAgePredictor
 from ..rng import generator_from
@@ -143,7 +144,8 @@ def run_scheduling_experiment(
     executor = TraceExecutor(test, checkpointing=checkpointing)
     results = []
     for policy in policies:
-        outcomes = executor.run(jobs, policy)
+        with span(f"schedule.policy.{policy.name}"):
+            outcomes = executor.run(jobs, policy)
         results.append(summarize_outcomes(policy.name, outcomes))
     return SchedulingComparison(results=tuple(results), n_jobs=len(jobs))
 
@@ -253,13 +255,14 @@ def replicate_scheduling_experiment(
     if len(seeds) < 2:
         raise ConfigError("need at least two seeds to form intervals")
     per_policy: dict[str, dict[str, list[float]]] = {}
-    per_seed = get_backend(jobs).map(
-        _replicate_one,
-        [
-            (dataset, train_days, seed, mean_interarrival, mean_runtime)
-            for seed in seeds
-        ],
-    )
+    with span("schedule.replicate"):
+        per_seed = get_backend(jobs).map(
+            _replicate_one,
+            [
+                (dataset, train_days, seed, mean_interarrival, mean_runtime)
+                for seed in seeds
+            ],
+        )
     for results in per_seed:
         for r in results:
             slot = per_policy.setdefault(r.policy, {"resp": [], "kills": []})

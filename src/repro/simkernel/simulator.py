@@ -16,6 +16,12 @@ class Simulator:
     schedule callbacks with :meth:`at` / :meth:`after` / :meth:`every` and
     the owner advances time with :meth:`run_until` or :meth:`run`.
 
+    An optional ``observer`` — any object with a ``record(event)`` method,
+    e.g. :class:`repro.obs.EventTrace` — is called for every event just
+    before it fires.  Observation is pure accounting (the observer must
+    not mutate the event or queue) and is opt-in: the default ``None``
+    costs one comparison per fired event.
+
     Examples
     --------
     >>> sim = Simulator()
@@ -28,10 +34,11 @@ class Simulator:
     10.0
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, observer=None) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
+        self.observer = observer
 
     # -- clock --------------------------------------------------------------
 
@@ -125,6 +132,8 @@ class Simulator:
         try:
             for ev in self._queue.drain_until(time):
                 self._now = ev.time
+                if self.observer is not None:
+                    self.observer.record(ev)
                 ev.fire()
             self._now = time
         finally:
@@ -142,6 +151,8 @@ class Simulator:
                     break
                 ev = self._queue.pop()
                 self._now = ev.time
+                if self.observer is not None:
+                    self.observer.record(ev)
                 ev.fire()
                 fired += 1
         finally:
@@ -154,5 +165,7 @@ class Simulator:
             return None
         ev = self._queue.pop()
         self._now = ev.time
+        if self.observer is not None:
+            self.observer.record(ev)
         ev.fire()
         return ev

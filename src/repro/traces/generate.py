@@ -14,6 +14,7 @@ fans out over a process pool without changing a single byte of output:
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Optional
 
 import numpy as np
@@ -22,11 +23,14 @@ from ..config import ExecutionConfig, FgcsConfig
 from ..core.detector import BatchDetector
 from ..core.events import UnavailabilityEvent
 from ..core.model import MultiStateModel
+from ..obs.metrics import get_registry
 from ..units import HOUR
 from ..workloads.loadmodel import MachineTraceGenerator
 from .dataset import TraceDataset
 
 __all__ = ["generate_dataset"]
+
+logger = logging.getLogger(__name__)
 
 
 def _generate_machine(
@@ -88,6 +92,7 @@ def generate_dataset(
     """
     config = config or FgcsConfig()
     execution = execution if execution is not None else config.execution
+    registry = get_registry()
 
     cache = None
     key = None
@@ -96,8 +101,12 @@ def generate_dataset(
 
         cache = DatasetCache(execution.cache_dir)
         key = dataset_cache_key(config, keep_hourly_load=keep_hourly_load)
-        cached = cache.get(key)
+        with registry.span("generate.cache_lookup"):
+            cached = cache.get(key)
         if cached is not None:
+            logger.info(
+                "dataset cache hit (%s…): %d events", key[:12], len(cached)
+            )
             return cached
 
     from ..parallel.backend import get_backend
@@ -106,32 +115,47 @@ def generate_dataset(
     n_hours = int(config.testbed.duration // HOUR)
     hourly = np.full((n, n_hours), np.nan) if keep_hourly_load else None
 
-    backend = get_backend(execution)
-    per_machine = backend.map(
-        _generate_machine,
-        [(config, mid, keep_hourly_load) for mid in range(n)],
-        progress=progress,
+    logger.info(
+        "generating trace: %d machines × %d days (seed %d, jobs=%d)",
+        n,
+        config.testbed.n_days,
+        config.seed,
+        execution.jobs,
     )
+    backend = get_backend(execution)
+    with registry.span("generate.machines"):
+        per_machine = backend.map(
+            _generate_machine,
+            [(config, mid, keep_hourly_load) for mid in range(n)],
+            progress=progress,
+        )
 
-    events: list[UnavailabilityEvent] = []
-    for mid, (machine_events, hourly_row) in enumerate(per_machine):
-        events.extend(machine_events)
-        if hourly is not None and hourly_row is not None:
-            hourly[mid, :] = hourly_row
+    with registry.span("generate.assemble"):
+        events: list[UnavailabilityEvent] = []
+        for mid, (machine_events, hourly_row) in enumerate(per_machine):
+            events.extend(machine_events)
+            if hourly is not None and hourly_row is not None:
+                hourly[mid, :] = hourly_row
 
-    dataset = TraceDataset(
-        events=events,
-        n_machines=n,
-        span=config.testbed.duration,
-        start_weekday=config.testbed.start_weekday,
-        hourly_load=hourly,
-        metadata={
-            "seed": config.seed,
-            "th1": config.thresholds.th1,
-            "th2": config.thresholds.th2,
-            "monitor_period": config.monitor.period,
-        },
+        dataset = TraceDataset(
+            events=events,
+            n_machines=n,
+            span=config.testbed.duration,
+            start_weekday=config.testbed.start_weekday,
+            hourly_load=hourly,
+            metadata={
+                "seed": config.seed,
+                "th1": config.thresholds.th1,
+                "th2": config.thresholds.th2,
+                "monitor_period": config.monitor.period,
+            },
+        )
+    logger.info(
+        "generated %d events over %.0f machine-days",
+        len(dataset),
+        dataset.machine_days,
     )
     if cache is not None and key is not None:
-        cache.put(key, dataset)
+        with registry.span("generate.cache_write"):
+            cache.put(key, dataset)
     return dataset

@@ -1,0 +1,160 @@
+"""Tests for run manifests and the structured-logging setup."""
+
+import json
+import logging
+
+import pytest
+
+from repro._version import __version__
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    JsonLinesFormatter,
+    MetricsRegistry,
+    RunManifest,
+    build_manifest,
+    setup_logging,
+)
+from repro.parallel.cache import CODE_SCHEMA_VERSION
+from repro.traces.io import SCHEMA_VERSION
+
+
+def _registry_with_data() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("cache.hit", 3)
+    reg.gauge("parallel.workers", 4)
+    reg.observe("parallel.unit_seconds", 0.25)
+    with reg.span("analyze"):
+        with reg.span("generate.machines"):
+            pass
+    return reg
+
+
+class TestBuildManifest:
+    def test_carries_versions_and_metadata(self):
+        m = build_manifest(
+            command="analyze",
+            argv=["analyze", "--days", "2"],
+            registry=_registry_with_data(),
+            duration_s=1.25,
+            started_at="2026-08-06T00:00:00+00:00",
+            exit_code=0,
+            seed=2006,
+            config_fingerprint="ab" * 32,
+        )
+        assert m.version == __version__
+        assert m.schema == {
+            "manifest": MANIFEST_SCHEMA_VERSION,
+            "trace": SCHEMA_VERSION,
+            "code": CODE_SCHEMA_VERSION,
+        }
+        assert m.seed == 2006
+        assert m.config_fingerprint == "ab" * 32
+        assert m.duration_s == 1.25
+
+    def test_splits_spans_from_metrics(self):
+        m = build_manifest(
+            command="analyze",
+            argv=[],
+            registry=_registry_with_data(),
+            duration_s=0.0,
+            started_at="2026-08-06T00:00:00+00:00",
+        )
+        assert m.spans[0]["name"] == "analyze"
+        assert m.spans[0]["children"][0]["name"] == "generate.machines"
+        assert "spans" not in m.metrics
+        assert m.metrics["counters"]["cache.hit"] == 3
+        assert m.metrics["histograms"]["parallel.unit_seconds"]["count"] == 1
+
+
+class TestRoundTrip:
+    def test_write_load_round_trips(self, tmp_path):
+        m = build_manifest(
+            command="generate",
+            argv=["generate", "out.jsonl"],
+            registry=_registry_with_data(),
+            duration_s=2.5,
+            started_at="2026-08-06T12:00:00+00:00",
+            exit_code=1,
+            seed=7,
+            config_fingerprint="cd" * 32,
+        )
+        path = m.write(tmp_path / "m.json")
+        assert RunManifest.load(path) == m
+
+    def test_written_json_is_stable_and_parseable(self, tmp_path):
+        m = build_manifest(
+            command="thresholds",
+            argv=["thresholds"],
+            registry=MetricsRegistry(),
+            duration_s=0.1,
+            started_at="2026-08-06T00:00:00+00:00",
+        )
+        text = (m.write(tmp_path / "m.json")).read_text()
+        data = json.loads(text)
+        assert data["config_fingerprint"] is None
+        assert data["seed"] is None
+        # sort_keys=True: top-level keys arrive sorted for diffability.
+        assert list(data) == sorted(data)
+
+
+class TestLoggingSetup:
+    def test_human_format_writes_to_stream(self):
+        import io
+
+        buf = io.StringIO()
+        logger = setup_logging("info", stream=buf)
+        logging.getLogger("repro.test_obs").info("hello %s", "world")
+        assert "hello world" in buf.getvalue()
+        assert "repro.test_obs" in buf.getvalue()
+        assert logger.propagate is False
+
+    def test_json_lines_format(self):
+        import io
+
+        buf = io.StringIO()
+        setup_logging("info", json_lines=True, stream=buf)
+        logging.getLogger("repro.test_obs").warning("look: %d", 42)
+        (line,) = buf.getvalue().strip().splitlines()
+        entry = json.loads(line)
+        assert entry["level"] == "warning"
+        assert entry["logger"] == "repro.test_obs"
+        assert entry["msg"] == "look: 42"
+        assert isinstance(entry["ts"], float)
+
+    def test_level_filters(self):
+        import io
+
+        buf = io.StringIO()
+        setup_logging("error", stream=buf)
+        logging.getLogger("repro.test_obs").warning("dropped")
+        assert buf.getvalue() == ""
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging("loud")
+
+    def test_idempotent_single_handler(self):
+        import io
+
+        setup_logging("info", stream=io.StringIO())
+        logger = setup_logging("info", stream=io.StringIO())
+        assert len(logger.handlers) == 1
+
+    def test_exception_serialized_in_json(self):
+        import io
+
+        buf = io.StringIO()
+        setup_logging("info", json_lines=True, stream=buf)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logging.getLogger("repro.test_obs").exception("failed")
+        entry = json.loads(buf.getvalue().strip().splitlines()[0])
+        assert "boom" in entry["exc"]
+
+    def test_formatter_direct(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "m %s", ("a",), None
+        )
+        entry = json.loads(JsonLinesFormatter().format(record))
+        assert entry["msg"] == "m a"

@@ -1,0 +1,117 @@
+"""Tests for the opt-in simkernel event-trace observer."""
+
+import json
+
+import pytest
+
+from repro.obs import EventTrace
+from repro.simkernel import Simulator
+
+
+class TestEventTrace:
+    def test_counts_by_name(self):
+        sim = Simulator(observer=(trace := EventTrace()))
+        sim.after(1.0, lambda t: None, name="tick")
+        sim.after(2.0, lambda t: None, name="tick")
+        sim.after(3.0, lambda t: None, name="tock")
+        sim.run_until(10.0)
+        assert trace.total == 3
+        assert trace.counts == {"tick": 2, "tock": 1}
+
+    def test_periodic_events_counted(self):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+        sim.every(1.0, lambda t: None, name="monitor", until=5.0)
+        sim.run_until(5.0)
+        assert trace.counts["monitor"] == 5
+
+    def test_anonymous_falls_back_to_action_name(self):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+
+        def sample(t):
+            pass
+
+        sim.after(1.0, sample)
+        sim.run_until(2.0)
+        assert trace.counts == {"sample": 1}
+
+    def test_sample_is_bounded(self):
+        trace = EventTrace(max_samples=3)
+        sim = Simulator(observer=trace)
+        for k in range(10):
+            sim.after(float(k + 1), lambda t: None, name=f"e{k}")
+        sim.run_until(100.0)
+        assert trace.total == 10
+        assert len(trace.samples) == 3
+        assert [s["name"] for s in trace.samples] == ["e0", "e1", "e2"]
+
+    def test_samples_carry_event_fields(self):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+        sim.at(2.5, lambda t: None, priority=3, name="x")
+        sim.run_until(5.0)
+        (sample,) = trace.samples
+        assert sample["time"] == 2.5
+        assert sample["priority"] == 3
+        assert sample["name"] == "x"
+
+    def test_snapshot(self):
+        trace = EventTrace(max_samples=1)
+        sim = Simulator(observer=trace)
+        sim.after(1.0, lambda t: None, name="a")
+        sim.after(2.0, lambda t: None, name="b")
+        sim.run_until(3.0)
+        assert trace.snapshot() == {
+            "total": 2,
+            "by_name": {"a": 1, "b": 1},
+            "sampled": 1,
+        }
+
+    def test_dump_jsonl(self, tmp_path):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+        sim.after(1.0, lambda t: None, name="a")
+        sim.after(2.0, lambda t: None, name="b")
+        sim.run_until(3.0)
+        path = trace.dump_jsonl(tmp_path / "events.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_negative_max_samples_rejected(self):
+        with pytest.raises(ValueError):
+            EventTrace(max_samples=-1)
+
+
+class TestSimulatorObserverHook:
+    def test_default_has_no_observer(self):
+        assert Simulator().observer is None
+
+    def test_run_and_step_record(self):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+        sim.after(1.0, lambda t: None, name="a")
+        sim.after(2.0, lambda t: None, name="b")
+        assert sim.step().name == "a"
+        sim.run()
+        assert trace.counts == {"a": 1, "b": 1}
+
+    def test_cancelled_events_not_recorded(self):
+        trace = EventTrace()
+        sim = Simulator(observer=trace)
+        ev = sim.after(1.0, lambda t: None, name="gone")
+        sim.cancel(ev)
+        sim.after(2.0, lambda t: None, name="kept")
+        sim.run_until(5.0)
+        assert trace.counts == {"kept": 1}
+
+    def test_observer_does_not_change_results(self):
+        def run(observer):
+            fired = []
+            sim = Simulator(observer=observer)
+            sim.every(1.0, lambda t: fired.append(t), name="tick", until=5.0)
+            sim.after(2.5, lambda t: fired.append(-t), name="one-shot")
+            sim.run_until(5.0)
+            return fired
+
+        assert run(None) == run(EventTrace())
