@@ -13,6 +13,7 @@ from typing import Sequence
 
 from ..config import FgcsConfig
 from ..errors import ReproError
+from ..faults import FaultContext
 from ..parallel.backend import get_backend
 from ..traces.generate import generate_dataset
 from .compare import LandmarkCheck, check_paper_landmarks
@@ -79,6 +80,7 @@ def seed_sweep(
     *,
     base_config: FgcsConfig | None = None,
     jobs: int = 1,
+    faults: FaultContext | None = None,
 ) -> RobustnessReport:
     """Run the full pipeline per seed and tally landmark outcomes.
 
@@ -92,7 +94,7 @@ def seed_sweep(
     base = base_config or FgcsConfig()
     results: dict[str, tuple[int, int, float]] = {}
     per_seed = get_backend(jobs).map(
-        _seed_landmarks, [(base, seed) for seed in seeds]
+        _seed_landmarks, [(base, seed) for seed in seeds], faults=faults
     )
     for checks in per_seed:
         for check in checks:

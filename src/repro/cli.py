@@ -17,6 +17,13 @@ Every command also takes the telemetry flags (``--log-level``,
 run manifest (seed, config fingerprint, versions, phase spans, metrics)
 at the end of the run.  Telemetry never changes results: outputs are
 bit-identical with it on or off.
+
+Robustness flags (see ``docs/robustness.md``): ``--fault-plan FILE``
+attaches a deterministic fault-injection plan for chaos testing;
+``--max-retries`` and ``--unit-timeout`` bound per-unit retries and
+runtimes.  Exit codes: 0 success, 1 landmark-check failure, 2 invalid
+fault plan / unrecoverable fault, 3 partial results (machines
+quarantined after exhausting retries).
 """
 
 from __future__ import annotations
@@ -67,7 +74,34 @@ def build_parser() -> argparse.ArgumentParser:
         "spans, metrics) to PATH at the end of the run",
     )
 
-    common = argparse.ArgumentParser(add_help=False, parents=[obs_common])
+    # Fault-handling flags shared by every command that runs parallel work.
+    fault_common = argparse.ArgumentParser(add_help=False)
+    fault_common.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON fault-injection plan for chaos testing (see "
+        "docs/robustness.md); faults are injected deterministically "
+        "from the plan's seed",
+    )
+    fault_common.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per failed work unit before giving up (default: 2)",
+    )
+    fault_common.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; overruns are treated as "
+        "failures and retried (default: none)",
+    )
+
+    common = argparse.ArgumentParser(
+        add_help=False, parents=[obs_common, fault_common]
+    )
     common.add_argument("--seed", type=int, default=2006, help="root RNG seed")
     common.add_argument(
         "--machines", type=int, default=20, help="testbed size (paper: 20)"
@@ -116,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_thr = sub.add_parser(
         "thresholds",
-        parents=[obs_common],
+        parents=[obs_common, fault_common],
         help="calibrate Th1/Th2 via the Section 3.2 experiments",
     )
     p_thr.add_argument(
@@ -154,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan_from(args: argparse.Namespace):
+    """The :class:`repro.faults.FaultPlan` named by ``--fault-plan``, if any."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from .faults import load_fault_plan
+
+    return load_fault_plan(path)
+
+
 def _config_from(args: argparse.Namespace) -> FgcsConfig:
     from .config import ExecutionConfig
     from .workloads.profiles import PROFILES
@@ -165,8 +209,30 @@ def _config_from(args: argparse.Namespace) -> FgcsConfig:
             jobs=getattr(args, "jobs", 1),
             cache_dir=getattr(args, "cache_dir", None),
             use_cache=not getattr(args, "no_cache", False),
+            fault_plan=_fault_plan_from(args),
+            max_retries=getattr(args, "max_retries", 2),
+            unit_timeout=getattr(args, "unit_timeout", None),
         )
     )
+
+
+def _partial_results(dataset) -> int:
+    """3 if the dataset is degraded (quarantined machines), else 0.
+
+    Degraded runs still produce their artifacts — the events that *were*
+    generated are real — but the nonzero exit code and stderr summary
+    keep a partial dataset from silently passing for a complete one.
+    """
+    quarantined = dataset.metadata.get("quarantined_machines") or []
+    if not quarantined:
+        return 0
+    print(
+        f"warning: partial results: {len(quarantined)} machine(s) "
+        f"quarantined after exhausting retries (ids {quarantined}); "
+        "their events are missing",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _progress(
@@ -206,7 +272,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         f"wrote {len(dataset)} events over {dataset.machine_days:.0f} "
         f"machine-days to {args.output}"
     )
-    return 0
+    return _partial_results(dataset)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -263,14 +329,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for c in checks:
             print(c)
         if not all(c.ok for c in checks):
-            return 1
-    return 0
+            return _partial_results(dataset) or 1
+    return _partial_results(dataset)
 
 
 def cmd_thresholds(args: argparse.Namespace) -> int:
     from .contention.thresholds import calibrate_thresholds
+    from .faults import FaultContext, RetryPolicy
 
-    estimate = calibrate_thresholds(duration=args.duration, jobs=args.jobs)
+    faults = FaultContext(
+        plan=_fault_plan_from(args),
+        policy=RetryPolicy(
+            max_retries=args.max_retries, unit_timeout=args.unit_timeout
+        ),
+        label="thresholds.cell",
+    )
+    estimate = calibrate_thresholds(
+        duration=args.duration, jobs=args.jobs, faults=faults
+    )
     print(
         f"calibrated Th1 = {estimate.th1:.2f} (paper: 0.20), "
         f"Th2 = {estimate.th2:.2f} (paper: 0.60)"
@@ -305,7 +381,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     print(f"train {result.train_days} days, test {result.test_days} days")
     for score in sorted(result.scores, key=lambda s: s.brier):
         print(score)
-    return 0
+    return _partial_results(dataset)
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -315,7 +391,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     comparison = run_scheduling_experiment(dataset, train_days=args.train_days)
     for r in comparison.results:
         print(r)
-    return 0
+    return _partial_results(dataset)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -374,7 +450,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         write("capacity.txt", capacity_report(dataset).summary())
     checks = check_paper_landmarks(dataset)
     write("landmarks.txt", "\n".join(str(c) for c in checks))
-    return 0 if all(c.ok for c in checks) else 1
+    return _partial_results(dataset) or (0 if all(c.ok for c in checks) else 1)
 
 
 _COMMANDS = {
@@ -393,7 +469,11 @@ _DECLARED_COUNTERS = (
     "cache.miss",
     "cache.corrupt_evicted",
     "cache.write",
+    "cache.write_failed",
     "parallel.units",
+    "retries.attempts",
+    "retries.succeeded",
+    "retries.exhausted",
 )
 
 
@@ -407,11 +487,18 @@ def _write_manifest(
 ) -> None:
     from .obs import build_manifest
 
+    from .errors import FaultError
+
     fingerprint = None
     if hasattr(args, "machines"):
         from .parallel.cache import config_fingerprint
 
-        fingerprint = config_fingerprint(_config_from(args))
+        try:
+            fingerprint = config_fingerprint(_config_from(args))
+        except FaultError:
+            # A bad --fault-plan already failed the command; the manifest
+            # (which excludes execution settings anyway) still gets written.
+            pass
     manifest = build_manifest(
         command=args.command,
         argv=argv,
@@ -444,11 +531,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in _DECLARED_COUNTERS:
         registry.inc(name, 0)
 
+    from .errors import FaultError
+
     started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
     t0 = time.perf_counter()
     with use_registry(registry):
-        with registry.span(args.command):
-            rc = _COMMANDS[args.command](args)
+        try:
+            with registry.span(args.command):
+                rc = _COMMANDS[args.command](args)
+        except FaultError as exc:
+            # Invalid fault plans and unrecoverable injected failures are
+            # operational errors, not bugs: report and exit 2.
+            print(f"error: {exc}", file=sys.stderr)
+            rc = 2
     if args.metrics_out:
         _write_manifest(
             args, argv_list, rc, registry, started_at, time.perf_counter() - t0

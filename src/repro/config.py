@@ -9,10 +9,13 @@ without monkey-patching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .errors import ConfigError
 from .units import DAY, HOUR, MB, MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .faults import FaultContext, FaultPlan
 
 
 @dataclass(frozen=True)
@@ -253,12 +256,15 @@ class LabWorkloadConfig:
 
 @dataclass(frozen=True)
 class ExecutionConfig:
-    """How expensive pipelines execute: worker pool size and dataset cache.
+    """How expensive pipelines execute: worker pool, cache, fault handling.
 
-    Execution settings change *how fast* results are computed, never *what*
-    is computed — every wired pipeline is bit-for-bit identical for any
-    ``jobs`` value — so this config is excluded from dataset cache keys
-    (see :func:`repro.parallel.cache.config_fingerprint`).
+    Execution settings change *how fast* (or *how robustly*) results are
+    computed, never *what* is computed — every wired pipeline is
+    bit-for-bit identical for any ``jobs`` value, and for any fault plan
+    whose injected faults are cleared by retries — so this config is
+    excluded from dataset cache keys (see
+    :func:`repro.parallel.cache.config_fingerprint`).  Partial (quarantine-
+    degraded) results are never written to the cache.
     """
 
     #: Worker processes for parallel stages.  ``1`` runs in-process with no
@@ -271,15 +277,54 @@ class ExecutionConfig:
     #: Master switch so a CLI can keep a configured ``cache_dir`` but skip
     #: reading/writing it for one run (``--no-cache``).
     use_cache: bool = True
+    #: Deterministic fault-injection plan (chaos testing); ``None`` injects
+    #: nothing.  Retry/timeout hardening below applies either way.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Re-executions allowed per failed work unit (exponential backoff).
+    max_retries: int = 2
+    #: Parent-side backoff before the first retry, seconds (doubles per
+    #: further retry, capped at 1 s); wall-clock only, never affects results.
+    retry_backoff: float = 0.05
+    #: Per-unit wall-clock budget, seconds (enforced post hoc — an overrun
+    #: unit is rerun, not preempted); ``None`` disables the check.
+    unit_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
             raise ConfigError("jobs must be >= 0 (0 = one worker per CPU)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigError("retry_backoff must be non-negative")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ConfigError("unit_timeout must be positive")
 
     @property
     def cache_enabled(self) -> bool:
         """True when a cache directory is configured and not switched off."""
         return self.use_cache and self.cache_dir is not None
+
+    def fault_context(
+        self, label: str, *, quarantine: bool = False
+    ) -> "FaultContext":
+        """A fresh per-batch :class:`repro.faults.FaultContext`.
+
+        ``label`` prefixes the stable unit keys (``<label>:<index>``);
+        ``quarantine=True`` lets exhausted units degrade to partial
+        results instead of aborting the batch.
+        """
+        from .faults import FaultContext, RetryPolicy
+
+        return FaultContext(
+            plan=self.fault_plan,
+            policy=RetryPolicy(
+                max_retries=self.max_retries,
+                backoff_base=self.retry_backoff,
+                unit_timeout=self.unit_timeout,
+                quarantine=quarantine,
+            ),
+            label=label,
+        )
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import MemoryConfig, SchedulerConfig
 from ..errors import ExperimentError
+from ..faults import FaultContext
 from ..obs.metrics import span
 from ..parallel.backend import get_backend
 from ..rng import generator_from
@@ -131,6 +132,7 @@ def figure1_sweep(
     seed: int = 0,
     scheduler_config: Optional[SchedulerConfig] = None,
     jobs: int = 1,
+    faults: Optional[FaultContext] = None,
 ) -> Figure1Result:
     """The Figure 1 experiment: reduction rate vs L_H for M = 1..5.
 
@@ -167,7 +169,9 @@ def figure1_sweep(
                 (i, j, guest_nice, lh, m, compositions, duration, scheduler_config)
             )
     with span(f"contention.figure1.nice{guest_nice}"):
-        for i, j, red, iso in get_backend(jobs).map(_figure1_cell, cells):
+        for i, j, red, iso in get_backend(jobs).map(
+            _figure1_cell, cells, faults=faults
+        ):
             reduction[i, j] = red
             isolated[i, j] = iso
 
@@ -233,6 +237,7 @@ def figure2_sweep(
     duration: float = 120.0,
     scheduler_config: Optional[SchedulerConfig] = None,
     jobs: int = 1,
+    faults: Optional[FaultContext] = None,
 ) -> Figure2Result:
     """The Figure 2 experiment: one host process vs guests of varying nice."""
     lh_grid = tuple(lh_grid)
@@ -244,7 +249,7 @@ def figure2_sweep(
         for j, nice in enumerate(priorities)
     ]
     with span("contention.figure2"):
-        for i, j, red in get_backend(jobs).map(_figure2_cell, cells):
+        for i, j, red in get_backend(jobs).map(_figure2_cell, cells, faults=faults):
             reduction[i, j] = red
     return Figure2Result(lh_grid=lh_grid, priorities=priorities, reduction=reduction)
 
@@ -297,6 +302,7 @@ def figure3_sweep(
     duration: float = 240.0,
     scheduler_config: Optional[SchedulerConfig] = None,
     jobs: int = 1,
+    faults: Optional[FaultContext] = None,
 ) -> Figure3Result:
     """The Figure 3 experiment: does always-lowest priority waste guest CPU?"""
     combos = tuple((h, g) for h in host_duties for g in guest_duties)
@@ -308,7 +314,9 @@ def figure3_sweep(
         for nice in (0, 19)
     ]
     with span("contention.figure3"):
-        for k, nice, usage in get_backend(jobs).map(_figure3_cell, cells):
+        for k, nice, usage in get_backend(jobs).map(
+            _figure3_cell, cells, faults=faults
+        ):
             (usage0 if nice == 0 else usage19)[k] = usage
     return Figure3Result(
         combos=combos, guest_usage_nice0=usage0, guest_usage_nice19=usage19
@@ -378,6 +386,7 @@ def figure4_sweep(
     memory_config: Optional[MemoryConfig] = None,
     scheduler_config: Optional[SchedulerConfig] = None,
     jobs: int = 1,
+    faults: Optional[FaultContext] = None,
 ) -> Figure4Result:
     """The Figure 4 experiment: SPEC guests vs Musbus hosts on 384 MB.
 
@@ -394,5 +403,5 @@ def figure4_sweep(
     ]
     with span("contention.figure4"):
         return Figure4Result(
-            cells=tuple(get_backend(jobs).map(_figure4_cell, cells))
+            cells=tuple(get_backend(jobs).map(_figure4_cell, cells, faults=faults))
         )

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from ..config import SchedulerConfig, ThresholdConfig
 from ..errors import ExperimentError
+from ..faults import FaultContext
 from ..obs.metrics import span
 from .sweeps import FIG1_LH_GRID, Figure1Result, figure1_sweep
 
@@ -115,6 +116,7 @@ def calibrate_thresholds(
     seed: int = 0,
     scheduler_config: Optional[SchedulerConfig] = None,
     jobs: int = 1,
+    faults: Optional["FaultContext"] = None,
 ) -> ThresholdEstimate:
     """Run both Figure 1 sweeps and extract thresholds in one call.
 
@@ -131,6 +133,7 @@ def calibrate_thresholds(
         seed=seed,
         scheduler_config=scheduler_config,
         jobs=jobs,
+        faults=faults,
     )
     with span("thresholds.sweep_nice0"):
         sweep0 = figure1_sweep(0, **kwargs)

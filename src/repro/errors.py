@@ -29,3 +29,7 @@ class PredictionError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is driven with invalid parameters."""
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault plans or unrecoverable injected failures."""

@@ -1,0 +1,66 @@
+"""repro.faults — deterministic fault injection and retry/degradation.
+
+The paper's premise is that FGCS resources fail unpredictably; this
+package gives the *execution pipeline itself* the same treatment.  It
+provides:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seedable, fully
+  deterministic schedule of injected faults (worker crashes, unit
+  exceptions, slowdowns, cache read corruption, cache write failures)
+  consulted by the parallel backends and the dataset cache;
+* :class:`RetryPolicy` — bounded per-unit retry with exponential
+  backoff, cooperative per-unit timeouts, and quarantine-and-continue
+  for poisoned units;
+* :class:`FaultContext` — the per-batch bundle the backends accept,
+  collecting a :class:`MapReport` of retries and
+  :class:`QuarantineRecord` entries;
+* :func:`load_fault_plan` — the CLI's ``--fault-plan FILE`` loader.
+
+Injection decisions are pure hashes of ``(seed, site, unit key,
+attempt)``: the same plan produces the same faults under ``jobs=1`` and
+``jobs=N``, so a run whose retries all succeed is byte-identical to a
+fault-free run (proved by ``tests/test_chaos.py``).  See
+``docs/robustness.md`` for the full fault model.
+"""
+
+from .plan import (
+    FAULT_SITES,
+    SITE_CACHE_READ_CORRUPT,
+    SITE_CACHE_WRITE_FAIL,
+    SITE_UNIT_EXCEPTION,
+    SITE_UNIT_SLOW,
+    SITE_WORKER_CRASH,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
+from .retry import (
+    QUARANTINED,
+    FaultContext,
+    InjectedFault,
+    MapReport,
+    QuarantineRecord,
+    RetryPolicy,
+    UnitTimeoutError,
+    WorkerCrashFault,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultContext",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "MapReport",
+    "QUARANTINED",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "SITE_CACHE_READ_CORRUPT",
+    "SITE_CACHE_WRITE_FAIL",
+    "SITE_UNIT_EXCEPTION",
+    "SITE_UNIT_SLOW",
+    "SITE_WORKER_CRASH",
+    "UnitTimeoutError",
+    "WorkerCrashFault",
+    "load_fault_plan",
+]

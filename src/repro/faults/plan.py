@@ -1,0 +1,237 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` decides, for every *injection site* the pipeline
+consults, whether a fault fires there.  The decision is a pure function
+of ``(plan seed, spec index, site, unit key, attempt)`` — computed by
+hashing, never by drawing from shared RNG state — so the injection
+schedule is identical regardless of execution order, worker count, or
+which process asks.  That is the property the chaos harness relies on:
+``jobs=N`` and ``jobs=1`` see the same faults at the same units.
+
+Sites
+-----
+``worker.crash``
+    The work unit dies as if its worker process crashed.  In a process
+    pool the injected :class:`~repro.faults.retry.WorkerCrashFault`
+    surfaces exactly like a unit whose worker was lost; the backend also
+    survives *real* worker deaths (``BrokenProcessPool``) through the
+    same retry path.
+``unit.exception``
+    The work unit raises :class:`~repro.faults.retry.InjectedFault`
+    instead of computing.
+``unit.slow``
+    The work unit sleeps ``delay`` seconds before computing, tripping a
+    configured per-unit timeout.
+``cache.read_corrupt``
+    A dataset cache read treats the stored entry as corrupt, forcing
+    the eviction/regeneration path.
+``cache.write_fail``
+    A dataset cache write fails as if the disk were full; the pipeline
+    must continue without caching.
+
+Plan files are JSON::
+
+    {"seed": 7,
+     "faults": [
+       {"site": "unit.exception", "probability": 0.25},
+       {"site": "worker.crash", "match": ["generate.machine:0"]},
+       {"site": "unit.slow", "delay": 0.2, "max_attempt": 0}
+     ]}
+
+``probability`` defaults to 1.0; ``match`` restricts a spec to specific
+unit keys (``<label>:<index>`` for backend units, the cache key for
+cache sites); ``max_attempt`` bounds the *attempts* a spec fires on —
+the default 0 injects only on the first try, so a bounded retry always
+clears the fault, while ``-1`` injects on every attempt (a poisoned
+unit that ends in quarantine).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import FaultError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SITE_CACHE_READ_CORRUPT",
+    "SITE_CACHE_WRITE_FAIL",
+    "SITE_UNIT_EXCEPTION",
+    "SITE_UNIT_SLOW",
+    "SITE_WORKER_CRASH",
+    "load_fault_plan",
+]
+
+SITE_WORKER_CRASH = "worker.crash"
+SITE_UNIT_EXCEPTION = "unit.exception"
+SITE_UNIT_SLOW = "unit.slow"
+SITE_CACHE_READ_CORRUPT = "cache.read_corrupt"
+SITE_CACHE_WRITE_FAIL = "cache.write_fail"
+
+#: Every injection site the pipeline consults.
+FAULT_SITES = frozenset(
+    {
+        SITE_WORKER_CRASH,
+        SITE_UNIT_EXCEPTION,
+        SITE_UNIT_SLOW,
+        SITE_CACHE_READ_CORRUPT,
+        SITE_CACHE_WRITE_FAIL,
+    }
+)
+
+_SPEC_KEYS = frozenset({"site", "probability", "match", "max_attempt", "delay"})
+
+
+def _decision(seed: int, index: int, site: str, key: str, attempt: int) -> float:
+    """Uniform [0, 1) value for one (spec, site, key, attempt) cell.
+
+    FNV-1a over the textual cell identity: stable across processes and
+    platforms (no salted ``hash()``), independent of query order, and
+    distinct per spec index so two specs at one site fire independently.
+    """
+    text = f"{seed}|{index}|{site}|{key}|{attempt}"
+    h = 14695981039346656037  # FNV-1a offset basis
+    for byte in text.encode("utf-8"):
+        h ^= byte
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h / 2**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source: a site, how often it fires, and on which units."""
+
+    site: str
+    #: Chance the fault fires at an eligible (key, attempt) cell.
+    probability: float = 1.0
+    #: Restrict to these unit keys; ``None`` means every key is eligible.
+    match: Optional[tuple[str, ...]] = None
+    #: Last attempt number the spec fires on (0 = first try only,
+    #: ``-1`` = every attempt).
+    max_attempt: int = 0
+    #: Sleep injected by ``unit.slow``, seconds.
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {sorted(FAULT_SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError("fault probability must be in [0, 1]")
+        if self.max_attempt < -1:
+            raise FaultError("max_attempt must be >= -1 (-1 = every attempt)")
+        if self.delay < 0:
+            raise FaultError("delay must be non-negative")
+        if self.match is not None:
+            object.__setattr__(self, "match", tuple(str(m) for m in self.match))
+
+    def applies(self, key: str, attempt: int) -> bool:
+        """Is this (key, attempt) cell eligible for the spec at all?"""
+        if self.max_attempt >= 0 and attempt > self.max_attempt:
+            return False
+        return self.match is None or key in self.match
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus fault specs: the complete, deterministic fault schedule.
+
+    Frozen and picklable, so it rides inside worker payloads; decisions
+    are pure functions, so parent and workers agree without coordination.
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def should_inject(
+        self, site: str, key: str, attempt: int = 0
+    ) -> Optional[FaultSpec]:
+        """The first spec firing at this (site, key, attempt), or ``None``."""
+        for index, spec in enumerate(self.specs):
+            if spec.site != site or not spec.applies(key, attempt):
+                continue
+            if _decision(self.seed, index, site, key, attempt) < spec.probability:
+                return spec
+        return None
+
+    def sites(self) -> frozenset[str]:
+        """Sites this plan can fire at (for cheap call-site short-circuits)."""
+        return frozenset(spec.site for spec in self.specs)
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {
+                    "site": s.site,
+                    "probability": s.probability,
+                    "match": list(s.match) if s.match is not None else None,
+                    "max_attempt": s.max_attempt,
+                    "delay": s.delay,
+                }
+                for s in self.specs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultError("fault plan must be a JSON object")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise FaultError(f"unknown fault plan keys: {sorted(unknown)}")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise FaultError("fault plan 'seed' must be an integer")
+        raw_specs = data.get("faults", [])
+        if not isinstance(raw_specs, list):
+            raise FaultError("fault plan 'faults' must be a list")
+        specs = []
+        for i, raw in enumerate(raw_specs):
+            if not isinstance(raw, dict):
+                raise FaultError(f"fault spec #{i} must be a JSON object")
+            unknown = set(raw) - _SPEC_KEYS
+            if unknown:
+                raise FaultError(
+                    f"fault spec #{i} has unknown keys: {sorted(unknown)}"
+                )
+            if "site" not in raw:
+                raise FaultError(f"fault spec #{i} is missing 'site'")
+            kwargs = dict(raw)
+            if kwargs.get("match") is not None:
+                kwargs["match"] = tuple(kwargs["match"])
+            specs.append(FaultSpec(**kwargs))
+        return cls(seed=seed, specs=tuple(specs))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Parse a JSON fault plan file; every failure mode is a FaultError."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise FaultError(f"cannot read fault plan {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise FaultError(f"fault plan {path} is not valid JSON: {exc}") from exc
+    return FaultPlan.from_dict(data)

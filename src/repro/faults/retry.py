@@ -1,0 +1,188 @@
+"""Retry policy, quarantine records, and the fault-aware work-unit wrapper.
+
+The execution backends (``repro.parallel.backend``) stay byte-identical
+to their plain paths: the wrapper runs the unit function unchanged and
+returns its result untouched, adding only a worker-measured duration and
+the list of injected sites so the parent can account for them.  All
+*decisions* — retry, backoff, post-hoc timeout, quarantine — live in the
+parent process.
+
+Timeout semantics are **post hoc** (cooperative): a unit is never
+preempted mid-flight; instead its worker-measured duration is checked
+against ``RetryPolicy.unit_timeout`` after it returns, and an overrun
+counts as a failure that is retried like any other.  This keeps the
+pipeline deterministic (no kill races) while still bounding how long a
+pathological unit can keep soaking up retries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ConfigError, FaultError
+from .plan import (
+    SITE_UNIT_EXCEPTION,
+    SITE_UNIT_SLOW,
+    SITE_WORKER_CRASH,
+    FaultPlan,
+)
+
+__all__ = [
+    "QUARANTINED",
+    "FaultContext",
+    "InjectedFault",
+    "MapReport",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "UnitTimeoutError",
+    "WorkerCrashFault",
+    "run_unit",
+]
+
+
+class InjectedFault(FaultError):
+    """An injected ``unit.exception`` fault (raised inside the work unit)."""
+
+
+class WorkerCrashFault(InjectedFault):
+    """An injected ``worker.crash`` fault: the unit dies as if its worker
+    process had been lost mid-task."""
+
+
+class UnitTimeoutError(FaultError):
+    """A unit exceeded the per-unit timeout (detected post hoc)."""
+
+
+#: Result placeholder for a unit whose retries were exhausted under a
+#: quarantining policy.  Identity-compared by callers (parent-side only).
+QUARANTINED = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-unit retry with exponential backoff and timeouts."""
+
+    #: Re-executions allowed per unit after its first failure.
+    max_retries: int = 2
+    #: Parent-side sleep before the first retry, seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+    #: Ceiling on a single backoff sleep, seconds.
+    backoff_max: float = 1.0
+    #: Per-unit wall-clock budget (worker-measured, enforced post hoc);
+    #: ``None`` disables timeout checking.
+    unit_timeout: Optional[float] = None
+    #: When retries are exhausted: ``True`` quarantines the unit and
+    #: continues the batch; ``False`` re-raises the last error.
+    quarantine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ConfigError("unit_timeout must be positive")
+
+    def backoff(self, retry_number: int) -> float:
+        """Sleep before the ``retry_number``-th retry (0-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor**retry_number,
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One unit whose retries were exhausted; the batch continued without it."""
+
+    unit: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class MapReport:
+    """Parent-side tally of what one ``map`` call survived."""
+
+    retries: int = 0
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+
+
+class FaultContext:
+    """Everything a backend needs to run one batch fault-aware.
+
+    Bundles the (optional) injection plan with the retry policy and the
+    unit-key label, and collects a :class:`MapReport` the caller can
+    inspect afterwards.  Parent-side only — the picklable pieces (plan,
+    unit key) ship to workers inside each payload.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        policy: Optional[RetryPolicy] = None,
+        label: str = "unit",
+    ) -> None:
+        self.plan = plan
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.label = label
+        self.report = MapReport()
+
+    def key(self, index: int) -> str:
+        """Stable unit key: identical under any backend or worker count."""
+        return f"{self.label}:{index}"
+
+
+def run_unit(payload: tuple) -> tuple:
+    """Execute one work unit under the fault plan (worker side).
+
+    ``payload = (fn, item, plan, key, attempt)``.  Returns
+    ``(result, duration_s, injected_sites)`` with ``result`` exactly what
+    ``fn(item)`` returned — byte-identical assembly is the parent's job
+    and this wrapper never touches the value.  Injected exception faults
+    raise; the injected slowdown sleeps *before* the unit runs so the
+    measured duration reflects it.
+    """
+    fn, item, plan, key, attempt = payload
+    injected: list[str] = []
+    delay = 0.0
+    if plan is not None:
+        if plan.should_inject(SITE_WORKER_CRASH, key, attempt):
+            raise WorkerCrashFault(f"injected worker crash at {key}")
+        if plan.should_inject(SITE_UNIT_EXCEPTION, key, attempt):
+            raise InjectedFault(f"injected unit exception at {key}")
+        slow = plan.should_inject(SITE_UNIT_SLOW, key, attempt)
+        if slow is not None:
+            injected.append(SITE_UNIT_SLOW)
+            delay = slow.delay
+    t0 = time.perf_counter()
+    if delay:
+        time.sleep(delay)
+    result = fn(item)
+    return result, time.perf_counter() - t0, tuple(injected)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Metric-suffix classification of a unit failure, by exception type.
+
+    Real worker-process deaths (``BrokenExecutor`` from a pool) classify
+    like injected crashes, so both recover through the same retry path.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    if isinstance(exc, (WorkerCrashFault, BrokenExecutor)):
+        return "worker_crash"
+    if isinstance(exc, UnitTimeoutError):
+        return "timeout"
+    return "unit_error"
+
+
+#: Parent-side sleep hook (monkeypatchable in tests; wall-clock only,
+#: never affects results).
+sleep: Callable[[float], None] = time.sleep

@@ -23,8 +23,10 @@ from .metrics import MetricsRegistry
 
 __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 
-#: Version of the manifest document layout itself.
-MANIFEST_SCHEMA_VERSION = 1
+#: Version of the manifest document layout itself.  v2 added the
+#: ``faults`` / ``retries`` sections (fault injection, retry, and
+#: quarantine accounting).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -54,12 +56,22 @@ class RunManifest:
     spans: list = field(default_factory=list)
     #: Counters/gauges/histograms recorded during the run.
     metrics: dict = field(default_factory=dict)
+    #: Fault accounting (schema v2): injected faults by site, failure
+    #: counts by kind, and the quarantined units with their errors.
+    faults: dict = field(default_factory=dict)
+    #: Retry accounting (schema v2): attempts, successes after retry,
+    #: and exhausted units.
+    retries: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
+        # Tolerate v1 documents, which predate the faults/retries sections.
+        data = dict(data)
+        data.setdefault("faults", {})
+        data.setdefault("retries", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -99,6 +111,37 @@ def build_manifest(
 
     snapshot = registry.snapshot()
     spans = snapshot.pop("spans")
+    events = snapshot.pop("events", [])
+    counters = snapshot.get("counters", {})
+
+    def _strip(prefix: str) -> dict:
+        return {
+            k[len(prefix):]: v
+            for k, v in counters.items()
+            if k.startswith(prefix) and v
+        }
+
+    # The faults/retries sections duplicate the underlying counters in a
+    # consumer-friendly shape; the raw counters stay in ``metrics`` too.
+    faults: dict = {}
+    injected = _strip("faults.injected.")
+    failures = {
+        k: v
+        for k, v in _strip("faults.").items()
+        if not k.startswith("injected.")
+    }
+    quarantined = [
+        {k: v for k, v in e.items() if k != "name"}
+        for e in events
+        if e.get("name") == "faults.quarantine"
+    ]
+    if injected:
+        faults["injected"] = injected
+    if failures:
+        faults["failures"] = failures
+    if quarantined:
+        faults["quarantined"] = quarantined
+    retries = _strip("retries.")
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -115,4 +158,6 @@ def build_manifest(
         exit_code=exit_code,
         spans=spans,
         metrics=snapshot,
+        faults=faults,
+        retries=retries,
     )

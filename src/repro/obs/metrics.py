@@ -7,7 +7,11 @@ One :class:`MetricsRegistry` collects everything a run wants to report:
 * **histograms** — raw-sample timing distributions summarized as
   count/mean/p50/p95/max (``parallel.unit_seconds``);
 * **spans** — nested wall-clock phase timings (``generate.machines``
-  inside ``analyze``), recorded as a tree.
+  inside ``analyze``), recorded as a tree;
+* **events** — discrete structured occurrences worth reporting
+  individually (``faults.quarantine``), recorded in order as plain
+  dicts; snapshots include an ``"events"`` key only when any were
+  recorded, so event-free snapshots keep their original shape.
 
 The registry honors two contracts the pipelines rely on:
 
@@ -103,6 +107,7 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
         self._spans: list[dict] = []
         self._span_stack: list[dict] = []
+        self._events: list[dict] = []
 
     # -- counters / gauges / histograms --------------------------------------
 
@@ -131,6 +136,20 @@ class MetricsRegistry:
             return
         with self._lock:
             self._histograms.setdefault(name, Histogram()).observe(value)
+
+    def record(self, name: str, **fields: object) -> None:
+        """Append one structured event (``name`` plus JSON-able fields)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append({"name": name, **fields})
+
+    def events(self, name: Optional[str] = None) -> list[dict]:
+        """Recorded events, optionally filtered by name (copies)."""
+        with self._lock:
+            return [
+                dict(e) for e in self._events if name is None or e["name"] == name
+            ]
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -181,7 +200,7 @@ class MetricsRegistry:
         import copy
 
         with self._lock:
-            return {
+            snap = {
                 "counters": {k: self._counters[k] for k in sorted(self._counters)},
                 "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
                 "histograms": {
@@ -190,6 +209,9 @@ class MetricsRegistry:
                 },
                 "spans": copy.deepcopy(self._spans),
             }
+            if self._events:
+                snap["events"] = copy.deepcopy(self._events)
+            return snap
 
     def reset(self) -> None:
         """Drop everything recorded (keeps the enabled flag)."""
@@ -199,6 +221,7 @@ class MetricsRegistry:
             self._histograms.clear()
             self._spans.clear()
             self._span_stack.clear()
+            self._events.clear()
             self._epoch = time.perf_counter()
 
 

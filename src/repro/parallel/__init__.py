@@ -12,7 +12,12 @@ index).  This package provides:
   invariant that ``jobs=N`` output equals ``jobs=1`` output bit for bit;
 * a content-addressed on-disk cache for generated trace datasets
   (:mod:`repro.parallel.cache`), keyed by a stable fingerprint of the
-  frozen config plus schema versions.
+  frozen config plus schema versions;
+* fault-aware execution (see :mod:`repro.faults`): ``map`` takes an
+  optional :class:`~repro.faults.FaultContext` that adds deterministic
+  fault injection, bounded retry with backoff, post-hoc per-unit
+  timeouts, quarantine-and-continue, and recovery from real worker
+  deaths — with byte-identical output whenever every retry succeeds.
 """
 
 from .backend import (

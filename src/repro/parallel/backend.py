@@ -21,15 +21,34 @@ with telemetry on or off:
 * ``parallel.unit_seconds`` (histogram) — serial: each item's call time;
   pooled: wall-clock spacing between result arrivals in the parent (a
   throughput view — per-worker CPU time never crosses the process
-  boundary);
+  boundary); fault-aware runs report the worker-measured call time
+  instead (it rides back with the result tuple);
 * ``parallel.queue_wait_seconds`` (histogram) — pooled only: submission
   of the batch to first completed result (pool spin-up + first task);
 * ``parallel.map_seconds`` (histogram) — whole-batch wall clock;
 * ``parallel.units`` (counter) and ``parallel.workers`` (gauge).
+
+Fault-aware execution
+---------------------
+Passing a :class:`repro.faults.FaultContext` switches ``map`` onto a
+hardened path: each unit runs through :func:`repro.faults.retry.run_unit`
+(which consults the injection plan and measures duration), failures are
+retried with exponential backoff up to ``RetryPolicy.max_retries``,
+per-unit timeouts are enforced post hoc, and — under a quarantining
+policy — a unit whose retries are exhausted yields the
+:data:`repro.faults.QUARANTINED` sentinel in its result slot while the
+rest of the batch completes.  The pool backend additionally survives
+*real* worker deaths: a ``BrokenProcessPool`` marks every unfinished
+unit as crashed (one attempt each), the pool is rebuilt, and the
+survivors are resubmitted.  Whenever every retry succeeds, the returned
+list is byte-identical to a fault-free run — the wrapper never touches
+unit results.  With ``faults=None`` the original code paths run,
+unchanged.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from abc import ABC, abstractmethod
@@ -38,6 +57,16 @@ from typing import Callable, Optional, Sequence, TypeVar
 
 from ..config import ExecutionConfig
 from ..errors import ConfigError
+from ..faults import retry as retry_mod
+from ..faults.retry import (
+    QUARANTINED,
+    FaultContext,
+    InjectedFault,
+    QuarantineRecord,
+    UnitTimeoutError,
+    classify_failure,
+    run_unit,
+)
 from ..obs.metrics import get_registry
 
 __all__ = [
@@ -47,6 +76,8 @@ __all__ = [
     "get_backend",
     "resolve_jobs",
 ]
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -66,6 +97,75 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
+def _note_injected(registry, injected: Sequence[str]) -> None:
+    for site in injected:
+        registry.inc(f"faults.injected.{site}")
+
+
+def _check_timeout(faults: FaultContext, key: str, duration: float) -> None:
+    timeout = faults.policy.unit_timeout
+    if timeout is not None and duration > timeout:
+        raise UnitTimeoutError(
+            f"unit {key} took {duration:.3f}s (timeout {timeout:.3f}s)"
+        )
+
+
+def _on_failure(
+    registry, faults: FaultContext, index: int, attempt: int, exc: Exception
+) -> bool:
+    """Account for one failed attempt; ``True`` means retry the unit.
+
+    Exhausted units either quarantine (recorded on the context's report
+    and as a registry event) or re-raise, per the policy.
+    """
+    policy = faults.policy
+    key = faults.key(index)
+    kind = classify_failure(exc)
+    registry.inc(f"faults.{kind}")
+    if isinstance(exc, retry_mod.WorkerCrashFault):
+        registry.inc("faults.injected.worker.crash")
+    elif isinstance(exc, InjectedFault):
+        registry.inc("faults.injected.unit.exception")
+    if attempt < policy.max_retries:
+        registry.inc("retries.attempts")
+        faults.report.retries += 1
+        delay = policy.backoff(attempt)
+        logger.warning(
+            "unit %s failed (%s: %s); retrying (%d/%d)%s",
+            key,
+            type(exc).__name__,
+            exc,
+            attempt + 1,
+            policy.max_retries,
+            f" after {delay:.2f}s" if delay > 0 else "",
+        )
+        if delay > 0:
+            retry_mod.sleep(delay)
+        return True
+    registry.inc("retries.exhausted")
+    if not policy.quarantine:
+        raise exc
+    record = QuarantineRecord(
+        unit=key,
+        attempts=attempt + 1,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    faults.report.quarantined.append(record)
+    registry.record(
+        "faults.quarantine",
+        unit=record.unit,
+        attempts=record.attempts,
+        error=record.error,
+    )
+    logger.error(
+        "quarantining unit %s after %d failed attempt(s): %s",
+        key,
+        record.attempts,
+        record.error,
+    )
+    return False
+
+
 class ExecutionBackend(ABC):
     """Strategy for running a batch of independent tasks."""
 
@@ -76,6 +176,7 @@ class ExecutionBackend(ABC):
         items: Sequence[T],
         *,
         progress: Optional[ProgressFn] = None,
+        faults: Optional[FaultContext] = None,
     ) -> list[R]:
         """Apply ``fn`` to every item, returning results in item order."""
 
@@ -89,7 +190,10 @@ class SerialBackend(ExecutionBackend):
         items: Sequence[T],
         *,
         progress: Optional[ProgressFn] = None,
+        faults: Optional[FaultContext] = None,
     ) -> list[R]:
+        if faults is not None:
+            return self._map_faulted(fn, items, progress, faults)
         registry = get_registry()
         total = len(items)
         out: list[R] = []
@@ -109,13 +213,56 @@ class SerialBackend(ExecutionBackend):
             registry.observe("parallel.map_seconds", time.perf_counter() - t_map)
         return out
 
+    def _map_faulted(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        progress: Optional[ProgressFn],
+        faults: FaultContext,
+    ) -> list[R]:
+        registry = get_registry()
+        plan, policy = faults.plan, faults.policy
+        total = len(items)
+        out: list[R] = []
+        t_map = time.perf_counter() if registry.enabled else 0.0
+        for i, item in enumerate(items):
+            if progress is not None:
+                progress(i, total)
+            attempt = 0
+            while True:
+                try:
+                    value, duration, injected = run_unit(
+                        (fn, item, plan, faults.key(i), attempt)
+                    )
+                    _note_injected(registry, injected)
+                    _check_timeout(faults, faults.key(i), duration)
+                except Exception as exc:
+                    if _on_failure(registry, faults, i, attempt, exc):
+                        attempt += 1
+                        continue
+                    out.append(QUARANTINED)  # type: ignore[arg-type]
+                    break
+                else:
+                    registry.observe("parallel.unit_seconds", duration)
+                    if attempt > 0:
+                        registry.inc("retries.succeeded")
+                    out.append(value)
+                    break
+        if registry.enabled and total:
+            registry.inc("parallel.units", total)
+            registry.gauge("parallel.workers", 1)
+            registry.observe("parallel.map_seconds", time.perf_counter() - t_map)
+        return out
+
 
 class ProcessPoolBackend(ExecutionBackend):
     """``concurrent.futures`` process pool with order-preserving results.
 
     Tasks run in worker processes; results are collected as they complete
-    but returned in submission order.  A worker exception propagates to the
-    caller after the remaining futures are cancelled.
+    but returned in submission order.  Without a fault context, a worker
+    exception propagates to the caller after the remaining futures are
+    cancelled; with one, failures retry per the policy (see the module
+    docstring).
     """
 
     def __init__(self, max_workers: int) -> None:
@@ -129,7 +276,10 @@ class ProcessPoolBackend(ExecutionBackend):
         items: Sequence[T],
         *,
         progress: Optional[ProgressFn] = None,
+        faults: Optional[FaultContext] = None,
     ) -> list[R]:
+        if faults is not None:
+            return self._map_faulted(fn, items, progress, faults)
         registry = get_registry()
         total = len(items)
         if total == 0:
@@ -171,6 +321,85 @@ class ProcessPoolBackend(ExecutionBackend):
             registry.inc("parallel.units", total)
             registry.gauge("parallel.workers", n_workers)
             registry.observe("parallel.map_seconds", time.perf_counter() - t_submit)
+        return results
+
+    def _map_faulted(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        progress: Optional[ProgressFn],
+        faults: FaultContext,
+    ) -> list[R]:
+        registry = get_registry()
+        plan, policy = faults.plan, faults.policy
+        total = len(items)
+        if total == 0:
+            return []
+        results: list[R] = [None] * total  # type: ignore[list-item]
+        settled = [False] * total
+        attempts = [0] * total
+        to_submit = list(range(total))
+        n_workers = min(self.max_workers, total)
+        t_map = time.perf_counter() if registry.enabled else 0.0
+        first_arrival = True
+
+        def settle(i: int, value: R) -> None:
+            results[i] = value
+            settled[i] = True
+            if progress is not None:
+                progress(i, total)
+
+        while to_submit:
+            retry_round: list[int] = []
+            # One fresh pool per round: the first round is the common
+            # (fault-free) case; later rounds only exist after failures,
+            # and rebuilding also recovers from a broken (crashed) pool.
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                try:
+                    index_of = {
+                        pool.submit(
+                            run_unit,
+                            (fn, items[i], plan, faults.key(i), attempts[i]),
+                        ): i
+                        for i in to_submit
+                    }
+                    pending = set(index_of)
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        if registry.enabled and first_arrival:
+                            first_arrival = False
+                            registry.observe(
+                                "parallel.queue_wait_seconds",
+                                time.perf_counter() - t_map,
+                            )
+                        for fut in done:
+                            i = index_of[fut]
+                            try:
+                                value, duration, injected = fut.result()
+                                _note_injected(registry, injected)
+                                _check_timeout(faults, faults.key(i), duration)
+                            except Exception as exc:
+                                if _on_failure(
+                                    registry, faults, i, attempts[i], exc
+                                ):
+                                    attempts[i] += 1
+                                    retry_round.append(i)
+                                else:
+                                    settle(i, QUARANTINED)  # type: ignore[arg-type]
+                            else:
+                                registry.observe("parallel.unit_seconds", duration)
+                                if attempts[i] > 0:
+                                    registry.inc("retries.succeeded")
+                                settle(i, value)
+                finally:
+                    # Cancel whatever had not started (exception path);
+                    # completed/settled futures are unaffected.
+                    pool.shutdown(wait=True, cancel_futures=True)
+            to_submit = sorted(retry_round)
+        if registry.enabled:
+            registry.inc("parallel.units", total)
+            registry.gauge("parallel.workers", n_workers)
+            registry.observe("parallel.map_seconds", time.perf_counter() - t_map)
         return results
 
 

@@ -5,17 +5,26 @@ of the frozen config dataclass tree, (b) the trace-file schema version
 (:data:`repro.traces.io.SCHEMA_VERSION`), and (c) a generator code-schema
 version (:data:`CODE_SCHEMA_VERSION`, bumped whenever the generation
 semantics change so stale entries can never be served).  Execution
-settings (``FgcsConfig.execution``) are excluded: worker count and cache
-location never change what is generated.
+settings (``FgcsConfig.execution``) are excluded: worker count, cache
+location, and fault handling never change what is generated.
 
 Entries are stored through the existing :mod:`repro.traces.io` JSONL
 serialization, written atomically (temp file + rename) so a crashed run
 can leave at worst a stale temp file, never a truncated entry.  Corrupted
 or unreadable entries are treated as misses and removed (with a logged
-warning), falling back to regeneration.  Cache traffic is counted on the
-ambient metrics registry (``cache.hit`` / ``cache.miss`` /
-``cache.corrupt_evicted`` / ``cache.write``) so run manifests show where
-the traffic went.
+warning), falling back to regeneration; the eviction re-checks that the
+file it is about to delete is still the one it failed to read, so a
+concurrent writer's freshly replaced (good) entry is never evicted.
+A failed write (disk full, permissions) degrades to a logged warning —
+the pipeline continues uncached rather than aborting.  Cache traffic is
+counted on the ambient metrics registry (``cache.hit`` / ``cache.miss`` /
+``cache.corrupt_evicted`` / ``cache.write`` / ``cache.write_failed``) so
+run manifests show where the traffic went.
+
+A :class:`repro.faults.FaultPlan` can be attached for chaos testing: the
+``cache.read_corrupt`` site forces the eviction/regeneration path and
+``cache.write_fail`` simulates an unwritable store, exercising exactly
+the degradations above.
 """
 
 from __future__ import annotations
@@ -30,6 +39,11 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import TraceError
+from ..faults.plan import (
+    SITE_CACHE_READ_CORRUPT,
+    SITE_CACHE_WRITE_FAIL,
+    FaultPlan,
+)
 from ..obs.metrics import get_registry
 from ..traces.dataset import TraceDataset
 from ..traces.io import SCHEMA_VERSION, load_dataset, save_dataset
@@ -105,28 +119,57 @@ def dataset_cache_key(config: object, *, keep_hourly_load: bool = True) -> str:
     )
 
 
+def _file_identity(path: Path) -> Optional[tuple]:
+    """(inode, mtime, size) identity of the file, or ``None`` if gone."""
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
 class DatasetCache:
     """A directory of cached :class:`TraceDataset` files, one per key.
 
     ``get`` never raises on a bad entry: anything unreadable (truncated
     file, wrong schema, garbage) is removed and reported as a miss, so the
-    caller regenerates and overwrites it.
+    caller regenerates and overwrites it.  ``put`` never raises on an
+    unwritable store: the dataset is simply not cached.
     """
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir)
+        self.fault_plan = fault_plan
 
     def path_for(self, key: str) -> Path:
         return self.cache_dir / f"{key}.jsonl"
+
+    def _injected(self, site: str, key: str) -> bool:
+        if self.fault_plan is None:
+            return False
+        if self.fault_plan.should_inject(site, key) is None:
+            return False
+        get_registry().inc(f"faults.injected.{site}")
+        return True
 
     def get(self, key: str) -> Optional[TraceDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss."""
         registry = get_registry()
         path = self.path_for(key)
-        if not path.exists():
+        # Identity of the entry we are about to read: if the load fails
+        # and the file changed in between (a concurrent writer replaced
+        # it), the replacement must survive the eviction below.
+        identity = _file_identity(path)
+        if identity is None:
             registry.inc("cache.miss")
             return None
         try:
+            if self._injected(SITE_CACHE_READ_CORRUPT, key):
+                raise TraceError(f"injected cache read corruption at {key}")
             dataset = load_dataset(path)
         except (TraceError, OSError, ValueError, KeyError) as exc:
             # Corrupted/truncated/stale entry: drop it and regenerate.
@@ -139,27 +182,52 @@ class DatasetCache:
                 type(exc).__name__,
                 exc,
             )
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            if _file_identity(path) == identity:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                logger.info(
+                    "cache entry %s was concurrently replaced; keeping the "
+                    "new entry",
+                    key,
+                )
             return None
         registry.inc("cache.hit")
         return dataset
 
-    def put(self, key: str, dataset: TraceDataset) -> Path:
-        """Store a dataset under ``key`` atomically; returns the path."""
-        get_registry().inc("cache.write")
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
+    def put(self, key: str, dataset: TraceDataset) -> Optional[Path]:
+        """Store a dataset under ``key`` atomically; returns the path.
+
+        Write failures (real or injected) are survivable: the entry is
+        simply not cached, a warning is logged, ``cache.write_failed`` is
+        counted, and ``None`` is returned.
+        """
+        registry = get_registry()
         path = self.path_for(key)
         tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
         try:
+            if self._injected(SITE_CACHE_WRITE_FAIL, key):
+                raise OSError(f"injected cache write failure at {key}")
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
             save_dataset(dataset, tmp)
             os.replace(tmp, path)
+        except OSError as exc:
+            registry.inc("cache.write_failed")
+            logger.warning(
+                "dataset cache write for %s failed (%s: %s); continuing "
+                "without caching",
+                key,
+                type(exc).__name__,
+                exc,
+            )
+            return None
         finally:
             if tmp.exists():
                 try:
                     tmp.unlink()
                 except OSError:
                     pass
+        registry.inc("cache.write")
         return path

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+from ..faults import FaultContext
 from ..obs.metrics import span
 from ..prediction.history import HistoryWindowPredictor
 from ..prediction.renewal import RenewalAgePredictor
@@ -241,6 +242,7 @@ def replicate_scheduling_experiment(
     mean_interarrival: float = 2.5 * HOUR,
     mean_runtime: float = 2 * HOUR,
     jobs: int = 1,
+    faults: Optional[FaultContext] = None,
 ) -> ReplicatedComparison:
     """The policy comparison over several independent job streams.
 
@@ -262,6 +264,7 @@ def replicate_scheduling_experiment(
                 (dataset, train_days, seed, mean_interarrival, mean_runtime)
                 for seed in seeds
             ],
+            faults=faults,
         )
     for results in per_seed:
         for r in results:

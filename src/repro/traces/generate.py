@@ -23,6 +23,7 @@ from ..config import ExecutionConfig, FgcsConfig
 from ..core.detector import BatchDetector
 from ..core.events import UnavailabilityEvent
 from ..core.model import MultiStateModel
+from ..faults import QUARANTINED
 from ..obs.metrics import get_registry
 from ..units import HOUR
 from ..workloads.loadmodel import MachineTraceGenerator
@@ -80,9 +81,14 @@ def generate_dataset(
         machine index in ``0 .. n_machines - 1`` is reported exactly once
         either way.
     execution:
-        Worker-pool and cache settings; defaults to ``config.execution``.
-        The result is bit-for-bit identical for every ``jobs`` value, and
-        a cache hit returns a dataset equal to a freshly generated one.
+        Worker-pool, cache, and fault-handling settings; defaults to
+        ``config.execution``.  The result is bit-for-bit identical for
+        every ``jobs`` value, and a cache hit returns a dataset equal to
+        a freshly generated one.  Failed machines are retried per the
+        execution config; a machine whose retries are exhausted is
+        *quarantined* — its events are omitted, its hourly-load row stays
+        NaN, the machine ids land in ``metadata["quarantined_machines"]``,
+        and the (partial) dataset is not written to the cache.
 
     Returns
     -------
@@ -99,7 +105,7 @@ def generate_dataset(
     if execution.cache_enabled:
         from ..parallel.cache import DatasetCache, dataset_cache_key
 
-        cache = DatasetCache(execution.cache_dir)
+        cache = DatasetCache(execution.cache_dir, fault_plan=execution.fault_plan)
         key = dataset_cache_key(config, keep_hourly_load=keep_hourly_load)
         with registry.span("generate.cache_lookup"):
             cached = cache.get(key)
@@ -123,32 +129,52 @@ def generate_dataset(
         execution.jobs,
     )
     backend = get_backend(execution)
+    fault_context = execution.fault_context("generate.machine", quarantine=True)
     with registry.span("generate.machines"):
         per_machine = backend.map(
             _generate_machine,
             [(config, mid, keep_hourly_load) for mid in range(n)],
             progress=progress,
+            faults=fault_context,
         )
 
     with registry.span("generate.assemble"):
         events: list[UnavailabilityEvent] = []
-        for mid, (machine_events, hourly_row) in enumerate(per_machine):
+        quarantined: list[int] = []
+        for mid, result in enumerate(per_machine):
+            if result is QUARANTINED:
+                quarantined.append(mid)
+                continue
+            machine_events, hourly_row = result
             events.extend(machine_events)
             if hourly is not None and hourly_row is not None:
                 hourly[mid, :] = hourly_row
 
+        metadata = {
+            "seed": config.seed,
+            "th1": config.thresholds.th1,
+            "th2": config.thresholds.th2,
+            "monitor_period": config.monitor.period,
+        }
+        if quarantined:
+            # Only present on degraded runs, so fault-free output bytes
+            # are untouched.
+            metadata["quarantined_machines"] = quarantined
         dataset = TraceDataset(
             events=events,
             n_machines=n,
             span=config.testbed.duration,
             start_weekday=config.testbed.start_weekday,
             hourly_load=hourly,
-            metadata={
-                "seed": config.seed,
-                "th1": config.thresholds.th1,
-                "th2": config.thresholds.th2,
-                "monitor_period": config.monitor.period,
-            },
+            metadata=metadata,
+        )
+    if quarantined:
+        logger.error(
+            "partial trace: %d/%d machine(s) quarantined after retries "
+            "(ids %s); their events are missing from the dataset",
+            len(quarantined),
+            n,
+            quarantined,
         )
     logger.info(
         "generated %d events over %.0f machine-days",
@@ -156,6 +182,12 @@ def generate_dataset(
         dataset.machine_days,
     )
     if cache is not None and key is not None:
-        with registry.span("generate.cache_write"):
-            cache.put(key, dataset)
+        if quarantined:
+            logger.warning(
+                "not caching partial dataset (%d quarantined machine(s))",
+                len(quarantined),
+            )
+        else:
+            with registry.span("generate.cache_write"):
+                cache.put(key, dataset)
     return dataset

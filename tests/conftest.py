@@ -16,6 +16,22 @@ from repro.traces.generate import generate_dataset
 from repro.units import DAY
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden figure/table fixtures under tests/goldens/ "
+        "from the current code instead of diffing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """True when the run should rewrite goldens instead of checking them."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def small_config() -> FgcsConfig:
     """A 4-machine, 21-day testbed: fast but long enough for statistics."""

@@ -1,0 +1,270 @@
+"""Chaos harness: the pipeline under injected faults (acceptance tests).
+
+The contract these tests pin down:
+
+* with bounded retries and default (transient) faults — at least one
+  worker crash, one unit exception, and one corrupt cache entry — the
+  pipeline's outputs are **byte-identical** to a fault-free run;
+* when retries cannot succeed (poisoned units), the run degrades
+  gracefully: partial results, a stderr summary, exit code 3;
+* the run manifest records the injected faults, retries, evictions, and
+  quarantines.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.config import ExecutionConfig, FgcsConfig, TestbedConfig
+from repro.faults import FaultPlan, FaultSpec
+from repro.traces.generate import generate_dataset
+from repro.traces.io import save_dataset
+from repro.units import DAY
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+#: At least one worker crash, one unit exception, and one transient cache
+#: corruption — the acceptance mix.  All default to max_attempt=0, so one
+#: retry clears each fault.
+CHAOS_PLAN = FaultPlan(
+    seed=13,
+    specs=(
+        FaultSpec(site="worker.crash", match=("generate.machine:0",)),
+        FaultSpec(site="unit.exception", match=("generate.machine:1",)),
+        FaultSpec(site="cache.read_corrupt"),
+    ),
+)
+
+
+def _tiny_config(tmp_path=None, fault_plan=None, jobs=1, **exec_kwargs):
+    cfg = dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=2, duration=7 * DAY),
+        seed=5,
+    )
+    return cfg.with_execution(
+        ExecutionConfig(
+            jobs=jobs,
+            cache_dir=str(tmp_path) if tmp_path is not None else None,
+            use_cache=tmp_path is not None,
+            fault_plan=fault_plan,
+            **exec_kwargs,
+        )
+    )
+
+
+def _bytes_of(dataset, path) -> bytes:
+    save_dataset(dataset, path)
+    return path.read_bytes()
+
+
+class TestByteIdenticalUnderFaults:
+    def test_generate_identical_with_transient_faults(self, tmp_path):
+        clean = generate_dataset(_tiny_config())
+        chaotic = generate_dataset(_tiny_config(fault_plan=CHAOS_PLAN))
+        assert _bytes_of(clean, tmp_path / "clean.jsonl") == _bytes_of(
+            chaotic, tmp_path / "chaos.jsonl"
+        )
+
+    def test_generate_identical_with_faults_in_pool(self, tmp_path):
+        clean = generate_dataset(_tiny_config())
+        chaotic = generate_dataset(
+            _tiny_config(fault_plan=CHAOS_PLAN, jobs=2)
+        )
+        assert _bytes_of(clean, tmp_path / "clean.jsonl") == _bytes_of(
+            chaotic, tmp_path / "chaos.jsonl"
+        )
+
+    def test_corrupt_cache_entry_regenerates_identically(self, tmp_path):
+        """A cache whose every read 'corrupts' (evict + regenerate) still
+        yields the exact fault-free dataset."""
+        cache_dir = tmp_path / "cache"
+        clean = generate_dataset(_tiny_config(cache_dir))  # warms the cache
+        assert any(cache_dir.iterdir())
+        chaotic = generate_dataset(
+            _tiny_config(cache_dir, fault_plan=CHAOS_PLAN)
+        )
+        assert _bytes_of(clean, tmp_path / "clean.jsonl") == _bytes_of(
+            chaotic, tmp_path / "chaos.jsonl"
+        )
+
+    def test_cache_write_failure_degrades_gracefully(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        plan = FaultPlan(specs=(FaultSpec(site="cache.write_fail"),))
+        chaotic = generate_dataset(_tiny_config(cache_dir, fault_plan=plan))
+        clean = generate_dataset(_tiny_config())
+        assert not list(cache_dir.glob("*.jsonl"))  # nothing was cached
+        assert _bytes_of(clean, tmp_path / "clean.jsonl") == _bytes_of(
+            chaotic, tmp_path / "chaos.jsonl"
+        )
+
+    def test_figure_sweep_identical_under_faults(self):
+        """The contention sweeps produce the same figures with faults
+        injected and retried."""
+        import numpy as np
+
+        from repro.contention.sweeps import figure1_sweep
+        from repro.faults import FaultContext, RetryPolicy
+
+        kwargs = dict(
+            lh_grid=(0.0, 0.5),
+            group_sizes=(1,),
+            combinations=1,
+            duration=30.0,
+            seed=0,
+        )
+        clean = figure1_sweep(0, **kwargs)
+        plan = FaultPlan(
+            seed=2,
+            specs=(
+                FaultSpec(site="worker.crash", match=("fig1:0",)),
+                FaultSpec(site="unit.exception"),
+            ),
+        )
+        ctx = FaultContext(plan=plan, policy=RetryPolicy(), label="fig1")
+        chaotic = figure1_sweep(0, faults=ctx, **kwargs)
+        np.testing.assert_array_equal(clean.reduction, chaotic.reduction)
+        assert ctx.report.retries > 0
+
+
+class TestGracefulDegradation:
+    def test_poisoned_machine_is_quarantined(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="unit.exception",
+                    match=("generate.machine:1",),
+                    max_attempt=-1,
+                ),
+            )
+        )
+        dataset = generate_dataset(_tiny_config(fault_plan=plan))
+        assert dataset.metadata["quarantined_machines"] == [1]
+        # Machine 0's events survive; machine 1 contributes none.
+        assert len(dataset) > 0
+        assert all(e.machine_id == 0 for e in dataset.events)
+
+    def test_partial_dataset_not_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="unit.exception",
+                    match=("generate.machine:0",),
+                    max_attempt=-1,
+                ),
+            )
+        )
+        generate_dataset(_tiny_config(cache_dir, fault_plan=plan))
+        assert not list(cache_dir.glob("*.jsonl"))
+
+
+class TestCliChaos:
+    """End-to-end: the CLI under a fault plan, manifest accounting included."""
+
+    def _run(self, tmp_path, plan, *extra):
+        plan_path = plan.save(tmp_path / "plan.json")
+        out = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        rc = cli.main(
+            [
+                "generate",
+                str(out),
+                "--machines",
+                "2",
+                "--days",
+                "7",
+                "--seed",
+                "5",
+                "--fault-plan",
+                str(plan_path),
+                "--metrics-out",
+                str(manifest_path),
+                *extra,
+            ]
+        )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        return rc, out, manifest
+
+    def test_chaos_run_matches_clean_run(self, tmp_path):
+        clean_out = tmp_path / "clean.jsonl"
+        assert (
+            cli.main(
+                [
+                    "generate",
+                    str(clean_out),
+                    "--machines",
+                    "2",
+                    "--days",
+                    "7",
+                    "--seed",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        rc, chaos_out, manifest = self._run(tmp_path, CHAOS_PLAN)
+        assert rc == 0
+        assert chaos_out.read_bytes() == clean_out.read_bytes()
+        # The manifest accounts for what the run survived.
+        assert manifest["faults"]["injected"]["worker.crash"] == 1
+        assert manifest["faults"]["injected"]["unit.exception"] == 1
+        assert manifest["faults"]["failures"] == {
+            "worker_crash": 1,
+            "unit_error": 1,
+        }
+        assert manifest["retries"] == {"attempts": 2, "succeeded": 2}
+        assert "quarantined" not in manifest["faults"]
+
+    def test_quarantine_yields_exit_3_and_manifest_record(
+        self, tmp_path, capsys
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.crash",
+                    match=("generate.machine:1",),
+                    max_attempt=-1,
+                ),
+            )
+        )
+        rc, out, manifest = self._run(tmp_path, plan)
+        assert rc == 3
+        assert "partial results" in capsys.readouterr().err
+        assert out.exists()  # the surviving events are still written
+        (record,) = manifest["faults"]["quarantined"]
+        assert record["unit"] == "generate.machine:1"
+        assert record["attempts"] == 3
+        assert manifest["retries"]["exhausted"] == 1
+        assert manifest["exit_code"] == 3
+
+    def test_cache_eviction_recorded_in_manifest(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Warm the cache fault-free, then read it through the chaos plan.
+        assert (
+            cli.main(
+                [
+                    "generate",
+                    str(tmp_path / "warm.jsonl"),
+                    "--machines",
+                    "2",
+                    "--days",
+                    "7",
+                    "--seed",
+                    "5",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        rc, out, manifest = self._run(
+            tmp_path, CHAOS_PLAN, "--cache-dir", str(cache_dir)
+        )
+        assert rc == 0
+        counters = manifest["metrics"]["counters"]
+        assert counters["cache.corrupt_evicted"] >= 1
+        assert manifest["faults"]["injected"]["cache.read_corrupt"] >= 1
+        assert out.read_bytes() == (tmp_path / "warm.jsonl").read_bytes()

@@ -1,0 +1,187 @@
+"""CLI error paths for the robustness flags (exit codes and stderr).
+
+Conventions under test: exit 2 for invalid fault plans and unrecoverable
+faults, exit 3 for partial results (quarantined units), exit 0 when every
+retry succeeds.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults import retry as retry_mod
+
+
+@pytest.fixture(autouse=True)
+def _no_backoff_sleep(monkeypatch):
+    monkeypatch.setattr(retry_mod, "sleep", lambda s: None)
+
+
+def _generate_argv(tmp_path, *extra):
+    return [
+        "generate",
+        str(tmp_path / "trace.jsonl"),
+        "--machines",
+        "2",
+        "--days",
+        "3",
+        "--seed",
+        "5",
+        *extra,
+    ]
+
+
+class TestBadPlanFiles:
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys):
+        rc = cli.main(
+            _generate_argv(
+                tmp_path, "--fault-plan", str(tmp_path / "missing.json")
+            )
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot read fault plan" in err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops", encoding="utf-8")
+        rc = cli.main(_generate_argv(tmp_path, "--fault-plan", str(bad)))
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_site_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"faults": [{"site": "disk.melt"}]}), encoding="utf-8"
+        )
+        rc = cli.main(_generate_argv(tmp_path, "--fault-plan", str(bad)))
+        assert rc == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_bad_plan_with_metrics_out_still_writes_manifest(
+        self, tmp_path, capsys
+    ):
+        rc = cli.main(
+            _generate_argv(
+                tmp_path,
+                "--fault-plan",
+                str(tmp_path / "missing.json"),
+                "--metrics-out",
+                str(tmp_path / "manifest.json"),
+            )
+        )
+        assert rc == 2
+        manifest = json.loads(
+            (tmp_path / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert manifest["exit_code"] == 2
+        capsys.readouterr()
+
+
+class TestRetriesExhausted:
+    def _poison_plan(self, tmp_path):
+        return FaultPlan(
+            specs=(FaultSpec(site="unit.exception", max_attempt=-1),)
+        ).save(tmp_path / "poison.json")
+
+    def test_all_units_poisoned_exits_3(self, tmp_path, capsys):
+        rc = cli.main(
+            _generate_argv(
+                tmp_path, "--fault-plan", str(self._poison_plan(tmp_path))
+            )
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "partial results" in err
+        assert "quarantined" in err
+
+    def test_max_retries_zero_fails_fast(self, tmp_path, capsys):
+        rc = cli.main(
+            _generate_argv(
+                tmp_path,
+                "--fault-plan",
+                str(self._poison_plan(tmp_path)),
+                "--max-retries",
+                "0",
+            )
+        )
+        assert rc == 3
+        assert "2 machine(s)" in capsys.readouterr().err
+
+    def test_unrecoverable_fault_in_thresholds_exits_2(self, tmp_path, capsys):
+        """Non-quarantining commands surface exhausted retries as an
+        operational error (exit 2), not a traceback."""
+        rc = cli.main(
+            [
+                "thresholds",
+                "--duration",
+                "10",
+                "--fault-plan",
+                str(self._poison_plan(tmp_path)),
+                "--max-retries",
+                "1",
+            ]
+        )
+        assert rc == 2
+        assert "injected unit exception" in capsys.readouterr().err
+
+
+class TestTimeouts:
+    def test_persistent_timeout_exits_3(self, tmp_path, capsys):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.4, max_attempt=-1),)
+        ).save(tmp_path / "slow.json")
+        rc = cli.main(
+            _generate_argv(
+                tmp_path,
+                "--fault-plan",
+                str(plan),
+                "--unit-timeout",
+                "0.2",
+                "--max-retries",
+                "1",
+            )
+        )
+        assert rc == 3
+        assert "partial results" in capsys.readouterr().err
+
+    def test_transient_timeout_retries_to_success(self, tmp_path, capsys):
+        """max_attempt=0 slowness clears on retry: full results, exit 0."""
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.4),)
+        ).save(tmp_path / "slow.json")
+        rc = cli.main(
+            _generate_argv(
+                tmp_path,
+                "--fault-plan",
+                str(plan),
+                "--unit-timeout",
+                "0.2",
+            )
+        )
+        assert rc == 0
+        assert (tmp_path / "trace.jsonl").exists()
+        capsys.readouterr()
+
+    def test_no_faults_with_timeout_flag_is_clean(self, tmp_path, capsys):
+        """The flag alone (generous budget, no plan) changes nothing."""
+        rc = cli.main(_generate_argv(tmp_path, "--unit-timeout", "60"))
+        assert rc == 0
+        capsys.readouterr()
+
+
+class TestHelp:
+    def test_flags_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["generate", "--help"])
+        out = capsys.readouterr().out
+        assert "--fault-plan" in out
+        assert "--max-retries" in out
+        assert "--unit-timeout" in out
+
+    def test_thresholds_takes_fault_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["thresholds", "--help"])
+        assert "--fault-plan" in capsys.readouterr().out

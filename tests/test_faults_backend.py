@@ -1,0 +1,305 @@
+"""Fault-aware execution at the backend level (repro.parallel.backend).
+
+Covers the retry/quarantine/timeout machinery for both backends, the
+serial-vs-pool schedule equivalence, and recovery from *real* worker
+process deaths.  Pools stay at 2 workers so single-CPU CI is fine.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    QUARANTINED,
+    FaultContext,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    UnitTimeoutError,
+)
+from repro.faults import retry as retry_mod
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel.backend import ProcessPoolBackend, SerialBackend, get_backend
+
+
+def _double(x):
+    """Module-level so the process pool can pickle it."""
+    return x * 2
+
+
+def _crash_once(payload):
+    """Dies for real (os._exit) the first time each marker is seen."""
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return value * 2
+
+
+def _ctx(plan=None, **policy_kwargs):
+    return FaultContext(
+        plan=plan, policy=RetryPolicy(**policy_kwargs), label="t"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_backoff_sleep(monkeypatch):
+    """Retries in these tests must not actually sleep."""
+    monkeypatch.setattr(retry_mod, "sleep", lambda s: None)
+
+
+class TestPlainPathUnchanged:
+    def test_faults_none_serial(self):
+        assert SerialBackend().map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_faults_none_pool(self):
+        assert ProcessPoolBackend(2).map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_empty_fault_context_is_transparent(self):
+        """A context with no plan still returns plain results."""
+        ctx = _ctx()
+        assert SerialBackend().map(_double, [1, 2, 3], faults=ctx) == [2, 4, 6]
+        assert ctx.report.retries == 0
+        assert ctx.report.quarantined == []
+
+
+class TestRetry:
+    def test_default_faults_clear_on_retry(self):
+        """max_attempt=0 faults fire once; the retry recomputes cleanly
+        and the output equals a fault-free run."""
+        plan = FaultPlan(seed=3, specs=(FaultSpec(site="unit.exception"),))
+        ctx = _ctx(plan)
+        out = SerialBackend().map(_double, list(range(6)), faults=ctx)
+        assert out == [x * 2 for x in range(6)]
+        assert ctx.report.retries == 6
+        assert ctx.report.quarantined == []
+
+    def test_serial_equals_pool_under_same_plan(self):
+        plan = FaultPlan(
+            seed=11,
+            specs=(
+                FaultSpec(site="worker.crash", probability=0.4),
+                FaultSpec(site="unit.exception", probability=0.4),
+            ),
+        )
+        items = list(range(10))
+        ctx_s, ctx_p = _ctx(plan), _ctx(plan)
+        serial = SerialBackend().map(_double, items, faults=ctx_s)
+        pooled = ProcessPoolBackend(2).map(_double, items, faults=ctx_p)
+        assert serial == pooled == [x * 2 for x in items]
+        # Identical schedules mean identical retry tallies too.
+        assert ctx_s.report.retries == ctx_p.report.retries > 0
+
+    def test_exhausted_retries_raise_without_quarantine(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.exception", max_attempt=-1),)
+        )
+        with pytest.raises(InjectedFault):
+            SerialBackend().map(_double, [1], faults=_ctx(plan))
+
+    def test_exhausted_retries_raise_in_pool(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.exception", max_attempt=-1),)
+        )
+        with pytest.raises(InjectedFault):
+            ProcessPoolBackend(2).map(_double, [1, 2], faults=_ctx(plan))
+
+    def test_max_retries_zero_fails_immediately(self):
+        plan = FaultPlan(specs=(FaultSpec(site="unit.exception"),))
+        with pytest.raises(InjectedFault):
+            SerialBackend().map(_double, [1], faults=_ctx(plan, max_retries=0))
+
+    def test_backoff_sequence_is_exponential_and_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(retry_mod, "sleep", sleeps.append)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.exception", max_attempt=-1),)
+        )
+        ctx = FaultContext(
+            plan=plan,
+            policy=RetryPolicy(
+                max_retries=6,
+                backoff_base=0.05,
+                backoff_factor=2.0,
+                backoff_max=0.3,
+                quarantine=True,
+            ),
+            label="t",
+        )
+        SerialBackend().map(_double, [0], faults=ctx)
+        assert sleeps == [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+
+
+class TestQuarantine:
+    def test_poisoned_unit_quarantines_and_batch_continues(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="unit.exception", match=("t:2",), max_attempt=-1
+                ),
+            )
+        )
+        ctx = _ctx(plan, quarantine=True)
+        out = SerialBackend().map(_double, list(range(5)), faults=ctx)
+        assert out[2] is QUARANTINED
+        assert [out[i] for i in (0, 1, 3, 4)] == [0, 2, 6, 8]
+        (record,) = ctx.report.quarantined
+        assert record.unit == "t:2"
+        assert record.attempts == 3  # 1 first try + 2 retries
+        assert "InjectedFault" in record.error
+
+    def test_pool_quarantine_matches_serial(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.crash", match=("t:1", "t:3"), max_attempt=-1
+                ),
+            )
+        )
+        ctx_s, ctx_p = _ctx(plan, quarantine=True), _ctx(plan, quarantine=True)
+        serial = SerialBackend().map(_double, list(range(5)), faults=ctx_s)
+        pooled = ProcessPoolBackend(2).map(_double, list(range(5)), faults=ctx_p)
+        assert serial == pooled
+        assert serial[1] is QUARANTINED and serial[3] is QUARANTINED
+        assert {r.unit for r in ctx_s.report.quarantined} == {"t:1", "t:3"}
+        assert {r.unit for r in ctx_p.report.quarantined} == {"t:1", "t:3"}
+
+    def test_quarantine_recorded_on_registry(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.exception", max_attempt=-1),)
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            SerialBackend().map(
+                _double, [0], faults=_ctx(plan, quarantine=True)
+            )
+        (event,) = registry.events("faults.quarantine")
+        assert event["unit"] == "t:0"
+        assert registry.snapshot()["counters"]["retries.exhausted"] == 1
+
+
+class TestTimeout:
+    def test_slow_unit_times_out_then_clears(self):
+        """unit.slow (default max_attempt=0) trips the timeout once; the
+        retry runs at full speed and succeeds."""
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.05),)
+        )
+        ctx = _ctx(plan, unit_timeout=0.02)
+        out = SerialBackend().map(_double, [1, 2], faults=ctx)
+        assert out == [2, 4]
+        assert ctx.report.retries == 2
+
+    def test_persistently_slow_unit_quarantines(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.05, max_attempt=-1),)
+        )
+        ctx = _ctx(plan, unit_timeout=0.02, max_retries=1, quarantine=True)
+        out = SerialBackend().map(_double, [1], faults=ctx)
+        assert out == [QUARANTINED]
+        assert "UnitTimeoutError" in ctx.report.quarantined[0].error
+
+    def test_timeout_counts_as_timeout_kind(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.05, max_attempt=-1),)
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.raises(UnitTimeoutError):
+                SerialBackend().map(
+                    _double,
+                    [1],
+                    faults=_ctx(plan, unit_timeout=0.02, max_retries=1),
+                )
+        assert registry.snapshot()["counters"]["faults.timeout"] == 2
+
+    def test_no_timeout_when_disabled(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit.slow", delay=0.02, max_attempt=-1),)
+        )
+        ctx = _ctx(plan)  # unit_timeout=None
+        assert SerialBackend().map(_double, [1], faults=ctx) == [2]
+        assert ctx.report.retries == 0
+
+
+class TestRealWorkerDeath:
+    def test_pool_survives_worker_os_exit(self, tmp_path):
+        """A worker that dies mid-task (BrokenProcessPool) is retried on a
+        rebuilt pool; results match the crash-free run."""
+        items = [(str(tmp_path / f"m{i}"), i) for i in range(4)]
+        ctx = _ctx()
+        out = ProcessPoolBackend(2).map(_crash_once, items, faults=ctx)
+        assert out == [i * 2 for i in range(4)]
+        assert ctx.report.retries >= 1
+
+    def test_worker_death_without_faults_still_raises(self, tmp_path):
+        """The plain path keeps its fail-fast contract."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        items = [(str(tmp_path / f"n{i}"), i) for i in range(2)]
+        with pytest.raises(BrokenProcessPool):
+            ProcessPoolBackend(2).map(_crash_once, items)
+
+
+class TestProgressAndMetrics:
+    def test_progress_fires_once_per_item_serial(self):
+        plan = FaultPlan(seed=5, specs=(FaultSpec(site="unit.exception"),))
+        seen = []
+        SerialBackend().map(
+            _double,
+            list(range(4)),
+            progress=lambda i, n: seen.append((i, n)),
+            faults=_ctx(plan),
+        )
+        assert seen == [(i, 4) for i in range(4)]
+
+    def test_progress_fires_once_per_item_pool(self):
+        plan = FaultPlan(seed=5, specs=(FaultSpec(site="unit.exception"),))
+        seen = []
+        ProcessPoolBackend(2).map(
+            _double,
+            list(range(4)),
+            progress=lambda i, n: seen.append(i),
+            faults=_ctx(plan),
+        )
+        assert sorted(seen) == list(range(4))
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_unit_metrics_maintained_under_faults(self, jobs):
+        """The smoke-telemetry contract (units counter, one duration per
+        unit) holds on the faulted path too."""
+        plan = FaultPlan(seed=5, specs=(FaultSpec(site="unit.exception"),))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            get_backend(jobs).map(_double, [1, 2], faults=_ctx(plan))
+        snap = registry.snapshot()
+        assert snap["counters"]["parallel.units"] == 2
+        assert snap["counters"]["retries.succeeded"] == 2
+        assert snap["histograms"]["parallel.unit_seconds"]["count"] == 2
+
+    def test_injected_sites_counted(self):
+        plan = FaultPlan(specs=(FaultSpec(site="unit.exception"),))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            SerialBackend().map(_double, [1], faults=_ctx(plan))
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.injected.unit.exception"] == 1
+        assert counters["faults.unit_error"] == 1
+        assert counters["retries.attempts"] == 1
+
+
+class TestPolicyValidation:
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+
+    def test_bad_unit_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(unit_timeout=0.0)
+
+    def test_bad_backoff_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,220 @@
+"""Tests for the deterministic fault plan (repro.faults.plan).
+
+The core property: a plan's injection schedule is a pure function of
+(seed, spec index, site, key, attempt), so any execution order, worker
+count, or process sees the same faults.  Hypothesis drives that across
+arbitrary plans; the examples pin the documented semantics.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_SITES,
+    SITE_UNIT_EXCEPTION,
+    SITE_WORKER_CRASH,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
+
+sites = st.sampled_from(sorted(FAULT_SITES))
+
+specs = st.builds(
+    FaultSpec,
+    site=sites,
+    probability=st.floats(0.0, 1.0, allow_nan=False),
+    match=st.one_of(
+        st.none(),
+        st.tuples(st.text(min_size=1, max_size=8)),
+    ),
+    max_attempt=st.integers(-1, 3),
+    delay=st.floats(0.0, 0.2, allow_nan=False),
+)
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**32),
+    specs=st.lists(specs, max_size=4).map(tuple),
+)
+
+keys = st.lists(
+    st.text(min_size=1, max_size=12), min_size=1, max_size=20, unique=True
+)
+
+
+class TestDecisionDeterminism:
+    @given(plan=plans, site=sites, key=st.text(max_size=16), attempt=st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_same_query_same_answer(self, plan, site, key, attempt):
+        """Repeated queries (any order, any process) agree exactly."""
+        first = plan.should_inject(site, key, attempt)
+        assert plan.should_inject(site, key, attempt) is first
+
+    @given(plan=plans, site=sites, keys=keys, attempt=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_order_independent_schedule(self, plan, site, keys, attempt):
+        """The schedule over a key set is the same forwards and backwards —
+        the jobs=1 vs jobs=N equivalence in miniature."""
+        forward = [plan.should_inject(site, k, attempt) for k in keys]
+        backward = [
+            plan.should_inject(site, k, attempt) for k in reversed(keys)
+        ]
+        assert forward == list(reversed(backward))
+
+    @given(plan=plans, site=sites, keys=keys, attempt=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_pickle_roundtrip_preserves_schedule(self, plan, site, keys, attempt):
+        """A plan shipped to a worker (pickled) decides identically."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(plan))
+        assert [clone.should_inject(site, k, attempt) for k in keys] == [
+            plan.should_inject(site, k, attempt) for k in keys
+        ]
+
+    @given(plan=plans)
+    @settings(max_examples=100, deadline=None)
+    def test_dict_roundtrip(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_different_seeds_differ(self):
+        """At p=0.5 over many keys, two seeds must disagree somewhere."""
+        spec = (FaultSpec(site=SITE_UNIT_EXCEPTION, probability=0.5),)
+        a = FaultPlan(seed=1, specs=spec)
+        b = FaultPlan(seed=2, specs=spec)
+        ks = [f"u:{i}" for i in range(200)]
+        fire_a = [a.should_inject(SITE_UNIT_EXCEPTION, k) is not None for k in ks]
+        fire_b = [b.should_inject(SITE_UNIT_EXCEPTION, k) is not None for k in ks]
+        assert fire_a != fire_b
+        # And neither degenerates to all-or-nothing.
+        assert 20 < sum(fire_a) < 180
+
+
+class TestSpecSemantics:
+    def test_probability_one_always_fires(self):
+        plan = FaultPlan(specs=(FaultSpec(site=SITE_WORKER_CRASH),))
+        for i in range(50):
+            assert plan.should_inject(SITE_WORKER_CRASH, f"u:{i}") is not None
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site=SITE_WORKER_CRASH, probability=0.0),)
+        )
+        for i in range(50):
+            assert plan.should_inject(SITE_WORKER_CRASH, f"u:{i}") is None
+
+    def test_match_restricts_keys(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site=SITE_UNIT_EXCEPTION, match=("gen:3",)),)
+        )
+        assert plan.should_inject(SITE_UNIT_EXCEPTION, "gen:3") is not None
+        assert plan.should_inject(SITE_UNIT_EXCEPTION, "gen:4") is None
+
+    def test_default_max_attempt_clears_on_retry(self):
+        """The default (max_attempt=0) fires on the first try only, so a
+        single retry always clears the fault."""
+        plan = FaultPlan(specs=(FaultSpec(site=SITE_UNIT_EXCEPTION),))
+        assert plan.should_inject(SITE_UNIT_EXCEPTION, "u:0", attempt=0)
+        assert plan.should_inject(SITE_UNIT_EXCEPTION, "u:0", attempt=1) is None
+
+    def test_max_attempt_minus_one_poisons(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site=SITE_UNIT_EXCEPTION, max_attempt=-1),)
+        )
+        for attempt in range(5):
+            assert plan.should_inject(SITE_UNIT_EXCEPTION, "u:0", attempt)
+
+    def test_first_matching_spec_wins(self):
+        slow = FaultSpec(site="unit.slow", delay=0.2)
+        fast = FaultSpec(site="unit.slow", delay=0.01)
+        plan = FaultPlan(specs=(slow, fast))
+        assert plan.should_inject("unit.slow", "u:0").delay == 0.2
+
+    def test_sites_enumerates_specs(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site=SITE_WORKER_CRASH),
+                FaultSpec(site=SITE_UNIT_EXCEPTION),
+            )
+        )
+        assert plan.sites() == {SITE_WORKER_CRASH, SITE_UNIT_EXCEPTION}
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultSpec(site="disk.melt")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site=SITE_WORKER_CRASH, probability=1.5)
+
+    def test_bad_max_attempt_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site=SITE_WORKER_CRASH, max_attempt=-2)
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"seed": 1, "oops": []})
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown keys"):
+            FaultPlan.from_dict(
+                {"faults": [{"site": SITE_WORKER_CRASH, "rate": 2}]}
+            )
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(FaultError, match="missing 'site'"):
+            FaultPlan.from_dict({"faults": [{"probability": 0.5}]})
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(FaultError, match="seed"):
+            FaultPlan.from_dict({"seed": "7"})
+
+
+class TestFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            seed=9,
+            specs=(
+                FaultSpec(site=SITE_WORKER_CRASH, probability=0.25),
+                FaultSpec(site="unit.slow", delay=0.1, match=("a:1",)),
+            ),
+        )
+        path = plan.save(tmp_path / "plan.json")
+        assert load_fault_plan(path) == plan
+
+    def test_missing_file_is_fault_error(self, tmp_path):
+        with pytest.raises(FaultError, match="cannot read"):
+            load_fault_plan(tmp_path / "nope.json")
+
+    def test_invalid_json_is_fault_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(FaultError, match="not valid JSON"):
+            load_fault_plan(path)
+
+    def test_plan_file_format_documented_example(self, tmp_path):
+        """The docs/robustness.md example parses as written."""
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "seed": 7,
+                    "faults": [
+                        {"site": "unit.exception", "probability": 0.25},
+                        {"site": "worker.crash", "match": ["generate.machine:0"]},
+                        {"site": "unit.slow", "delay": 0.2, "max_attempt": 0},
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        plan = load_fault_plan(path)
+        assert len(plan.specs) == 3
+        assert plan.seed == 7

@@ -146,3 +146,134 @@ class TestDatasetCache:
         generate_dataset(cfg, execution=execution)
         generate_dataset(cfg.with_seed(99), execution=execution)
         assert len(list(tmp_path.iterdir())) == 2
+
+
+class TestConcurrentEviction:
+    """The eviction path must never delete an entry it did not fail on.
+
+    A reader that trips over a corrupt entry evicts it — but if another
+    process replaced the file between the failed read and the unlink
+    (regenerate-and-overwrite is exactly what recovering readers do), the
+    replacement is a *good* entry and deleting it would re-trigger
+    regeneration in every concurrent reader.
+    """
+
+    def test_replaced_entry_survives_eviction(self, cfg, tmp_path, monkeypatch):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        key = dataset_cache_key(cfg, keep_hourly_load=True)
+        cache = DatasetCache(tmp_path)
+        path = cache.path_for(key)
+        good_blob = path.read_bytes()
+        path.write_text("garbage", encoding="utf-8")
+
+        real_load = cache_mod.load_dataset
+
+        def load_then_lose_race(p):
+            # The corrupt read fails; before the eviction runs, a
+            # concurrent writer replaces the entry with a good one.
+            try:
+                return real_load(p)
+            except Exception:
+                tmp = path.with_name("replacement.tmp")
+                tmp.write_bytes(good_blob)
+                os.replace(tmp, path)
+                raise
+
+        monkeypatch.setattr(cache_mod, "load_dataset", load_then_lose_race)
+        assert cache.get(key) is None  # the corrupt read is still a miss
+        monkeypatch.setattr(cache_mod, "load_dataset", real_load)
+        # The concurrently written good entry survived the eviction and
+        # is served to the next reader.
+        assert path.read_bytes() == good_blob
+        served = cache.get(key)
+        assert served is not None and served.equals(fresh)
+
+    def test_corrupt_entry_still_evicted_without_race(self, cfg, tmp_path):
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        generate_dataset(cfg, execution=execution)
+        key = dataset_cache_key(cfg, keep_hourly_load=True)
+        cache = DatasetCache(tmp_path)
+        path = cache.path_for(key)
+        path.write_text("garbage", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_concurrent_readers_never_propagate_garbage(self, cfg, tmp_path):
+        """N processes hammering one corrupt entry all regenerate the same
+        dataset; none crashes, none serves garbage."""
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        (path,) = tmp_path.iterdir()
+        path.write_text("{]not a trace", encoding="utf-8")
+        code = (
+            "import dataclasses, sys\n"
+            "from repro.config import ExecutionConfig, FgcsConfig, TestbedConfig\n"
+            "from repro.traces.generate import generate_dataset\n"
+            "from repro.units import DAY\n"
+            "cfg = dataclasses.replace(FgcsConfig(), "
+            "testbed=TestbedConfig(n_machines=2, duration=2 * DAY), seed=17)\n"
+            f"ds = generate_dataset(cfg, execution=ExecutionConfig(cache_dir={str(tmp_path)!r}))\n"
+            "print(len(ds.events))\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", code],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(3)
+        ]
+        counts = set()
+        for p in procs:
+            out, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err
+            counts.add(out.strip())
+        assert counts == {str(len(fresh.events))}
+        # The entry left behind is readable again.
+        recovered = DatasetCache(tmp_path).get(
+            dataset_cache_key(cfg, keep_hourly_load=True)
+        )
+        assert recovered is not None and recovered.equals(fresh)
+
+
+class TestFaultPlanInjection:
+    def test_injected_read_corruption_counts_and_recovers(self, cfg, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.obs import MetricsRegistry, use_registry
+
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        plan = FaultPlan(specs=(FaultSpec(site="cache.read_corrupt"),))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            again = generate_dataset(
+                cfg,
+                execution=ExecutionConfig(
+                    cache_dir=str(tmp_path), fault_plan=plan
+                ),
+            )
+        assert again.equals(fresh)
+        counters = registry.snapshot()["counters"]
+        assert counters["faults.injected.cache.read_corrupt"] == 1
+        assert counters["cache.corrupt_evicted"] == 1
+
+    def test_injected_write_failure_is_survivable(self, cfg, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.obs import MetricsRegistry, use_registry
+
+        plan = FaultPlan(specs=(FaultSpec(site="cache.write_fail"),))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            dataset = generate_dataset(
+                cfg,
+                execution=ExecutionConfig(
+                    cache_dir=str(tmp_path), fault_plan=plan
+                ),
+            )
+        assert len(dataset) > 0
+        assert not list(tmp_path.glob("*.jsonl"))
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.write_failed"] == 1
+        assert counters.get("cache.write", 0) == 0
