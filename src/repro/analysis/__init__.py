@@ -10,14 +10,21 @@
   against the paper's published landmarks.
 """
 
+from .accumulators import (
+    FleetAccumulator,
+    FleetAnalysis,
+    StreamingIntervalDistribution,
+    merge_reduce,
+)
 from .capacity import CapacityReport, capacity_report
 from .causes import CauseBreakdown, cause_breakdown
-from .compare import LandmarkCheck, check_paper_landmarks
+from .compare import LandmarkCheck, check_paper_landmarks, evaluate_landmarks
 from .daily import DailyPattern, daily_pattern
 from .hazard import HazardCurve, hazard_curve
 from .intervals import IntervalDistribution, interval_distribution
 from .predictability import PredictabilityReport, predictability_report
 from .stats import bootstrap_ci, ecdf, summarize
+from .streaming import analyze_dataset_streaming, analyze_shards
 from .transitions import TransitionStats, state_transitions
 from .weekly import WeekdayProfile, weekday_profile
 
@@ -25,20 +32,27 @@ __all__ = [
     "CapacityReport",
     "CauseBreakdown",
     "DailyPattern",
+    "FleetAccumulator",
+    "FleetAnalysis",
     "HazardCurve",
     "IntervalDistribution",
     "LandmarkCheck",
     "PredictabilityReport",
+    "StreamingIntervalDistribution",
     "TransitionStats",
     "WeekdayProfile",
+    "analyze_dataset_streaming",
+    "analyze_shards",
     "bootstrap_ci",
     "capacity_report",
     "cause_breakdown",
     "check_paper_landmarks",
     "daily_pattern",
     "ecdf",
+    "evaluate_landmarks",
     "hazard_curve",
     "interval_distribution",
+    "merge_reduce",
     "predictability_report",
     "state_transitions",
     "summarize",

@@ -20,7 +20,7 @@ from .causes import cause_breakdown
 from .daily import daily_pattern
 from .intervals import interval_distribution
 
-__all__ = ["LandmarkCheck", "check_paper_landmarks"]
+__all__ = ["LandmarkCheck", "check_paper_landmarks", "evaluate_landmarks"]
 
 
 @dataclass(frozen=True)
@@ -54,13 +54,31 @@ def check_paper_landmarks(
     are used as-is (with a small slack for seed-to-seed variation); CDF
     landmarks read off figures get a wider band.
     """
-    n_machines = n_machines or dataset.n_machines
+    return evaluate_landmarks(
+        cause_breakdown(dataset),
+        interval_distribution(dataset),
+        daily_pattern(dataset),
+        span=dataset.span,
+        n_machines=n_machines or dataset.n_machines,
+    )
+
+
+def evaluate_landmarks(
+    breakdown, dist, pattern, *, span: float, n_machines: int
+) -> list[LandmarkCheck]:
+    """Evaluate the landmarks on already-computed analysis objects.
+
+    ``breakdown``/``dist``/``pattern`` may be the monolithic results or
+    the streaming accumulators' finalized counterparts — only the Table 2
+    summaries, ``dist.landmarks()``, and the Figure 7 profile methods are
+    touched, which both variants provide.
+    """
     checks: list[LandmarkCheck] = []
 
-    b = cause_breakdown(dataset)
+    b = breakdown
     freq = b.frequency_ranges()
     pct = b.percentage_ranges()
-    scale = dataset.span / (92 * 24 * 3600.0)  # tolerate shorter test traces
+    scale = span / (92 * 24 * 3600.0)  # tolerate shorter test traces
 
     def add(name: str, paper: str, measured: float, lo: float, hi: float) -> None:
         checks.append(LandmarkCheck(name, paper, float(measured), lo, hi))
@@ -79,7 +97,6 @@ def check_paper_landmarks(
     add("table2.urr_share_max", "0-3%", pct["revocation"][1], 0.0, 0.04)
     add("table2.reboot_share_of_urr", "~90%", b.reboot_share_of_urr, 0.75, 1.0)
 
-    dist = interval_distribution(dataset)
     lm = dist.landmarks()
     add(
         "fig6.weekday_mean_h",
@@ -118,7 +135,6 @@ def check_paper_landmarks(
         0.15,
     )
 
-    pattern = daily_pattern(dataset)
     spike = pattern.updatedb_spike()
     add(
         "fig7.updatedb_spike_weekday",

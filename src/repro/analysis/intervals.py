@@ -28,6 +28,16 @@ class IntervalDistribution:
     weekend_hours: np.ndarray
 
     @property
+    def weekday_count(self) -> int:
+        """Number of weekday intervals (shared gate with the streaming
+        distribution, which has counts but no raw arrays)."""
+        return int(self.weekday_hours.size)
+
+    @property
+    def weekend_count(self) -> int:
+        return int(self.weekend_hours.size)
+
+    @property
     def weekday_cdf(self) -> Ecdf:
         return ecdf(self.weekday_hours)
 

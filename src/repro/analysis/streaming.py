@@ -1,0 +1,185 @@
+"""Drivers that run the mergeable accumulators over sharded fleets.
+
+Two entry points:
+
+* :func:`analyze_shards` — stream an on-disk
+  :class:`~repro.traces.shards.ShardedTraceDataset` one shard at a time.
+  With ``jobs=1`` this is a serial fold holding a single shard in memory
+  (the constant-memory path the fleet-scaling bench asserts); with
+  ``jobs>1`` each worker accumulates one shard and the parent merges the
+  partial accumulators **in shard order**, so the result is identical
+  for every ``jobs`` value (each shard receives exactly one ``update``,
+  and an in-order merge replays the serial fold's float-addition order).
+* :func:`analyze_dataset_streaming` — the same fold over *virtual*
+  shards of an in-memory dataset.  Memory is already bounded by the
+  loaded dataset; the value is differential testing — the fold walks the
+  exact accumulator code path the sharded analysis uses, over the same
+  machine partition :func:`repro.traces.shards.partition_machines`
+  produces.
+
+Both return a :class:`~repro.analysis.accumulators.FleetAnalysis`; see
+:mod:`repro.analysis.accumulators` for the exactness contract vs the
+monolithic single-pass analyses.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Iterator, Optional, Union
+
+import numpy as np
+
+from ..config import ExecutionConfig
+from ..core.events import UnavailabilityEvent
+from ..obs.metrics import get_registry
+from ..traces.dataset import TraceDataset
+from ..traces.shards import (
+    ShardedTraceDataset,
+    open_shards,
+    partition_machines,
+)
+
+from .accumulators import FleetAccumulator, FleetAnalysis
+
+__all__ = ["analyze_dataset_streaming", "analyze_shards", "iter_virtual_shards"]
+
+logger = logging.getLogger(__name__)
+
+ProgressFn = Callable[[int, int], None]
+
+
+def iter_virtual_shards(
+    dataset: TraceDataset, n_shards: Optional[int] = None
+) -> Iterator[tuple[int, TraceDataset]]:
+    """Yield ``(machine_lo, shard)`` views partitioning an in-memory fleet.
+
+    The partition is the on-disk one
+    (:func:`repro.traces.shards.partition_machines`); ``n_shards``
+    defaults to one shard per machine.  Events are sorted by
+    ``(machine_id, start)``, so each shard is a contiguous slice located
+    with two binary searches — O(events) total across all shards.
+    """
+    n = dataset.n_machines
+    k = n if n_shards is None else n_shards
+    mids = np.fromiter(
+        (e.machine_id for e in dataset.events),
+        dtype=np.int64,
+        count=len(dataset.events),
+    )
+    for lo, hi in partition_machines(n, k):
+        a = int(np.searchsorted(mids, lo, side="left"))
+        b = int(np.searchsorted(mids, hi, side="left"))
+        events = [
+            UnavailabilityEvent(
+                machine_id=e.machine_id - lo,
+                start=e.start,
+                end=e.end,
+                state=e.state,
+                mean_host_load=e.mean_host_load,
+                mean_free_mb=e.mean_free_mb,
+            )
+            for e in dataset.events[a:b]
+        ]
+        hourly = None
+        if dataset.hourly_load is not None:
+            hourly = dataset.hourly_load[lo:hi]
+        yield lo, TraceDataset(
+            events=events,
+            n_machines=hi - lo,
+            span=dataset.span,
+            start_weekday=dataset.start_weekday,
+            hourly_load=hourly,
+            metadata=dict(dataset.metadata),
+        )
+
+
+def analyze_dataset_streaming(
+    dataset: TraceDataset, n_shards: Optional[int] = None
+) -> FleetAnalysis:
+    """Run the accumulator fold over virtual shards of a loaded dataset."""
+    acc = FleetAccumulator.for_fleet(dataset)
+    count = 0
+    for lo, shard in iter_virtual_shards(dataset, n_shards):
+        acc.update(shard, lo)
+        count += 1
+    logger.info(
+        "streamed %d machine(s) through %d virtual shard(s)",
+        dataset.n_machines,
+        count,
+    )
+    return acc.finalize()
+
+
+def _accumulate_shard(payload: tuple[str, int, bool]) -> FleetAccumulator:
+    """One shard folded into a fresh fleet accumulator — the work unit."""
+    root, index, verify = payload
+    sharded = open_shards(root, verify=verify)
+    acc = FleetAccumulator.for_fleet(sharded)
+    info = sharded.manifest.shards[index]
+    acc.update(sharded.shard_dataset(index), info.machine_lo)
+    return acc
+
+
+def analyze_shards(
+    sharded: Union[ShardedTraceDataset, str],
+    *,
+    execution: Optional[ExecutionConfig] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetAnalysis:
+    """Stream a sharded fleet through the Section 5 accumulators.
+
+    ``jobs=1`` (default): a serial fold — one shard resident at a time,
+    per-shard spans (``analyze.shard[k]``) and an ``analyze.shard_seconds``
+    histogram on the ambient registry.  ``jobs>1``: workers accumulate
+    shards independently and the parent merges in shard order; results
+    are identical either way.
+    """
+    if not isinstance(sharded, ShardedTraceDataset):
+        sharded = open_shards(sharded)
+    execution = execution or ExecutionConfig()
+    registry = get_registry()
+    n = sharded.n_shards
+
+    from ..parallel.backend import get_backend, resolve_jobs
+
+    jobs = resolve_jobs(execution.jobs)
+    with registry.span("analyze.stream") as stream_span:
+        if stream_span is not None:
+            stream_span["shards"] = n
+        if jobs == 1 or n <= 1:
+            acc = FleetAccumulator.for_fleet(sharded)
+            for i in range(n):
+                if progress is not None:
+                    progress(i, n)
+                info = sharded.manifest.shards[i]
+                with registry.timer("analyze.shard_seconds"):
+                    with registry.span(f"analyze.shard[{i}]") as rec:
+                        acc.update(sharded.shard_dataset(i), info.machine_lo)
+                        if rec is not None:
+                            rec["n_events"] = info.n_events
+        else:
+            backend = get_backend(execution)
+            root = str(sharded.root)
+            partials = backend.map(
+                _accumulate_shard,
+                [(root, i, sharded.verify) for i in range(n)],
+                progress=progress,
+            )
+            acc = partials[0]
+            for part in partials[1:]:
+                acc.merge(part)
+    registry.record(
+        "shards",
+        phase="analyze",
+        count=n,
+        machines=sharded.n_machines,
+        events=sharded.n_events,
+    )
+    logger.info(
+        "streamed %d shard(s) (%d machines, %d events) with jobs=%d",
+        n,
+        sharded.n_machines,
+        sharded.n_events,
+        jobs,
+    )
+    return acc.finalize()

@@ -136,16 +136,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen = sub.add_parser(
         "generate", parents=[common], help="generate a testbed trace"
     )
-    p_gen.add_argument("output", help="output JSONL path")
+    p_gen.add_argument(
+        "output",
+        help="output JSONL path (or, with --shards, a shard directory)",
+    )
+    p_gen.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write the fleet as N per-machine-range shards plus a "
+        "manifest instead of one JSONL file (constant parent memory; "
+        "shards generate in parallel with --jobs)",
+    )
 
     p_ana = sub.add_parser(
         "analyze", parents=[common], help="reproduce Table 2 / Figures 6-7"
     )
     p_ana.add_argument(
-        "--trace", default=None, help="existing trace JSONL (default: generate)"
+        "--trace",
+        default=None,
+        help="existing trace: a JSONL file or a shard directory "
+        "(default: generate)",
     )
     p_ana.add_argument(
         "--check", action="store_true", help="also check the paper's landmarks"
+    )
+    p_ana.add_argument(
+        "--streaming",
+        action="store_true",
+        help="compute the figures with the mergeable shard-by-shard "
+        "accumulators (constant memory on shard directories; results "
+        "match the monolithic path)",
+    )
+    p_ana.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --streaming on a monolithic trace: partition into N "
+        "virtual shards (default: one per machine); ignored for shard "
+        "directories, which stream their own shards",
     )
 
     p_thr = sub.add_parser(
@@ -236,26 +267,31 @@ def _partial_results(dataset) -> int:
 
 
 def _progress(
-    args: argparse.Namespace, stage: str
+    args: argparse.Namespace, stage: str, *, unit: Optional[str] = None
 ) -> Optional[Callable[[int, int], None]]:
     """The ``[k/N] <stage>`` stderr progress callback, or ``None``.
 
     Silent when stderr is not a TTY or under ``--log-json`` (machine-
-    readable output stays clean).
+    readable output stays clean).  Sharded stages pass ``unit="shard"``
+    for ``[shard k/N] <stage>``.
     """
     from .obs import cli_progress
 
     if getattr(args, "log_json", False):
         return None
-    return cli_progress(stage)
+    return cli_progress(stage, unit=unit)
 
 
 def _load_or_generate(args: argparse.Namespace):
-    from .traces import generate_dataset, load_dataset
+    from .traces import generate_dataset, is_shard_store, load_dataset, open_shards
 
-    if getattr(args, "trace", None):
-        print(f"loading trace from {args.trace}", file=sys.stderr)
-        return load_dataset(args.trace)
+    trace = getattr(args, "trace", None)
+    if trace:
+        if is_shard_store(trace):
+            print(f"loading sharded trace from {trace}", file=sys.stderr)
+            return open_shards(trace).load_full()
+        print(f"loading trace from {trace}", file=sys.stderr)
+        return load_dataset(trace)
     print("generating trace (use 'generate' to save one for reuse)", file=sys.stderr)
     return generate_dataset(
         _config_from(args), progress=_progress(args, args.command)
@@ -263,9 +299,21 @@ def _load_or_generate(args: argparse.Namespace):
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    from .traces import generate_dataset, save_dataset
+    from .traces import generate_dataset, generate_shards, save_dataset
 
     config = _config_from(args)
+    if args.shards is not None:
+        manifest = generate_shards(
+            config,
+            args.output,
+            args.shards,
+            progress=_progress(args, "generate", unit="shard"),
+        )
+        print(
+            f"wrote {manifest.n_events} events across {manifest.n_shards} "
+            f"shard(s) to {args.output}"
+        )
+        return _partial_results(manifest)
     dataset = generate_dataset(config, progress=_progress(args, "generate"))
     save_dataset(dataset, args.output)
     print(
@@ -276,31 +324,79 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import (
-        cause_breakdown,
-        check_paper_landmarks,
-        daily_pattern,
-        interval_distribution,
-    )
-    from .analysis.report import render_figure6, render_figure7, render_table2
-
     from .analysis.ascii import render_figure6_chart, render_figure7_chart
+    from .analysis.report import render_figure6, render_figure7, render_table2
+    from .units import DAY, is_weekend
 
-    from .units import DAY
+    # Both paths produce the same objects to render: the monolithic
+    # single-pass analyses, or the streamed mergeable accumulators
+    # (identical figures — exact for all counted statistics, see
+    # repro.analysis.accumulators).
+    if args.streaming:
+        from .analysis import analyze_dataset_streaming, analyze_shards
+        from .analysis import evaluate_landmarks
+        from .traces import is_shard_store, open_shards
 
-    dataset = _load_or_generate(args)
-    print(render_table2(cause_breakdown(dataset)))
+        trace = getattr(args, "trace", None)
+        if trace and is_shard_store(trace):
+            print(f"streaming sharded trace from {trace}", file=sys.stderr)
+            carrier = open_shards(trace)
+            analysis = analyze_shards(
+                carrier,
+                execution=_config_from(args).execution,
+                progress=_progress(args, "analyze", unit="shard"),
+            )
+        else:
+            carrier = _load_or_generate(args)
+            analysis = analyze_dataset_streaming(carrier, args.shards)
+        breakdown = analysis.breakdown
+        dist = analysis.intervals
+        span, start_weekday = analysis.span, analysis.start_weekday
+
+        def pattern_fn():
+            return analysis.pattern
+
+        def checks_fn():
+            return evaluate_landmarks(
+                breakdown,
+                dist,
+                analysis.pattern,
+                span=span,
+                n_machines=analysis.n_machines,
+            )
+
+    else:
+        from .analysis import (
+            cause_breakdown,
+            check_paper_landmarks,
+            daily_pattern,
+            interval_distribution,
+        )
+
+        carrier = _load_or_generate(args)
+        dataset = carrier
+        breakdown = cause_breakdown(dataset)
+        dist = interval_distribution(dataset)
+        span, start_weekday = dataset.span, dataset.start_weekday
+
+        def pattern_fn():
+            return daily_pattern(dataset)
+
+        def checks_fn():
+            return check_paper_landmarks(dataset)
+
+    print(render_table2(breakdown))
     print()
     # Short traces may cover only one day type; render what exists so a
     # 2-day smoke run still produces Table 2 and a valid manifest.
+    n_days = int(span // DAY)
     has_weekend = any(
-        dataset.is_weekend_time(d * DAY) for d in range(dataset.n_days)
+        is_weekend(d * DAY, start_weekday) for d in range(n_days)
     )
     has_weekday = any(
-        not dataset.is_weekend_time(d * DAY) for d in range(dataset.n_days)
+        not is_weekend(d * DAY, start_weekday) for d in range(n_days)
     )
-    dist = interval_distribution(dataset)
-    if dist.weekday_hours.size and dist.weekend_hours.size:
+    if dist.weekday_count and dist.weekend_count:
         print(render_figure6(dist))
         print()
         print(render_figure6_chart(dist))
@@ -312,7 +408,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
         print()
     if has_weekday and has_weekend:
-        pattern = daily_pattern(dataset)
+        pattern = pattern_fn()
         print(render_figure7(pattern))
         print()
         print(render_figure7_chart(pattern, weekend=False))
@@ -325,12 +421,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     if args.check:
         print()
-        checks = check_paper_landmarks(dataset)
+        checks = checks_fn()
         for c in checks:
             print(c)
         if not all(c.ok for c in checks):
-            return _partial_results(dataset) or 1
-    return _partial_results(dataset)
+            return _partial_results(carrier) or 1
+    return _partial_results(carrier)
 
 
 def cmd_thresholds(args: argparse.Namespace) -> int:

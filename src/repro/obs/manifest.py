@@ -25,8 +25,9 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 
 #: Version of the manifest document layout itself.  v2 added the
 #: ``faults`` / ``retries`` sections (fault injection, retry, and
-#: quarantine accounting).
-MANIFEST_SCHEMA_VERSION = 2
+#: quarantine accounting); v3 added the ``shards`` section (sharded
+#: generation / streaming-analysis accounting).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -62,16 +63,21 @@ class RunManifest:
     #: Retry accounting (schema v2): attempts, successes after retry,
     #: and exhausted units.
     retries: dict = field(default_factory=dict)
+    #: Shard accounting (schema v3): one summary per sharded phase
+    #: (``generate`` / ``analyze``) with shard and event counts.
+    shards: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        # Tolerate v1 documents, which predate the faults/retries sections.
+        # Tolerate v1/v2 documents, which predate the faults/retries and
+        # shards sections.
         data = dict(data)
         data.setdefault("faults", {})
         data.setdefault("retries", {})
+        data.setdefault("shards", [])
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -142,6 +148,11 @@ def build_manifest(
     if quarantined:
         faults["quarantined"] = quarantined
     retries = _strip("retries.")
+    shards = [
+        {k: v for k, v in e.items() if k != "name"}
+        for e in events
+        if e.get("name") == "shards"
+    ]
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -160,4 +171,5 @@ def build_manifest(
         metrics=snapshot,
         faults=faults,
         retries=retries,
+        shards=shards,
     )

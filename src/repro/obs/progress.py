@@ -21,12 +21,15 @@ def cli_progress(
     *,
     stream: Optional[IO[str]] = None,
     enabled: Optional[bool] = None,
+    unit: Optional[str] = None,
 ) -> Optional[Callable[[int, int], None]]:
     """A ``progress(index, total)`` callback printing ``[k/N] <stage>``.
 
     Returns ``None`` when progress should stay silent — by default when
     ``stream`` (stderr) is not a TTY, so redirected/piped runs produce no
     chatter.  ``enabled`` overrides the TTY auto-detection either way.
+    ``unit`` names what is being counted when it isn't the default work
+    unit — sharded pipelines pass ``"shard"`` for ``[shard k/N] <stage>``.
     """
     out = stream if stream is not None else sys.stderr
     if enabled is None:
@@ -34,8 +37,9 @@ def cli_progress(
         enabled = bool(isatty and isatty())
     if not enabled:
         return None
+    prefix = f"{unit} " if unit else ""
 
     def progress(index: int, total: int) -> None:
-        print(f"[{index + 1}/{total}] {stage}", file=out, flush=True)
+        print(f"[{prefix}{index + 1}/{total}] {stage}", file=out, flush=True)
 
     return progress

@@ -17,17 +17,33 @@ from .filters import (
     only_hours,
     only_machines,
 )
-from .generate import generate_dataset
+from .generate import dataset_metadata, generate_dataset
 from .io import load_dataset, save_dataset
 from .records import EventRecord
+from .shards import (
+    ShardedTraceDataset,
+    ShardInfo,
+    ShardManifest,
+    generate_shards,
+    is_shard_store,
+    open_shards,
+    partition_machines,
+    write_shards,
+)
 from .validate import validate_dataset
 
 __all__ = [
     "EventRecord",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardedTraceDataset",
     "TraceDataset",
     "concat_in_time",
+    "dataset_metadata",
     "filter_events",
     "generate_dataset",
+    "generate_shards",
+    "is_shard_store",
     "load_dataset",
     "load_event_list_csv",
     "merge_datasets",
@@ -35,6 +51,9 @@ __all__ = [
     "only_causes",
     "only_hours",
     "only_machines",
+    "open_shards",
+    "partition_machines",
     "save_dataset",
     "validate_dataset",
+    "write_shards",
 ]

@@ -29,9 +29,25 @@ from ..units import HOUR
 from ..workloads.loadmodel import MachineTraceGenerator
 from .dataset import TraceDataset
 
-__all__ = ["generate_dataset"]
+__all__ = ["dataset_metadata", "generate_dataset"]
 
 logger = logging.getLogger(__name__)
+
+
+def dataset_metadata(config: FgcsConfig) -> dict:
+    """The provenance metadata every generated dataset carries.
+
+    Shared by monolithic generation and the sharded writer
+    (:mod:`repro.traces.shards`) so a reassembled fleet compares equal —
+    key order included, since JSONL headers are written without key
+    sorting.
+    """
+    return {
+        "seed": config.seed,
+        "th1": config.thresholds.th1,
+        "th2": config.thresholds.th2,
+        "monitor_period": config.monitor.period,
+    }
 
 
 def _generate_machine(
@@ -150,12 +166,7 @@ def generate_dataset(
             if hourly is not None and hourly_row is not None:
                 hourly[mid, :] = hourly_row
 
-        metadata = {
-            "seed": config.seed,
-            "th1": config.thresholds.th1,
-            "th2": config.thresholds.th2,
-            "monitor_period": config.monitor.period,
-        }
+        metadata = dataset_metadata(config)
         if quarantined:
             # Only present on degraded runs, so fault-free output bytes
             # are untouched.

@@ -1,0 +1,777 @@
+"""Sharded on-disk fleet datasets: per-machine-range shards + a manifest.
+
+A monolithic :class:`~repro.traces.dataset.TraceDataset` materializes the
+whole fleet in memory, which caps every analysis at a few hundred
+machines.  This module stores a fleet as *shards* — each shard is an
+ordinary trace JSONL file (written by :mod:`repro.traces.io`) covering a
+contiguous machine range ``[machine_lo, machine_hi)`` with machine ids
+renumbered to shard-local ``0 .. n-1`` — plus one ``manifest.json``
+describing the fleet:
+
+* **schema-versioned** — the manifest carries the shard-layout version
+  (:data:`SHARD_SCHEMA_VERSION`) alongside the trace-file and
+  generation-code schema versions, so stale layouts are rejected rather
+  than misread;
+* **content-fingerprinted** — every shard entry records the SHA-256 of
+  its file; reads verify it by default, so a truncated or tampered shard
+  fails loudly instead of silently skewing fleet statistics;
+* **cache-aware** — :func:`generate_shards` keys each shard in the
+  on-disk :class:`~repro.parallel.cache.DatasetCache` (per-shard keys
+  derived from the config fingerprint plus the machine range), and the
+  manifest records both the per-shard cache keys and the monolithic
+  dataset cache key for provenance;
+* **fault-plan-aware** — sharded generation runs through the hardened
+  :mod:`repro.parallel` map (unit keys ``generate.shard:<k>``), so
+  injected or real worker crashes retry per the execution config; a
+  shard whose retries are exhausted is quarantined (its machine range
+  lands in ``metadata["quarantined_machines"]`` and an event-free
+  placeholder shard keeps the fleet tileable).
+
+Shard files are byte-identical to slicing the monolithic dataset with
+:func:`write_shards` — ``generate_shards`` then ``load_full`` equals
+``generate_dataset`` exactly, for any ``jobs`` value and any fault plan
+whose faults are cleared by retries.  Streaming consumers iterate
+:meth:`ShardedTraceDataset.iter_shards` one shard at a time (constant
+memory); see :mod:`repro.analysis.accumulators` for the mergeable
+analyses built on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+import numpy as np
+
+from ..config import ExecutionConfig, FgcsConfig
+from ..errors import TraceError
+from ..core.events import UnavailabilityEvent
+from .dataset import TraceDataset
+from .io import SCHEMA_VERSION, load_dataset, save_dataset
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SHARD_SCHEMA_VERSION",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardedTraceDataset",
+    "dataset_shard",
+    "generate_shards",
+    "is_shard_store",
+    "open_shards",
+    "partition_machines",
+    "shard_cache_key",
+    "write_shards",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Version of the shard layout + manifest document.  Bump when the
+#: manifest keys or the shard-file conventions change incompatibly.
+SHARD_SCHEMA_VERSION = 1
+
+#: The manifest file name inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+_KIND = "fgcs-shard-manifest"
+
+
+def partition_machines(n_machines: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced machine ranges ``[lo, hi)`` covering the fleet.
+
+    ``n_shards`` is clamped to ``[1, n_machines]`` (a shard must hold at
+    least one machine); the first ``n_machines % n_shards`` shards get one
+    extra machine.
+    """
+    if n_machines <= 0:
+        raise TraceError("partition_machines needs n_machines > 0")
+    if n_shards <= 0:
+        raise TraceError("partition_machines needs n_shards > 0")
+    k = min(n_shards, n_machines)
+    base, extra = divmod(n_machines, k)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _shard_metadata(base: dict, index: int, lo: int, hi: int, fleet: int) -> dict:
+    """Shard-file metadata: the fleet metadata plus the shard identity.
+
+    Built identically by :func:`dataset_shard` and the generation worker
+    so split-from-monolithic and generated-sharded files are
+    byte-identical.
+    """
+    return {
+        **base,
+        "shard": {
+            "index": index,
+            "machine_lo": lo,
+            "machine_hi": hi,
+            "fleet_machines": fleet,
+        },
+    }
+
+
+def _relocate_events(
+    events: list[UnavailabilityEvent], lo: int, hi: int, offset: int
+) -> list[UnavailabilityEvent]:
+    """Events of machines ``[lo, hi)`` with machine ids shifted by ``offset``."""
+    out = []
+    for e in events:
+        if lo <= e.machine_id < hi:
+            out.append(
+                UnavailabilityEvent(
+                    machine_id=e.machine_id + offset,
+                    start=e.start,
+                    end=e.end,
+                    state=e.state,
+                    mean_host_load=e.mean_host_load,
+                    mean_free_mb=e.mean_free_mb,
+                )
+            )
+    return out
+
+
+def dataset_shard(
+    dataset: TraceDataset, index: int, lo: int, hi: int
+) -> TraceDataset:
+    """The shard-local dataset for machine range ``[lo, hi)``.
+
+    Machine ids are renumbered to ``0 .. hi-lo-1``; the span, start
+    weekday, and hourly-load rows are preserved, and the metadata gains a
+    ``"shard"`` section recording the global range.
+    """
+    if not 0 <= lo < hi <= dataset.n_machines:
+        raise TraceError(f"bad shard machine range [{lo}, {hi})")
+    hourly = None
+    if dataset.hourly_load is not None:
+        hourly = dataset.hourly_load[lo:hi].copy()
+    return TraceDataset(
+        events=_relocate_events(dataset.events, lo, hi, -lo),
+        n_machines=hi - lo,
+        span=dataset.span,
+        start_weekday=dataset.start_weekday,
+        hourly_load=hourly,
+        metadata=_shard_metadata(
+            dict(dataset.metadata), index, lo, hi, dataset.n_machines
+        ),
+    )
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _atomic_save(dataset: TraceDataset, path: Path) -> None:
+    """Write a shard file atomically (temp + rename), like the cache does."""
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        save_dataset(dataset, tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def shard_cache_key(
+    config: FgcsConfig, lo: int, hi: int, *, keep_hourly_load: bool = True
+) -> str:
+    """Dataset-cache key for one generated shard of the fleet."""
+    from ..parallel.cache import config_fingerprint
+
+    return config_fingerprint(
+        config, extra=("trace-shard", lo, hi, keep_hourly_load)
+    )
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's entry in the manifest."""
+
+    index: int
+    #: File name relative to the manifest's directory.
+    path: str
+    machine_lo: int
+    machine_hi: int
+    n_events: int
+    #: SHA-256 of the shard file's bytes (verified on read by default).
+    sha256: str
+    #: Dataset-cache key the shard was generated under, when caching was
+    #: configured (provenance only — reads never require the cache).
+    cache_key: Optional[str] = None
+
+    @property
+    def n_machines(self) -> int:
+        return self.machine_hi - self.machine_lo
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "path": self.path,
+            "machine_lo": self.machine_lo,
+            "machine_hi": self.machine_hi,
+            "n_events": self.n_events,
+            "sha256": self.sha256,
+            "cache_key": self.cache_key,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardInfo":
+        return cls(
+            index=int(d["index"]),
+            path=str(d["path"]),
+            machine_lo=int(d["machine_lo"]),
+            machine_hi=int(d["machine_hi"]),
+            n_events=int(d["n_events"]),
+            sha256=str(d["sha256"]),
+            cache_key=d.get("cache_key"),
+        )
+
+
+@dataclass
+class ShardManifest:
+    """The fleet-level description of a shard directory."""
+
+    n_machines: int
+    span: float
+    start_weekday: int
+    shards: tuple[ShardInfo, ...]
+    metadata: dict = field(default_factory=dict)
+    #: :func:`repro.parallel.cache.config_fingerprint` of the generating
+    #: config (``None`` for fleets split from an existing dataset).
+    config_fingerprint: Optional[str] = None
+    #: The *monolithic* dataset cache key the fleet is equivalent to.
+    dataset_cache_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.shards = tuple(
+            sorted(self.shards, key=lambda s: s.index)
+        )
+        cursor = 0
+        for s in self.shards:
+            if s.machine_lo != cursor or s.machine_hi <= s.machine_lo:
+                raise TraceError(
+                    f"shards must tile [0, {self.n_machines}) contiguously; "
+                    f"shard {s.index} covers [{s.machine_lo}, {s.machine_hi})"
+                )
+            cursor = s.machine_hi
+        if cursor != self.n_machines:
+            raise TraceError(
+                f"shards cover [0, {cursor}) but the fleet has "
+                f"{self.n_machines} machines"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_events(self) -> int:
+        return sum(s.n_events for s in self.shards)
+
+    def to_dict(self) -> dict:
+        from ..parallel.cache import CODE_SCHEMA_VERSION
+
+        return {
+            "kind": _KIND,
+            "schema": {
+                "shards": SHARD_SCHEMA_VERSION,
+                "trace": SCHEMA_VERSION,
+                "code": CODE_SCHEMA_VERSION,
+            },
+            "n_machines": self.n_machines,
+            "span": self.span,
+            "start_weekday": self.start_weekday,
+            "n_shards": self.n_shards,
+            "n_events": self.n_events,
+            "metadata": self.metadata,
+            "config_fingerprint": self.config_fingerprint,
+            "dataset_cache_key": self.dataset_cache_key,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardManifest":
+        if data.get("kind") != _KIND:
+            raise TraceError("not a shard manifest")
+        schema = data.get("schema", {})
+        if schema.get("shards") != SHARD_SCHEMA_VERSION:
+            raise TraceError(
+                f"unsupported shard schema {schema.get('shards')!r} "
+                f"(expected {SHARD_SCHEMA_VERSION})"
+            )
+        return cls(
+            n_machines=int(data["n_machines"]),
+            span=float(data["span"]),
+            start_weekday=int(data.get("start_weekday", 0)),
+            shards=tuple(ShardInfo.from_dict(s) for s in data["shards"]),
+            metadata=dict(data.get("metadata", {})),
+            config_fingerprint=data.get("config_fingerprint"),
+            dataset_cache_key=data.get("dataset_cache_key"),
+        )
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write ``manifest.json`` into ``directory`` atomically."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_NAME
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardManifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise TraceError(f"cannot read shard manifest {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+class ShardedTraceDataset:
+    """A fleet dataset opened from a shard directory.
+
+    Never materializes more than one shard at a time unless
+    :meth:`load_full` is called.  ``verify=True`` (the default) checks
+    every shard's SHA-256 content fingerprint and its header against the
+    manifest on read.
+    """
+
+    def __init__(
+        self,
+        manifest: ShardManifest,
+        root: Union[str, Path],
+        *,
+        verify: bool = True,
+    ) -> None:
+        self.manifest = manifest
+        self.root = Path(root)
+        self.verify = verify
+
+    # -- manifest passthroughs ------------------------------------------------
+
+    @property
+    def n_machines(self) -> int:
+        return self.manifest.n_machines
+
+    @property
+    def n_shards(self) -> int:
+        return self.manifest.n_shards
+
+    @property
+    def n_events(self) -> int:
+        return self.manifest.n_events
+
+    @property
+    def span(self) -> float:
+        return self.manifest.span
+
+    @property
+    def start_weekday(self) -> int:
+        return self.manifest.start_weekday
+
+    @property
+    def n_days(self) -> int:
+        from ..units import DAY
+
+        return int(self.span // DAY)
+
+    @property
+    def metadata(self) -> dict:
+        return self.manifest.metadata
+
+    @property
+    def machine_days(self) -> float:
+        from ..units import DAY
+
+        return self.n_machines * self.span / DAY
+
+    # -- shard access ---------------------------------------------------------
+
+    def shard_path(self, index: int) -> Path:
+        return self.root / self.manifest.shards[index].path
+
+    def shard_dataset(self, index: int) -> TraceDataset:
+        """Load one shard (local machine ids), verifying per ``verify``."""
+        info = self.manifest.shards[index]
+        path = self.root / info.path
+        if self.verify:
+            try:
+                digest = _sha256_file(path)
+            except OSError as exc:
+                raise TraceError(f"cannot read shard {path}: {exc}") from exc
+            if digest != info.sha256:
+                raise TraceError(
+                    f"shard {info.path} content fingerprint mismatch "
+                    f"(expected {info.sha256[:12]}…, got {digest[:12]}…); "
+                    "the file was corrupted or replaced"
+                )
+        dataset = load_dataset(path)
+        if self.verify:
+            if dataset.n_machines != info.n_machines:
+                raise TraceError(
+                    f"shard {info.path} holds {dataset.n_machines} machines, "
+                    f"manifest says {info.n_machines}"
+                )
+            if (
+                dataset.span != self.span
+                or dataset.start_weekday != self.start_weekday
+            ):
+                raise TraceError(
+                    f"shard {info.path} span/start_weekday disagrees with "
+                    "the manifest"
+                )
+        return dataset
+
+    def iter_shards(self) -> Iterator[tuple[ShardInfo, TraceDataset]]:
+        """Yield ``(info, shard_dataset)`` one shard at a time."""
+        for i in range(self.n_shards):
+            yield self.manifest.shards[i], self.shard_dataset(i)
+
+    # -- whole-fleet view -----------------------------------------------------
+
+    def load_full(self) -> TraceDataset:
+        """Materialize the whole fleet as one monolithic dataset.
+
+        The result equals the dataset the shards were split from (or the
+        monolithic generation of the same config) exactly, including
+        metadata and hourly load.  Memory scales with the fleet — use
+        :meth:`iter_shards` plus the accumulators for large fleets.
+        """
+        events: list[UnavailabilityEvent] = []
+        hourly_rows: list[Optional[np.ndarray]] = []
+        for info, shard in self.iter_shards():
+            events.extend(
+                _relocate_events(
+                    shard.events, 0, shard.n_machines, info.machine_lo
+                )
+            )
+            hourly_rows.append(shard.hourly_load)
+        hourly = None
+        if hourly_rows and all(r is not None for r in hourly_rows):
+            hourly = np.vstack(hourly_rows)
+        return TraceDataset(
+            events=events,
+            n_machines=self.n_machines,
+            span=self.span,
+            start_weekday=self.start_weekday,
+            hourly_load=hourly,
+            metadata=dict(self.metadata),
+        )
+
+
+def open_shards(
+    path: Union[str, Path], *, verify: bool = True
+) -> ShardedTraceDataset:
+    """Open a shard directory (or its ``manifest.json``) for reading."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME if path.is_dir() else path
+    manifest = ShardManifest.load(manifest_path)
+    return ShardedTraceDataset(manifest, manifest_path.parent, verify=verify)
+
+
+def is_shard_store(path: Union[str, Path]) -> bool:
+    """True when ``path`` names a shard directory or shard manifest file."""
+    path = Path(path)
+    if path.is_dir():
+        return (path / MANIFEST_NAME).is_file()
+    return path.name == MANIFEST_NAME and path.is_file()
+
+
+def write_shards(
+    dataset: TraceDataset,
+    out_dir: Union[str, Path],
+    n_shards: int,
+    *,
+    dataset_cache_key: Optional[str] = None,
+    config_fingerprint: Optional[str] = None,
+) -> ShardManifest:
+    """Split an in-memory dataset into a shard directory.
+
+    Returns the written manifest.  ``open_shards(out_dir).load_full()``
+    round-trips to a dataset that compares equal to ``dataset``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    infos = []
+    for index, (lo, hi) in enumerate(
+        partition_machines(dataset.n_machines, n_shards)
+    ):
+        shard = dataset_shard(dataset, index, lo, hi)
+        name = _shard_name(index)
+        path = out_dir / name
+        _atomic_save(shard, path)
+        infos.append(
+            ShardInfo(
+                index=index,
+                path=name,
+                machine_lo=lo,
+                machine_hi=hi,
+                n_events=len(shard),
+                sha256=_sha256_file(path),
+            )
+        )
+    manifest = ShardManifest(
+        n_machines=dataset.n_machines,
+        span=dataset.span,
+        start_weekday=dataset.start_weekday,
+        shards=tuple(infos),
+        metadata=dict(dataset.metadata),
+        config_fingerprint=config_fingerprint,
+        dataset_cache_key=dataset_cache_key,
+    )
+    manifest.save(out_dir)
+    return manifest
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}.jsonl"
+
+
+# -- sharded generation ---------------------------------------------------
+
+
+def _generate_shard(
+    payload: tuple[FgcsConfig, int, int, int, str, bool],
+) -> tuple[int, str, Optional[str]]:
+    """Generate one shard and write its file — the parallel work unit.
+
+    Returns ``(n_events, sha256, cache_key)``.  Runs entirely in the
+    worker: per-machine generation draws from the same global-machine-id
+    random streams as monolithic generation, so the shard's events are
+    exactly the monolithic dataset's slice.  When the execution config
+    has a cache directory, the shard dataset itself is cached under a
+    per-shard key (read and written here, in the worker); injected
+    ``cache.read_corrupt`` / ``cache.write_fail`` faults degrade exactly
+    as they do for the monolithic cache.
+    """
+    from .generate import _generate_machine, dataset_metadata
+
+    config, index, lo, hi, out_dir, keep_hourly_load = payload
+    execution = config.execution
+    cache = None
+    key: Optional[str] = None
+    dataset: Optional[TraceDataset] = None
+    if execution.cache_enabled:
+        from ..parallel.cache import DatasetCache
+
+        cache = DatasetCache(execution.cache_dir, fault_plan=execution.fault_plan)
+        key = shard_cache_key(config, lo, hi, keep_hourly_load=keep_hourly_load)
+        dataset = cache.get(key)
+    if dataset is None:
+        from ..units import HOUR
+
+        n_hours = int(config.testbed.duration // HOUR)
+        events: list[UnavailabilityEvent] = []
+        hourly = np.full((hi - lo, n_hours), np.nan) if keep_hourly_load else None
+        for mid in range(lo, hi):
+            machine_events, hourly_row = _generate_machine(
+                (config, mid, keep_hourly_load)
+            )
+            events.extend(
+                UnavailabilityEvent(
+                    machine_id=mid - lo,
+                    start=e.start,
+                    end=e.end,
+                    state=e.state,
+                    mean_host_load=e.mean_host_load,
+                    mean_free_mb=e.mean_free_mb,
+                )
+                for e in machine_events
+            )
+            if hourly is not None and hourly_row is not None:
+                hourly[mid - lo, :] = hourly_row
+        dataset = TraceDataset(
+            events=events,
+            n_machines=hi - lo,
+            span=config.testbed.duration,
+            start_weekday=config.testbed.start_weekday,
+            hourly_load=hourly,
+            metadata=_shard_metadata(
+                dataset_metadata(config), index, lo, hi,
+                config.testbed.n_machines,
+            ),
+        )
+        if cache is not None and key is not None:
+            cache.put(key, dataset)
+    path = Path(out_dir) / _shard_name(index)
+    _atomic_save(dataset, path)
+    return len(dataset), _sha256_file(path), key
+
+
+def _placeholder_shard(
+    config: FgcsConfig, index: int, lo: int, hi: int, keep_hourly_load: bool
+) -> TraceDataset:
+    """An event-free shard standing in for a quarantined machine range.
+
+    Mirrors monolithic quarantine semantics: the machines' events are
+    missing and their hourly-load rows stay NaN, but the fleet remains
+    tileable so analyses degrade instead of failing.
+    """
+    from ..units import HOUR
+
+    from .generate import dataset_metadata
+
+    n_hours = int(config.testbed.duration // HOUR)
+    hourly = np.full((hi - lo, n_hours), np.nan) if keep_hourly_load else None
+    return TraceDataset(
+        events=[],
+        n_machines=hi - lo,
+        span=config.testbed.duration,
+        start_weekday=config.testbed.start_weekday,
+        hourly_load=hourly,
+        metadata=_shard_metadata(
+            dataset_metadata(config), index, lo, hi, config.testbed.n_machines
+        ),
+    )
+
+
+def generate_shards(
+    config: Optional[FgcsConfig],
+    out_dir: Union[str, Path],
+    n_shards: int,
+    *,
+    keep_hourly_load: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+    execution: Optional[ExecutionConfig] = None,
+) -> ShardManifest:
+    """Generate a fleet directly into a shard directory.
+
+    Each shard is one parallel work unit (unit keys
+    ``generate.shard:<index>``): the worker generates its machine range —
+    drawing from the same per-machine random streams as
+    :func:`~repro.traces.generate.generate_dataset`, so outputs are
+    bit-identical to splitting a monolithic generation — writes the shard
+    file atomically, and returns its event count and content
+    fingerprint.  Memory in the parent stays at bookkeeping size; each
+    worker holds one machine's samples plus its shard's events.
+
+    Failed shards retry per ``execution``; a shard whose retries are
+    exhausted is quarantined — an event-free placeholder file keeps the
+    fleet tileable and the machine range is recorded in the manifest's
+    ``metadata["quarantined_machines"]``.
+    """
+    from ..faults import QUARANTINED
+    from ..obs.metrics import get_registry
+    from ..parallel.backend import get_backend
+    from ..parallel.cache import config_fingerprint, dataset_cache_key
+    from .generate import dataset_metadata
+
+    config = config or FgcsConfig()
+    execution = execution if execution is not None else config.execution
+    if execution is not config.execution:
+        config = config.with_execution(execution)
+    registry = get_registry()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    ranges = partition_machines(config.testbed.n_machines, n_shards)
+    if len(ranges) != n_shards:
+        logger.warning(
+            "clamping n_shards from %d to %d (one machine per shard minimum)",
+            n_shards,
+            len(ranges),
+        )
+    logger.info(
+        "generating sharded fleet: %d machines × %d days in %d shard(s) "
+        "(seed %d, jobs=%d)",
+        config.testbed.n_machines,
+        config.testbed.n_days,
+        len(ranges),
+        config.seed,
+        execution.jobs,
+    )
+    backend = get_backend(execution)
+    faults = execution.fault_context("generate.shard", quarantine=True)
+    payloads = [
+        (config, index, lo, hi, str(out_dir), keep_hourly_load)
+        for index, (lo, hi) in enumerate(ranges)
+    ]
+    with registry.span("generate.shards"):
+        results = backend.map(
+            _generate_shard, payloads, progress=progress, faults=faults
+        )
+
+    infos: list[ShardInfo] = []
+    quarantined: list[int] = []
+    for index, ((lo, hi), result) in enumerate(zip(ranges, results)):
+        if result is QUARANTINED:
+            quarantined.extend(range(lo, hi))
+            placeholder = _placeholder_shard(
+                config, index, lo, hi, keep_hourly_load
+            )
+            path = out_dir / _shard_name(index)
+            _atomic_save(placeholder, path)
+            n_events, digest, key = 0, _sha256_file(path), None
+        else:
+            n_events, digest, key = result
+        registry.inc("shards.written")
+        registry.observe("shards.events", n_events)
+        infos.append(
+            ShardInfo(
+                index=index,
+                path=_shard_name(index),
+                machine_lo=lo,
+                machine_hi=hi,
+                n_events=n_events,
+                sha256=digest,
+                cache_key=key,
+            )
+        )
+
+    metadata = dataset_metadata(config)
+    if quarantined:
+        metadata["quarantined_machines"] = quarantined
+        logger.error(
+            "partial fleet: %d machine(s) quarantined after retries (ids %s)",
+            len(quarantined),
+            quarantined,
+        )
+    manifest = ShardManifest(
+        n_machines=config.testbed.n_machines,
+        span=config.testbed.duration,
+        start_weekday=config.testbed.start_weekday,
+        shards=tuple(infos),
+        metadata=metadata,
+        config_fingerprint=config_fingerprint(config),
+        dataset_cache_key=dataset_cache_key(
+            config, keep_hourly_load=keep_hourly_load
+        ),
+    )
+    manifest.save(out_dir)
+    registry.record(
+        "shards",
+        phase="generate",
+        count=manifest.n_shards,
+        machines=manifest.n_machines,
+        events=manifest.n_events,
+        quarantined=len(quarantined),
+    )
+    logger.info(
+        "wrote %d events across %d shard(s) to %s",
+        manifest.n_events,
+        manifest.n_shards,
+        out_dir,
+    )
+    return manifest

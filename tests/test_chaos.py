@@ -161,6 +161,115 @@ class TestGracefulDegradation:
         assert not list(cache_dir.glob("*.jsonl"))
 
 
+class TestShardedChaos:
+    """Sharded generation under the chaos mix: worker crashes and corrupt
+    cache reads inside shard workers still yield a complete fleet whose
+    shards are byte-identical to a clean run and whose streamed analysis
+    merges to the monolithic numbers."""
+
+    SHARD_PLAN = FaultPlan(
+        seed=13,
+        specs=(
+            FaultSpec(site="worker.crash", match=("generate.shard:0",)),
+            FaultSpec(site="unit.exception", match=("generate.shard:1",)),
+            FaultSpec(site="cache.read_corrupt"),
+        ),
+    )
+
+    def test_sharded_generation_survives_chaos(self, tmp_path):
+        import numpy as np
+
+        from repro.analysis import analyze_shards, cause_breakdown
+        from repro.traces import generate_shards, open_shards, write_shards
+
+        clean = generate_dataset(_tiny_config())
+        split_dir = tmp_path / "clean"
+        write_shards(clean, split_dir, 2)
+
+        cache_dir = tmp_path / "cache"
+        chaos_cfg = _tiny_config(cache_dir, fault_plan=self.SHARD_PLAN)
+        store = tmp_path / "chaos"
+        manifest = generate_shards(chaos_cfg, store, 2)
+
+        # Complete fleet: nothing quarantined, shard files byte-identical
+        # to splitting the fault-free monolithic generation.
+        assert "quarantined_machines" not in manifest.metadata
+        for info in manifest.shards:
+            assert (store / info.path).read_bytes() == (
+                split_dir / info.path
+            ).read_bytes()
+        assert open_shards(store).load_full().equals(clean)
+
+        # Merge-correct: streaming the chaos-generated shards reproduces
+        # the monolithic Table 2 counts exactly.
+        analysis = analyze_shards(str(store))
+        np.testing.assert_array_equal(
+            analysis.breakdown.totals, cause_breakdown(clean).totals
+        )
+
+    def test_exhausted_shard_is_quarantined(self, tmp_path):
+        from repro.traces import generate_shards, open_shards
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.crash",
+                    match=("generate.shard:0",),
+                    max_attempt=-1,
+                ),
+            )
+        )
+        manifest = generate_shards(
+            _tiny_config(fault_plan=plan), tmp_path / "store", 2
+        )
+        # Shard 0 holds machine 0 of the 2-machine fleet; its placeholder
+        # keeps the store tileable with zero events.
+        assert manifest.metadata["quarantined_machines"] == [0]
+        assert manifest.shards[0].n_events == 0
+        assert manifest.shards[1].n_events > 0
+        full = open_shards(tmp_path / "store").load_full()
+        assert all(e.machine_id == 1 for e in full.events)
+
+    def test_cli_sharded_quarantine_exit_3(self, tmp_path, capsys):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.crash",
+                    match=("generate.shard:1",),
+                    max_attempt=-1,
+                ),
+            )
+        )
+        plan_path = plan.save(tmp_path / "plan.json")
+        manifest_path = tmp_path / "run.json"
+        rc = cli.main(
+            [
+                "generate",
+                str(tmp_path / "store"),
+                "--shards",
+                "2",
+                "--machines",
+                "2",
+                "--days",
+                "7",
+                "--seed",
+                "5",
+                "--fault-plan",
+                str(plan_path),
+                "--metrics-out",
+                str(manifest_path),
+            ]
+        )
+        assert rc == 3
+        assert "partial results" in capsys.readouterr().err
+        run = json.loads(manifest_path.read_text(encoding="utf-8"))
+        (shard_phase,) = run["shards"]
+        assert shard_phase["phase"] == "generate"
+        assert shard_phase["count"] == 2
+        assert shard_phase["quarantined"] == 1
+        assert run["retries"]["exhausted"] == 1
+
+
 class TestCliChaos:
     """End-to-end: the CLI under a fault plan, manifest accounting included."""
 

@@ -100,6 +100,54 @@ class TestGoldenFigures:
         )
 
 
+class TestStreamingDifferential:
+    """``analyze`` and ``analyze --streaming`` render byte-identical text
+    on the golden seed-42 testbed — the streaming path needs no goldens
+    of its own because it must match the monolithic rendering exactly.
+    """
+
+    def _analyze(self, capsys, *argv):
+        from repro import cli
+
+        rc = cli.main(["analyze", "--check", *argv])
+        return rc, capsys.readouterr().out
+
+    def test_virtual_shards_render_identically(
+        self, small_dataset, tmp_path, capsys
+    ):
+        from repro.traces.io import save_dataset
+
+        trace = tmp_path / "trace.jsonl"
+        save_dataset(small_dataset, trace)
+        mono_rc, mono = self._analyze(capsys, "--trace", str(trace))
+        for n_shards in ("1", "3"):
+            rc, out = self._analyze(
+                capsys,
+                "--trace",
+                str(trace),
+                "--streaming",
+                "--shards",
+                n_shards,
+            )
+            assert out == mono
+            assert rc == mono_rc
+
+    def test_shard_store_renders_identically(
+        self, small_dataset, tmp_path, capsys
+    ):
+        from repro.traces.io import save_dataset
+        from repro.traces.shards import write_shards
+
+        trace = tmp_path / "trace.jsonl"
+        save_dataset(small_dataset, trace)
+        mono_rc, mono = self._analyze(capsys, "--trace", str(trace))
+        store = tmp_path / "store"
+        write_shards(small_dataset, store, 3)
+        rc, out = self._analyze(capsys, "--trace", str(store), "--streaming")
+        assert out == mono
+        assert rc == mono_rc
+
+
 class TestGoldensUnderChaos:
     def test_figures_survive_injected_faults(self, small_config, update_goldens):
         """The golden artifacts regenerate byte-identically when the
