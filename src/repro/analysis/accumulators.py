@@ -48,7 +48,8 @@ import numpy as np
 
 from ..errors import ReproError
 from ..traces.dataset import TraceDataset
-from ..units import HOUR, MINUTE
+from ..traces.records import EventColumns
+from ..units import DAY, HOUR, MINUTE
 from .causes import CauseBreakdown
 from .daily import DailyPattern, daily_pattern
 
@@ -63,6 +64,7 @@ __all__ = [
     "StreamingIntervalDistribution",
     "StreamingSummary",
     "SummaryAccumulator",
+    "interval_columns",
     "merge_reduce",
 ]
 
@@ -140,6 +142,33 @@ class CauseAccumulator:
                 self.revocation[mid] += 1
                 if e.is_reboot:
                     self.reboots[mid] += 1
+
+    def update_columns(self, cols: EventColumns, machine_lo: int = 0) -> None:
+        """Column-native :meth:`update`: bincounts over the state codes.
+
+        Bit-identical to the event-object fold — every statistic here is
+        an integer count and integer addition commutes.
+        """
+        from ..core.events import REBOOT_MAX_DURATION
+
+        if machine_lo < 0 or machine_lo + cols.n_machines > self.n_machines:
+            raise ReproError(
+                f"shard range [{machine_lo}, "
+                f"{machine_lo + cols.n_machines}) outside fleet "
+                f"[0, {self.n_machines})"
+            )
+        ev = cols.events
+        mid = ev["machine_id"].astype(np.int64) + machine_lo
+        state = ev["state"]
+
+        def counts(mask: np.ndarray) -> np.ndarray:
+            return np.bincount(mid[mask], minlength=self.n_machines)
+
+        self.cpu += counts(state == 3)
+        self.memory += counts(state == 4)
+        urr = state == 5
+        self.revocation += counts(urr)
+        self.reboots += counts(urr & (ev["end"] - ev["start"] < REBOOT_MAX_DURATION))
 
     def merge(self, other: "CauseAccumulator") -> "CauseAccumulator":
         if other.n_machines != self.n_machines:
@@ -312,6 +341,16 @@ class IntervalCdfAccumulator:
         self._weekday.add(np.asarray(weekday, dtype=float), self.grid)
         self._weekend.add(np.asarray(weekend, dtype=float), self.grid)
 
+    def update_hours(self, hours: np.ndarray, weekend: np.ndarray) -> None:
+        """Fold in precomputed interval lengths (see :func:`interval_columns`).
+
+        ``hours`` must be in the :meth:`update` emission order (machines
+        ascending, intervals time-ordered within a machine) so the
+        float-summed side totals reproduce the object fold bit-for-bit.
+        """
+        self._weekday.add(hours[~weekend], self.grid)
+        self._weekend.add(hours[weekend], self.grid)
+
     def merge(self, other: "IntervalCdfAccumulator") -> "IntervalCdfAccumulator":
         if other.grid.size != self.grid.size or not np.array_equal(
             other.grid, self.grid
@@ -369,6 +408,36 @@ class DailyPatternAccumulator:
                 "shard span/start_weekday disagrees with the accumulator"
             )
         self.counts += daily_pattern(dataset).counts
+
+    def update_columns(self, cols: EventColumns) -> None:
+        """Column-native :meth:`update` via a difference-array sweep.
+
+        An event overlapping wall-clock hours ``[first, last]`` adds one
+        to each cell — contiguous on the flattened ``(day, hour)`` grid,
+        so all events become +1/-1 boundary marks and one ``cumsum``.
+        The hour indices use the same float arithmetic as
+        :func:`repro.analysis.daily.daily_pattern`, and the counts are
+        integers, so the result is bit-identical to the event fold.
+        """
+        if cols.n_days != self.n_days or cols.start_weekday != self.start_weekday:
+            raise ReproError(
+                "shard span/start_weekday disagrees with the accumulator"
+            )
+        n_hours = self.n_days * 24
+        if n_hours == 0 or len(cols) == 0:
+            return
+        ev = cols.events
+        h_first = (ev["start"] // HOUR).astype(np.int64)
+        h_last = ((np.minimum(ev["end"], cols.span) - 1e-9) // HOUR).astype(
+            np.int64
+        )
+        keep = (h_last >= h_first) & (h_first < n_hours)
+        lo = h_first[keep]
+        hi = np.minimum(h_last[keep], n_hours - 1)
+        marks = np.zeros(n_hours + 1, dtype=np.int64)
+        np.add.at(marks, lo, 1)
+        np.add.at(marks, hi + 1, -1)
+        self.counts += np.cumsum(marks[:-1]).reshape(self.n_days, 24)
 
     def merge(self, other: "DailyPatternAccumulator") -> "DailyPatternAccumulator":
         if (
@@ -431,6 +500,23 @@ class SummaryAccumulator:
         other.maximum = float(values.max())
         self.merge(other)
 
+    def update_hours(self, hours: np.ndarray) -> None:
+        """Fold in precomputed interval lengths (see :func:`interval_columns`).
+
+        ``hours`` must be in :meth:`update`'s emission order — the
+        per-shard mean/M2 are float reductions over the same array, so
+        the Chan merge sees identical partials.
+        """
+        if hours.size == 0:
+            return
+        other = SummaryAccumulator()
+        other.n = int(hours.size)
+        other.mean = float(hours.mean())
+        other.m2 = float(((hours - other.mean) ** 2).sum())
+        other.minimum = float(hours.min())
+        other.maximum = float(hours.max())
+        self.merge(other)
+
     def merge(self, other: "SummaryAccumulator") -> "SummaryAccumulator":
         if other.n == 0:
             return self
@@ -463,6 +549,60 @@ class SummaryAccumulator:
             minimum=self.minimum,
             maximum=self.maximum,
         )
+
+
+def interval_columns(cols: EventColumns) -> tuple[np.ndarray, np.ndarray]:
+    """Non-censored availability intervals of a shard, from its columns.
+
+    Returns ``(hours, is_weekend)`` in exactly the order
+    ``TraceDataset.all_intervals(include_censored=False)`` yields —
+    machines ascending, intervals time-ordered within each machine — and
+    with the identical float arithmetic, so the interval accumulators'
+    float sums are bit-identical to the event-object fold.
+
+    Mirrors :func:`repro.core.intervals.availability_intervals` per
+    machine: an interval opens at the running maximum of clipped event
+    ends (the cursor) and closes at the next event's start; the
+    leading and trailing boundary intervals are censored and dropped.
+    """
+    ev = cols.events
+    span = cols.span
+    bounds = cols.machine_bounds()
+    hours_parts: list[np.ndarray] = []
+    weekend_parts: list[np.ndarray] = []
+    for m in range(cols.n_machines):
+        a, b = int(bounds[m]), int(bounds[m + 1])
+        if a == b:
+            continue  # no events: the single [0, span] interval is censored
+        starts = ev["start"][a:b]
+        ends = ev["end"][a:b]
+        overlap = starts[1:] < ends[:-1] - 1e-9
+        if overlap.any():
+            i = int(np.argmax(overlap))
+            from ..errors import TraceError
+
+            raise TraceError(
+                f"overlapping events: [{starts[i]},{ends[i]}] and "
+                f"[{starts[i + 1]},{ends[i + 1]}]"
+            )
+        clipped = np.minimum(ends, span)
+        cursor = np.empty_like(clipped)
+        cursor[0] = 0.0
+        np.maximum.accumulate(clipped[:-1], out=cursor[1:])
+        lo = np.maximum(starts, 0.0)
+        emit = (lo > cursor + 1e-9) & (cursor < span)
+        emit[0] = False  # the interval before the first event is censored
+        if not emit.any():
+            continue
+        iv_start = cursor[emit]
+        iv_len = np.minimum(lo[emit], span) - iv_start
+        hours_parts.append(iv_len / HOUR)
+        day = (iv_start // DAY).astype(np.int64)
+        weekend_parts.append((day + cols.start_weekday) % 7 >= 5)
+    if not hours_parts:
+        empty = np.empty(0, dtype=float)
+        return empty, np.empty(0, dtype=bool)
+    return np.concatenate(hours_parts), np.concatenate(weekend_parts)
 
 
 @dataclass(frozen=True)
@@ -505,6 +645,24 @@ class FleetAccumulator:
         self.intervals.update(dataset)
         self.daily.update(dataset)
         self.summary.update(dataset)
+
+    def update_columns(self, cols: EventColumns, machine_lo: int = 0) -> None:
+        """Column-native :meth:`update`: fold a shard straight from its
+        (possibly memory-mapped) event columns.
+
+        No per-event objects are materialized; results are bit-identical
+        to :meth:`update` on the same shard (integer statistics exactly,
+        float sums by identical arithmetic and order).  The availability
+        intervals are derived once and shared by the CDF and summary
+        accumulators.
+        """
+        if cols.span != self.span:
+            raise ReproError("shard span disagrees with the fleet accumulator")
+        self.causes.update_columns(cols, machine_lo)
+        hours, weekend = interval_columns(cols)
+        self.intervals.update_hours(hours, weekend)
+        self.daily.update_columns(cols)
+        self.summary.update_hours(hours)
 
     def merge(self, other: "FleetAccumulator") -> "FleetAccumulator":
         if (

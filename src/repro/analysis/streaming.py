@@ -10,6 +10,11 @@ Two entry points:
   partial accumulators **in shard order**, so the result is identical
   for every ``jobs`` value (each shard receives exactly one ``update``,
   and an in-order merge replays the serial fold's float-addition order).
+  Binary shards fold straight from their memory-mapped column arrays
+  (:meth:`~repro.traces.shards.ShardedTraceDataset.shard_columns` +
+  :meth:`~repro.analysis.accumulators.FleetAccumulator.update_columns`)
+  without materializing a single event object; results are bit-identical
+  to the JSONL object path.
 * :func:`analyze_dataset_streaming` — the same fold over *virtual*
   shards of an in-memory dataset.  Memory is already bounded by the
   loaded dataset; the value is differential testing — the fold walks the
@@ -110,13 +115,28 @@ def analyze_dataset_streaming(
     return acc.finalize()
 
 
+def _fold_shard(
+    acc: FleetAccumulator, sharded: ShardedTraceDataset, index: int
+) -> None:
+    """Fold shard ``index`` into ``acc`` via its format's natural path.
+
+    Binary shards go through the zero-copy column fold; JSONL shards
+    through the event-object fold.  Both produce bit-identical
+    accumulator state (the :mod:`.accumulators` exactness contract).
+    """
+    info = sharded.manifest.shards[index]
+    if info.format == "binary":
+        acc.update_columns(sharded.shard_columns(index), info.machine_lo)
+    else:
+        acc.update(sharded.shard_dataset(index), info.machine_lo)
+
+
 def _accumulate_shard(payload: tuple[str, int, bool]) -> FleetAccumulator:
     """One shard folded into a fresh fleet accumulator — the work unit."""
     root, index, verify = payload
     sharded = open_shards(root, verify=verify)
     acc = FleetAccumulator.for_fleet(sharded)
-    info = sharded.manifest.shards[index]
-    acc.update(sharded.shard_dataset(index), info.machine_lo)
+    _fold_shard(acc, sharded, index)
     return acc
 
 
@@ -154,7 +174,7 @@ def analyze_shards(
                 info = sharded.manifest.shards[i]
                 with registry.timer("analyze.shard_seconds"):
                     with registry.span(f"analyze.shard[{i}]") as rec:
-                        acc.update(sharded.shard_dataset(i), info.machine_lo)
+                        _fold_shard(acc, sharded, i)
                         if rec is not None:
                             rec["n_events"] = info.n_events
         else:

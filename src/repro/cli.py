@@ -3,9 +3,11 @@
 Commands
 --------
 * ``generate`` — generate the simulated three-month testbed trace and save
-  it as JSONL;
+  it as JSONL or binary (``--format``);
 * ``analyze`` — reproduce Table 2 / Figure 6 / Figure 7 from a trace file
   (or a freshly generated trace) and check the paper's landmarks;
+* ``convert`` — re-encode a trace file or shard directory between the
+  JSONL and binary formats (see ``docs/formats.md``);
 * ``thresholds`` — run the offline contention calibration (Section 3.2)
   and print the derived Th1/Th2;
 * ``predict`` — evaluate the availability predictors on a trace;
@@ -138,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gen.add_argument(
         "output",
-        help="output JSONL path (or, with --shards, a shard directory)",
+        help="output trace path (or, with --shards, a shard directory)",
     )
     p_gen.add_argument(
         "--shards",
@@ -146,8 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="write the fleet as N per-machine-range shards plus a "
-        "manifest instead of one JSONL file (constant parent memory; "
+        "manifest instead of one trace file (constant parent memory; "
         "shards generate in parallel with --jobs)",
+    )
+    p_gen.add_argument(
+        "--format",
+        choices=("jsonl", "binary"),
+        default="jsonl",
+        help="on-disk trace format: human-greppable JSONL or the binary "
+        "columnar fgcs-bin format (zero-copy reads; see docs/formats.md)",
+    )
+
+    p_conv = sub.add_parser(
+        "convert",
+        parents=[obs_common],
+        help="re-encode a trace file or shard directory between formats",
+    )
+    p_conv.add_argument(
+        "input", help="source trace file or shard directory/manifest"
+    )
+    p_conv.add_argument(
+        "output", help="destination trace file or shard directory"
+    )
+    p_conv.add_argument(
+        "--format",
+        choices=("jsonl", "binary"),
+        default="binary",
+        help="target trace format (default: binary)",
     )
 
     p_ana = sub.add_parser(
@@ -308,6 +335,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
             args.output,
             args.shards,
             progress=_progress(args, "generate", unit="shard"),
+            format=args.format,
         )
         print(
             f"wrote {manifest.n_events} events across {manifest.n_shards} "
@@ -315,12 +343,45 @@ def cmd_generate(args: argparse.Namespace) -> int:
         )
         return _partial_results(manifest)
     dataset = generate_dataset(config, progress=_progress(args, "generate"))
-    save_dataset(dataset, args.output)
+    save_dataset(dataset, args.output, format=args.format)
     print(
         f"wrote {len(dataset)} events over {dataset.machine_days:.0f} "
         f"machine-days to {args.output}"
     )
     return _partial_results(dataset)
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .traces import (
+        convert_shards,
+        is_shard_store,
+        load_dataset,
+        open_shards,
+        save_dataset,
+    )
+
+    if is_shard_store(args.input):
+        manifest = convert_shards(
+            open_shards(args.input),
+            args.output,
+            args.format,
+            progress=_progress(args, "convert", unit="shard"),
+        )
+        print(
+            f"converted {manifest.n_shards} shard(s) "
+            f"({manifest.n_events} events) to {args.format} in {args.output}"
+        )
+        return 0
+    dataset = load_dataset(args.input)
+    save_dataset(dataset, args.output, format=args.format)
+    size = Path(args.output).stat().st_size
+    print(
+        f"converted {len(dataset)} events to {args.format} in "
+        f"{args.output} ({size} bytes)"
+    )
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -551,6 +612,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": cmd_generate,
+    "convert": cmd_convert,
     "analyze": cmd_analyze,
     "thresholds": cmd_thresholds,
     "predict": cmd_predict,

@@ -26,8 +26,10 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: Version of the manifest document layout itself.  v2 added the
 #: ``faults`` / ``retries`` sections (fault injection, retry, and
 #: quarantine accounting); v3 added the ``shards`` section (sharded
-#: generation / streaming-analysis accounting).
-MANIFEST_SCHEMA_VERSION = 3
+#: generation / streaming-analysis accounting); v4 added the ``io``
+#: section (trace bytes read/written and encode/decode timings per
+#: on-disk format).
+MANIFEST_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -66,18 +68,23 @@ class RunManifest:
     #: Shard accounting (schema v3): one summary per sharded phase
     #: (``generate`` / ``analyze``) with shard and event counts.
     shards: list = field(default_factory=list)
+    #: Trace I/O accounting (schema v4): per-format bytes read/written
+    #: plus encode/decode timing summaries, keyed
+    #: ``{"jsonl": {...}, "binary": {...}}``.
+    io: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        # Tolerate v1/v2 documents, which predate the faults/retries and
-        # shards sections.
+        # Tolerate v1–v3 documents, which predate the faults/retries,
+        # shards, and io sections.
         data = dict(data)
         data.setdefault("faults", {})
         data.setdefault("retries", {})
         data.setdefault("shards", [])
+        data.setdefault("io", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -153,6 +160,22 @@ def build_manifest(
         for e in events
         if e.get("name") == "shards"
     ]
+    # Per-format trace I/O: join the io.* counters and timing histograms
+    # into one section keyed by format (``io["binary"]["bytes_read"]``).
+    histograms = snapshot.get("histograms", {})
+    io: dict = {}
+
+    def _io_put(fmt: str, field_name: str, value: object) -> None:
+        io.setdefault(fmt, {})[field_name] = value
+
+    for counter_field in ("bytes_read", "bytes_written"):
+        for fmt, v in _strip(f"io.{counter_field}.").items():
+            _io_put(fmt, counter_field, v)
+    for hist_field in ("encode_seconds", "decode_seconds"):
+        prefix = f"io.{hist_field}."
+        for name, summary in histograms.items():
+            if name.startswith(prefix) and summary.get("count"):
+                _io_put(name[len(prefix):], hist_field, summary)
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -172,4 +195,5 @@ def build_manifest(
         faults=faults,
         retries=retries,
         shards=shards,
+        io=io,
     )

@@ -8,18 +8,23 @@ semantics change so stale entries can never be served).  Execution
 settings (``FgcsConfig.execution``) are excluded: worker count, cache
 location, and fault handling never change what is generated.
 
-Entries are stored through the existing :mod:`repro.traces.io` JSONL
-serialization, written atomically (temp file + rename) so a crashed run
-can leave at worst a stale temp file, never a truncated entry.  Corrupted
-or unreadable entries are treated as misses and removed (with a logged
-warning), falling back to regeneration; the eviction re-checks that the
-file it is about to delete is still the one it failed to read, so a
-concurrent writer's freshly replaced (good) entry is never evicted.
-A failed write (disk full, permissions) degrades to a logged warning —
-the pipeline continues uncached rather than aborting.  Cache traffic is
-counted on the ambient metrics registry (``cache.hit`` / ``cache.miss`` /
-``cache.corrupt_evicted`` / ``cache.write`` / ``cache.write_failed``) so
-run manifests show where the traffic went.
+Entries are stored through :mod:`repro.traces.io` in the binary
+``fgcs-bin`` format since cache schema v2 (:data:`CACHE_SCHEMA_VERSION`)
+— the cache is pure machine-to-machine traffic, so the zero-copy format's
+decode speed matters and JSONL's greppability does not.  Entries from the
+v1 layout (``<key>.jsonl``) are evicted as stale on lookup (counted as
+``cache.stale_evicted``) and regenerated.  Writes are atomic (temp file +
+rename) so a crashed run can leave at worst a stale temp file, never a
+truncated entry.  Corrupted or unreadable entries are treated as misses
+and removed (with a logged warning), falling back to regeneration; the
+eviction re-checks that the file it is about to delete is still the one
+it failed to read, so a concurrent writer's freshly replaced (good) entry
+is never evicted.  A failed write (disk full, permissions) degrades to a
+logged warning — the pipeline continues uncached rather than aborting.
+Cache traffic is counted on the ambient metrics registry (``cache.hit`` /
+``cache.miss`` / ``cache.corrupt_evicted`` / ``cache.stale_evicted`` /
+``cache.write`` / ``cache.write_failed``) so run manifests show where the
+traffic went.
 
 A :class:`repro.faults.FaultPlan` can be attached for chaos testing: the
 ``cache.read_corrupt`` site forces the eviction/regeneration path and
@@ -51,6 +56,7 @@ from ..traces.io import SCHEMA_VERSION, load_dataset, save_dataset
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "CODE_SCHEMA_VERSION",
     "DatasetCache",
     "config_fingerprint",
@@ -61,6 +67,12 @@ __all__ = [
 #: generator, detector, or workload planner changes its output for an
 #: unchanged config, so previously cached datasets are invalidated.
 CODE_SCHEMA_VERSION = 1
+
+#: Version of the cache's on-disk layout.  v1 stored ``<key>.jsonl``;
+#: v2 stores ``<key>.bin`` in the binary trace format.  Keys are
+#: unchanged — a v1 entry for the same key is recognized and evicted as
+#: stale rather than silently shadowing the v2 entry.
+CACHE_SCHEMA_VERSION = 2
 
 #: Dataclass fields excluded from fingerprints, per dataclass type name.
 #: Execution settings affect wall-clock only, never results.
@@ -146,7 +158,28 @@ class DatasetCache:
         self.fault_plan = fault_plan
 
     def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.bin"
+
+    def _legacy_path_for(self, key: str) -> Path:
+        """Where the v1 (JSONL) cache layout stored this key."""
         return self.cache_dir / f"{key}.jsonl"
+
+    def _evict_stale(self, key: str) -> None:
+        """Drop a v1-layout entry for ``key`` so it cannot linger forever."""
+        legacy = self._legacy_path_for(key)
+        if not legacy.exists():
+            return
+        get_registry().inc("cache.stale_evicted")
+        logger.warning(
+            "evicting stale v1 (jsonl) dataset cache entry %s; the cache "
+            "now stores binary entries (cache schema %d)",
+            key,
+            CACHE_SCHEMA_VERSION,
+        )
+        try:
+            legacy.unlink()
+        except OSError:
+            pass
 
     def _injected(self, site: str, key: str) -> bool:
         if self.fault_plan is None:
@@ -159,6 +192,7 @@ class DatasetCache:
     def get(self, key: str) -> Optional[TraceDataset]:
         """The cached dataset for ``key``, or ``None`` on a miss."""
         registry = get_registry()
+        self._evict_stale(key)
         path = self.path_for(key)
         # Identity of the entry we are about to read: if the load fails
         # and the file changed in between (a concurrent writer replaced
@@ -211,7 +245,8 @@ class DatasetCache:
             if self._injected(SITE_CACHE_WRITE_FAIL, key):
                 raise OSError(f"injected cache write failure at {key}")
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            save_dataset(dataset, tmp)
+            # Explicit format: the temp name's suffix would imply jsonl.
+            save_dataset(dataset, tmp, format="binary")
             os.replace(tmp, path)
         except OSError as exc:
             registry.inc("cache.write_failed")

@@ -1,11 +1,13 @@
 """Trace dataset infrastructure.
 
 The three-month availability trace is the paper's central artifact.  This
-package defines the on-disk record schema, JSONL/CSV readers and writers,
-an in-memory dataset with machine/day-type slicing, the end-to-end
-generator, and validation checks.
+package defines the on-disk record schema, the JSONL and binary columnar
+(``fgcs-bin``) readers and writers plus CSV export, an in-memory dataset
+with machine/day-type slicing, the end-to-end generator, and validation
+checks.  See ``docs/formats.md`` for the on-disk formats.
 """
 
+from .binio import load_dataset_binary, open_columns, save_dataset_binary
 from .dataset import TraceDataset
 from .external import load_event_list_csv
 from .filters import (
@@ -18,12 +20,19 @@ from .filters import (
     only_machines,
 )
 from .generate import dataset_metadata, generate_dataset
-from .io import load_dataset, save_dataset
-from .records import EventRecord
+from .io import TRACE_FORMATS, detect_format, load_dataset, save_dataset
+from .records import (
+    EventColumns,
+    EventRecord,
+    columns_to_events,
+    events_to_columns,
+    validate_columns,
+)
 from .shards import (
     ShardedTraceDataset,
     ShardInfo,
     ShardManifest,
+    convert_shards,
     generate_shards,
     is_shard_store,
     open_shards,
@@ -33,27 +42,37 @@ from .shards import (
 from .validate import validate_dataset
 
 __all__ = [
+    "EventColumns",
     "EventRecord",
     "ShardInfo",
     "ShardManifest",
     "ShardedTraceDataset",
+    "TRACE_FORMATS",
     "TraceDataset",
+    "columns_to_events",
     "concat_in_time",
+    "convert_shards",
     "dataset_metadata",
+    "detect_format",
+    "events_to_columns",
     "filter_events",
     "generate_dataset",
     "generate_shards",
     "is_shard_store",
     "load_dataset",
+    "load_dataset_binary",
     "load_event_list_csv",
     "merge_datasets",
     "min_duration",
     "only_causes",
     "only_hours",
     "only_machines",
+    "open_columns",
     "open_shards",
     "partition_machines",
     "save_dataset",
+    "save_dataset_binary",
+    "validate_columns",
     "validate_dataset",
     "write_shards",
 ]

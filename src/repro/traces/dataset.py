@@ -65,6 +65,38 @@ class TraceDataset:
                     f"hourly_load shape {self.hourly_load.shape} != {expect}"
                 )
 
+    @classmethod
+    def from_validated(
+        cls,
+        events: list[UnavailabilityEvent],
+        *,
+        n_machines: int,
+        span: float,
+        start_weekday: int = 0,
+        hourly_load: Optional[np.ndarray] = None,
+        metadata: Optional[dict] = None,
+    ) -> "TraceDataset":
+        """Trusted constructor for pre-sorted, pre-validated events.
+
+        Skips ``__post_init__``'s re-sort and per-event range checks, so
+        the caller must already have proven what they enforce — in
+        practice that means the events came out of a column table that
+        passed :func:`repro.traces.records.validate_columns` (which
+        checks ids, spans, and ``(machine_id, start)`` order vectorized).
+        This is the binary loader's fast path; everything else should use
+        the ordinary constructor.
+        """
+        if n_machines <= 0 or span <= 0:
+            raise TraceError("dataset needs n_machines > 0 and span > 0")
+        ds = cls.__new__(cls)
+        ds.events = events
+        ds.n_machines = n_machines
+        ds.span = span
+        ds.start_weekday = start_weekday
+        ds.hourly_load = hourly_load
+        ds.metadata = {} if metadata is None else metadata
+        return ds
+
     # -- basic access ----------------------------------------------------------
 
     def __len__(self) -> int:

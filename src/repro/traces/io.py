@@ -1,8 +1,25 @@
-"""Trace persistence: JSONL (lossless, with metadata) and CSV (events only).
+"""Trace persistence: JSONL and binary columnar (lossless), CSV (events only).
 
-JSONL layout: the first line is a header object (schema version, span,
-machine count, start weekday, metadata, optional hourly-load array); every
-further line is one :class:`~repro.traces.records.EventRecord`.
+Two lossless on-disk formats carry a full dataset (see
+``docs/formats.md``):
+
+* **jsonl** — the first line is a header object (schema version, span,
+  machine count, start weekday, metadata, optional hourly-load array);
+  every further line is one :class:`~repro.traces.records.EventRecord`.
+  Human-greppable, diff-friendly, the interchange format.
+* **binary** — the ``fgcs-bin`` columnar format of
+  :mod:`repro.traces.binio`: the event table as one packed structured
+  array plus a compact JSON header, read zero-copy.  The performance
+  format for fleet-scale pipelines.
+
+:func:`load_dataset` auto-detects the format by magic bytes, so readers
+never need to be told which they were handed.  :func:`save_dataset`
+takes ``format=`` explicitly or infers ``binary`` from a ``.bin`` /
+``.fgcsbin`` suffix.  Both directions report I/O telemetry — bytes and
+encode/decode timings per format — on the ambient metrics registry
+(``io.bytes_read.<fmt>`` / ``io.bytes_written.<fmt>`` counters,
+``io.decode_seconds.<fmt>`` / ``io.encode_seconds.<fmt>`` histograms),
+surfaced in the run manifest's ``io`` section.
 """
 
 from __future__ import annotations
@@ -10,24 +27,71 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..errors import TraceError
+from ..obs.metrics import get_registry
 from .dataset import TraceDataset
 from .records import EventRecord
 
-__all__ = ["save_dataset", "load_dataset", "save_events_csv", "load_events_csv"]
+__all__ = [
+    "TRACE_FORMATS",
+    "detect_format",
+    "save_dataset",
+    "load_dataset",
+    "save_events_csv",
+    "load_events_csv",
+]
 
 SCHEMA_VERSION = 1
+
+#: The lossless dataset formats ``save_dataset`` accepts.
+TRACE_FORMATS = ("jsonl", "binary")
+
+#: File suffixes that imply the binary format when ``format`` is omitted.
+_BINARY_SUFFIXES = (".bin", ".fgcsbin")
 
 PathLike = Union[str, Path]
 
 
-def save_dataset(dataset: TraceDataset, path: PathLike) -> None:
-    """Write a dataset to a JSONL file (``.jsonl`` suggested)."""
+def _resolve_format(path: Path, format: Optional[str]) -> str:
+    if format is None:
+        return "binary" if path.suffix.lower() in _BINARY_SUFFIXES else "jsonl"
+    if format not in TRACE_FORMATS:
+        raise TraceError(
+            f"unknown trace format {format!r} (expected one of {TRACE_FORMATS})"
+        )
+    return format
+
+
+def detect_format(path: PathLike) -> str:
+    """``"binary"`` or ``"jsonl"`` by the file's leading magic bytes."""
+    from .binio import is_binary_trace
+
+    return "binary" if is_binary_trace(path) else "jsonl"
+
+
+def save_dataset(
+    dataset: TraceDataset, path: PathLike, *, format: Optional[str] = None
+) -> None:
+    """Write a dataset losslessly in the given (or suffix-implied) format."""
     path = Path(path)
+    fmt = _resolve_format(path, format)
+    registry = get_registry()
+    with registry.timer(f"io.encode_seconds.{fmt}"):
+        if fmt == "binary":
+            from .binio import save_dataset_binary
+
+            save_dataset_binary(dataset, path)
+        else:
+            _save_dataset_jsonl(dataset, path)
+    if registry.enabled:
+        registry.inc(f"io.bytes_written.{fmt}", path.stat().st_size)
+
+
+def _save_dataset_jsonl(dataset: TraceDataset, path: Path) -> None:
     header = {
         "schema": SCHEMA_VERSION,
         "kind": "fgcs-trace",
@@ -48,8 +112,27 @@ def save_dataset(dataset: TraceDataset, path: PathLike) -> None:
 
 
 def load_dataset(path: PathLike) -> TraceDataset:
-    """Read a dataset from a JSONL file written by :func:`save_dataset`."""
+    """Read a dataset written by :func:`save_dataset`, either format.
+
+    The format is detected from the file's magic bytes, never from its
+    name, so renamed or cached files always load correctly.
+    """
     path = Path(path)
+    from .binio import is_binary_trace, load_dataset_binary
+
+    registry = get_registry()
+    fmt = "binary" if is_binary_trace(path) else "jsonl"
+    with registry.timer(f"io.decode_seconds.{fmt}"):
+        if fmt == "binary":
+            dataset = load_dataset_binary(path)
+        else:
+            dataset = _load_dataset_jsonl(path)
+    if registry.enabled:
+        registry.inc(f"io.bytes_read.{fmt}", path.stat().st_size)
+    return dataset
+
+
+def _load_dataset_jsonl(path: Path) -> TraceDataset:
     with path.open("r", encoding="utf-8") as fh:
         header_line = fh.readline()
         if not header_line:
@@ -72,7 +155,10 @@ def load_dataset(path: PathLike) -> TraceDataset:
             try:
                 rec = EventRecord.from_dict(json.loads(line))
             except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                raise TraceError(f"{path}:{lineno}: bad event record: {exc}") from exc
+                raise TraceError(
+                    f"{path}:{lineno}: bad event record: {exc}: "
+                    f"offending line {_snippet(line)}"
+                ) from exc
             events.append(rec.to_event())
     hourly = header.get("hourly_load")
     hourly_arr = None
@@ -89,6 +175,11 @@ def load_dataset(path: PathLike) -> TraceDataset:
         hourly_load=hourly_arr,
         metadata=dict(header.get("metadata", {})),
     )
+
+
+def _snippet(line: str, limit: int = 120) -> str:
+    """The offending line, truncated so error messages stay one screen."""
+    return repr(line if len(line) <= limit else line[: limit - 1] + "…")
 
 
 def save_events_csv(dataset: TraceDataset, path: PathLike) -> None:

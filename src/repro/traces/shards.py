@@ -3,10 +3,11 @@
 A monolithic :class:`~repro.traces.dataset.TraceDataset` materializes the
 whole fleet in memory, which caps every analysis at a few hundred
 machines.  This module stores a fleet as *shards* — each shard is an
-ordinary trace JSONL file (written by :mod:`repro.traces.io`) covering a
-contiguous machine range ``[machine_lo, machine_hi)`` with machine ids
-renumbered to shard-local ``0 .. n-1`` — plus one ``manifest.json``
-describing the fleet:
+ordinary trace file (written by :mod:`repro.traces.io`, in either the
+JSONL or the binary ``fgcs-bin`` format; see ``docs/formats.md``)
+covering a contiguous machine range ``[machine_lo, machine_hi)`` with
+machine ids renumbered to shard-local ``0 .. n-1`` — plus one
+``manifest.json`` describing the fleet:
 
 * **schema-versioned** — the manifest carries the shard-layout version
   (:data:`SHARD_SCHEMA_VERSION`) alongside the trace-file and
@@ -52,7 +53,8 @@ from ..config import ExecutionConfig, FgcsConfig
 from ..errors import TraceError
 from ..core.events import UnavailabilityEvent
 from .dataset import TraceDataset
-from .io import SCHEMA_VERSION, load_dataset, save_dataset
+from .io import SCHEMA_VERSION, TRACE_FORMATS, load_dataset, save_dataset
+from .records import EventColumns, events_to_columns, validate_columns
 
 __all__ = [
     "MANIFEST_NAME",
@@ -60,6 +62,7 @@ __all__ = [
     "ShardInfo",
     "ShardManifest",
     "ShardedTraceDataset",
+    "convert_shards",
     "dataset_shard",
     "generate_shards",
     "is_shard_store",
@@ -73,7 +76,12 @@ logger = logging.getLogger(__name__)
 
 #: Version of the shard layout + manifest document.  Bump when the
 #: manifest keys or the shard-file conventions change incompatibly.
-SHARD_SCHEMA_VERSION = 1
+#: v2 added the per-shard ``format`` field (``jsonl`` | ``binary``);
+#: v1 manifests are still read, with every shard implied ``jsonl``.
+SHARD_SCHEMA_VERSION = 2
+
+#: Manifest schema versions :meth:`ShardManifest.from_dict` accepts.
+_READABLE_SHARD_SCHEMAS = (1, SHARD_SCHEMA_VERSION)
 
 #: The manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
@@ -175,11 +183,15 @@ def _sha256_file(path: Path) -> str:
     return h.hexdigest()
 
 
-def _atomic_save(dataset: TraceDataset, path: Path) -> None:
-    """Write a shard file atomically (temp + rename), like the cache does."""
+def _atomic_save(dataset: TraceDataset, path: Path, fmt: str = "jsonl") -> None:
+    """Write a shard file atomically (temp + rename), like the cache does.
+
+    The format is passed explicitly — the temp name's ``.tmp<pid>``
+    suffix would defeat suffix-based inference.
+    """
     tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
     try:
-        save_dataset(dataset, tmp)
+        save_dataset(dataset, tmp, format=fmt)
         os.replace(tmp, path)
     finally:
         if tmp.exists():
@@ -187,6 +199,14 @@ def _atomic_save(dataset: TraceDataset, path: Path) -> None:
                 tmp.unlink()
             except OSError:
                 pass
+
+
+def _check_format(fmt: str) -> str:
+    if fmt not in TRACE_FORMATS:
+        raise TraceError(
+            f"unknown shard format {fmt!r} (expected one of {TRACE_FORMATS})"
+        )
+    return fmt
 
 
 def shard_cache_key(
@@ -215,6 +235,11 @@ class ShardInfo:
     #: Dataset-cache key the shard was generated under, when caching was
     #: configured (provenance only — reads never require the cache).
     cache_key: Optional[str] = None
+    #: On-disk trace format of the shard file (``jsonl`` | ``binary``).
+    #: Readers still sniff magic bytes; the manifest field is what lets
+    #: the streaming analyzer pick the zero-copy path without opening
+    #: the file twice.  Absent in v1 manifests, implying ``jsonl``.
+    format: str = "jsonl"
 
     @property
     def n_machines(self) -> int:
@@ -229,6 +254,7 @@ class ShardInfo:
             "n_events": self.n_events,
             "sha256": self.sha256,
             "cache_key": self.cache_key,
+            "format": self.format,
         }
 
     @classmethod
@@ -241,6 +267,7 @@ class ShardInfo:
             n_events=int(d["n_events"]),
             sha256=str(d["sha256"]),
             cache_key=d.get("cache_key"),
+            format=_check_format(str(d.get("format", "jsonl"))),
         )
 
 
@@ -311,10 +338,10 @@ class ShardManifest:
         if data.get("kind") != _KIND:
             raise TraceError("not a shard manifest")
         schema = data.get("schema", {})
-        if schema.get("shards") != SHARD_SCHEMA_VERSION:
+        if schema.get("shards") not in _READABLE_SHARD_SCHEMAS:
             raise TraceError(
                 f"unsupported shard schema {schema.get('shards')!r} "
-                f"(expected {SHARD_SCHEMA_VERSION})"
+                f"(expected one of {_READABLE_SHARD_SCHEMAS})"
             )
         return cls(
             n_machines=int(data["n_machines"]),
@@ -444,6 +471,60 @@ class ShardedTraceDataset:
                 )
         return dataset
 
+    def shard_columns(self, index: int) -> EventColumns:
+        """One shard's event table as columns, zero-copy when binary.
+
+        For a binary shard the returned columns wrap a read-only memmap
+        over the shard file — no events are decoded or copied; for a
+        JSONL shard the events are parsed and packed (same result,
+        without the zero-copy win).  Verification per ``verify`` matches
+        :meth:`shard_dataset`: content fingerprint, vectorized event
+        validation, and header-vs-manifest checks.
+        """
+        info = self.manifest.shards[index]
+        path = self.root / info.path
+        if self.verify:
+            try:
+                digest = _sha256_file(path)
+            except OSError as exc:
+                raise TraceError(f"cannot read shard {path}: {exc}") from exc
+            if digest != info.sha256:
+                raise TraceError(
+                    f"shard {info.path} content fingerprint mismatch "
+                    f"(expected {info.sha256[:12]}…, got {digest[:12]}…); "
+                    "the file was corrupted or replaced"
+                )
+        from .binio import is_binary_trace, open_columns
+
+        if is_binary_trace(path):
+            _, columns, _ = open_columns(path, mmap=True)
+            if self.verify:
+                try:
+                    validate_columns(
+                        columns.events,
+                        n_machines=columns.n_machines,
+                        span=columns.span,
+                    )
+                except TraceError as exc:
+                    raise TraceError(f"{path}: {exc}") from exc
+        else:
+            columns = EventColumns.from_dataset(load_dataset(path))
+        if self.verify:
+            if columns.n_machines != info.n_machines:
+                raise TraceError(
+                    f"shard {info.path} holds {columns.n_machines} machines, "
+                    f"manifest says {info.n_machines}"
+                )
+            if (
+                columns.span != self.span
+                or columns.start_weekday != self.start_weekday
+            ):
+                raise TraceError(
+                    f"shard {info.path} span/start_weekday disagrees with "
+                    "the manifest"
+                )
+        return columns
+
     def iter_shards(self) -> Iterator[tuple[ShardInfo, TraceDataset]]:
         """Yield ``(info, shard_dataset)`` one shard at a time."""
         for i in range(self.n_shards):
@@ -506,12 +587,14 @@ def write_shards(
     *,
     dataset_cache_key: Optional[str] = None,
     config_fingerprint: Optional[str] = None,
+    format: str = "jsonl",
 ) -> ShardManifest:
     """Split an in-memory dataset into a shard directory.
 
     Returns the written manifest.  ``open_shards(out_dir).load_full()``
     round-trips to a dataset that compares equal to ``dataset``.
     """
+    _check_format(format)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     infos = []
@@ -519,9 +602,9 @@ def write_shards(
         partition_machines(dataset.n_machines, n_shards)
     ):
         shard = dataset_shard(dataset, index, lo, hi)
-        name = _shard_name(index)
+        name = _shard_name(index, format)
         path = out_dir / name
-        _atomic_save(shard, path)
+        _atomic_save(shard, path, format)
         infos.append(
             ShardInfo(
                 index=index,
@@ -530,6 +613,7 @@ def write_shards(
                 machine_hi=hi,
                 n_events=len(shard),
                 sha256=_sha256_file(path),
+                format=format,
             )
         )
     manifest = ShardManifest(
@@ -545,15 +629,73 @@ def write_shards(
     return manifest
 
 
-def _shard_name(index: int) -> str:
-    return f"shard-{index:05d}.jsonl"
+def _shard_name(index: int, fmt: str = "jsonl") -> str:
+    return f"shard-{index:05d}.{'bin' if fmt == 'binary' else 'jsonl'}"
+
+
+def convert_shards(
+    source: "ShardedTraceDataset",
+    out_dir: Union[str, Path],
+    format: str,
+    *,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ShardManifest:
+    """Re-encode a shard store in another trace format.
+
+    Each shard is loaded, re-saved in ``format``, and re-fingerprinted;
+    the manifest's fleet frame — machine ranges, metadata (including any
+    quarantine record), config fingerprint, and cache keys — carries
+    over unchanged, so provenance survives conversion.  The converted
+    store analyzes byte-identically to the source.
+    """
+    _check_format(format)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    src = source.manifest
+    infos: list[ShardInfo] = []
+    for index, info in enumerate(src.shards):
+        shard = source.shard_dataset(index)
+        name = _shard_name(index, format)
+        path = out_dir / name
+        _atomic_save(shard, path, format)
+        infos.append(
+            ShardInfo(
+                index=info.index,
+                path=name,
+                machine_lo=info.machine_lo,
+                machine_hi=info.machine_hi,
+                n_events=info.n_events,
+                sha256=_sha256_file(path),
+                cache_key=info.cache_key,
+                format=format,
+            )
+        )
+        if progress is not None:
+            progress(index + 1, src.n_shards)
+    manifest = ShardManifest(
+        n_machines=src.n_machines,
+        span=src.span,
+        start_weekday=src.start_weekday,
+        shards=tuple(infos),
+        metadata=dict(src.metadata),
+        config_fingerprint=src.config_fingerprint,
+        dataset_cache_key=src.dataset_cache_key,
+    )
+    manifest.save(out_dir)
+    logger.info(
+        "converted %d shard(s) to %s format in %s",
+        manifest.n_shards,
+        format,
+        out_dir,
+    )
+    return manifest
 
 
 # -- sharded generation ---------------------------------------------------
 
 
 def _generate_shard(
-    payload: tuple[FgcsConfig, int, int, int, str, bool],
+    payload: tuple[FgcsConfig, int, int, int, str, bool, str],
 ) -> tuple[int, str, Optional[str]]:
     """Generate one shard and write its file — the parallel work unit.
 
@@ -568,7 +710,7 @@ def _generate_shard(
     """
     from .generate import _generate_machine, dataset_metadata
 
-    config, index, lo, hi, out_dir, keep_hourly_load = payload
+    config, index, lo, hi, out_dir, keep_hourly_load, fmt = payload
     execution = config.execution
     cache = None
     key: Optional[str] = None
@@ -615,8 +757,8 @@ def _generate_shard(
         )
         if cache is not None and key is not None:
             cache.put(key, dataset)
-    path = Path(out_dir) / _shard_name(index)
-    _atomic_save(dataset, path)
+    path = Path(out_dir) / _shard_name(index, fmt)
+    _atomic_save(dataset, path, fmt)
     return len(dataset), _sha256_file(path), key
 
 
@@ -655,6 +797,7 @@ def generate_shards(
     keep_hourly_load: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
     execution: Optional[ExecutionConfig] = None,
+    format: str = "jsonl",
 ) -> ShardManifest:
     """Generate a fleet directly into a shard directory.
 
@@ -678,6 +821,7 @@ def generate_shards(
     from ..parallel.cache import config_fingerprint, dataset_cache_key
     from .generate import dataset_metadata
 
+    _check_format(format)
     config = config or FgcsConfig()
     execution = execution if execution is not None else config.execution
     if execution is not config.execution:
@@ -705,7 +849,7 @@ def generate_shards(
     backend = get_backend(execution)
     faults = execution.fault_context("generate.shard", quarantine=True)
     payloads = [
-        (config, index, lo, hi, str(out_dir), keep_hourly_load)
+        (config, index, lo, hi, str(out_dir), keep_hourly_load, format)
         for index, (lo, hi) in enumerate(ranges)
     ]
     with registry.span("generate.shards"):
@@ -721,8 +865,8 @@ def generate_shards(
             placeholder = _placeholder_shard(
                 config, index, lo, hi, keep_hourly_load
             )
-            path = out_dir / _shard_name(index)
-            _atomic_save(placeholder, path)
+            path = out_dir / _shard_name(index, format)
+            _atomic_save(placeholder, path, format)
             n_events, digest, key = 0, _sha256_file(path), None
         else:
             n_events, digest, key = result
@@ -731,12 +875,13 @@ def generate_shards(
         infos.append(
             ShardInfo(
                 index=index,
-                path=_shard_name(index),
+                path=_shard_name(index, format),
                 machine_lo=lo,
                 machine_hi=hi,
                 n_events=n_events,
                 sha256=digest,
                 cache_key=key,
+                format=format,
             )
         )
 

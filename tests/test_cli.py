@@ -107,3 +107,89 @@ class TestCommands:
         assert rc == 0
         text = capsys.readouterr().out
         assert "oracle" in text and "random" in text
+
+
+class TestFormats:
+    def test_generate_binary_format(self, tmp_path, capsys):
+        from repro.traces import detect_format, load_dataset
+
+        out = tmp_path / "trace.bin"
+        rc = cli.main(
+            ["generate", str(out), "--machines", "2", "--days", "7",
+             "--format", "binary"]
+        )
+        assert rc == 0
+        assert detect_format(out) == "binary"
+        assert len(load_dataset(out)) > 0
+
+    def test_generate_binary_shards(self, tmp_path, capsys):
+        from repro.traces.shards import open_shards
+
+        out = tmp_path / "store"
+        rc = cli.main(
+            ["generate", str(out), "--machines", "4", "--days", "7",
+             "--shards", "2", "--format", "binary"]
+        )
+        assert rc == 0
+        sharded = open_shards(out)
+        assert all(s.format == "binary" for s in sharded.manifest.shards)
+        assert sorted(p.name for p in out.glob("shard-*")) == [
+            "shard-00000.bin",
+            "shard-00001.bin",
+        ]
+
+    def test_convert_file_round_trips(self, tmp_path, capsys):
+        from repro.traces import detect_format, load_dataset
+
+        jsonl = tmp_path / "trace.jsonl"
+        cli.main(["generate", str(jsonl), "--machines", "2", "--days", "7"])
+        capsys.readouterr()
+        binary = tmp_path / "trace.bin"
+        rc = cli.main(["convert", str(jsonl), str(binary)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "binary" in out
+        assert detect_format(binary) == "binary"
+
+        back = tmp_path / "back.jsonl"
+        rc = cli.main(["convert", str(binary), str(back), "--format", "jsonl"])
+        assert rc == 0
+        capsys.readouterr()
+        assert back.read_bytes() == jsonl.read_bytes()
+        assert load_dataset(binary).equals(load_dataset(jsonl))
+
+    def test_convert_shard_store(self, tmp_path, capsys):
+        src = tmp_path / "store"
+        cli.main(
+            ["generate", str(src), "--machines", "4", "--days", "7",
+             "--shards", "2"]
+        )
+        capsys.readouterr()
+        dst = tmp_path / "store-bin"
+        rc = cli.main(["convert", str(src), str(dst)])
+        assert rc == 0
+        capsys.readouterr()
+
+        mono = cli.main(["analyze", "--trace", str(src), "--streaming"])
+        text_src = capsys.readouterr().out
+        rc = cli.main(["analyze", "--trace", str(dst), "--streaming"])
+        text_dst = capsys.readouterr().out
+        assert rc == mono == 0
+        assert text_dst == text_src
+
+    def test_convert_writes_manifest_io_section(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        cli.main(["generate", str(jsonl), "--machines", "2", "--days", "7"])
+        capsys.readouterr()
+        metrics = tmp_path / "manifest.json"
+        rc = cli.main(
+            ["convert", str(jsonl), str(tmp_path / "trace.bin"),
+             "--metrics-out", str(metrics)]
+        )
+        assert rc == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["io"]["jsonl"]["bytes_read"] > 0
+        assert doc["io"]["binary"]["bytes_written"] > 0
+        assert doc["io"]["binary"]["encode_seconds"]["count"] == 1

@@ -148,6 +148,68 @@ class TestStreamingDifferential:
         assert rc == mono_rc
 
 
+class TestFormatDifferential:
+    """``analyze`` renders byte-identical text from the binary trace
+    format — monolithic and streamed — so the binary path needs no
+    goldens of its own either (and a binary round trip reproduces the
+    pinned goldens exactly).
+    """
+
+    _analyze = TestStreamingDifferential._analyze
+
+    def test_binary_trace_renders_identically(
+        self, small_dataset, tmp_path, capsys
+    ):
+        from repro.traces.io import save_dataset
+
+        jsonl, binary = tmp_path / "t.jsonl", tmp_path / "t.bin"
+        save_dataset(small_dataset, jsonl)
+        save_dataset(small_dataset, binary, format="binary")
+        rc_j, out_j = self._analyze(capsys, "--trace", str(jsonl))
+        rc_b, out_b = self._analyze(capsys, "--trace", str(binary))
+        assert out_b == out_j
+        assert rc_b == rc_j
+
+    def test_binary_shard_store_renders_identically(
+        self, small_dataset, tmp_path, capsys
+    ):
+        from repro.traces.io import save_dataset
+        from repro.traces.shards import write_shards
+
+        trace = tmp_path / "t.jsonl"
+        save_dataset(small_dataset, trace)
+        mono_rc, mono = self._analyze(capsys, "--trace", str(trace))
+        store = tmp_path / "store"
+        write_shards(small_dataset, store, 3, format="binary")
+        rc, out = self._analyze(capsys, "--trace", str(store), "--streaming")
+        assert out == mono
+        assert rc == mono_rc
+
+    def test_binary_round_trip_matches_goldens(
+        self, small_dataset, tmp_path, update_goldens
+    ):
+        from repro.traces.io import load_dataset, save_dataset
+
+        if update_goldens:
+            pytest.skip("goldens update from the in-memory fixture")
+        binary = tmp_path / "t.bin"
+        save_dataset(small_dataset, binary, format="binary")
+        dataset = load_dataset(binary)
+        _check_or_update(
+            GOLDEN_DIR / "table2.txt",
+            render_table2(cause_breakdown(dataset)) + "\n",
+            False,
+        )
+        _check_or_update(
+            GOLDEN_DIR / "figure6_cdf.json", _figure6_json(dataset), False
+        )
+        _check_or_update(
+            GOLDEN_DIR / "figure7_hourly.txt",
+            render_figure7(daily_pattern(dataset)) + "\n",
+            False,
+        )
+
+
 class TestGoldensUnderChaos:
     def test_figures_survive_injected_faults(self, small_config, update_goldens):
         """The golden artifacts regenerate byte-identically when the

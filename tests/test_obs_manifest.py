@@ -51,6 +51,49 @@ class TestBuildManifest:
         assert m.config_fingerprint == "ab" * 32
         assert m.duration_s == 1.25
 
+    def test_io_section_joins_counters_and_timings(self):
+        reg = MetricsRegistry()
+        reg.inc("io.bytes_written.binary", 4096)
+        reg.inc("io.bytes_read.jsonl", 1024)
+        reg.observe("io.encode_seconds.binary", 0.002)
+        reg.observe("io.decode_seconds.jsonl", 0.05)
+        m = build_manifest(
+            command="convert",
+            argv=["convert", "a", "b"],
+            registry=reg,
+            duration_s=0.1,
+            started_at="2026-08-06T00:00:00+00:00",
+        )
+        assert m.io["binary"]["bytes_written"] == 4096
+        assert m.io["binary"]["encode_seconds"]["count"] == 1
+        assert m.io["jsonl"]["bytes_read"] == 1024
+        assert m.io["jsonl"]["decode_seconds"]["count"] == 1
+        # Raw counters remain available under metrics for consumers that
+        # want the unjoined stream.
+        assert m.metrics["counters"]["io.bytes_written.binary"] == 4096
+
+    def test_io_section_absent_without_traffic(self):
+        m = build_manifest(
+            command="thresholds",
+            argv=["thresholds"],
+            registry=_registry_with_data(),
+            duration_s=0.1,
+            started_at="2026-08-06T00:00:00+00:00",
+        )
+        assert m.io == {}
+
+    def test_from_dict_tolerates_pre_v4_documents(self):
+        m = build_manifest(
+            command="analyze",
+            argv=["analyze"],
+            registry=_registry_with_data(),
+            duration_s=0.1,
+            started_at="2026-08-06T00:00:00+00:00",
+        )
+        doc = m.to_dict()
+        del doc["io"]
+        assert RunManifest.from_dict(doc).io == {}
+
     def test_splits_spans_from_metrics(self):
         m = build_manifest(
             command="analyze",

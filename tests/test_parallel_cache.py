@@ -147,6 +147,33 @@ class TestDatasetCache:
         generate_dataset(cfg.with_seed(99), execution=execution)
         assert len(list(tmp_path.iterdir())) == 2
 
+    def test_entries_are_binary(self, cfg, tmp_path):
+        from repro.traces.binio import is_binary_trace
+
+        generate_dataset(cfg, execution=ExecutionConfig(cache_dir=str(tmp_path)))
+        (path,) = tmp_path.iterdir()
+        assert path.suffix == ".bin"
+        assert is_binary_trace(path)
+
+    def test_stale_v1_entry_evicted(self, cfg, tmp_path):
+        """A v1-layout (jsonl) entry under the same key is evicted on
+        lookup — never served, never left to shadow the binary entry."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        execution = ExecutionConfig(cache_dir=str(tmp_path))
+        fresh = generate_dataset(cfg, execution=execution)
+        key = dataset_cache_key(cfg, keep_hourly_load=True)
+        legacy = tmp_path / f"{key}.jsonl"
+        legacy.write_text("v1 layout leftovers", encoding="utf-8")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            again = generate_dataset(cfg, execution=execution)
+        assert again.equals(fresh)
+        assert not legacy.exists()
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.stale_evicted"] == 1
+        assert counters["cache.hit"] == 1
+
 
 class TestConcurrentEviction:
     """The eviction path must never delete an entry it did not fail on.
@@ -273,6 +300,7 @@ class TestFaultPlanInjection:
                 ),
             )
         assert len(dataset) > 0
+        assert not list(tmp_path.glob("*.bin"))
         assert not list(tmp_path.glob("*.jsonl"))
         counters = registry.snapshot()["counters"]
         assert counters["cache.write_failed"] == 1
