@@ -326,7 +326,8 @@ def _load_or_generate(args: argparse.Namespace):
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    from .traces import generate_dataset, generate_shards, save_dataset
+    from .traces import generate_dataset_columns, generate_shards, save_columns
+    from .units import DAY
 
     config = _config_from(args)
     if args.shards is not None:
@@ -342,13 +343,19 @@ def cmd_generate(args: argparse.Namespace) -> int:
             f"shard(s) to {args.output}"
         )
         return _partial_results(manifest)
-    dataset = generate_dataset(config, progress=_progress(args, "generate"))
-    save_dataset(dataset, args.output, format=args.format)
+    # The object-free columnar pipeline: events go straight from the
+    # detector's structured rows to disk (either format, identical bytes
+    # to the legacy per-event path).
+    columns = generate_dataset_columns(
+        config, progress=_progress(args, "generate")
+    )
+    save_columns(columns, args.output, format=args.format)
+    machine_days = columns.n_machines * columns.span / DAY
     print(
-        f"wrote {len(dataset)} events over {dataset.machine_days:.0f} "
+        f"wrote {len(columns)} events over {machine_days:.0f} "
         f"machine-days to {args.output}"
     )
-    return _partial_results(dataset)
+    return _partial_results(columns)
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
@@ -632,6 +639,9 @@ _DECLARED_COUNTERS = (
     "retries.attempts",
     "retries.succeeded",
     "retries.exhausted",
+    "rng.draws.busyness",
+    "rng.draws.plan",
+    "rng.draws.signal",
 )
 
 

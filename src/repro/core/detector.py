@@ -238,6 +238,70 @@ class BatchDetector:
             )
         return events
 
+    def detect_columns(
+        self,
+        batch: SampleBatch,
+        *,
+        machine_id: int = 0,
+        end_time: Optional[float] = None,
+    ) -> np.ndarray:
+        """:meth:`detect` emitting an ``EVENT_DTYPE`` row array directly.
+
+        Same classification, run-length encoding and per-run means as
+        :meth:`detect` — run filtering and mean computation are vectorized
+        and the rows are written straight into a structured array, so no
+        :class:`UnavailabilityEvent` objects exist on this path.  Rows come
+        out (machine_id, start)-sorted by construction and use the same
+        float operations (prefix-sum difference divided by the up-sample
+        count, ``nan`` when a run has no up samples), keeping serialized
+        output byte-identical to the legacy path.
+        """
+        from ..traces.records import EVENT_DTYPE  # local: avoids core <-> traces cycle
+
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=EVENT_DTYPE)
+        codes = self.model.classify_batch(batch)
+        cls = np.where(codes >= 3, codes, _AVAIL)
+
+        change = np.flatnonzero(np.diff(cls) != 0)
+        starts = np.concatenate(([0], change + 1))
+        ends = np.concatenate((change + 1, [n]))
+
+        t_final = batch.times[-1] if end_time is None else float(end_time)
+        run_cls = cls[starts]
+        t0 = batch.times[starts]
+        t1 = np.where(ends < n, batch.times[np.minimum(ends, n - 1)], t_final)
+
+        keep = (run_cls != _AVAIL) & (t1 > t0)
+        keep &= ~((run_cls == 3) & ((t1 - t0) <= self.grace))
+        if not keep.any():
+            return np.empty(0, dtype=EVENT_DTYPE)
+        starts = starts[keep]
+        ends = ends[keep]
+        run_cls = run_cls[keep]
+        t0 = t0[keep]
+        t1 = t1[keep]
+
+        up = batch.machine_up
+        load_cs = np.concatenate(([0.0], np.cumsum(np.where(up, batch.host_load, 0.0))))
+        mem_cs = np.concatenate(([0.0], np.cumsum(np.where(up, batch.free_mb, 0.0))))
+        upcount_cs = np.concatenate(([0], np.cumsum(up.astype(np.int64))))
+        cnt = upcount_cs[ends] - upcount_cs[starts]
+        denom = np.maximum(cnt, 1)
+        with np.errstate(invalid="ignore"):
+            mean_load = np.where(cnt > 0, (load_cs[ends] - load_cs[starts]) / denom, np.nan)
+            mean_mem = np.where(cnt > 0, (mem_cs[ends] - mem_cs[starts]) / denom, np.nan)
+
+        out = np.empty(run_cls.shape[0], dtype=EVENT_DTYPE)
+        out["machine_id"] = machine_id
+        out["start"] = t0
+        out["end"] = t1
+        out["state"] = run_cls.astype(np.uint8)
+        out["mean_host_load"] = mean_load
+        out["mean_free_mb"] = mean_mem
+        return out
+
 
 def detect_events(
     batch: SampleBatch,

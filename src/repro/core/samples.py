@@ -85,6 +85,30 @@ class SampleBatch:
             )
 
     @classmethod
+    def from_validated(
+        cls,
+        times: np.ndarray,
+        host_load: np.ndarray,
+        free_mb: np.ndarray,
+        machine_up: np.ndarray,
+    ) -> "SampleBatch":
+        """Trusted constructor for columns a generator already validated.
+
+        The caller guarantees what ``__init__`` would check: float64/bool
+        dtypes, equal lengths, strictly increasing times, and host load
+        already clipped to ``[0, 1]``.  The synthesis hot path constructs
+        one batch per machine; skipping the re-validation passes (diff,
+        min/max, clip — a few full-array scans) is what makes the trusted
+        path worth having.
+        """
+        batch = object.__new__(cls)
+        batch.times = times
+        batch.host_load = host_load
+        batch.free_mb = free_mb
+        batch.machine_up = machine_up
+        return batch
+
+    @classmethod
     def from_samples(cls, samples: Iterable[MonitorSample]) -> "SampleBatch":
         rows = list(samples)
         return cls(

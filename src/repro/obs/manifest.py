@@ -28,8 +28,9 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: quarantine accounting); v3 added the ``shards`` section (sharded
 #: generation / streaming-analysis accounting); v4 added the ``io``
 #: section (trace bytes read/written and encode/decode timings per
-#: on-disk format).
-MANIFEST_SCHEMA_VERSION = 4
+#: on-disk format); v5 added the ``generation`` section (synthesis vs
+#: detection time split and random variates drawn per stream).
+MANIFEST_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -72,19 +73,25 @@ class RunManifest:
     #: plus encode/decode timing summaries, keyed
     #: ``{"jsonl": {...}, "binary": {...}}``.
     io: dict = field(default_factory=dict)
+    #: Trace-generation accounting (schema v5): per-machine synthesis and
+    #: detection timing summaries (``synth_seconds`` / ``detect_seconds``)
+    #: plus the random variates drawn per stream
+    #: (``rng_draws["signal"]``, ...).
+    generation: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        # Tolerate v1–v3 documents, which predate the faults/retries,
-        # shards, and io sections.
+        # Tolerate v1–v4 documents, which predate the faults/retries,
+        # shards, io, and generation sections.
         data = dict(data)
         data.setdefault("faults", {})
         data.setdefault("retries", {})
         data.setdefault("shards", [])
         data.setdefault("io", {})
+        data.setdefault("generation", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -176,6 +183,17 @@ def build_manifest(
         for name, summary in histograms.items():
             if name.startswith(prefix) and summary.get("count"):
                 _io_put(name[len(prefix):], hist_field, summary)
+    # Generation accounting: the synthesis/detection split (one histogram
+    # sample per machine, or per shard for sharded runs) and the random
+    # variates drawn per stream.
+    generation: dict = {}
+    for hist_field in ("synth_seconds", "detect_seconds"):
+        summary = histograms.get(f"generate.{hist_field}")
+        if summary and summary.get("count"):
+            generation[hist_field] = summary
+    rng_draws = _strip("rng.draws.")
+    if rng_draws:
+        generation["rng_draws"] = rng_draws
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -196,4 +214,5 @@ def build_manifest(
         retries=retries,
         shards=shards,
         io=io,
+        generation=generation,
     )

@@ -231,6 +231,59 @@ class DatasetCache:
         registry.inc("cache.hit")
         return dataset
 
+    def get_columns(self, key: str):
+        """The cached entry for ``key`` as an
+        :class:`~repro.traces.records.EventColumns` (hourly load attached),
+        or ``None`` on a miss.
+
+        Column-native twin of :meth:`get` for the object-free generation
+        pipeline: entries are interchangeable between both readers (same
+        keys, same on-disk bytes), and a bad entry degrades identically —
+        evicted, counted, regenerated by the caller.
+        """
+        from ..traces.binio import open_columns
+        from ..traces.records import validate_columns
+
+        registry = get_registry()
+        self._evict_stale(key)
+        path = self.path_for(key)
+        identity = _file_identity(path)
+        if identity is None:
+            registry.inc("cache.miss")
+            return None
+        try:
+            if self._injected(SITE_CACHE_READ_CORRUPT, key):
+                raise TraceError(f"injected cache read corruption at {key}")
+            _, columns, hourly = open_columns(path, mmap=False)
+            validate_columns(
+                columns.events, n_machines=columns.n_machines, span=columns.span
+            )
+            columns.hourly_load = hourly
+        except (TraceError, OSError, ValueError, KeyError) as exc:
+            registry.inc("cache.corrupt_evicted")
+            registry.inc("cache.miss")
+            logger.warning(
+                "evicting corrupt/unreadable dataset cache entry %s (%s: %s); "
+                "regenerating",
+                key,
+                type(exc).__name__,
+                exc,
+            )
+            if _file_identity(path) == identity:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                logger.info(
+                    "cache entry %s was concurrently replaced; keeping the "
+                    "new entry",
+                    key,
+                )
+            return None
+        registry.inc("cache.hit")
+        return columns
+
     def put(self, key: str, dataset: TraceDataset) -> Optional[Path]:
         """Store a dataset under ``key`` atomically; returns the path.
 
@@ -238,6 +291,15 @@ class DatasetCache:
         simply not cached, a warning is logged, ``cache.write_failed`` is
         counted, and ``None`` is returned.
         """
+        return self._put(key, dataset, save_dataset)
+
+    def put_columns(self, key: str, columns) -> Optional[Path]:
+        """:meth:`put` for an event-column unit — same keys, same bytes."""
+        from ..traces.io import save_columns
+
+        return self._put(key, columns, save_columns)
+
+    def _put(self, key: str, payload, save) -> Optional[Path]:
         registry = get_registry()
         path = self.path_for(key)
         tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
@@ -246,7 +308,7 @@ class DatasetCache:
                 raise OSError(f"injected cache write failure at {key}")
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             # Explicit format: the temp name's suffix would imply jsonl.
-            save_dataset(dataset, tmp, format="binary")
+            save(payload, tmp, format="binary")
             os.replace(tmp, path)
         except OSError as exc:
             registry.inc("cache.write_failed")

@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["RngFactory", "generator_from"]
+__all__ = ["CountingRng", "RngFactory", "generator_from"]
 
 
 def _hash_key(key: str) -> int:
@@ -73,6 +73,37 @@ class RngFactory:
         ]
         mixed = np.random.SeedSequence(entropy).generate_state(1)[0]
         return RngFactory(int(mixed))
+
+
+class CountingRng:
+    """A transparent proxy around a generator that counts variates drawn.
+
+    Forwards every attribute to the wrapped :class:`numpy.random.Generator`
+    unchanged — the stream of values is bit-identical with or without the
+    proxy — and tallies how many variates each call produced (an array
+    draw counts its size, a scalar draw counts one).  The trace pipeline
+    wraps its per-machine streams with this when telemetry is enabled and
+    reports the totals as ``rng.draws.<stream>`` counters.
+    """
+
+    __slots__ = ("_rng", "draws")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.draws = 0
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._rng, name)
+        if not callable(attr):
+            return attr
+
+        def counted(*args, **kwargs):
+            out = attr(*args, **kwargs)
+            size = getattr(out, "size", None)
+            self.draws += int(size) if size is not None else 1
+            return out
+
+        return counted
 
 
 def generator_from(

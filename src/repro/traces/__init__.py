@@ -7,7 +7,12 @@ with machine/day-type slicing, the end-to-end generator, and validation
 checks.  See ``docs/formats.md`` for the on-disk formats.
 """
 
-from .binio import load_dataset_binary, open_columns, save_dataset_binary
+from .binio import (
+    load_dataset_binary,
+    open_columns,
+    save_columns_binary,
+    save_dataset_binary,
+)
 from .dataset import TraceDataset
 from .external import load_event_list_csv
 from .filters import (
@@ -19,8 +24,14 @@ from .filters import (
     only_hours,
     only_machines,
 )
-from .generate import dataset_metadata, generate_dataset
-from .io import TRACE_FORMATS, detect_format, load_dataset, save_dataset
+from .generate import dataset_metadata, generate_dataset, generate_dataset_columns
+from .io import (
+    TRACE_FORMATS,
+    detect_format,
+    load_dataset,
+    save_columns,
+    save_dataset,
+)
 from .records import (
     EventColumns,
     EventRecord,
@@ -57,6 +68,7 @@ __all__ = [
     "events_to_columns",
     "filter_events",
     "generate_dataset",
+    "generate_dataset_columns",
     "generate_shards",
     "is_shard_store",
     "load_dataset",
@@ -70,6 +82,8 @@ __all__ = [
     "open_columns",
     "open_shards",
     "partition_machines",
+    "save_columns",
+    "save_columns_binary",
     "save_dataset",
     "save_dataset_binary",
     "validate_columns",

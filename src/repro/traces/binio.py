@@ -54,6 +54,7 @@ __all__ = [
     "is_binary_trace",
     "load_dataset_binary",
     "open_columns",
+    "save_columns_binary",
     "save_dataset_binary",
 ]
 
@@ -88,17 +89,32 @@ def is_binary_trace(path: PathLike) -> bool:
 
 def save_dataset_binary(dataset, path: PathLike) -> None:
     """Write a dataset as one ``fgcs-bin`` file (``.bin`` suggested)."""
+    save_columns_binary(EventColumns.from_dataset(dataset), path)
+
+
+def save_columns_binary(columns: EventColumns, path: PathLike) -> None:
+    """Write an event-column unit as one ``fgcs-bin`` file.
+
+    The column-native twin of :func:`save_dataset_binary` — the event
+    table is dumped as-is, so the columnar generation path writes a trace
+    without ever materializing event objects.  Output bytes are a pure
+    function of the columns, identical to saving the equivalent dataset.
+    """
     path = Path(path)
-    columns = events_to_columns(dataset.events)
-    hourly = dataset.hourly_load
+    events = columns.events
+    if events.dtype != EVENT_DTYPE:
+        raise TraceError(
+            f"event columns have dtype {events.dtype}, expected {EVENT_DTYPE}"
+        )
+    hourly = columns.hourly_load
     header = {
         "kind": _KIND,
         "schema": {"binary": BIN_SCHEMA_VERSION, "trace": _trace_schema()},
-        "n_machines": dataset.n_machines,
-        "span": dataset.span,
-        "start_weekday": dataset.start_weekday,
-        "metadata": dataset.metadata,
-        "n_events": int(columns.size),
+        "n_machines": columns.n_machines,
+        "span": columns.span,
+        "start_weekday": columns.start_weekday,
+        "metadata": columns.metadata,
+        "n_events": int(events.size),
         "hourly_shape": None if hourly is None else list(hourly.shape),
     }
     # No sort_keys: metadata key order is part of the dataset (JSONL
@@ -109,9 +125,9 @@ def save_dataset_binary(dataset, path: PathLike) -> None:
         fh.write(_PREAMBLE.pack(MAGIC, BIN_SCHEMA_VERSION, len(header_blob)))
         fh.write(header_blob)
         _pad_to(fh, events_off)
-        fh.write(columns.tobytes())
+        fh.write(events.tobytes())
         if hourly is not None:
-            _pad_to(fh, _align(events_off + columns.nbytes))
+            _pad_to(fh, _align(events_off + events.nbytes))
             fh.write(np.ascontiguousarray(hourly, dtype=np.float64).tobytes())
 
 

@@ -39,6 +39,7 @@ from .records import EventRecord
 __all__ = [
     "TRACE_FORMATS",
     "detect_format",
+    "save_columns",
     "save_dataset",
     "load_dataset",
     "save_events_csv",
@@ -91,6 +92,28 @@ def save_dataset(
         registry.inc(f"io.bytes_written.{fmt}", path.stat().st_size)
 
 
+def save_columns(columns, path: PathLike, *, format: Optional[str] = None) -> None:
+    """Write an :class:`~repro.traces.records.EventColumns` unit losslessly.
+
+    The column-native twin of :func:`save_dataset`: same formats, same
+    telemetry, byte-identical output to saving the equivalent dataset —
+    but no event objects are ever built, which is what lets the columnar
+    generation pipeline stay object-free from sampling to disk.
+    """
+    path = Path(path)
+    fmt = _resolve_format(path, format)
+    registry = get_registry()
+    with registry.timer(f"io.encode_seconds.{fmt}"):
+        if fmt == "binary":
+            from .binio import save_columns_binary
+
+            save_columns_binary(columns, path)
+        else:
+            _save_columns_jsonl(columns, path)
+    if registry.enabled:
+        registry.inc(f"io.bytes_written.{fmt}", path.stat().st_size)
+
+
 def _save_dataset_jsonl(dataset: TraceDataset, path: Path) -> None:
     header = {
         "schema": SCHEMA_VERSION,
@@ -109,6 +132,59 @@ def _save_dataset_jsonl(dataset: TraceDataset, path: Path) -> None:
         fh.write(json.dumps(header) + "\n")
         for ev in dataset.events:
             fh.write(json.dumps(EventRecord.from_event(ev).to_dict()) + "\n")
+
+
+#: On-disk state codes back to the JSONL state strings.
+_CODE_TO_STATE_STR = {3: "S3", 4: "S4", 5: "S5"}
+
+
+def _save_columns_jsonl(columns, path: Path) -> None:
+    """``_save_dataset_jsonl`` fed from an event-column table.
+
+    Produces byte-identical output: the header and per-row dicts carry the
+    same keys in the same order, ``.tolist()`` yields the same native
+    Python scalars ``EventRecord`` would hold (so ``json.dumps`` renders
+    identical shortest-repr floats), and NaN means become ``null``.
+    """
+    import math
+
+    hourly = columns.hourly_load
+    header = {
+        "schema": SCHEMA_VERSION,
+        "kind": "fgcs-trace",
+        "n_machines": columns.n_machines,
+        "span": columns.span,
+        "start_weekday": columns.start_weekday,
+        "metadata": columns.metadata,
+        "hourly_load": (
+            None
+            if hourly is None
+            else [[_none_if_nan(x) for x in row] for row in hourly]
+        ),
+    }
+    events = columns.events
+    states = [_CODE_TO_STATE_STR.get(int(c)) for c in events["state"].tolist()]
+    if None in states:
+        raise TraceError("invalid failure-state code in event columns")
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for mid, start, end, state, load, mb in zip(
+            events["machine_id"].tolist(),
+            events["start"].tolist(),
+            events["end"].tolist(),
+            states,
+            events["mean_host_load"].tolist(),
+            events["mean_free_mb"].tolist(),
+        ):
+            row = {
+                "machine_id": mid,
+                "start": start,
+                "end": end,
+                "state": state,
+                "mean_host_load": None if math.isnan(load) else load,
+                "mean_free_mb": None if math.isnan(mb) else mb,
+            }
+            fh.write(json.dumps(row) + "\n")
 
 
 def load_dataset(path: PathLike) -> TraceDataset:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -259,6 +259,11 @@ class EventColumns:
     span: float
     start_weekday: int = 0
     metadata: dict = field(default_factory=dict)
+    #: Optional ``(n_machines, n_hours)`` hourly-load matrix.  The columnar
+    #: generation path carries it here so a whole dataset travels as one
+    #: object-free unit; readers that stream shards keep receiving the
+    #: hourly block separately from :func:`repro.traces.binio.open_columns`.
+    hourly_load: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.n_machines <= 0 or self.span <= 0:
@@ -289,6 +294,7 @@ class EventColumns:
             span=dataset.span,
             start_weekday=dataset.start_weekday,
             metadata=dict(dataset.metadata),
+            hourly_load=dataset.hourly_load,
         )
 
     def to_dataset(self):
@@ -300,5 +306,6 @@ class EventColumns:
             n_machines=self.n_machines,
             span=self.span,
             start_weekday=self.start_weekday,
+            hourly_load=self.hourly_load,
             metadata=dict(self.metadata),
         )

@@ -189,9 +189,20 @@ def _atomic_save(dataset: TraceDataset, path: Path, fmt: str = "jsonl") -> None:
     The format is passed explicitly — the temp name's ``.tmp<pid>``
     suffix would defeat suffix-based inference.
     """
+    _atomic_write(save_dataset, dataset, path, fmt)
+
+
+def _atomic_save_columns(columns, path: Path, fmt: str = "jsonl") -> None:
+    """:func:`_atomic_save` for an event-column unit (same output bytes)."""
+    from .io import save_columns
+
+    _atomic_write(save_columns, columns, path, fmt)
+
+
+def _atomic_write(save, payload, path: Path, fmt: str) -> None:
     tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
     try:
-        save_dataset(dataset, tmp, format=fmt)
+        save(payload, tmp, format=fmt)
         os.replace(tmp, path)
     finally:
         if tmp.exists():
@@ -696,70 +707,79 @@ def convert_shards(
 
 def _generate_shard(
     payload: tuple[FgcsConfig, int, int, int, str, bool, str],
-) -> tuple[int, str, Optional[str]]:
+) -> tuple[int, str, Optional[str], Optional[dict]]:
     """Generate one shard and write its file — the parallel work unit.
 
-    Returns ``(n_events, sha256, cache_key)``.  Runs entirely in the
-    worker: per-machine generation draws from the same global-machine-id
-    random streams as monolithic generation, so the shard's events are
-    exactly the monolithic dataset's slice.  When the execution config
-    has a cache directory, the shard dataset itself is cached under a
-    per-shard key (read and written here, in the worker); injected
-    ``cache.read_corrupt`` / ``cache.write_fail`` faults degrade exactly
-    as they do for the monolithic cache.
+    Returns ``(n_events, sha256, cache_key, telemetry)``.  Runs entirely
+    in the worker: per-machine generation draws from the same
+    global-machine-id random streams as monolithic generation, so the
+    shard's events are exactly the monolithic dataset's slice — the
+    columnar worker writes shard-local machine ids directly into the
+    event rows, so no relocation pass or event objects exist here.  When
+    the execution config has a cache directory, the shard columns are
+    cached under a per-shard key (read and written here, in the worker);
+    injected ``cache.read_corrupt`` / ``cache.write_fail`` faults degrade
+    exactly as they do for the monolithic cache.
+
+    ``telemetry`` carries the shard's summed synth/detect seconds and rng
+    draw counters back to the parent (a pool worker's own registry is a
+    disabled no-op); it is ``None`` on a cache hit.
     """
-    from .generate import _generate_machine, dataset_metadata
+    from .generate import _generate_machine_columns, dataset_metadata
+    from .records import EVENT_DTYPE, EventColumns
 
     config, index, lo, hi, out_dir, keep_hourly_load, fmt = payload
     execution = config.execution
     cache = None
     key: Optional[str] = None
-    dataset: Optional[TraceDataset] = None
+    columns = None
+    telemetry: Optional[dict] = None
     if execution.cache_enabled:
         from ..parallel.cache import DatasetCache
 
         cache = DatasetCache(execution.cache_dir, fault_plan=execution.fault_plan)
         key = shard_cache_key(config, lo, hi, keep_hourly_load=keep_hourly_load)
-        dataset = cache.get(key)
-    if dataset is None:
+        columns = cache.get_columns(key)
+    if columns is None:
         from ..units import HOUR
 
         n_hours = int(config.testbed.duration // HOUR)
-        events: list[UnavailabilityEvent] = []
+        row_blocks: list[np.ndarray] = []
         hourly = np.full((hi - lo, n_hours), np.nan) if keep_hourly_load else None
+        telemetry = {"generate.synth_seconds": 0.0, "generate.detect_seconds": 0.0}
         for mid in range(lo, hi):
-            machine_events, hourly_row = _generate_machine(
-                (config, mid, keep_hourly_load)
-            )
-            events.extend(
-                UnavailabilityEvent(
-                    machine_id=mid - lo,
-                    start=e.start,
-                    end=e.end,
-                    state=e.state,
-                    mean_host_load=e.mean_host_load,
-                    mean_free_mb=e.mean_free_mb,
+            rows, hourly_row, counters, synth_seconds, detect_seconds = (
+                _generate_machine_columns(
+                    (config, mid, mid - lo, keep_hourly_load, True)
                 )
-                for e in machine_events
             )
+            row_blocks.append(rows)
+            telemetry["generate.synth_seconds"] += synth_seconds
+            telemetry["generate.detect_seconds"] += detect_seconds
+            for name, n in (counters or {}).items():
+                telemetry[name] = telemetry.get(name, 0) + n
             if hourly is not None and hourly_row is not None:
                 hourly[mid - lo, :] = hourly_row
-        dataset = TraceDataset(
-            events=events,
+        columns = EventColumns(
+            events=(
+                np.concatenate(row_blocks)
+                if row_blocks
+                else np.empty(0, dtype=EVENT_DTYPE)
+            ),
             n_machines=hi - lo,
             span=config.testbed.duration,
             start_weekday=config.testbed.start_weekday,
-            hourly_load=hourly,
             metadata=_shard_metadata(
                 dataset_metadata(config), index, lo, hi,
                 config.testbed.n_machines,
             ),
+            hourly_load=hourly,
         )
         if cache is not None and key is not None:
-            cache.put(key, dataset)
+            cache.put_columns(key, columns)
     path = Path(out_dir) / _shard_name(index, fmt)
-    _atomic_save(dataset, path, fmt)
-    return len(dataset), _sha256_file(path), key
+    _atomic_save_columns(columns, path, fmt)
+    return len(columns), _sha256_file(path), key, telemetry
 
 
 def _placeholder_shard(
@@ -869,7 +889,13 @@ def generate_shards(
             _atomic_save(placeholder, path, format)
             n_events, digest, key = 0, _sha256_file(path), None
         else:
-            n_events, digest, key = result
+            n_events, digest, key, telemetry = result
+            if telemetry and registry.enabled:
+                for name, value in telemetry.items():
+                    if name.startswith("generate."):
+                        registry.observe(name, value)
+                    else:
+                        registry.inc(name, value)
         registry.inc("shards.written")
         registry.observe("shards.events", n_events)
         infos.append(

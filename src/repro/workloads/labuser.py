@@ -239,12 +239,25 @@ class EpisodePlanner:
         return max(d, self.MIN_EPISODE)
 
     def _plan_heavy(self, span: float) -> list[PlannedEpisode]:
-        """Renewal process in activity time, plus occasional flaps."""
+        """Renewal process in activity time, plus occasional flaps.
+
+        The draw sequence is inherently serial — each iteration's gap
+        depends on the previous episode's end, and the flap branch makes
+        the distribution of the next draw data-dependent — so this loop
+        stays scalar.  Loop-invariant float constants are hoisted; the
+        values (and therefore the stream positions) are unchanged.
+        """
+        lab = self.lab
+        dur_mu = np.log(lab.heavy_duration_mean) - 0.5 * lab.heavy_duration_sigma**2
+        gap_mu = np.log(self.MEAN_GAP_ACTIVITY_HOURS) - 0.5 * self.GAP_SIGMA**2
         episodes: list[PlannedEpisode] = []
         # Start mid-gap on average so day 0 is statistically like any other.
         t = self.profile.advance(0.0, self.rng.uniform(0, self.MEAN_GAP_ACTIVITY_HOURS))
         while np.isfinite(t) and t < span:
-            dur = self._heavy_duration()
+            dur = max(
+                float(self.rng.lognormal(dur_mu, lab.heavy_duration_sigma)),
+                self.MIN_EPISODE,
+            )
             end = min(t + dur, span)
             episodes.append(PlannedEpisode(self._heavy_kind(), t, end))
             if end >= span:
@@ -254,10 +267,7 @@ class EpisodePlanner:
                 gap = float(self.rng.uniform(0.5 * MINUTE, 4.5 * MINUTE))
                 t = end + gap
                 continue
-            mu = (
-                np.log(self.MEAN_GAP_ACTIVITY_HOURS) - 0.5 * self.GAP_SIGMA**2
-            )
-            gap_a = float(self.rng.lognormal(mu, self.GAP_SIGMA)) / self.busyness
+            gap_a = float(self.rng.lognormal(gap_mu, self.GAP_SIGMA)) / self.busyness
             t = self.profile.advance(end, gap_a)
         return episodes
 
@@ -267,11 +277,16 @@ class EpisodePlanner:
         lab = self.lab
         episodes = []
         n_days = int(span // DAY)
+        if n_days == 0:
+            return episodes
+        # cron fires on the minute; duration varies slightly with
+        # filesystem churn.  One draw per day, unconditionally, so the
+        # whole sojourn sequence batches into a single vectorized sample
+        # (bit-identical to drawing scalars day by day).
+        wobble = self.rng.uniform(0.9, 1.1, size=n_days)
         for day in range(n_days):
             start = day * DAY + lab.updatedb_hour * HOUR
-            # cron fires on the minute; duration varies slightly with
-            # filesystem churn.
-            dur = lab.updatedb_duration * self.rng.uniform(0.9, 1.1)
+            dur = lab.updatedb_duration * float(wobble[day])
             end = min(start + dur, span)
             if start < span:
                 episodes.append(PlannedEpisode(EpisodeKind.UPDATEDB, start, end))
@@ -288,10 +303,14 @@ class EpisodePlanner:
         """
         n = self.rng.poisson(self.TRANSIENTS_PER_DAY * span / DAY)
         episodes = []
+        # ``cumulative(span)`` is pure, so hoisting it out of the loop
+        # changes no draw.  The duration draw is conditional on the
+        # (data-dependent) placement draw landing inside the span, so the
+        # pair sequence cannot batch without perturbing the stream in the
+        # skip case; the draws stay scalar.
+        total_activity = self.profile.cumulative(span)
         for _ in range(n):
-            t0 = self.profile.advance(
-                0.0, self.rng.uniform(0, self.profile.cumulative(span))
-            )
+            t0 = self.profile.advance(0.0, self.rng.uniform(0, total_activity))
             if not np.isfinite(t0) or t0 >= span:
                 continue
             dur = float(self.rng.uniform(15.0, 45.0))
@@ -309,12 +328,23 @@ def _overlaps(a: PlannedEpisode, b: PlannedEpisode, margin: float = MINUTE) -> b
 def _without_overlaps(
     candidates: list[PlannedEpisode], existing: list[PlannedEpisode]
 ) -> list[PlannedEpisode]:
-    """Candidates that do not collide with already-accepted episodes."""
-    kept = []
-    for c in candidates:
-        if not any(_overlaps(c, e) for e in existing):
-            kept.append(c)
-    return kept
+    """Candidates that do not collide with already-accepted episodes.
+
+    Vectorized pairwise test (candidates only ever check against the
+    *existing* set, never each other, so one broadcast reproduces the
+    scalar scan's decisions exactly — same floats, same comparisons).
+    """
+    if not candidates or not existing:
+        return list(candidates)
+    c_start = np.array([c.start for c in candidates])
+    c_end = np.array([c.end for c in candidates])
+    e_start = np.array([e.start for e in existing])
+    e_end = np.array([e.end for e in existing])
+    collides = (
+        (c_start[:, None] < e_end[None, :] + MINUTE)
+        & (e_start[None, :] < c_end[:, None] + MINUTE)
+    ).any(axis=1)
+    return [c for c, hit in zip(candidates, collides) if not hit]
 
 
 def _drop_mutual_overlaps(episodes: list[PlannedEpisode]) -> list[PlannedEpisode]:

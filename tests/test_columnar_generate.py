@@ -1,0 +1,312 @@
+"""Differential tests for the columnar generation hot path.
+
+The columnar pipeline (:func:`repro.traces.generate._generate_machine_columns`
+→ ``BatchDetector.detect_columns`` → ``EventColumns``) must produce output
+*byte-identical* to the legacy per-event-object path it replaced.  These
+tests pin that contract three ways: a property test that ``detect_columns``
+matches ``detect`` event-for-event on arbitrary signals, per-machine
+differentials across every built-in workload profile, and end-to-end golden
+byte identity of serialized traces (monolithic and sharded, any ``--jobs``).
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.config import ExecutionConfig, FgcsConfig, TestbedConfig
+from repro.core.detector import BatchDetector
+from repro.core.samples import SampleBatch
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+from repro.parallel.cache import DatasetCache, dataset_cache_key
+from repro.traces import (
+    generate_dataset,
+    generate_dataset_columns,
+    generate_shards,
+    save_columns,
+    save_dataset,
+)
+from repro.traces.dataset import TraceDataset
+from repro.traces.generate import (
+    _generate_machine,
+    _generate_machine_columns,
+    dataset_metadata,
+)
+from repro.traces.records import EVENT_DTYPE, events_to_columns
+from repro.units import DAY, HOUR
+from repro.workloads.profiles import PROFILES
+
+PERIOD = 10.0
+
+
+def _tiny_config(seed=42, machines=3, days=7):
+    return dataclasses.replace(
+        FgcsConfig(),
+        testbed=TestbedConfig(n_machines=machines, duration=days * DAY),
+        seed=seed,
+    )
+
+
+def _sha(path):
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+# -- detect_columns == detect, property-based ------------------------------
+
+
+@st.composite
+def signal(draw):
+    """A segmented random monitor signal (idle/busy/over/mem/down runs), so
+    every event class and NaN-mean offline stretches appear often."""
+    n_segments = draw(st.integers(1, 8))
+    loads, free, up = [], [], []
+    for _ in range(n_segments):
+        seg_len = draw(st.integers(1, 15))
+        kind = draw(st.sampled_from(["idle", "busy", "over", "mem", "down"]))
+        for _ in range(seg_len):
+            if kind == "idle":
+                loads.append(draw(st.floats(0.0, 0.19)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "busy":
+                loads.append(draw(st.floats(0.25, 0.55)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "over":
+                loads.append(draw(st.floats(0.65, 1.0)))
+                free.append(500.0)
+                up.append(True)
+            elif kind == "mem":
+                loads.append(draw(st.floats(0.0, 0.55)))
+                free.append(draw(st.floats(0.0, 100.0)))
+                up.append(True)
+            else:
+                loads.append(0.0)
+                free.append(500.0)
+                up.append(False)
+    n = len(loads)
+    return SampleBatch(
+        times=(np.arange(n) + 1) * PERIOD,
+        host_load=np.array(loads),
+        free_mb=np.array(free),
+        machine_up=np.array(up, dtype=bool),
+    )
+
+
+class TestDetectColumnsProperty:
+    @given(signal())
+    @settings(max_examples=150, deadline=None)
+    def test_columns_equal_legacy_detect(self, batch):
+        end = float(batch.times[-1]) + PERIOD
+        det = BatchDetector()
+        legacy = events_to_columns(
+            det.detect(batch, machine_id=5, end_time=end)
+        )
+        rows = det.detect_columns(batch, machine_id=5, end_time=end)
+        assert rows.dtype == EVENT_DTYPE
+        # Byte comparison covers NaN bit patterns too, which the JSONL
+        # writer never sees but the binary writer serializes verbatim.
+        assert rows.tobytes() == legacy.tobytes()
+
+    def test_empty_batch(self):
+        batch = SampleBatch(
+            times=np.array([]),
+            host_load=np.array([]),
+            free_mb=np.array([]),
+            machine_up=np.array([], dtype=bool),
+        )
+        rows = BatchDetector().detect_columns(batch)
+        assert rows.dtype == EVENT_DTYPE and len(rows) == 0
+
+    def test_all_down_open_event_uses_end_time(self):
+        n = 5
+        batch = SampleBatch(
+            times=(np.arange(n) + 1) * PERIOD,
+            host_load=np.zeros(n),
+            free_mb=np.full(n, 500.0),
+            machine_up=np.zeros(n, dtype=bool),
+        )
+        end = n * PERIOD + PERIOD
+        det = BatchDetector()
+        rows = det.detect_columns(batch, machine_id=1, end_time=end)
+        legacy = events_to_columns(
+            det.detect(batch, machine_id=1, end_time=end)
+        )
+        assert rows.tobytes() == legacy.tobytes()
+        assert len(rows) == 1 and rows["end"][0] == end
+
+
+# -- per-machine differential: legacy worker vs columnar worker ------------
+
+
+class TestMachineDifferential:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    @pytest.mark.parametrize("seed", [42, 7])
+    def test_profiles_and_seeds(self, profile, seed):
+        config = PROFILES[profile](n_machines=3, days=7, seed=seed)
+        for mid in range(config.testbed.n_machines):
+            events, hourly = _generate_machine((config, mid, True))
+            rows, hourly_c, _, _, _ = _generate_machine_columns(
+                (config, mid, mid, True, False)
+            )
+            assert rows.tobytes() == events_to_columns(events).tobytes()
+            assert np.array_equal(hourly, hourly_c, equal_nan=True)
+
+    def test_shard_local_machine_id_relabels_only_that_column(self):
+        config = _tiny_config()
+        rows, _, _, _, _ = _generate_machine_columns((config, 2, 0, False, False))
+        rows_global, _, _, _, _ = _generate_machine_columns(
+            (config, 2, 2, False, False)
+        )
+        assert np.all(rows["machine_id"] == 0)
+        assert np.all(rows_global["machine_id"] == 2)
+        for name in ("start", "end", "state", "mean_host_load", "mean_free_mb"):
+            assert np.array_equal(
+                rows[name], rows_global[name], equal_nan=name.startswith("mean")
+            )
+
+    def test_draw_counters_reported(self):
+        config = _tiny_config(machines=1, days=3)
+        _, _, counters, synth_s, detect_s = _generate_machine_columns(
+            (config, 0, 0, True, True)
+        )
+        assert counters["rng.draws.busyness"] == 1
+        assert counters["rng.draws.plan"] > 0
+        # One AR(1) block is 2n+2 normals before any episode/noise draws.
+        n = int(config.testbed.duration // config.monitor.period)
+        assert counters["rng.draws.signal"] >= 2 * n + 2
+        assert synth_s > 0 and detect_s > 0
+
+
+# -- end-to-end golden byte identity ---------------------------------------
+
+
+def _legacy_dataset(config):
+    """The full fleet via the per-event-object reference worker."""
+    n = config.testbed.n_machines
+    n_hours = int(config.testbed.duration // HOUR)
+    hourly = np.full((n, n_hours), np.nan)
+    events = []
+    for mid in range(n):
+        machine_events, hourly_row = _generate_machine((config, mid, True))
+        events.extend(machine_events)
+        hourly[mid, :] = hourly_row
+    return TraceDataset.from_validated(
+        events,
+        n_machines=n,
+        span=config.testbed.duration,
+        start_weekday=config.testbed.start_weekday,
+        hourly_load=hourly,
+        metadata=dataset_metadata(config),
+    )
+
+
+class TestGoldenByteIdentity:
+    @pytest.mark.parametrize("fmt", ["binary", "jsonl"])
+    def test_monolithic_seed42(self, fmt, tmp_path):
+        config = _tiny_config(seed=42)
+        legacy_path = tmp_path / f"legacy.{fmt}"
+        columnar_path = tmp_path / f"columnar.{fmt}"
+        save_dataset(_legacy_dataset(config), legacy_path, format=fmt)
+        columns = generate_dataset_columns(config)
+        save_columns(columns, columnar_path, format=fmt)
+        assert _sha(legacy_path) == _sha(columnar_path)
+
+    def test_generate_dataset_equals_columns(self):
+        config = _tiny_config(seed=42)
+        dataset = generate_dataset(config)
+        columns = generate_dataset_columns(config)
+        assert columns.to_dataset().equals(dataset)
+
+    @pytest.mark.parametrize("fmt", ["binary", "jsonl"])
+    def test_shards_identical_across_jobs(self, fmt, tmp_path):
+        config = _tiny_config(seed=42)
+        digests = {}
+        for jobs in (1, 2):
+            out = tmp_path / f"jobs{jobs}"
+            cfg = config.with_execution(ExecutionConfig(jobs=jobs))
+            generate_shards(cfg, out, n_shards=2, format=fmt)
+            digests[jobs] = {
+                p.name: _sha(p) for p in sorted(out.iterdir()) if p.is_file()
+            }
+        assert digests[1] == digests[2]
+        assert len(digests[1]) >= 3  # 2 shards + manifest
+
+
+# -- cache entries are shared between the two paths ------------------------
+
+
+class TestCacheInterchange:
+    def test_columns_entry_read_as_dataset_and_back(self, tmp_path):
+        config = _tiny_config(machines=2, days=5)
+        key = dataset_cache_key(config, keep_hourly_load=True)
+        cache = DatasetCache(tmp_path)
+
+        columns = generate_dataset_columns(config)
+        cache.put_columns(key, columns)
+        via_dataset = cache.get(key)
+        assert via_dataset is not None
+        assert via_dataset.equals(columns.to_dataset())
+
+        cache2 = DatasetCache(tmp_path / "other")
+        cache2.put(key, via_dataset)
+        via_columns = cache2.get_columns(key)
+        assert via_columns is not None
+        assert via_columns.events.tobytes() == columns.events.tobytes()
+        assert np.array_equal(
+            via_columns.hourly_load, columns.hourly_load, equal_nan=True
+        )
+
+
+# -- CLI: analyze output and run manifests stay unchanged ------------------
+
+
+class TestCliUnchanged:
+    def test_streaming_analyze_matches_monolithic(self, tmp_path, capsys):
+        mono = tmp_path / "trace.jsonl"
+        shards = tmp_path / "shards"
+        common = ["--machines", "3", "--days", "7", "--seed", "42"]
+        assert cli.main(["generate", str(mono), *common]) == 0
+        assert (
+            cli.main(["generate", str(shards), "--shards", "2", *common]) == 0
+        )
+        capsys.readouterr()
+
+        assert cli.main(["analyze", "--trace", str(mono)]) == 0
+        mono_text = capsys.readouterr().out
+        assert cli.main(["analyze", "--trace", str(shards), "--streaming"]) == 0
+        streaming_text = capsys.readouterr().out
+        assert streaming_text == mono_text
+        assert "Table 2" in mono_text
+
+    def test_manifest_v5_generation_section(self, tmp_path):
+        out = tmp_path / "trace.bin"
+        manifest_path = tmp_path / "manifest.json"
+        rc = cli.main(
+            [
+                "generate",
+                str(out),
+                "--format",
+                "binary",
+                "--machines",
+                "2",
+                "--days",
+                "5",
+                "--metrics-out",
+                str(manifest_path),
+            ]
+        )
+        assert rc == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema"]["manifest"] == MANIFEST_SCHEMA_VERSION
+        generation = manifest["generation"]
+        assert generation["synth_seconds"]["count"] == 2
+        assert generation["detect_seconds"]["count"] == 2
+        draws = generation["rng_draws"]
+        assert draws["busyness"] == 2
+        assert draws["plan"] > 0 and draws["signal"] > 0
