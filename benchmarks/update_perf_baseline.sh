@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Refresh the committed perf-smoke baseline manifest that CI's
+# `repro-fgcs report --compare` gate diffs against.
+#
+# Run from the repo root after an intentional performance change, review
+# the diff (the comparison is direction-aware: wall clock / latency /
+# RSS up = regression, throughput / cache hit rate down = regression),
+# and commit the result.  The exact command mirrors the perf-smoke CI
+# job so the metric set matches.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+PYTHONPATH=src python -m repro.cli generate "$tmp/perf.jsonl" \
+    --machines 20 --days 7 --jobs 2 \
+    --metrics-out benchmarks/baselines/perf_smoke_manifest.json
+
+PYTHONPATH=src python -m repro.cli report \
+    benchmarks/baselines/perf_smoke_manifest.json
+echo
+echo "baseline refreshed: benchmarks/baselines/perf_smoke_manifest.json"

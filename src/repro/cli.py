@@ -12,13 +12,23 @@ Commands
   and print the derived Th1/Th2;
 * ``predict`` — evaluate the availability predictors on a trace;
 * ``schedule`` — run the proactive-vs-oblivious scheduling comparison;
-* ``report`` — write every analysis artifact for a trace to a directory.
+* ``report`` — three modes: write every analysis artifact for a trace to
+  a directory; render a run manifest (``--metrics-out`` output) as a
+  human performance report; or diff two manifests with
+  ``--compare baseline.json current.json [--max-regress PCT]`` — exits
+  nonzero when a metric regressed beyond the budget, so it works as a CI
+  perf gate.
 
 Every command also takes the telemetry flags (``--log-level``,
-``--log-json``, ``--metrics-out PATH``); ``--metrics-out`` writes a JSON
-run manifest (seed, config fingerprint, versions, phase spans, metrics)
-at the end of the run.  Telemetry never changes results: outputs are
-bit-identical with it on or off.
+``--log-json``, ``--metrics-out PATH``, ``--trace-out PATH``);
+``--metrics-out`` writes a JSON run manifest (seed, config fingerprint,
+versions, phase spans, metrics, resource time series) at the end of the
+run (``-`` writes it to stdout), and ``--trace-out`` writes a Chrome
+Trace Event Format JSON of the run's merged span tree — one lane per
+pool worker process — loadable in Perfetto.  When either is given, a
+background sampler records this process's RSS/CPU/fd/I-O series.
+Telemetry never changes results: outputs are bit-identical with it on
+or off.
 
 Robustness flags (see ``docs/robustness.md``): ``--fault-plan FILE``
 attaches a deterministic fault-injection plan for chaos testing;
@@ -73,7 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSON run manifest (seed, config fingerprint, phase "
-        "spans, metrics) to PATH at the end of the run",
+        "spans, metrics, resource time series) to PATH at the end of the "
+        "run ('-' writes it to stdout)",
+    )
+    obs_common.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome Trace Event Format JSON of the run (merged "
+        "span tree with one lane per worker process plus resource "
+        "counters) to PATH; load it in Perfetto or chrome://tracing",
     )
 
     # Fault-handling flags shared by every command that runs parallel work.
@@ -238,10 +257,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser(
         "report",
         parents=[common],
-        help="write every analysis artifact for a trace to a directory",
+        help="write analysis artifacts for a trace to a directory, render "
+        "a run manifest as a performance report, or --compare two "
+        "manifests as a regression gate",
     )
-    p_rep.add_argument("output_dir", help="directory for the report files")
+    p_rep.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="an output directory for the analysis artifacts, or an "
+        "existing run-manifest JSON (from --metrics-out) to render as "
+        "a performance report",
+    )
     p_rep.add_argument("--trace", default=None, help="existing trace JSONL")
+    p_rep.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("BASELINE", "CURRENT"),
+        help="diff two run manifests metric by metric; exits 1 when any "
+        "metric regressed beyond --max-regress percent",
+    )
+    p_rep.add_argument(
+        "--max-regress",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="regression budget for --compare, in percent of the "
+        "baseline value (default: 10)",
+    )
 
     return parser
 
@@ -558,7 +602,56 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return _partial_results(dataset)
 
 
+def _load_manifest(path: str):
+    """A parsed :class:`RunManifest`, or an error string."""
+    from .obs import RunManifest
+
+    try:
+        return RunManifest.load(path)
+    except FileNotFoundError:
+        return f"manifest not found: {path}"
+    except (ValueError, TypeError, KeyError) as exc:
+        return f"not a run manifest: {path} ({exc})"
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.compare:
+        from .obs import compare_manifests
+
+        loaded = [_load_manifest(p) for p in args.compare]
+        errors = [m for m in loaded if isinstance(m, str)]
+        if errors:
+            for err in errors:
+                print(f"error: {err}", file=sys.stderr)
+            return 2
+        baseline, current = loaded
+        result = compare_manifests(
+            baseline, current, max_regress_pct=args.max_regress
+        )
+        print(result.render())
+        return 0 if result.ok else 1
+    if args.target is None:
+        print(
+            "error: report needs a target (an artifact output directory "
+            "or a run-manifest JSON) or --compare",
+            file=sys.stderr,
+        )
+        return 2
+    if Path(args.target).is_file():
+        from .obs import render_manifest_report
+
+        manifest = _load_manifest(args.target)
+        if isinstance(manifest, str):
+            print(f"error: {manifest}", file=sys.stderr)
+            return 2
+        print(render_manifest_report(manifest))
+        return 0
+    return _report_artifacts(args)
+
+
+def _report_artifacts(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .analysis import (
@@ -573,9 +666,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.ascii import render_figure6_chart, render_figure7_chart
     from .analysis.fits import fit_interval_distributions
     from .analysis.report import render_figure6, render_figure7, render_table2
+    from .units import DAY, is_weekend
 
     dataset = _load_or_generate(args)
-    out = Path(args.output_dir)
+    out = Path(args.target)
     out.mkdir(parents=True, exist_ok=True)
 
     def write(name: str, text: str) -> None:
@@ -584,23 +678,45 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     write("table2.txt", render_table2(cause_breakdown(dataset)))
     dist = interval_distribution(dataset)
-    write(
-        "figure6.txt",
-        render_figure6(dist) + "\n\n" + render_figure6_chart(dist),
+    # Short traces may cover only one day type; write what exists so a
+    # 2-day smoke run still produces Table 2 and the landmark report.
+    n_days = int(dataset.span // DAY)
+    has_weekend = any(
+        is_weekend(d * DAY, dataset.start_weekday) for d in range(n_days)
     )
-    pattern = daily_pattern(dataset)
-    write(
-        "figure7.txt",
-        render_figure7(pattern)
-        + "\n\n"
-        + render_figure7_chart(pattern, weekend=False)
-        + "\n\n"
-        + render_figure7_chart(pattern, weekend=True),
+    has_weekday = any(
+        not is_weekend(d * DAY, dataset.start_weekday) for d in range(n_days)
     )
-    write(
-        "interval_fits.txt",
-        fit_interval_distributions(dist.weekday_hours).render(),
-    )
+    if dist.weekday_count and dist.weekend_count:
+        write(
+            "figure6.txt",
+            render_figure6(dist) + "\n\n" + render_figure6_chart(dist),
+        )
+    else:
+        print(
+            "figure6.txt skipped: needs weekday and weekend availability "
+            "intervals (trace too short)"
+        )
+    if has_weekday and has_weekend:
+        pattern = daily_pattern(dataset)
+        write(
+            "figure7.txt",
+            render_figure7(pattern)
+            + "\n\n"
+            + render_figure7_chart(pattern, weekend=False)
+            + "\n\n"
+            + render_figure7_chart(pattern, weekend=True),
+        )
+    else:
+        print(
+            "figure7.txt skipped: needs both weekday and weekend days "
+            "(trace too short)"
+        )
+    if dist.weekday_count:
+        write(
+            "interval_fits.txt",
+            fit_interval_distributions(dist.weekday_hours).render(),
+        )
     try:
         from .analysis.hazard import hazard_curve
 
@@ -645,6 +761,40 @@ _DECLARED_COUNTERS = (
 )
 
 
+def _check_out_paths(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--metrics-out`` / ``--trace-out`` before running.
+
+    A run should never do minutes of work only to fail writing its
+    telemetry at the end; unwritable destinations are rejected up front
+    with a clear error (exit 2).  ``-`` means stdout and only
+    ``--metrics-out`` supports it.
+    """
+    import os
+    from pathlib import Path
+
+    for flag, value, allow_stdout in (
+        ("--metrics-out", getattr(args, "metrics_out", None), True),
+        ("--trace-out", getattr(args, "trace_out", None), False),
+    ):
+        if not value:
+            continue
+        if value == "-":
+            if allow_stdout:
+                continue
+            return f"{flag} does not support '-' (stdout); give a file path"
+        path = Path(value)
+        parent = path.parent
+        if not parent.is_dir():
+            return f"{flag}: directory {parent} does not exist"
+        if not os.access(parent, os.W_OK):
+            return f"{flag}: directory {parent} is not writable"
+        if path.is_dir():
+            return f"{flag}: {path} is a directory"
+        if path.exists() and not os.access(path, os.W_OK):
+            return f"{flag}: {path} is not writable"
+    return None
+
+
 def _write_manifest(
     args: argparse.Namespace,
     argv: list[str],
@@ -652,7 +802,10 @@ def _write_manifest(
     registry,
     started_at: str,
     duration_s: float,
+    resources: Optional[dict] = None,
 ) -> None:
+    import json
+
     from .obs import build_manifest
 
     from .errors import FaultError
@@ -676,7 +829,13 @@ def _write_manifest(
         exit_code=exit_code,
         seed=getattr(args, "seed", None),
         config_fingerprint=fingerprint,
+        resources=resources,
     )
+    if args.metrics_out == "-":
+        # One compact line, emitted last: consumers that also want the
+        # command's normal stdout can take the final line as the manifest.
+        print(json.dumps(manifest.to_dict(), sort_keys=True), flush=True)
+        return
     path = manifest.write(args.metrics_out)
     if args.log_json:
         # Keep the stderr stream pure JSON-lines: route through the logger.
@@ -692,12 +851,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv_list = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv_list)
 
-    from .obs import MetricsRegistry, setup_logging, use_registry
+    error = _check_out_paths(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    from .obs import (
+        MetricsRegistry,
+        ResourceSampler,
+        finish_progress,
+        setup_logging,
+        use_registry,
+    )
 
     setup_logging(level=args.log_level, json_lines=args.log_json)
     registry = MetricsRegistry()
     for name in _DECLARED_COUNTERS:
         registry.inc(name, 0)
+    # The background resource sampler only runs when telemetry output was
+    # asked for, preserving the zero-cost-when-disabled contract.
+    sampler = None
+    if args.metrics_out or args.trace_out:
+        sampler = ResourceSampler().start()
 
     from .errors import FaultError
 
@@ -712,9 +887,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # operational errors, not bugs: report and exit 2.
             print(f"error: {exc}", file=sys.stderr)
             rc = 2
+        finally:
+            # Leave no half-drawn progress line behind on *any* exit path
+            # (landmark failure 1, fault error 2, partial results 3).
+            finish_progress()
+            if sampler is not None:
+                sampler.stop()
+    resources = sampler.snapshot() if sampler is not None else None
+    if args.trace_out:
+        from .obs import export_chrome_trace
+
+        path = export_chrome_trace(
+            registry,
+            args.trace_out,
+            command=args.command,
+            resources=resources,
+            resources_epoch_unix=sampler.epoch_unix if sampler else None,
+        )
+        if args.log_json:
+            logging.getLogger("repro.cli").info("wrote Chrome trace to %s", path)
+        else:
+            print(f"wrote Chrome trace to {path}", file=sys.stderr)
     if args.metrics_out:
         _write_manifest(
-            args, argv_list, rc, registry, started_at, time.perf_counter() - t0
+            args,
+            argv_list,
+            rc,
+            registry,
+            started_at,
+            time.perf_counter() - t0,
+            resources=resources,
         )
     return rc
 

@@ -142,14 +142,23 @@ class FaultContext:
 def run_unit(payload: tuple) -> tuple:
     """Execute one work unit under the fault plan (worker side).
 
-    ``payload = (fn, item, plan, key, attempt)``.  Returns
-    ``(result, duration_s, injected_sites)`` with ``result`` exactly what
-    ``fn(item)`` returned — byte-identical assembly is the parent's job
-    and this wrapper never touches the value.  Injected exception faults
-    raise; the injected slowdown sleeps *before* the unit runs so the
-    measured duration reflects it.
+    ``payload = (fn, item, plan, key, attempt[, capture])``.  Returns
+    ``(result, duration_s, injected_sites, telemetry)`` with ``result``
+    exactly what ``fn(item)`` returned — byte-identical assembly is the
+    parent's job and this wrapper never touches the value.  Injected
+    exception faults raise; the injected slowdown sleeps *before* the
+    unit runs so the measured duration reflects it.
+
+    With ``capture`` true (the pool backends pass it when the parent's
+    registry is enabled), the unit runs under
+    :func:`repro.obs.worker.capture_unit` and ``telemetry`` carries the
+    worker-process spans/counters/resource peaks back for the parent to
+    merge; otherwise ``telemetry`` is ``None``.  A failing attempt
+    raises before returning, so its telemetry is never delivered — the
+    parent merges exactly one capture per settled unit.
     """
-    fn, item, plan, key, attempt = payload
+    fn, item, plan, key, attempt, *rest = payload
+    capture = bool(rest[0]) if rest else False
     injected: list[str] = []
     delay = 0.0
     if plan is not None:
@@ -161,11 +170,17 @@ def run_unit(payload: tuple) -> tuple:
         if slow is not None:
             injected.append(SITE_UNIT_SLOW)
             delay = slow.delay
+    telemetry = None
     t0 = time.perf_counter()
     if delay:
         time.sleep(delay)
-    result = fn(item)
-    return result, time.perf_counter() - t0, tuple(injected)
+    if capture:
+        from ..obs.worker import capture_unit, unit_label
+
+        result, telemetry = capture_unit(fn, item, unit_label(fn))
+    else:
+        result = fn(item)
+    return result, time.perf_counter() - t0, tuple(injected), telemetry
 
 
 def classify_failure(exc: BaseException) -> str:

@@ -1,52 +1,97 @@
-"""repro.obs — structured run telemetry for the whole pipeline.
+"""repro.obs — distributed, profile-grade telemetry for the pipeline.
 
 The paper's results are statistical claims over ~1800 machine-days of
-simulated trace; this package makes every run account for itself:
+simulated trace; this package makes every run account for itself, across
+every process it spawns:
 
 * :class:`MetricsRegistry` — injectable counters, gauges, and timing
-  histograms (p50/p95/max), snapshot-able to a plain dict; the ambient
-  registry is disabled (zero-cost) unless a caller opts in via
-  :func:`use_registry` / :func:`set_registry`;
+  histograms (p50/p95/p99, exact nearest-rank), snapshot-able to a plain
+  dict; the ambient registry is disabled (zero-cost) unless a caller
+  opts in via :func:`use_registry` / :func:`set_registry`;
 * :func:`span` — nested wall-clock phase timings recorded as a tree;
+* :class:`WorkerTelemetry` / :meth:`MetricsRegistry.merge_worker` —
+  cross-process capture: pool workers record spans and metrics locally
+  and ship them back with each unit result; the parent merges them into
+  per-pid lanes on its own timeline, exactly once per settled unit;
+* :func:`export_chrome_trace` — the merged span tree plus worker lanes
+  and resource counters as a Chrome Trace Event Format JSON (``--trace-
+  out trace.json``), loadable in Perfetto / ``chrome://tracing``;
+* :class:`ResourceSampler` — a background daemon thread sampling this
+  process's RSS / CPU / fds / I-O into a bounded time series for the
+  manifest's ``resources`` section and the trace's counter track;
+* :class:`RunManifest` / :func:`build_manifest` — the end-of-run JSON
+  document (seed, config fingerprint, versions, argv, spans, metrics,
+  resources) written by the CLI's ``--metrics-out PATH`` (``-`` =
+  stdout);
+* :func:`render_manifest_report` / :func:`compare_manifests` — one
+  manifest as a human performance report, or two diffed under a
+  regression budget (``repro-fgcs report --compare``, a CI perf gate);
 * :func:`setup_logging` — structured logging on stdlib ``logging``
   (human format by default, JSON-lines via ``--log-json``);
-* :class:`RunManifest` / :func:`build_manifest` — the end-of-run JSON
-  document (seed, config fingerprint, versions, argv, spans, metrics)
-  written by the CLI's ``--metrics-out PATH``;
 * :class:`EventTrace` — opt-in simkernel observer counting fired events
   by type with a bounded JSONL-dumpable sample;
-* :func:`cli_progress` — the ``[k/N] <stage>`` stderr progress line for
-  interactive runs.
+* :func:`cli_progress` — the in-place ``[k/N] <stage>  rate  ETA``
+  stderr progress line for interactive runs (:func:`finish_progress`
+  clears it on every CLI exit path).
 
-Telemetry is gathered in the parent process only and is excluded from
-cache keys and dataset equality: pipeline outputs are bit-identical with
-telemetry enabled or disabled.
+Telemetry is excluded from cache keys and dataset equality: pipeline
+outputs are bit-identical with telemetry enabled or disabled, at any
+``--jobs`` / ``--shards``.
 """
 
+from .chrometrace import chrome_trace_document, export_chrome_trace
 from .logs import LOG_LEVELS, JsonLinesFormatter, setup_logging
 from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 from .metrics import (
+    DEFAULT_QUANTILES,
     Histogram,
     MetricsRegistry,
     get_registry,
+    quantile_label,
     set_registry,
     span,
     use_registry,
 )
-from .progress import cli_progress
+from .progress import ProgressLine, cli_progress, finish_progress
+from .report import (
+    ComparisonResult,
+    MetricDelta,
+    compare_manifests,
+    extract_metrics,
+    render_manifest_report,
+)
+from .sampler import ResourceSampler, read_process_stats
 from .trace_events import EventTrace
+from .worker import WorkerTelemetry, capture_unit, max_rss_bytes, run_captured
 
 __all__ = [
+    "ComparisonResult",
+    "DEFAULT_QUANTILES",
     "EventTrace",
     "Histogram",
     "JsonLinesFormatter",
     "LOG_LEVELS",
     "MANIFEST_SCHEMA_VERSION",
+    "MetricDelta",
     "MetricsRegistry",
+    "ProgressLine",
+    "ResourceSampler",
     "RunManifest",
+    "WorkerTelemetry",
     "build_manifest",
+    "capture_unit",
+    "chrome_trace_document",
     "cli_progress",
+    "compare_manifests",
+    "export_chrome_trace",
+    "extract_metrics",
+    "finish_progress",
     "get_registry",
+    "max_rss_bytes",
+    "quantile_label",
+    "read_process_stats",
+    "render_manifest_report",
+    "run_captured",
     "set_registry",
     "setup_logging",
     "span",

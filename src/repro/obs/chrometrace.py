@@ -1,0 +1,181 @@
+"""Chrome Trace Event Format export: spans + worker lanes → flamegraph.
+
+``--trace-out trace.json`` turns a run's merged span tree into a JSON
+document loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: the parent process and every pool worker get their
+own lane (one trace "process" per OS pid), phase spans render as nested
+slices, and the background resource sampler's series renders as counter
+tracks (RSS, CPU, fds) under the parent.  A sharded
+``generate --jobs 8`` run becomes a visual flamegraph of
+synth/detect/encode/cache phases per worker.
+
+Format reference: the Trace Event Format doc ("JSON Array Format" /
+"JSON Object Format").  We emit the object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+with three event kinds, all spec-valid and Perfetto-tested:
+
+* ``"ph": "X"`` *complete* events — one per finished span, with
+  microsecond ``ts`` (start) and ``dur`` relative to the run's start;
+* ``"ph": "M"`` *metadata* events — ``process_name`` /
+  ``process_sort_index`` so lanes are labeled and ordered
+  (parent first, workers by pid);
+* ``"ph": "C"`` *counter* events — one per resource sample per series.
+
+All timestamps come off one timeline: the parent registry's epoch.
+Worker spans were already translated onto it at merge time
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge_worker`), so slices
+line up across lanes the way the run actually interleaved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["chrome_trace_document", "export_chrome_trace"]
+
+#: Counter series exported from the resource sampler, with display scale.
+_COUNTER_SERIES = (
+    ("rss_bytes", "rss_mb", 1.0 / (1 << 20)),
+    ("cpu_seconds", "cpu_s", 1.0),
+    ("open_fds", "open_fds", 1.0),
+)
+
+
+def _us(seconds: float) -> int:
+    """Microseconds, clamped non-negative (spans can start at offset 0)."""
+    return max(0, int(round(seconds * 1e6)))
+
+
+def _span_events(spans: list, pid: int, out: list) -> None:
+    for rec in spans:
+        if rec.get("duration_s") is None:
+            # Still-open span (export mid-run): skip rather than guess.
+            continue
+        out.append(
+            {
+                "name": rec["name"],
+                "cat": "phase",
+                "ph": "X",
+                "ts": _us(rec["start_s"]),
+                "dur": _us(rec["duration_s"]),
+                "pid": pid,
+                "tid": 0,
+            }
+        )
+        _span_events(rec.get("children", []), pid, out)
+
+
+def _process_meta(pid: int, name: str, sort_index: int, out: list) -> None:
+    out.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    )
+    out.append(
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": sort_index},
+        }
+    )
+
+
+def chrome_trace_document(
+    registry: MetricsRegistry,
+    *,
+    command: Optional[str] = None,
+    resources: Optional[dict] = None,
+    resources_epoch_unix: Optional[float] = None,
+) -> dict:
+    """The Trace Event Format document for a finished run.
+
+    ``resources`` is a :meth:`repro.obs.sampler.ResourceSampler.snapshot`
+    (optional); ``resources_epoch_unix`` anchors its relative ``t_s``
+    column to the wall clock so counter samples land on the span
+    timeline.
+    """
+    snapshot = registry.snapshot()
+    parent_pid = os.getpid()
+    events: list[dict] = []
+
+    label = f"repro-fgcs {command}" if command else "repro-fgcs"
+    _process_meta(parent_pid, f"{label} (parent pid {parent_pid})", 0, events)
+    _span_events(snapshot.get("spans", []), parent_pid, events)
+
+    for sort_index, (pid_str, lane) in enumerate(
+        sorted(snapshot.get("workers", {}).items(), key=lambda kv: int(kv[0])),
+        start=1,
+    ):
+        pid = int(pid_str)
+        _process_meta(
+            pid,
+            f"worker pid {pid} ({lane.get('units', 0)} unit(s))",
+            sort_index,
+            events,
+        )
+        _span_events(lane.get("spans", []), pid, events)
+
+    if resources:
+        shift = 0.0
+        if resources_epoch_unix is not None:
+            shift = resources_epoch_unix - registry.epoch_unix
+        samples = resources.get("samples", {})
+        t_s = samples.get("t_s", [])
+        for field, series_name, scale in _COUNTER_SERIES:
+            values = samples.get(field)
+            if not values:
+                continue
+            for t, v in zip(t_s, values):
+                if v is None:
+                    continue
+                events.append(
+                    {
+                        "name": series_name,
+                        "cat": "resources",
+                        "ph": "C",
+                        "ts": _us(t + shift),
+                        "pid": parent_pid,
+                        "tid": 0,
+                        "args": {series_name: round(v * scale, 3)},
+                    }
+                )
+
+    doc: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if command:
+        doc["otherData"] = {"command": command}
+    return doc
+
+
+def export_chrome_trace(
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    *,
+    command: Optional[str] = None,
+    resources: Optional[dict] = None,
+    resources_epoch_unix: Optional[float] = None,
+) -> Path:
+    """Write the Chrome trace JSON for ``registry`` to ``path``."""
+    path = Path(path)
+    doc = chrome_trace_document(
+        registry,
+        command=command,
+        resources=resources,
+        resources_epoch_unix=resources_epoch_unix,
+    )
+    path.write_text(
+        json.dumps(doc, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    return path

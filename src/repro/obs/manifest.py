@@ -29,8 +29,11 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: generation / streaming-analysis accounting); v4 added the ``io``
 #: section (trace bytes read/written and encode/decode timings per
 #: on-disk format); v5 added the ``generation`` section (synthesis vs
-#: detection time split and random variates drawn per stream).
-MANIFEST_SCHEMA_VERSION = 5
+#: detection time split and random variates drawn per stream); v6 added
+#: the ``resources`` section (the background sampler's bounded RSS /
+#: CPU / fd / I/O time series with peaks, plus per-worker-process
+#: resource peaks merged from worker telemetry).
+MANIFEST_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -78,20 +81,28 @@ class RunManifest:
     #: plus the random variates drawn per stream
     #: (``rng_draws["signal"]``, ...).
     generation: dict = field(default_factory=dict)
+    #: Resource accounting (schema v6): the background sampler's bounded
+    #: time series (``samples["t_s"]`` / ``["rss_bytes"]`` / ...) with
+    #: ``peak`` values and the process-lifetime ``max_rss_bytes``, plus
+    #: ``workers`` — per-pool-worker resource peaks
+    #: (``{"<pid>": {"max_rss_bytes": ..., "cpu_seconds": ...,
+    #: "units": ...}}``) merged from worker telemetry.
+    resources: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        # Tolerate v1–v4 documents, which predate the faults/retries,
-        # shards, io, and generation sections.
+        # Tolerate v1–v5 documents, which predate the faults/retries,
+        # shards, io, generation, and resources sections.
         data = dict(data)
         data.setdefault("faults", {})
         data.setdefault("retries", {})
         data.setdefault("shards", [])
         data.setdefault("io", {})
         data.setdefault("generation", {})
+        data.setdefault("resources", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -118,6 +129,7 @@ def build_manifest(
     exit_code: int = 0,
     seed: Optional[int] = None,
     config_fingerprint: Optional[str] = None,
+    resources: Optional[dict] = None,
 ) -> RunManifest:
     """Assemble a manifest from a finished run's registry and metadata.
 
@@ -132,6 +144,10 @@ def build_manifest(
     snapshot = registry.snapshot()
     spans = snapshot.pop("spans")
     events = snapshot.pop("events", [])
+    # Worker lanes: resource peaks go to the resources section; the full
+    # per-worker span trees stay out of the manifest (they are the
+    # Chrome-trace export's payload) to keep the document lean.
+    worker_lanes = snapshot.pop("workers", {})
     counters = snapshot.get("counters", {})
 
     def _strip(prefix: str) -> dict:
@@ -194,6 +210,18 @@ def build_manifest(
     rng_draws = _strip("rng.draws.")
     if rng_draws:
         generation["rng_draws"] = rng_draws
+    # Resources: the sampler's bounded series (when one ran) plus the
+    # per-worker peaks merged from worker telemetry.
+    resources_section: dict = dict(resources) if resources else {}
+    if worker_lanes:
+        resources_section["workers"] = {
+            pid: {
+                "max_rss_bytes": lane.get("max_rss_bytes", 0),
+                "cpu_seconds": round(lane.get("cpu_seconds", 0.0), 6),
+                "units": lane.get("units", 0),
+            }
+            for pid, lane in worker_lanes.items()
+        }
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -215,4 +243,5 @@ def build_manifest(
         shards=shards,
         io=io,
         generation=generation,
+        resources=resources_section,
     )

@@ -2,18 +2,104 @@
 
 The parallel backends already fire ``progress(index, total)`` once per
 work unit in the parent process (see :mod:`repro.parallel.backend`);
-:func:`cli_progress` turns that hook into a stderr progress line
-(``[k/N] <stage>``) when — and only when — a human is watching: output
-must be a TTY, and the CLI suppresses it under ``--log-json`` so
-machine-readable streams stay clean.
+:func:`cli_progress` turns that hook into a single in-place stderr
+status line — ``[k/N] <stage>  <rate> unit/s  ETA m:ss`` — when, and
+only when, a human is watching: output must be a TTY, and the CLI
+suppresses it under ``--log-json`` so machine-readable streams stay
+clean.
+
+The line is redrawn with ``\\r`` + erase-to-end-of-line and **never
+outlives the run**: it auto-clears when the last unit lands, and
+:func:`finish_progress` (called by the CLI on every exit path,
+including the nonzero exit codes 1–3) clears any line a failed or
+partial run left mid-draw, so error output starts on a clean row.
+
+Throughput is the observed rate (units completed over wall-clock time,
+which inherently accounts for ``--jobs`` parallelism).  The ETA
+estimator additionally consults the live ``parallel.unit_seconds``
+histogram: remaining work in unit-seconds (remaining × mean unit cost)
+divided by the observed concurrency (total unit-seconds burned over
+elapsed wall time) — so a 4-worker run shows a 4× shorter ETA than the
+same units serially.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import IO, Callable, Optional
+import time
+from typing import IO, Optional
 
-__all__ = ["cli_progress"]
+__all__ = ["ProgressLine", "cli_progress", "finish_progress"]
+
+#: Progress lines that may have a partially-drawn row on screen.
+_ACTIVE: list["ProgressLine"] = []
+
+
+class ProgressLine:
+    """A ``progress(index, total)`` callback drawing one in-place line."""
+
+    def __init__(
+        self, stage: str, out: IO[str], unit: Optional[str] = None
+    ) -> None:
+        self.stage = stage
+        self.out = out
+        self.unit = unit or "unit"
+        self._prefix = f"{unit} " if unit else ""
+        self._t0 = time.perf_counter()
+        self._drawn = False
+        _ACTIVE.append(self)
+
+    def _eta_seconds(
+        self, done: int, total: int, elapsed: float
+    ) -> Optional[float]:
+        remaining = total - done
+        if remaining <= 0 or elapsed <= 0 or done <= 0:
+            return None
+        # Mean unit cost from the live histogram when the backend has
+        # recorded settled units; elapsed/done otherwise (first units of
+        # a serial stage, or stages that bypass the unit histogram).
+        mean_unit_s = None
+        try:
+            from .metrics import get_registry
+
+            summary = get_registry().histogram("parallel.unit_seconds")
+            if summary is not None and len(summary) > 0:
+                mean_unit_s = summary.mean()
+        except Exception:
+            mean_unit_s = None
+        if not mean_unit_s or mean_unit_s <= 0:
+            mean_unit_s = elapsed / done
+        # Observed concurrency: unit-seconds burned per wall-clock second.
+        concurrency = max(1.0, mean_unit_s * done / elapsed)
+        return remaining * mean_unit_s / concurrency
+
+    def __call__(self, index: int, total: int) -> None:
+        done = index + 1
+        elapsed = time.perf_counter() - self._t0
+        line = f"[{self._prefix}{done}/{total}] {self.stage}"
+        if elapsed > 0:
+            line += f"  {done / elapsed:.1f} {self.unit}/s"
+            eta = self._eta_seconds(done, total, elapsed)
+            if eta is not None:
+                line += f"  ETA {int(eta // 60)}:{int(eta % 60):02d}"
+        print(f"\r{line}\x1b[K", end="", file=self.out, flush=True)
+        self._drawn = True
+        if done >= total:
+            self.clear()
+
+    def clear(self) -> None:
+        """Erase the line (if drawn) and retire from the active set."""
+        if self._drawn:
+            print("\r\x1b[K", end="", file=self.out, flush=True)
+            self._drawn = False
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+
+
+def finish_progress() -> None:
+    """Clear every live progress line; the CLI calls this on all exits."""
+    for line in list(_ACTIVE):
+        line.clear()
 
 
 def cli_progress(
@@ -22,8 +108,8 @@ def cli_progress(
     stream: Optional[IO[str]] = None,
     enabled: Optional[bool] = None,
     unit: Optional[str] = None,
-) -> Optional[Callable[[int, int], None]]:
-    """A ``progress(index, total)`` callback printing ``[k/N] <stage>``.
+) -> Optional[ProgressLine]:
+    """A progress callback printing ``[k/N] <stage>  rate  ETA``, or ``None``.
 
     Returns ``None`` when progress should stay silent — by default when
     ``stream`` (stderr) is not a TTY, so redirected/piped runs produce no
@@ -37,9 +123,4 @@ def cli_progress(
         enabled = bool(isatty and isatty())
     if not enabled:
         return None
-    prefix = f"{unit} " if unit else ""
-
-    def progress(index: int, total: int) -> None:
-        print(f"[{prefix}{index + 1}/{total}] {stage}", file=out, flush=True)
-
-    return progress
+    return ProgressLine(stage, out, unit=unit)

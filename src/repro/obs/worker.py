@@ -1,0 +1,129 @@
+"""Cross-process telemetry capture: what a pool worker records per unit.
+
+The parallel backends run work units in worker processes whose ambient
+:class:`~repro.obs.metrics.MetricsRegistry` is the disabled default —
+whatever a unit records there is lost.  This module closes that gap:
+
+* :func:`capture_unit` runs one unit function under a fresh *enabled*
+  registry installed as the worker's ambient one, wrapped in a root span
+  named after the unit, and packages everything it recorded — spans,
+  counters, raw histogram samples — plus the worker's resource peaks
+  (max RSS via ``getrusage``, cumulative CPU seconds) into a picklable
+  :class:`WorkerTelemetry`;
+* the backends ship that object back to the parent alongside the unit's
+  (untouched) result and call
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_worker` once the unit
+  settles successfully, so retried units are counted exactly once;
+* :data:`repro.obs.chrometrace` renders the merged per-pid lanes as a
+  Chrome trace.
+
+The capture honors both telemetry contracts: the unit's return value is
+passed through untouched (byte-identical outputs, proven by the
+neutrality differentials), and nothing here runs unless the *parent*
+registry was enabled — library users with the disabled default pay only
+the boolean check in the backend.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .metrics import MetricsRegistry, use_registry
+
+__all__ = [
+    "WorkerTelemetry",
+    "capture_unit",
+    "cpu_seconds",
+    "max_rss_bytes",
+    "run_captured",
+    "unit_label",
+]
+
+
+@dataclass
+class WorkerTelemetry:
+    """One unit's worth of telemetry recorded inside a worker process.
+
+    Picklable and self-contained: ``epoch_unix`` anchors the span
+    offsets (``start_s`` relative to the capture registry's epoch) to
+    the host wall clock, so the parent can translate them onto its own
+    timeline.  ``samples`` carries *raw* histogram observations (not
+    summaries) so merged percentiles stay exact.
+    """
+
+    pid: int
+    epoch_unix: float
+    spans: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    samples: dict = field(default_factory=dict)
+    #: Peak resident set of the worker process so far, bytes
+    #: (``getrusage`` — process-lifetime maximum, not per-unit).
+    max_rss_bytes: int = 0
+    #: Cumulative CPU time (user+system) of the worker process, seconds.
+    cpu_seconds: float = 0.0
+
+
+def max_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def cpu_seconds() -> float:
+    """Cumulative user+system CPU time of this process, seconds."""
+    return time.process_time()
+
+
+def unit_label(fn: Callable) -> str:
+    """The root-span name for one work unit: ``unit:<function name>``."""
+    return f"unit:{getattr(fn, '__name__', 'unit').lstrip('_')}"
+
+
+def capture_unit(fn: Callable, item: Any, label: str) -> tuple[Any, WorkerTelemetry]:
+    """Run ``fn(item)`` under a fresh enabled registry; return both.
+
+    The returned value is exactly ``fn(item)`` — capture never touches
+    it.  Everything the unit recorded on the ambient registry (spans
+    nested under a root span named ``label``, counters, histogram
+    samples) comes back in the :class:`WorkerTelemetry`, along with the
+    process's resource peaks.  If ``fn`` raises, the exception
+    propagates and no telemetry is returned — a failed attempt
+    contributes nothing, which is what makes retry merging exactly-once.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with registry.span(label):
+            value = fn(item)
+    snapshot_spans = registry.snapshot()["spans"]
+    return value, WorkerTelemetry(
+        pid=os.getpid(),
+        epoch_unix=registry.epoch_unix,
+        spans=snapshot_spans,
+        counters=dict(registry._counters),
+        samples={
+            name: list(hist.samples)
+            for name, hist in registry._histograms.items()
+            if len(hist)
+        },
+        max_rss_bytes=max_rss_bytes(),
+        cpu_seconds=cpu_seconds(),
+    )
+
+
+def run_captured(payload: tuple) -> tuple[Any, WorkerTelemetry]:
+    """Module-level pool entry point: ``payload = (fn, item)``.
+
+    Used by the plain (fault-free) pool path; the fault-aware path
+    captures inside :func:`repro.faults.retry.run_unit` instead.
+    """
+    fn, item = payload
+    return capture_unit(fn, item, unit_label(fn))

@@ -28,6 +28,16 @@ with telemetry on or off:
 * ``parallel.map_seconds`` (histogram) — whole-batch wall clock;
 * ``parallel.units`` (counter) and ``parallel.workers`` (gauge).
 
+The pool backends additionally capture **cross-process telemetry**: when
+the parent registry is enabled, each unit runs under
+:func:`repro.obs.worker.capture_unit` in the worker, and the spans,
+counters, histogram samples, and resource peaks it recorded ride back
+beside the (untouched) result to be merged into the parent registry as a
+per-pid worker lane (:meth:`MetricsRegistry.merge_worker`).  Telemetry
+from a failed attempt is never delivered, so a retried unit merges
+exactly once.  The serial backend needs no capture — units run in the
+parent process, where the ambient registry records them directly.
+
 Fault-aware execution
 ---------------------
 Passing a :class:`repro.faults.FaultContext` switches ``map`` onto a
@@ -231,7 +241,9 @@ class SerialBackend(ExecutionBackend):
             attempt = 0
             while True:
                 try:
-                    value, duration, injected = run_unit(
+                    # No capture flag: the unit runs in this process, so
+                    # spans/counters land on the ambient registry directly.
+                    value, duration, injected, _ = run_unit(
                         (fn, item, plan, faults.key(i), attempt)
                     )
                     _note_injected(registry, injected)
@@ -286,11 +298,27 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         results: list[R] = [None] * total  # type: ignore[list-item]
         n_workers = min(self.max_workers, total)
+        # With an enabled parent registry, units run through the worker
+        # telemetry capture wrapper: the worker's spans/counters/resource
+        # peaks ride back next to the (untouched) result and merge into
+        # this registry under the worker's pid lane.
+        capture = registry.enabled
+        if capture:
+            from ..obs.worker import run_captured
+
         t_submit = time.perf_counter() if registry.enabled else 0.0
         t_last = t_submit
         first_arrival = True
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            index_of = {pool.submit(fn, item): i for i, item in enumerate(items)}
+            if capture:
+                index_of = {
+                    pool.submit(run_captured, (fn, item)): i
+                    for i, item in enumerate(items)
+                }
+            else:
+                index_of = {
+                    pool.submit(fn, item): i for i, item in enumerate(items)
+                }
             pending = set(index_of)
             try:
                 while pending:
@@ -310,7 +338,12 @@ class ProcessPoolBackend(ExecutionBackend):
                         t_last = now
                     for fut in done:
                         i = index_of[fut]
-                        results[i] = fut.result()
+                        if capture:
+                            value, telemetry = fut.result()
+                            registry.merge_worker(telemetry)
+                            results[i] = value
+                        else:
+                            results[i] = fut.result()
                         if progress is not None:
                             progress(i, total)
             except BaseException:
@@ -340,6 +373,7 @@ class ProcessPoolBackend(ExecutionBackend):
         attempts = [0] * total
         to_submit = list(range(total))
         n_workers = min(self.max_workers, total)
+        capture = registry.enabled
         t_map = time.perf_counter() if registry.enabled else 0.0
         first_arrival = True
 
@@ -359,7 +393,14 @@ class ProcessPoolBackend(ExecutionBackend):
                     index_of = {
                         pool.submit(
                             run_unit,
-                            (fn, items[i], plan, faults.key(i), attempts[i]),
+                            (
+                                fn,
+                                items[i],
+                                plan,
+                                faults.key(i),
+                                attempts[i],
+                                capture,
+                            ),
                         ): i
                         for i in to_submit
                     }
@@ -375,7 +416,9 @@ class ProcessPoolBackend(ExecutionBackend):
                         for fut in done:
                             i = index_of[fut]
                             try:
-                                value, duration, injected = fut.result()
+                                value, duration, injected, telemetry = (
+                                    fut.result()
+                                )
                                 _note_injected(registry, injected)
                                 _check_timeout(faults, faults.key(i), duration)
                             except Exception as exc:
@@ -387,6 +430,10 @@ class ProcessPoolBackend(ExecutionBackend):
                                 else:
                                     settle(i, QUARANTINED)  # type: ignore[arg-type]
                             else:
+                                # Merge worker telemetry only for a unit
+                                # that settled: failed/timed-out attempts
+                                # retry and must not double-count.
+                                registry.merge_worker(telemetry)
                                 registry.observe("parallel.unit_seconds", duration)
                                 if attempts[i] > 0:
                                     registry.inc("retries.succeeded")

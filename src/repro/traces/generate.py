@@ -115,36 +115,41 @@ def _generate_machine_columns(
     is bit-identical.
     """
     config, machine_id, event_machine_id, keep_hourly_load, count_draws = payload
+    registry = get_registry()
     t0 = time.perf_counter()
-    ctx = synth_context(config)
-    factory = RngFactory(config.seed)
-    busyness = float(factory.generator("busyness", machine_id).uniform(0.86, 1.04))
-    plan_rng = factory.generator("plan", machine_id)
-    counters: Optional[dict] = None
-    if count_draws:
-        counters = {"rng.draws.busyness": 1}
-        plan_rng = CountingRng(plan_rng)
-    episodes = EpisodePlanner(ctx.profile, plan_rng, busyness=busyness).plan()
-    if counters is not None:
-        counters["rng.draws.plan"] = plan_rng.draws
-    samples = synthesize_samples_columns(
-        episodes,
-        config=config,
-        ctx=ctx,
-        rng=factory.generator("signal", machine_id),
-        counters=counters,
-    )
-    synth_seconds = time.perf_counter() - t0
+    with registry.span("machine.synth"):
+        ctx = synth_context(config)
+        factory = RngFactory(config.seed)
+        busyness = float(
+            factory.generator("busyness", machine_id).uniform(0.86, 1.04)
+        )
+        plan_rng = factory.generator("plan", machine_id)
+        counters: Optional[dict] = None
+        if count_draws:
+            counters = {"rng.draws.busyness": 1}
+            plan_rng = CountingRng(plan_rng)
+        episodes = EpisodePlanner(ctx.profile, plan_rng, busyness=busyness).plan()
+        if counters is not None:
+            counters["rng.draws.plan"] = plan_rng.draws
+        samples = synthesize_samples_columns(
+            episodes,
+            config=config,
+            ctx=ctx,
+            rng=factory.generator("signal", machine_id),
+            counters=counters,
+        )
+        synth_seconds = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    detector = BatchDetector(MultiStateModel(thresholds=config.thresholds))
-    rows = detector.detect_columns(
-        samples, machine_id=event_machine_id, end_time=ctx.span
-    )
-    hourly_row = (
-        hourly_mean_load_columns(samples, ctx) if keep_hourly_load else None
-    )
-    detect_seconds = time.perf_counter() - t1
+    with registry.span("machine.detect"):
+        detector = BatchDetector(MultiStateModel(thresholds=config.thresholds))
+        rows = detector.detect_columns(
+            samples, machine_id=event_machine_id, end_time=ctx.span
+        )
+        hourly_row = (
+            hourly_mean_load_columns(samples, ctx) if keep_hourly_load else None
+        )
+        detect_seconds = time.perf_counter() - t1
     return rows, hourly_row, counters, synth_seconds, detect_seconds
 
 

@@ -725,10 +725,12 @@ def _generate_shard(
     draw counters back to the parent (a pool worker's own registry is a
     disabled no-op); it is ``None`` on a cache hit.
     """
+    from ..obs.metrics import get_registry
     from .generate import _generate_machine_columns, dataset_metadata
     from .records import EVENT_DTYPE, EventColumns
 
     config, index, lo, hi, out_dir, keep_hourly_load, fmt = payload
+    registry = get_registry()
     execution = config.execution
     cache = None
     key: Optional[str] = None
@@ -739,7 +741,8 @@ def _generate_shard(
 
         cache = DatasetCache(execution.cache_dir, fault_plan=execution.fault_plan)
         key = shard_cache_key(config, lo, hi, keep_hourly_load=keep_hourly_load)
-        columns = cache.get_columns(key)
+        with registry.span("shard.cache_lookup"):
+            columns = cache.get_columns(key)
     if columns is None:
         from ..units import HOUR
 
@@ -776,9 +779,11 @@ def _generate_shard(
             hourly_load=hourly,
         )
         if cache is not None and key is not None:
-            cache.put_columns(key, columns)
+            with registry.span("shard.cache_write"):
+                cache.put_columns(key, columns)
     path = Path(out_dir) / _shard_name(index, fmt)
-    _atomic_save_columns(columns, path, fmt)
+    with registry.span("shard.encode"):
+        _atomic_save_columns(columns, path, fmt)
     return len(columns), _sha256_file(path), key, telemetry
 
 

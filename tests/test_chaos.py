@@ -377,3 +377,61 @@ class TestCliChaos:
         assert counters["cache.corrupt_evicted"] >= 1
         assert manifest["faults"]["injected"]["cache.read_corrupt"] >= 1
         assert out.read_bytes() == (tmp_path / "warm.jsonl").read_bytes()
+
+
+class TestWorkerTelemetryUnderChaos:
+    """Worker-telemetry merge is exactly-once under crash + retry.
+
+    A worker that crashes (or raises) mid-unit ships no telemetry back;
+    only the settling attempt's capture is merged, so unit counts, span
+    lanes, and histogram samples never double-count a retried unit.
+    """
+
+    def test_crash_and_retry_merge_exactly_once(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            dataset = generate_dataset(
+                _tiny_config(fault_plan=CHAOS_PLAN, jobs=2)
+            )
+        assert not dataset.metadata.get("quarantined_machines")
+        # Two machines, each retried once (one crash, one exception):
+        # 4 attempts started, but exactly 2 units settled and merged.
+        assert registry.counter_value("retries.attempts") == 2
+        assert registry.counter_value("parallel.units") == 2
+        lanes = registry.worker_lanes()
+        assert sum(lane["units"] for lane in lanes.values()) == 2
+        unit_roots = [
+            span
+            for lane in lanes.values()
+            for span in lane["spans"]
+            if span["name"].startswith("unit:")
+        ]
+        assert len(unit_roots) == 2
+        hist = registry.histogram("parallel.unit_seconds")
+        assert len(hist) == 2
+
+    def test_merged_chaos_run_matches_clean_run_telemetry_shape(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        clean_reg, chaos_reg = MetricsRegistry(), MetricsRegistry()
+        with use_registry(clean_reg):
+            clean = generate_dataset(_tiny_config(jobs=2))
+        with use_registry(chaos_reg):
+            chaotic = generate_dataset(
+                _tiny_config(fault_plan=CHAOS_PLAN, jobs=2)
+            )
+        assert clean.equals(chaotic)
+        # Settled work is identical; only the fault/retry counters differ.
+        for name in ("parallel.units", "cache.hit", "cache.miss"):
+            assert clean_reg.counter_value(name) == chaos_reg.counter_value(
+                name
+            ), name
+        clean_units = sum(
+            lane["units"] for lane in clean_reg.worker_lanes().values()
+        )
+        chaos_units = sum(
+            lane["units"] for lane in chaos_reg.worker_lanes().values()
+        )
+        assert clean_units == chaos_units == 2

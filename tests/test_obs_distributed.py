@@ -1,0 +1,426 @@
+"""The distributed telemetry layer: worker capture, merge, Chrome-trace
+export, the background resource sampler, and the run-comparison reporter.
+
+The cross-process pieces are tested both in-process (capture/merge
+mechanics, timeline translation, exactly-once semantics) and end-to-end
+through the real process pool (distinct pid lanes in the exported
+trace).
+"""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ResourceSampler,
+    RunManifest,
+    WorkerTelemetry,
+    build_manifest,
+    capture_unit,
+    chrome_trace_document,
+    compare_manifests,
+    read_process_stats,
+    render_manifest_report,
+    use_registry,
+)
+from repro.obs.sampler import SAMPLE_FIELDS
+from repro.obs.worker import run_captured, unit_label
+
+
+def _square(x):
+    from repro.obs import get_registry
+
+    reg = get_registry()
+    reg.inc("test.units")
+    with reg.span("test.inner"):
+        reg.observe("test.latency", 0.25)
+    return x * x
+
+
+class TestCaptureUnit:
+    def test_value_passes_through_untouched(self):
+        value, telemetry = capture_unit(_square, 7, "unit:square")
+        assert value == 49
+        assert isinstance(telemetry, WorkerTelemetry)
+
+    def test_telemetry_carries_spans_counters_raw_samples(self):
+        _, t = capture_unit(_square, 3, "unit:square")
+        assert t.counters["test.units"] == 1
+        assert t.samples["test.latency"] == [0.25]
+        assert len(t.spans) == 1
+        root = t.spans[0]
+        assert root["name"] == "unit:square"
+        assert [c["name"] for c in root["children"]] == ["test.inner"]
+        assert t.max_rss_bytes > 0
+        assert t.cpu_seconds >= 0.0
+
+    def test_failed_unit_raises_and_returns_nothing(self):
+        def boom(_):
+            raise RuntimeError("unit failure")
+
+        with pytest.raises(RuntimeError):
+            capture_unit(boom, 1, "unit:boom")
+
+    def test_capture_does_not_leak_into_ambient_registry(self):
+        ambient = MetricsRegistry()
+        with use_registry(ambient):
+            capture_unit(_square, 2, "unit:square")
+        assert ambient.counter_value("test.units") == 0
+        assert ambient.snapshot()["spans"] == []
+
+    def test_run_captured_pool_entry(self):
+        value, t = run_captured((_square, 5))
+        assert value == 25
+        assert t.spans[0]["name"] == unit_label(_square)
+
+    def test_unit_label_strips_private_prefix(self):
+        assert unit_label(_square) == "unit:square"
+
+
+class TestMergeWorker:
+    def _telemetry(self, pid=12345, epoch_shift=0.0, units=1, rss=1000):
+        return WorkerTelemetry(
+            pid=pid,
+            epoch_unix=time.time() + epoch_shift,
+            spans=[
+                {
+                    "name": "unit:work",
+                    "start_s": 0.5,
+                    "duration_s": 0.1,
+                    "children": [],
+                }
+            ],
+            counters={"cache.hit": units},
+            samples={"test.latency": [0.1] * units},
+            max_rss_bytes=rss,
+            cpu_seconds=0.2,
+        )
+
+    def test_counters_add_and_samples_extend(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hit", 2)
+        reg.merge_worker(self._telemetry(units=3))
+        assert reg.counter_value("cache.hit") == 5
+        assert reg.histogram("test.latency").samples == (0.1, 0.1, 0.1)
+
+    def test_spans_translate_onto_parent_timeline(self):
+        reg = MetricsRegistry()
+        # Worker epoch 2s after the parent's: its offset-0.5s span is at
+        # parent offset ~2.5s.
+        reg.merge_worker(self._telemetry(epoch_shift=2.0))
+        lane = reg.worker_lanes()[12345]
+        assert lane["spans"][0]["start_s"] == pytest.approx(2.5, abs=0.05)
+        assert lane["spans"][0]["duration_s"] == 0.1
+
+    def test_lane_accumulates_units_and_peaks(self):
+        reg = MetricsRegistry()
+        reg.merge_worker(self._telemetry(rss=1000))
+        reg.merge_worker(self._telemetry(rss=5000))
+        reg.merge_worker(self._telemetry(rss=2000))
+        lane = reg.worker_lanes()[12345]
+        assert lane["units"] == 3
+        assert lane["max_rss_bytes"] == 5000
+        assert len(lane["spans"]) == 3
+
+    def test_disabled_registry_ignores_merge(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.merge_worker(self._telemetry())
+        assert reg.worker_lanes() == {}
+
+    def test_snapshot_has_workers_only_when_merged(self):
+        reg = MetricsRegistry()
+        assert "workers" not in reg.snapshot()
+        reg.merge_worker(self._telemetry())
+        snap = reg.snapshot()
+        assert snap["workers"]["12345"]["units"] == 1
+
+    def test_telemetry_roundtrips_through_pickle(self):
+        import pickle
+
+        t = self._telemetry()
+        assert pickle.loads(pickle.dumps(t)) == t
+
+
+class TestChromeTrace:
+    def _registry_with_lanes(self):
+        reg = MetricsRegistry()
+        with reg.span("generate"):
+            with reg.span("generate.shards"):
+                pass
+        for pid in (111, 222):
+            reg.merge_worker(
+                WorkerTelemetry(
+                    pid=pid,
+                    epoch_unix=reg.epoch_unix + 0.01,
+                    spans=[
+                        {
+                            "name": "unit:generate_shard",
+                            "start_s": 0.0,
+                            "duration_s": 0.05,
+                            "children": [],
+                        }
+                    ],
+                )
+            )
+        return reg
+
+    def test_document_is_spec_valid(self):
+        doc = chrome_trace_document(
+            self._registry_with_lanes(), command="generate"
+        )
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"command": "generate"}
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("X", "M", "C")
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+        json.dumps(doc)  # fully serializable
+
+    def test_one_lane_per_worker_pid_plus_parent(self):
+        doc = chrome_trace_document(self._registry_with_lanes())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert len(names) == 3  # parent + two workers
+        assert sum("worker pid" in n for n in names.values()) == 2
+        sort_keys = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_sort_index"
+        }
+        assert sorted(sort_keys.values()) == [0, 1, 2]
+        assert sort_keys[111] == 1 and sort_keys[222] == 2
+
+    def test_span_nesting_flattens_to_events_per_lane(self):
+        doc = chrome_trace_document(self._registry_with_lanes())
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"] for e in x}
+        assert by_name == {"generate", "generate.shards", "unit:generate_shard"}
+        assert sum(e["name"] == "unit:generate_shard" for e in x) == 2
+
+    def test_resource_samples_become_counter_events(self):
+        reg = MetricsRegistry()
+        resources = {
+            "samples": {
+                "t_s": [0.0, 0.1],
+                "rss_bytes": [1 << 20, 2 << 20],
+                "cpu_seconds": [0.0, 0.05],
+            }
+        }
+        doc = chrome_trace_document(
+            reg, resources=resources, resources_epoch_unix=reg.epoch_unix
+        )
+        c = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        rss = [e for e in c if e["name"] == "rss_mb"]
+        assert [e["args"]["rss_mb"] for e in rss] == [1.0, 2.0]
+        assert {e["name"] for e in c} == {"rss_mb", "cpu_s"}
+
+    def test_open_span_is_skipped_not_guessed(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            doc = chrome_trace_document(reg)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestResourceSampler:
+    def test_read_process_stats_has_all_fields(self):
+        stats = read_process_stats()
+        assert set(stats) == set(SAMPLE_FIELDS)
+        assert stats["rss_bytes"] and stats["rss_bytes"] > 0
+        assert stats["cpu_seconds"] >= 0.0
+
+    def test_collects_bounded_series_with_peaks(self):
+        with ResourceSampler(interval=0.01) as sampler:
+            time.sleep(0.06)
+        snap = sampler.snapshot()
+        assert snap["n_samples"] >= 3
+        samples = snap["samples"]
+        assert len(samples["t_s"]) == snap["n_samples"]
+        assert samples["t_s"] == sorted(samples["t_s"])
+        assert snap["peak"]["rss_bytes"] == max(samples["rss_bytes"])
+        assert snap["max_rss_bytes"] > 0
+        json.dumps(snap)
+
+    def test_decimation_bounds_the_buffer(self):
+        sampler = ResourceSampler(interval=10.0, max_samples=8)
+        for _ in range(40):
+            sampler._sample()
+        assert len(sampler) < 8
+        # Interval doubled on each decimation pass.
+        assert sampler.interval > 10.0
+
+    def test_stop_is_idempotent_and_start_once(self):
+        sampler = ResourceSampler(interval=0.01)
+        assert sampler.start() is sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0.0)
+        with pytest.raises(ValueError):
+            ResourceSampler(max_samples=2)
+
+
+def _manifest(duration=1.0, unit_seconds=(0.1, 0.2, 0.3, 0.4), hits=8, misses=2):
+    reg = MetricsRegistry()
+    with reg.span("generate"):
+        reg.inc("parallel.units", len(unit_seconds))
+        reg.inc("cache.hit", hits)
+        reg.inc("cache.miss", misses)
+        for s in unit_seconds:
+            reg.observe("parallel.unit_seconds", s)
+        reg.observe("parallel.map_seconds", sum(unit_seconds))
+    return build_manifest(
+        command="generate",
+        argv=["generate", "out"],
+        registry=reg,
+        duration_s=duration,
+        started_at="2026-08-09T00:00:00+00:00",
+        seed=2006,
+        resources={"peak": {"rss_bytes": 100 << 20, "cpu_seconds": 1.0}},
+    )
+
+
+class TestCompareManifests:
+    def test_self_compare_is_neutral(self):
+        m = _manifest()
+        result = compare_manifests(m, m)
+        assert result.ok
+        assert result.regressions == []
+        for d in result.deltas:
+            assert d.status in ("ok", "skipped")
+            if d.status == "ok":
+                assert d.change_pct == 0.0
+        assert "OK: no metric regressed" in result.render()
+
+    def test_latency_regression_fails_beyond_budget(self):
+        base = _manifest(duration=1.0)
+        slow = _manifest(duration=1.5)
+        result = compare_manifests(base, slow, max_regress_pct=10.0)
+        assert not result.ok
+        names = [d.name for d in result.regressions]
+        assert "duration_s" in names
+        assert "REGRESSION" in result.render()
+        # Same movement under a looser budget passes.
+        assert compare_manifests(base, slow, max_regress_pct=60.0).ok
+
+    def test_direction_awareness(self):
+        base = _manifest(unit_seconds=(0.4, 0.4, 0.4, 0.4))
+        fast = _manifest(unit_seconds=(0.1, 0.1, 0.1, 0.1))
+        result = compare_manifests(base, fast)
+        by_name = {d.name: d for d in result.deltas}
+        # Throughput went UP (4 units over fewer map-seconds): improved.
+        assert by_name["throughput_units_per_s"].status == "improved"
+        assert by_name["unit_seconds.p99"].status == "improved"
+        # And the reverse direction regresses.
+        assert not compare_manifests(fast, base).ok
+
+    def test_missing_and_zero_baselines_are_skipped_not_failed(self):
+        full = _manifest()
+        empty = build_manifest(
+            command="thresholds",
+            argv=["thresholds"],
+            registry=MetricsRegistry(),
+            duration_s=0.5,
+            started_at="2026-08-09T00:00:00+00:00",
+        )
+        result = compare_manifests(empty, full)
+        by_name = {d.name: d for d in result.deltas}
+        assert by_name["throughput_units_per_s"].status == "skipped"
+        assert by_name["cache_hit_rate"].status == "skipped"
+
+    def test_rejects_negative_budget(self):
+        m = _manifest()
+        with pytest.raises(ValueError):
+            compare_manifests(m, m, max_regress_pct=-1.0)
+
+    def test_loaded_manifest_compares_like_built_one(self, tmp_path):
+        m = _manifest()
+        path = tmp_path / "m.json"
+        m.write(path)
+        assert compare_manifests(RunManifest.load(path), m).ok
+
+
+class TestRenderReport:
+    def test_report_covers_all_sections(self):
+        text = render_manifest_report(_manifest())
+        assert "run report: generate" in text
+        assert "manifest schema v6" in text
+        assert "phase breakdown" in text
+        assert "generate" in text
+        assert "throughput" in text
+        assert "p99=" in text
+        assert "hit rate  80.0%" in text
+        assert "peak RSS (sampled)  100.0 MiB" in text
+
+    def test_report_on_minimal_manifest(self):
+        empty = build_manifest(
+            command="thresholds",
+            argv=["thresholds"],
+            registry=MetricsRegistry(),
+            duration_s=0.5,
+            started_at="2026-08-09T00:00:00+00:00",
+        )
+        text = render_manifest_report(empty)
+        assert "run report: thresholds" in text
+        assert "phase breakdown" not in text  # no spans recorded
+
+    def test_worker_resources_rendered(self):
+        reg = MetricsRegistry()
+        reg.merge_worker(
+            WorkerTelemetry(
+                pid=999,
+                epoch_unix=reg.epoch_unix,
+                max_rss_bytes=64 << 20,
+                cpu_seconds=0.5,
+            )
+        )
+        m = build_manifest(
+            command="generate",
+            argv=[],
+            registry=reg,
+            duration_s=1.0,
+            started_at="2026-08-09T00:00:00+00:00",
+        )
+        assert m.resources["workers"]["999"]["max_rss_bytes"] == 64 << 20
+        text = render_manifest_report(m)
+        assert "pid 999" in text
+
+
+class TestQuantilesAgainstNumpy:
+    """Satellite: exact nearest-rank == numpy's inverted_cdf, property-style."""
+
+    def test_matches_numpy_inverted_cdf(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.obs import Histogram
+
+        rng = numpy.random.default_rng(2006)
+        for n in (1, 2, 3, 7, 50, 333, 1000):
+            samples = rng.exponential(scale=1.0, size=n)
+            h = Histogram()
+            h.extend(samples)
+            # numpy.quantile, not percentile: the ×100/÷100 round trip in
+            # percentile perturbs q in the last ulp, which moves ranks
+            # exactly at integer q·n boundaries (e.g. q=0.999, n=1000).
+            for q in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0):
+                expected = float(
+                    numpy.quantile(samples, q, method="inverted_cdf")
+                )
+                assert h.quantile(q) == expected, (n, q)
+
+    def test_summary_quantiles_consistent_with_quantile(self):
+        from repro.obs import Histogram, quantile_label
+
+        h = Histogram(quantiles=(0.5, 0.9, 0.99))
+        h.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+        s = h.summary()
+        for q in (0.5, 0.9, 0.99):
+            assert s[quantile_label(q)] == h.quantile(q)
+        assert math.isclose(s["mean"], 3.0)

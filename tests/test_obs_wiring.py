@@ -11,13 +11,20 @@ import dataclasses
 import io
 import json
 import logging
+import re
 
 import pytest
 
 from repro import cli
 from repro._version import __version__
 from repro.config import ExecutionConfig, FgcsConfig, TestbedConfig
-from repro.obs import MetricsRegistry, cli_progress, use_registry
+from repro.obs import (
+    MetricsRegistry,
+    cli_progress,
+    finish_progress,
+    use_registry,
+)
+from repro.obs import progress as obs_progress
 from repro.parallel.backend import ProcessPoolBackend, SerialBackend
 from repro.parallel.cache import DatasetCache, dataset_cache_key
 from repro.traces.generate import generate_dataset
@@ -240,12 +247,48 @@ class TestDeterminism:
 
 
 class TestProgress:
-    def test_progress_prints_k_of_n_stage(self):
+    def test_progress_prints_k_of_n_stage_rate_and_eta(self):
         buf = io.StringIO()
         progress = cli_progress("generate", stream=buf, enabled=True)
         progress(0, 20)
         progress(4, 20)
-        assert buf.getvalue() == "[1/20] generate\n[5/20] generate\n"
+        out = buf.getvalue()
+        assert "[1/20] generate" in out
+        assert "[5/20] generate" in out
+        # In-place redraw: carriage return + erase, no newlines.
+        assert "\r" in out and "\x1b[K" in out and "\n" not in out
+        assert re.search(r"\[5/20\] generate  \d+(\.\d+)? unit/s", out)
+        assert re.search(r"ETA \d+:\d{2}", out)
+
+    def test_progress_clears_on_completion(self):
+        buf = io.StringIO()
+        progress = cli_progress("generate", stream=buf, enabled=True)
+        for i in range(3):
+            progress(i, 3)
+        # The final unit auto-clears the line and retires it.
+        assert buf.getvalue().endswith("\r\x1b[K")
+        assert progress not in obs_progress._ACTIVE
+
+    def test_finish_progress_clears_interrupted_line(self):
+        buf = io.StringIO()
+        progress = cli_progress("analyze", stream=buf, enabled=True)
+        progress(0, 10)  # run dies mid-stage
+        assert not buf.getvalue().endswith("\r\x1b[K")
+        finish_progress()
+        assert buf.getvalue().endswith("\r\x1b[K")
+        assert progress not in obs_progress._ACTIVE
+        finish_progress()  # idempotent
+
+    def test_shard_unit_prefix_and_rate_label(self):
+        buf = io.StringIO()
+        progress = cli_progress(
+            "generate", stream=buf, enabled=True, unit="shard"
+        )
+        progress(0, 4)
+        out = buf.getvalue()
+        assert "[shard 1/4] generate" in out
+        assert "shard/s" in out
+        finish_progress()
 
     def test_non_tty_is_silent(self):
         assert cli_progress("generate", stream=io.StringIO()) is None
@@ -269,3 +312,194 @@ class TestVersionFlag:
             cli.main(["--version"])
         assert exc.value.code == 0
         assert __version__ in capsys.readouterr().out
+
+
+TINY = ["--machines", "2", "--days", "2"]
+
+
+class TestTelemetryOutputs:
+    def test_metrics_out_stdout_emits_manifest_as_last_line(
+        self, tmp_path, capsys
+    ):
+        rc = cli.main(
+            ["generate", str(tmp_path / "t.jsonl"), *TINY, "--metrics-out", "-"]
+        )
+        assert rc == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        manifest = json.loads(last)
+        assert manifest["command"] == "generate"
+        assert manifest["schema"]["manifest"] == 6
+        # The background sampler ran: a bounded resource series landed.
+        assert manifest["resources"]["n_samples"] >= 2
+        assert "rss_bytes" in manifest["resources"]["samples"]
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_trace_out_writes_loadable_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = cli.main(
+            ["generate", str(tmp_path / "t.jsonl"), *TINY, "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"command": "generate"}
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "generate" in names
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_unwritable_metrics_out_rejected_before_any_work(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "t.jsonl"
+        rc = cli.main(
+            ["generate", str(out), *TINY, "--metrics-out", "/nonexistent/m.json"]
+        )
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not out.exists()  # validated up front, no work done
+
+    def test_unwritable_trace_out_rejected(self, tmp_path, capsys):
+        rc = cli.main(
+            [
+                "generate",
+                str(tmp_path / "t.jsonl"),
+                *TINY,
+                "--trace-out",
+                str(tmp_path),  # a directory, not a file
+            ]
+        )
+        assert rc == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_trace_out_stdout_not_supported(self, tmp_path, capsys):
+        rc = cli.main(
+            ["generate", str(tmp_path / "t.jsonl"), *TINY, "--trace-out", "-"]
+        )
+        assert rc == 2
+        assert "does not support '-'" in capsys.readouterr().err
+
+
+class TestReportCommandModes:
+    def _manifest_path(self, tmp_path, capsys) -> str:
+        path = tmp_path / "m.json"
+        assert (
+            cli.main(
+                [
+                    "generate",
+                    str(tmp_path / "t.jsonl"),
+                    *TINY,
+                    "--metrics-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return str(path)
+
+    def test_manifest_file_renders_performance_report(self, tmp_path, capsys):
+        path = self._manifest_path(tmp_path, capsys)
+        assert cli.main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "run report: generate" in out
+        assert "phase breakdown" in out
+
+    def test_compare_self_is_neutral_exit_zero(self, tmp_path, capsys):
+        path = self._manifest_path(tmp_path, capsys)
+        assert cli.main(["report", "--compare", path, path]) == 0
+        assert "OK: no metric regressed" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one_with_diff_table(
+        self, tmp_path, capsys
+    ):
+        path = self._manifest_path(tmp_path, capsys)
+        slow = json.loads((tmp_path / "m.json").read_text())
+        slow["duration_s"] *= 3
+        (tmp_path / "slow.json").write_text(json.dumps(slow))
+        rc = cli.main(
+            [
+                "report",
+                "--compare",
+                path,
+                str(tmp_path / "slow.json"),
+                "--max-regress",
+                "50",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "duration_s" in out
+
+    def test_compare_missing_manifest_exits_two(self, tmp_path, capsys):
+        path = self._manifest_path(tmp_path, capsys)
+        rc = cli.main(["report", "--compare", path, str(tmp_path / "no.json")])
+        assert rc == 2
+        assert "manifest not found" in capsys.readouterr().err
+
+    def test_report_without_target_errors(self, capsys):
+        assert cli.main(["report"]) == 2
+        assert "needs a target" in capsys.readouterr().err
+
+
+class TestNeutralityDifferential:
+    """Satellite: byte-identical outputs with telemetry fully on vs. fully
+    off, across jobs × formats, sharded generate and streaming analyze."""
+
+    @pytest.mark.parametrize("jobs", ["1", "4"])
+    @pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+    def test_sharded_generate_identical_bytes(
+        self, tmp_path, capsys, jobs, fmt
+    ):
+        plain, tele = tmp_path / "plain", tmp_path / "tele"
+        base = [*TINY, "--shards", "2", "--jobs", jobs, "--format", fmt]
+        assert cli.main(["generate", str(plain), *base]) == 0
+        assert (
+            cli.main(
+                [
+                    "generate",
+                    str(tele),
+                    *base,
+                    "--metrics-out",
+                    str(tmp_path / "m.json"),
+                    "--trace-out",
+                    str(tmp_path / "t.json"),
+                ]
+            )
+            == 0
+        )
+        plain_files = sorted(p.name for p in plain.iterdir())
+        assert plain_files == sorted(p.name for p in tele.iterdir())
+        for name in plain_files:
+            assert (plain / name).read_bytes() == (tele / name).read_bytes(), name
+
+    @pytest.mark.parametrize("jobs", ["1", "4"])
+    def test_streaming_analyze_identical_stdout(self, tmp_path, capsys, jobs):
+        shards = tmp_path / "shards"
+        assert (
+            cli.main(["generate", str(shards), *TINY, "--shards", "2"]) == 0
+        )
+        args = [
+            "analyze",
+            *TINY,
+            "--trace",
+            str(shards),
+            "--streaming",
+            "--jobs",
+            jobs,
+        ]
+        capsys.readouterr()
+        assert cli.main(args) == 0
+        plain_out = capsys.readouterr().out
+        assert (
+            cli.main(
+                [
+                    *args,
+                    "--metrics-out",
+                    str(tmp_path / "m.json"),
+                    "--trace-out",
+                    str(tmp_path / "t.json"),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == plain_out
