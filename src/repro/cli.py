@@ -17,7 +17,12 @@ Commands
   human performance report; or diff two manifests with
   ``--compare baseline.json current.json [--max-regress PCT]`` — exits
   nonzero when a metric regressed beyond the budget, so it works as a CI
-  perf gate.
+  perf gate;
+* ``serve`` — run the availability-forecast daemon over a trace file or
+  shard store, answering HTTP/JSON queries until shut down (see
+  ``docs/serving.md``);
+* ``query`` — the matching client: one request against a running daemon,
+  response printed as JSON.
 
 Every command also takes the telemetry flags (``--log-level``,
 ``--log-json``, ``--metrics-out PATH``, ``--trace-out PATH``);
@@ -253,6 +258,116 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument("--trace", default=None, help="existing trace JSONL")
     p_sched.add_argument("--train-days", type=int, default=63)
+
+    p_srv = sub.add_parser(
+        "serve",
+        parents=[obs_common],
+        help="run the availability-forecast HTTP daemon over a trace",
+    )
+    p_srv.add_argument(
+        "trace",
+        help="trace to bootstrap from: a JSONL/binary file or a shard "
+        "directory (binary shards rebuild cold machines zero-copy)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = pick a free one, printed on start)",
+    )
+    p_srv.add_argument(
+        "--hot-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N shards' predictor state resident; cold "
+        "shards rebuild on demand from the store (default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--hot-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="resident-state ceiling in MiB for the hot tier "
+        "(default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--history-days",
+        type=int,
+        default=8,
+        help="same-type history days per prediction (default: 8)",
+    )
+    p_srv.add_argument(
+        "--statistic",
+        choices=("mean", "median", "trimmed"),
+        default="mean",
+        help="reduction over history counts (default: mean)",
+    )
+    p_srv.add_argument(
+        "--laplace",
+        type=float,
+        default=0.5,
+        help="Laplace smoothing pseudo-count for survival (default: 0.5)",
+    )
+    p_srv.add_argument(
+        "--stdin",
+        action="store_true",
+        help="also ingest JSONL events from stdin while serving "
+        "(one event object per line; EOF stops ingest, not the server)",
+    )
+
+    p_qry = sub.add_parser(
+        "query",
+        parents=[obs_common],
+        help="query a running forecast daemon; response printed as JSON",
+    )
+    p_qry.add_argument(
+        "--url",
+        required=True,
+        help="daemon address, e.g. http://127.0.0.1:8642",
+    )
+    q_sub = p_qry.add_subparsers(dest="endpoint", required=True)
+    q_avail = q_sub.add_parser(
+        "availability", help="P(machine available for the whole window)"
+    )
+    q_avail.add_argument("--machine", type=int, required=True)
+    q_cap = q_sub.add_parser(
+        "capacity", help="machines forecast free for the whole window"
+    )
+    q_cap.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="survival probability a machine needs to count (default: 0.5)",
+    )
+    q_rank = q_sub.add_parser("rank", help="top-k machines by survival")
+    q_rank.add_argument("--k", type=int, default=None)
+    for q_parser in (q_avail, q_cap, q_rank):
+        q_parser.add_argument(
+            "--duration",
+            type=float,
+            required=True,
+            metavar="HOURS",
+            help="window length in hours",
+        )
+        q_parser.add_argument(
+            "--day",
+            type=int,
+            default=None,
+            help="absolute day index (default: the first unobserved day)",
+        )
+        q_parser.add_argument(
+            "--hour",
+            type=float,
+            default=None,
+            help="window start hour within the day (default: 0)",
+        )
+    q_sub.add_parser("stats", help="tier/ingest/request counters")
+    q_sub.add_parser("health", help="liveness + readiness")
+    q_sub.add_parser("shutdown", help="stop the daemon gracefully")
 
     p_rep = sub.add_parser(
         "report",
@@ -602,6 +717,137 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return _partial_results(dataset)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .errors import ServeError, TraceError
+    from .obs import get_registry
+    from .serve import ServeState, start_server
+    from .traces import is_shard_store, load_dataset, open_shards
+    from .traces.records import EventColumns
+
+    hot_bytes = (
+        int(args.hot_mb * (1 << 20)) if args.hot_mb is not None else None
+    )
+    knobs = dict(
+        hot_shards=args.hot_shards,
+        hot_bytes=hot_bytes,
+        history_days=args.history_days,
+        statistic=args.statistic,
+        laplace=args.laplace,
+    )
+    try:
+        if is_shard_store(args.trace):
+            store = open_shards(args.trace)
+            state = ServeState.from_store(store, **knobs)
+            source = f"{store.n_shards} shard(s)"
+        else:
+            dataset = load_dataset(args.trace)
+            state = ServeState.from_columns(
+                EventColumns.from_dataset(dataset), **knobs
+            )
+            source = f"{len(dataset)} event(s)"
+    except (ServeError, TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    registry = get_registry()
+    handle = start_server(
+        state, host=args.host, port=args.port, registry=registry
+    )
+    print(
+        f"serving {state.n_machines} machine(s) ({source}, horizon day "
+        f"{state.horizon_day}) on {handle.url} — POST /v1/shutdown or "
+        "Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    t0 = time.perf_counter()
+    rc = 0
+    try:
+        if args.stdin:
+            # Tail stdin as a JSONL event stream; queries keep being
+            # answered on the server threads while this loop ingests.
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    state.ingest_jsonl([line])
+                except ServeError as exc:
+                    print(f"ingest error: {exc}", file=sys.stderr)
+                    registry.inc("serve.ingest_errors")
+            handle.wait()
+        else:
+            handle.wait()
+    except KeyboardInterrupt:
+        print("interrupted, shutting down", file=sys.stderr)
+    finally:
+        handle.close()
+        duration = time.perf_counter() - t0
+        requests = registry.counter_value("serve.requests")
+        tiers = state.tier_stats()
+        registry.record(
+            "serve",
+            requests=requests,
+            qps=round(requests / duration, 3) if duration > 0 else 0.0,
+            duration_s=round(duration, 3),
+            machines=state.n_machines,
+            horizon_day=state.horizon_day,
+            tier={
+                "hot_entries": tiers.hot_entries,
+                "resident_bytes": tiers.resident_bytes,
+                "hits": tiers.hits,
+                "rebuilds": tiers.rebuilds,
+                "evictions": tiers.evictions,
+            },
+            ingest={
+                "streamed_events": tiers.streamed_events,
+                "deduplicated_events": tiers.deduplicated_events,
+                "overlay_cells": tiers.overlay_cells,
+            },
+        )
+    return rc
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeClient, ServeRequestError
+    from .errors import ServeError
+
+    try:
+        with ServeClient(args.url) as client:
+            if args.endpoint == "availability":
+                payload = client.availability(
+                    args.machine, args.duration, day=args.day, hour=args.hour
+                )
+            elif args.endpoint == "capacity":
+                payload = client.capacity(
+                    args.duration,
+                    threshold=args.threshold,
+                    day=args.day,
+                    hour=args.hour,
+                )
+            elif args.endpoint == "rank":
+                payload = client.rank(
+                    args.duration, k=args.k, day=args.day, hour=args.hour
+                )
+            elif args.endpoint == "stats":
+                payload = client.stats()
+            elif args.endpoint == "health":
+                payload = client.healthz()
+            else:
+                payload = client.shutdown()
+    except ServeRequestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ServeError, ConnectionError, OSError, TimeoutError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _load_manifest(path: str):
     """A parsed :class:`RunManifest`, or an error string."""
     from .obs import RunManifest
@@ -740,6 +986,8 @@ _COMMANDS = {
     "thresholds": cmd_thresholds,
     "predict": cmd_predict,
     "schedule": cmd_schedule,
+    "serve": cmd_serve,
+    "query": cmd_query,
     "report": cmd_report,
 }
 

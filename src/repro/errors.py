@@ -33,3 +33,22 @@ class ExperimentError(ReproError):
 
 class FaultError(ReproError):
     """Raised for invalid fault plans or unrecoverable injected failures."""
+
+
+class ServeError(ReproError):
+    """Raised for invalid serving-layer requests or server misuse."""
+
+
+class IngestOrderError(ServeError):
+    """Raised when streamed events violate the ingest ordering contract.
+
+    The serving layer accepts per-machine event streams whose start times
+    never decrease; an event older than the machine's newest accepted
+    event is rejected (the whole batch, atomically) rather than silently
+    reordered.  Exact duplicates of the newest event are deduplicated
+    instead — see ``repro.serve.state``.
+    """
+
+
+class NoHistoryError(ServeError):
+    """Raised when a query window has no same-type history days yet."""

@@ -32,8 +32,9 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: detection time split and random variates drawn per stream); v6 added
 #: the ``resources`` section (the background sampler's bounded RSS /
 #: CPU / fd / I/O time series with peaks, plus per-worker-process
-#: resource peaks merged from worker telemetry).
-MANIFEST_SCHEMA_VERSION = 6
+#: resource peaks merged from worker telemetry); v7 added the ``serve``
+#: section (the forecast daemon's request/QPS/latency/tier accounting).
+MANIFEST_SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -88,14 +89,20 @@ class RunManifest:
     #: (``{"<pid>": {"max_rss_bytes": ..., "cpu_seconds": ...,
     #: "units": ...}}``) merged from worker telemetry.
     resources: dict = field(default_factory=dict)
+    #: Serving accounting (schema v7): the forecast daemon's lifetime
+    #: summary — ``requests``/``qps``/``duration_s``, per-class status
+    #: counts, the ``latency`` histogram summary of
+    #: ``serve.request_seconds``, and the hot/cold ``tier`` + ``ingest``
+    #: counters (see ``docs/serving.md``).
+    serve: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        # Tolerate v1–v5 documents, which predate the faults/retries,
-        # shards, io, generation, and resources sections.
+        # Tolerate v1–v6 documents, which predate the faults/retries,
+        # shards, io, generation, resources, and serve sections.
         data = dict(data)
         data.setdefault("faults", {})
         data.setdefault("retries", {})
@@ -103,6 +110,7 @@ class RunManifest:
         data.setdefault("io", {})
         data.setdefault("generation", {})
         data.setdefault("resources", {})
+        data.setdefault("serve", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -210,6 +218,22 @@ def build_manifest(
     rng_draws = _strip("rng.draws.")
     if rng_draws:
         generation["rng_draws"] = rng_draws
+    # Serving: the daemon records one "serve" event at shutdown with its
+    # lifetime summary; the request-latency histogram summary rides along
+    # (the raw serve.* counters/histograms stay in ``metrics`` too).
+    serve: dict = {}
+    for e in events:
+        if e.get("name") == "serve":
+            serve = {k: v for k, v in e.items() if k != "name"}
+    if serve:
+        latency = histograms.get("serve.request_seconds")
+        if latency and latency.get("count"):
+            serve["latency"] = latency
+        serve["status"] = {
+            cls_: counters[f"serve.status.{cls_}"]
+            for cls_ in ("2xx", "3xx", "4xx", "5xx")
+            if counters.get(f"serve.status.{cls_}")
+        }
     # Resources: the sampler's bounded series (when one ran) plus the
     # per-worker peaks merged from worker telemetry.
     resources_section: dict = dict(resources) if resources else {}
@@ -244,4 +268,5 @@ def build_manifest(
         io=io,
         generation=generation,
         resources=resources_section,
+        serve=serve,
     )

@@ -78,6 +78,21 @@ def _peak_rss(manifest: RunManifest) -> Optional[float]:
     return float(peak) if peak else None
 
 
+def _serve_field(key: str):
+    def get(manifest: RunManifest) -> Optional[float]:
+        return (manifest.serve or {}).get(key)
+
+    return get
+
+
+def _serve_latency(key: str):
+    def get(manifest: RunManifest) -> Optional[float]:
+        latency = (manifest.serve or {}).get("latency") or {}
+        return latency.get(key) if latency.get("count") else None
+
+    return get
+
+
 def _fmt(value: Optional[float], unit: str = "") -> str:
     if value is None:
         return "-"
@@ -151,6 +166,15 @@ METRICS: tuple[_MetricSpec, ...] = (
         "retries.exhausted",
         lambda m: _counter(m, "retries.exhausted"),
         "lower",
+    ),
+    # Serving-daemon metrics (manifest schema v7); skipped — never
+    # failing — for manifests from commands without a serve section.
+    _MetricSpec("serve.qps", _serve_field("qps"), "higher", "/s"),
+    _MetricSpec(
+        "serve.request_seconds.p50", _serve_latency("p50"), "lower", "s"
+    ),
+    _MetricSpec(
+        "serve.request_seconds.p99", _serve_latency("p99"), "lower", "s"
     ),
 )
 
@@ -363,6 +387,47 @@ def render_manifest_report(manifest: RunManifest) -> str:
                 if key in section:
                     parts.append(f"{key} {_fmt_bytes(section[key])}")
             lines.append(f"  {fmt}: " + ", ".join(parts) if parts else f"  {fmt}")
+
+    serve = m.serve or {}
+    if serve:
+        lines += ["", "serving:"]
+        lines.append(
+            f"  requests  {int(serve.get('requests', 0))}    "
+            f"QPS {_fmt(serve.get('qps'), '/s')}    "
+            f"over {_fmt(serve.get('duration_s'), 's')}"
+        )
+        latency = serve.get("latency") or {}
+        if latency.get("count"):
+            quantiles = "  ".join(
+                f"{k}={_fmt(latency[k], 's')}"
+                for k in ("p50", "p95", "p99")
+                if k in latency
+            )
+            lines.append(
+                f"  latency   mean={_fmt(latency['mean'], 's')}  "
+                f"{quantiles}  max={_fmt(latency['max'], 's')}"
+            )
+        status = serve.get("status") or {}
+        if status:
+            lines.append(
+                "  status    "
+                + ", ".join(f"{k}={v}" for k, v in sorted(status.items()))
+            )
+        tier = serve.get("tier") or {}
+        if tier:
+            lines.append(
+                f"  tier      hot={tier.get('hot_entries', 0)} "
+                f"resident={_fmt_bytes(tier.get('resident_bytes', 0))} "
+                f"hits={tier.get('hits', 0)} "
+                f"rebuilds={tier.get('rebuilds', 0)} "
+                f"evictions={tier.get('evictions', 0)}"
+            )
+        ingest = serve.get("ingest") or {}
+        if ingest.get("streamed_events"):
+            lines.append(
+                f"  ingest    streamed={ingest['streamed_events']} "
+                f"deduplicated={ingest.get('deduplicated_events', 0)}"
+            )
 
     res = m.resources or {}
     if res:

@@ -1,0 +1,27 @@
+"""Availability-forecast serving layer.
+
+The live counterpart of :mod:`repro.prediction`: a long-running daemon
+(``repro-fgcs serve``) holding per-machine predictor state as hot/cold
+tiered count blocks — rebuilt on demand from mmap'd binary shards,
+updated in place by streamed events — and answering HTTP/JSON queries
+value-identical to the batch :class:`HistoryWindowPredictor` on the
+same data.  ``repro-fgcs query`` is the matching CLI client.
+
+See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeRequestError
+from .server import ServeApp, ServeHandle, start_server
+from .state import IngestResult, ServeState, TierStats, counts_from_columns
+
+__all__ = [
+    "IngestResult",
+    "ServeApp",
+    "ServeClient",
+    "ServeHandle",
+    "ServeRequestError",
+    "ServeState",
+    "TierStats",
+    "counts_from_columns",
+    "start_server",
+]

@@ -1,0 +1,175 @@
+"""A thin HTTP client for the availability-forecast daemon.
+
+Keeps one persistent HTTP/1.1 connection per instance (reconnecting once
+on a dropped keep-alive), so the bench and the load tests measure
+request latency rather than TCP handshakes.  The ``repro-fgcs query``
+CLI subcommand wraps this.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Sequence, Union
+from urllib.parse import urlencode, urlsplit
+
+from ..errors import ServeError
+
+__all__ = ["ServeClient", "ServeRequestError"]
+
+
+class ServeRequestError(ServeError):
+    """A non-2xx response from the serve daemon."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to one daemon at ``url`` (e.g. ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ServeError(f"only http:// URLs are supported, got {url!r}")
+        if not split.hostname:
+            raise ServeError(f"cannot parse server URL {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request_raw(
+        self, method: str, target: str, body: Optional[bytes] = None
+    ) -> tuple[int, dict]:
+        """One request; returns ``(status, decoded_json)`` without raising
+        on error statuses (the error-path tests want the raw pair)."""
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, target, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # A keep-alive the server already closed; retry once on a
+                # fresh connection, then give up.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(payload) if payload else {}
+        except ValueError:
+            decoded = {"error": payload.decode("utf-8", errors="replace")}
+        return response.status, decoded
+
+    def _request(
+        self, method: str, target: str, body: Optional[bytes] = None
+    ) -> dict:
+        status, payload = self.request_raw(method, target, body)
+        if not 200 <= status < 300:
+            raise ServeRequestError(status, payload.get("error", "unknown error"))
+        return payload
+
+    @staticmethod
+    def _target(path: str, params: dict) -> str:
+        query = urlencode(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        return f"{path}?{query}" if query else path
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def availability(
+        self,
+        machine: int,
+        duration: float,
+        *,
+        day: Optional[int] = None,
+        hour: Optional[float] = None,
+    ) -> dict:
+        return self._request(
+            "GET",
+            self._target(
+                "/v1/availability",
+                {"machine": machine, "duration": duration, "day": day, "hour": hour},
+            ),
+        )
+
+    def capacity(
+        self,
+        duration: float,
+        *,
+        threshold: Optional[float] = None,
+        day: Optional[int] = None,
+        hour: Optional[float] = None,
+    ) -> dict:
+        return self._request(
+            "GET",
+            self._target(
+                "/v1/capacity",
+                {
+                    "duration": duration,
+                    "threshold": threshold,
+                    "day": day,
+                    "hour": hour,
+                },
+            ),
+        )
+
+    def rank(
+        self,
+        duration: float,
+        *,
+        k: Optional[int] = None,
+        day: Optional[int] = None,
+        hour: Optional[float] = None,
+    ) -> dict:
+        return self._request(
+            "GET",
+            self._target(
+                "/v1/rank",
+                {"duration": duration, "k": k, "day": day, "hour": hour},
+            ),
+        )
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def ingest(self, events: Sequence[Union[dict, list]]) -> dict:
+        body = json.dumps(list(events)).encode("utf-8")
+        return self._request("POST", "/v1/ingest", body)
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")

@@ -1,0 +1,686 @@
+"""Live per-machine predictor state for the serving daemon.
+
+The batch prediction path (:mod:`repro.prediction`) fits a
+:class:`~repro.prediction.base.CountMatrix` over a frozen trace and
+answers :class:`~repro.prediction.base.PredictionQuery` windows.  A
+deployed forecast service cannot refit per request: it needs the same
+per-(machine, day, hour) unavailability-start counts held as *live*
+state — cheap to read thousands of times a second, updatable in place as
+new events stream in, and small enough (or pageable enough) that a
+million-machine fleet fits under a fixed RSS ceiling.
+
+:class:`ServeState` is that state, split into two tiers:
+
+* **base tier** — per-shard ``(machines, n_days, 24)`` ``int64`` count
+  blocks rebuilt on demand from an on-disk shard store
+  (:meth:`~repro.traces.shards.ShardedTraceDataset.shard_columns`, so
+  binary shards rebuild from a zero-copy memmap without materializing
+  events) and held in an LRU bounded by ``hot_shards`` entries and/or
+  ``hot_bytes`` resident bytes.  Cold shards cost one rebuild on next
+  touch; the fleet's total state never has to be resident at once.
+* **overlay tier** — a sparse ``(machine, day) -> 24-vector`` of counts
+  from *streamed* events (``POST /v1/ingest`` or stdin JSONL).  The
+  overlay is always resident (it only holds what was streamed) and is
+  never evicted, so eviction can never lose live data: a machine's
+  effective counts are always ``base + overlay``.
+
+Exactness contract
+------------------
+For a state built from a trace with no streamed events, every answer is
+*value-identical* to the batch path on the same trace:
+:func:`counts_from_columns` reproduces ``CountMatrix.counts`` exactly
+(same ``divmod`` binning, vectorized), and the query methods replicate
+:class:`~repro.prediction.history.HistoryWindowPredictor`'s arithmetic
+operation for operation — per-cell ``total += overlap * count``
+accumulation in cell order, ``np.mean`` over the same-shaped history
+vector, the same Laplace-smoothed survival quotient.  The fleet-wide
+vectorized path (:meth:`ServeState.survival_fleet`) keeps the identical
+per-cell accumulation order across machines, so capacity and ranking
+answers agree with the scalar path bit for bit.  The differential suite
+(``tests/test_serve_api.py``) pins this.
+
+Ingest contract
+---------------
+Streamed delivery is not trusted to be clean.  At the ingest boundary,
+per machine:
+
+* event start times must be **non-decreasing** — an event starting
+  before the machine's newest accepted event raises
+  :class:`~repro.errors.IngestOrderError` and rejects the whole batch
+  atomically (no partial application, so readers never observe a torn
+  batch);
+* an event **identical** to the machine's newest accepted event
+  (same start, end, and state) is a duplicate delivery: it is dropped
+  deterministically and counted, never double-ingested;
+* events sharing a start time with different payloads are distinct
+  events (simultaneous detections) and all accepted.
+
+The batch path freezes its day horizon at the trace span; the live path
+extends it as events arrive (``horizon_day``), so "now" queries keep
+working past the end of the bootstrap trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import IngestOrderError, NoHistoryError, ServeError
+from ..prediction.base import PredictionQuery
+from ..traces.records import CODE_TO_STATE, EventColumns
+from ..traces.shards import ShardedTraceDataset
+from ..units import DAY, HOUR
+
+__all__ = [
+    "IngestResult",
+    "ServeState",
+    "TierStats",
+    "counts_from_columns",
+]
+
+#: Failure-state names accepted on the ingest boundary, by on-disk code.
+_STATE_NAMES = {code: state.value for code, state in CODE_TO_STATE.items()}
+
+
+def counts_from_columns(cols: EventColumns) -> np.ndarray:
+    """The ``(n_machines, n_days, 24)`` unavailability-start count matrix.
+
+    Vectorized but binning-identical to
+    :class:`repro.prediction.base.CountMatrix`: ``day, rem =
+    divmod(start, DAY)``; ``hour = rem // HOUR``; events past the last
+    whole day are dropped.  ``np.divmod`` / ``np.floor_divide`` run the
+    same fmod-and-correct algorithm as CPython's float ``divmod``, so
+    the two paths bin every float start identically (property-tested).
+    """
+    n_days = cols.n_days
+    counts = np.zeros((cols.n_machines, n_days, 24), dtype=np.int64)
+    if len(cols) == 0 or n_days == 0:
+        return counts
+    start = cols.events["start"]
+    day, rem = np.divmod(start, DAY)
+    hour = np.floor_divide(rem, HOUR).astype(np.int64)
+    day = day.astype(np.int64)
+    keep = day < n_days
+    flat = (
+        cols.events["machine_id"].astype(np.int64)[keep] * (n_days * 24)
+        + day[keep] * 24
+        + hour[keep]
+    )
+    counts += np.bincount(
+        flat, minlength=cols.n_machines * n_days * 24
+    ).reshape(counts.shape)
+    return counts
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one atomically applied ingest batch."""
+
+    accepted: int
+    deduplicated: int
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """A snapshot of the hot/cold tier and ingest accounting."""
+
+    hot_entries: int
+    resident_bytes: int
+    hits: int
+    rebuilds: int
+    evictions: int
+    streamed_events: int
+    deduplicated_events: int
+    overlay_cells: int
+
+
+class _ParsedEvent:
+    """One validated ingest event (internal)."""
+
+    __slots__ = ("machine_id", "start", "end", "state")
+
+    def __init__(self, machine_id: int, start: float, end: float, state: int):
+        self.machine_id = machine_id
+        self.start = start
+        self.end = end
+        self.state = state
+
+    def same_as(self, other: "_ParsedEvent") -> bool:
+        return (
+            self.start == other.start
+            and self.end == other.end
+            and self.state == other.state
+        )
+
+
+class ServeState:
+    """The daemon's live, query-ready fleet state (thread-safe).
+
+    Parameters
+    ----------
+    n_machines, n_days, start_weekday:
+        The fleet frame.  ``n_days`` is the bootstrap trace's whole-day
+        horizon; streamed events may extend it (see ``horizon_day``).
+    store:
+        Optional shard store backing the base tier.  Without one the
+        state is overlay-only (pure streamed mode).
+    hot_shards:
+        Maximum base-tier blocks resident at once (``None`` = unbounded).
+    hot_bytes:
+        Maximum base-tier resident bytes (``None`` = unbounded).  Both
+        bounds may be active; eviction runs until both hold.
+    history_days, statistic, laplace:
+        Predictor knobs, matching
+        :class:`~repro.prediction.history.HistoryWindowPredictor`.
+    """
+
+    def __init__(
+        self,
+        n_machines: int,
+        n_days: int,
+        start_weekday: int = 0,
+        *,
+        store: Optional[ShardedTraceDataset] = None,
+        hot_shards: Optional[int] = None,
+        hot_bytes: Optional[int] = None,
+        history_days: int = 8,
+        statistic: str = "mean",
+        laplace: float = 0.5,
+    ) -> None:
+        if n_machines <= 0:
+            raise ServeError("ServeState needs n_machines > 0")
+        if n_days < 0:
+            raise ServeError("ServeState needs n_days >= 0")
+        if history_days < 1:
+            raise ServeError("history_days must be >= 1")
+        if statistic not in ("mean", "median", "trimmed"):
+            raise ServeError(f"unknown statistic {statistic!r}")
+        if laplace < 0:
+            raise ServeError("laplace must be >= 0")
+        if hot_shards is not None and hot_shards < 1:
+            raise ServeError("hot_shards must be >= 1")
+        if hot_bytes is not None and hot_bytes <= 0:
+            raise ServeError("hot_bytes must be positive")
+        self.n_machines = n_machines
+        self.base_n_days = n_days
+        self.start_weekday = start_weekday
+        self.history_days = history_days
+        self.statistic = statistic
+        self.laplace = laplace
+        self._store = store
+        self._hot_shards = hot_shards
+        self._hot_bytes = hot_bytes
+        # Shard machine ranges; overlay-only states get one virtual
+        # zero-count "shard" spanning the fleet so the fleet-vectorized
+        # path has a single uniform shape.
+        if store is not None:
+            self._ranges = [
+                (s.machine_lo, s.machine_hi) for s in store.manifest.shards
+            ]
+            if store.n_machines != n_machines:
+                raise ServeError(
+                    f"store holds {store.n_machines} machines, state "
+                    f"declares {n_machines}"
+                )
+        else:
+            self._ranges = [(0, n_machines)]
+        self._shard_los = [lo for lo, _ in self._ranges]
+        self._lock = threading.RLock()
+        self._hot: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._resident_bytes = 0
+        self._hits = 0
+        self._rebuilds = 0
+        self._evictions = 0
+        # Overlay tier: (machine, day) -> int64[24], plus a by-day index
+        # for the fleet-vectorized path and per-machine tails for the
+        # ingest ordering contract.
+        self._overlay: dict[tuple[int, int], np.ndarray] = {}
+        self._overlay_by_day: dict[int, dict[int, np.ndarray]] = {}
+        self._last_event: dict[int, _ParsedEvent] = {}
+        self._overlay_horizon = 0
+        self._n_streamed = 0
+        self._n_deduped = 0
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls, store: ShardedTraceDataset, **kwargs
+    ) -> "ServeState":
+        """State backed by an on-disk shard store (the cold tier)."""
+        return cls(
+            store.n_machines,
+            store.n_days,
+            store.start_weekday,
+            store=store,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_columns(cls, cols: EventColumns, **kwargs) -> "ServeState":
+        """State bootstrapped from one in-memory event table (always hot)."""
+        state = cls(cols.n_machines, cols.n_days, cols.start_weekday, **kwargs)
+        state._hot[0] = counts_from_columns(cols)
+        state._resident_bytes = state._hot[0].nbytes
+        return state
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def horizon_day(self) -> int:
+        """First unobserved day: the query clamp the batch path takes at
+        ``n_days``, extended here by streamed events."""
+        return max(self.base_n_days, self._overlay_horizon)
+
+    @property
+    def ready(self) -> bool:
+        """True once any observed history exists.
+
+        A bootstrap frame with ``n_days > 0`` counts even when it holds
+        zero events — an event-free day is real (good) history, exactly
+        as the batch path treats it.  A pure streamed state
+        (``n_days == 0``, no store) stays not-ready until its first
+        event arrives.
+        """
+        return (
+            self.base_n_days > 0
+            or self._store is not None
+            or bool(self._hot)
+            or self._n_streamed > 0
+        )
+
+    def tier_stats(self) -> TierStats:
+        with self._lock:
+            return TierStats(
+                hot_entries=len(self._hot),
+                resident_bytes=self._resident_bytes,
+                hits=self._hits,
+                rebuilds=self._rebuilds,
+                evictions=self._evictions,
+                streamed_events=self._n_streamed,
+                deduplicated_events=self._n_deduped,
+                overlay_cells=len(self._overlay),
+            )
+
+    def is_weekend_day(self, day: int) -> bool:
+        return (day + self.start_weekday) % 7 >= 5
+
+    # -- base tier ------------------------------------------------------------
+
+    def _shard_of(self, machine_id: int) -> int:
+        return bisect.bisect_right(self._shard_los, machine_id) - 1
+
+    def _block(self, index: int) -> np.ndarray:
+        """The shard's count block, rebuilding and evicting as needed.
+
+        Callers hold ``self._lock``.
+        """
+        block = self._hot.get(index)
+        if block is not None:
+            self._hot.move_to_end(index)
+            self._hits += 1
+            return block
+        if self._store is None:
+            # Overlay-only state: the virtual shard is all zeros.
+            lo, hi = self._ranges[index]
+            block = np.zeros((hi - lo, self.base_n_days, 24), dtype=np.int64)
+        else:
+            block = counts_from_columns(self._store.shard_columns(index))
+        self._rebuilds += 1
+        self._hot[index] = block
+        self._resident_bytes += block.nbytes
+        self._evict()
+        return block
+
+    def _evict(self) -> None:
+        def over() -> bool:
+            if self._hot_shards is not None and len(self._hot) > self._hot_shards:
+                return True
+            return (
+                self._hot_bytes is not None
+                and self._resident_bytes > self._hot_bytes
+            )
+
+        while len(self._hot) > 1 and over():
+            _, evicted = self._hot.popitem(last=False)
+            self._resident_bytes -= evicted.nbytes
+            self._evictions += 1
+
+    # -- ingest ---------------------------------------------------------------
+
+    def _parse_event(self, event: Union[dict, Sequence]) -> _ParsedEvent:
+        if isinstance(event, dict):
+            try:
+                machine_id = event["machine_id"]
+                start = event["start"]
+                end = event["end"]
+                state = event["state"]
+            except KeyError as exc:
+                raise ServeError(f"ingest event missing field {exc}") from exc
+        else:
+            try:
+                machine_id, start, end, state = event[:4]
+            except (TypeError, ValueError) as exc:
+                raise ServeError(
+                    "ingest event must be a dict or a "
+                    "(machine_id, start, end, state) sequence"
+                ) from exc
+        try:
+            machine_id = int(machine_id)
+            start = float(start)
+            end = float(end)
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"malformed ingest event: {exc}") from exc
+        if isinstance(state, str):
+            codes = {v: k for k, v in _STATE_NAMES.items()}
+            if state not in codes:
+                raise ServeError(f"invalid failure state {state!r}")
+            state = codes[state]
+        else:
+            try:
+                state = int(state)
+            except (TypeError, ValueError) as exc:
+                raise ServeError(f"malformed ingest event: {exc}") from exc
+            if state not in _STATE_NAMES:
+                raise ServeError(f"invalid failure-state code {state!r}")
+        if not 0 <= machine_id < self.n_machines:
+            raise ServeError(
+                f"machine {machine_id} outside fleet [0, {self.n_machines})"
+            )
+        if not np.isfinite(start) or not np.isfinite(end) or start < 0:
+            raise ServeError(
+                f"ingest event needs finite start >= 0 and end (got "
+                f"[{start}, {end}])"
+            )
+        if not end > start:
+            raise ServeError(
+                f"ingest event needs end > start (got [{start}, {end}])"
+            )
+        return _ParsedEvent(machine_id, start, end, state)
+
+    def ingest(self, events: Iterable[Union[dict, Sequence]]) -> IngestResult:
+        """Apply a batch of streamed events atomically.
+
+        The whole batch is validated — shape, ranges, and the per-machine
+        ordering contract (module docstring) — before any count changes;
+        a rejected batch leaves the state untouched and queries running
+        concurrently never observe a partially applied batch.
+        """
+        parsed = [self._parse_event(e) for e in events]
+        with self._lock:
+            tails = dict(self._last_event)
+            accepted: list[_ParsedEvent] = []
+            deduped = 0
+            for ev in parsed:
+                tail = tails.get(ev.machine_id)
+                if tail is not None:
+                    if ev.start < tail.start:
+                        raise IngestOrderError(
+                            f"machine {ev.machine_id}: event start "
+                            f"{ev.start} is older than the newest accepted "
+                            f"event start {tail.start}; streamed starts "
+                            "must be non-decreasing per machine (batch "
+                            "rejected, nothing applied)"
+                        )
+                    if ev.same_as(tail):
+                        deduped += 1
+                        continue
+                tails[ev.machine_id] = ev
+                accepted.append(ev)
+            for ev in accepted:
+                day_f, rem = np.divmod(ev.start, DAY)
+                day = int(day_f)
+                hour = int(rem // HOUR)
+                key = (ev.machine_id, day)
+                vec = self._overlay.get(key)
+                if vec is None:
+                    vec = np.zeros(24, dtype=np.int64)
+                    self._overlay[key] = vec
+                    self._overlay_by_day.setdefault(day, {})[
+                        ev.machine_id
+                    ] = vec
+                vec[hour] += 1
+                if day + 1 > self._overlay_horizon:
+                    self._overlay_horizon = day + 1
+            self._last_event.update(tails)
+            self._n_streamed += len(accepted)
+            self._n_deduped += deduped
+        return IngestResult(accepted=len(accepted), deduplicated=deduped)
+
+    def ingest_jsonl(self, lines: Iterable[str]) -> IngestResult:
+        """Ingest a JSONL stream (one event object per non-blank line)."""
+        import json
+
+        events = []
+        for i, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                raise ServeError(f"ingest line {i}: invalid JSON: {exc}") from exc
+        return self.ingest(events)
+
+    # -- queries --------------------------------------------------------------
+
+    def _history_day_list(self, day: int) -> list[int]:
+        """Same-type days before ``day``, newest first, batch-identical:
+        ``CountMatrix.same_type_days_before(min(day, horizon), limit)``."""
+        anchor = min(day, self.horizon_day)
+        target = self.is_weekend_day(anchor)
+        days = []
+        d = anchor - 1
+        while d >= 0 and len(days) < self.history_days:
+            if self.is_weekend_day(d) == target:
+                days.append(d)
+            d -= 1
+        return days
+
+    def _cell_count(self, machine_id: int, day: int, hour: int) -> int:
+        """Base + overlay count of one (machine, day, hour) cell.
+
+        Callers hold ``self._lock``.
+        """
+        total = 0
+        if 0 <= day < self.base_n_days:
+            index = self._shard_of(machine_id)
+            lo = self._ranges[index][0]
+            total += int(self._block(index)[machine_id - lo, day, hour])
+        vec = self._overlay.get((machine_id, day))
+        if vec is not None:
+            total += int(vec[hour])
+        return total
+
+    def window_count(
+        self, machine_id: int, day: int, start_hour: float, duration_hours: float
+    ) -> float:
+        """Observed (fractional-overlap) event count of one concrete window.
+
+        The raw quantity history queries average over — exposed for
+        consistency probes and monitoring, not a forecast.
+        """
+        self._check_machine(machine_id)
+        query = PredictionQuery(
+            machine_id=machine_id,
+            day=day,
+            start_hour=start_hour,
+            duration_hours=duration_hours,
+        )
+        cells = query.hour_cells()
+        with self._lock:
+            total = 0.0
+            for cell_day, hour, overlap in cells:
+                if 0 <= cell_day < self.horizon_day:
+                    total += overlap * self._cell_count(
+                        machine_id, cell_day, hour
+                    )
+            return total
+
+    def _check_machine(self, machine_id: int) -> None:
+        if not 0 <= machine_id < self.n_machines:
+            raise ServeError(
+                f"unknown machine {machine_id} (fleet is "
+                f"[0, {self.n_machines}))"
+            )
+
+    def _check_ready(self) -> None:
+        if not self.ready:
+            raise NoHistoryError(
+                "no data ingested yet: attach a trace or stream events "
+                "before querying"
+            )
+
+    def history_counts(self, query: PredictionQuery) -> np.ndarray:
+        """The per-history-day window counts the predictor reduces over.
+
+        Value-identical to
+        ``HistoryWindowPredictor._history_counts`` on the same data:
+        same day list, same cell bounds, same ``total += overlap *
+        count`` accumulation order.
+        """
+        self._check_machine(query.machine_id)
+        self._check_ready()
+        days = self._history_day_list(query.day)
+        if not days:
+            raise NoHistoryError(
+                f"no same-type history before day {query.day}; "
+                "ingest a longer trace first"
+            )
+        cells = query.hour_cells()
+        horizon = self.horizon_day
+        with self._lock:
+            counts = []
+            for d in days:
+                shift = d - query.day
+                total = 0.0
+                for cell_day, hour, overlap in cells:
+                    day = cell_day + shift
+                    if 0 <= day < horizon:
+                        total += overlap * self._cell_count(
+                            query.machine_id, day, hour
+                        )
+                counts.append(total)
+        return np.asarray(counts, dtype=float)
+
+    def _reduce(self, counts: np.ndarray) -> float:
+        """``HistoryWindowPredictor._reduce``, verbatim."""
+        if self.statistic == "median":
+            return float(np.median(counts))
+        if self.statistic == "trimmed":
+            k = int(0.2 * counts.size)
+            trimmed = np.sort(counts)[k : counts.size - k or None]
+            return float(trimmed.mean())
+        return float(counts.mean())
+
+    def predict_count(self, query: PredictionQuery) -> float:
+        """Expected unavailability occurrences in the window."""
+        return self._reduce(self.history_counts(query))
+
+    def predict_survival(self, query: PredictionQuery) -> float:
+        """P(no unavailability starts in the window) — the serving
+        layer's headline answer, batch-identical."""
+        counts = self.history_counts(query)
+        clean = float(np.count_nonzero(counts < 0.5))
+        n = counts.size
+        return (clean + self.laplace) / (n + 2 * self.laplace)
+
+    # -- fleet-vectorized queries ---------------------------------------------
+
+    def _history_matrix(
+        self, day: int, start_hour: float, duration_hours: float
+    ) -> np.ndarray:
+        """``(n_machines, n_history_days)`` window counts for the fleet.
+
+        Row ``m`` equals :meth:`history_counts` for machine ``m`` exactly:
+        the per-cell accumulation happens in the same cell order, and each
+        cell's base and overlay counts are summed as integers before the
+        single float multiply, so the float result is bit-identical to
+        the scalar path.
+        """
+        self._check_ready()
+        days = self._history_day_list(day)
+        if not days:
+            raise NoHistoryError(
+                f"no same-type history before day {day}; "
+                "ingest a longer trace first"
+            )
+        query = PredictionQuery(
+            machine_id=0,
+            day=day,
+            start_hour=start_hour,
+            duration_hours=duration_hours,
+        )
+        cells = query.hour_cells()
+        horizon = self.horizon_day
+        out = np.zeros((self.n_machines, len(days)), dtype=float)
+        with self._lock:
+            for index, (lo, hi) in enumerate(self._ranges):
+                block = self._block(index)
+                sub = out[lo:hi]
+                for i, d in enumerate(days):
+                    shift = d - day
+                    for cell_day, hour, overlap in cells:
+                        cd = cell_day + shift
+                        if not 0 <= cd < horizon:
+                            continue
+                        if cd < self.base_n_days:
+                            cell = block[:, cd, hour].copy()
+                        else:
+                            cell = np.zeros(hi - lo, dtype=np.int64)
+                        touched = self._overlay_by_day.get(cd)
+                        if touched:
+                            for mid, vec in touched.items():
+                                if lo <= mid < hi:
+                                    cell[mid - lo] += vec[hour]
+                        sub[:, i] += overlap * cell
+        return out
+
+    def survival_fleet(
+        self, day: int, start_hour: float, duration_hours: float
+    ) -> np.ndarray:
+        """Per-machine survival probabilities for one window shape."""
+        matrix = self._history_matrix(day, start_hour, duration_hours)
+        n = matrix.shape[1]
+        clean = np.count_nonzero(matrix < 0.5, axis=1).astype(float)
+        return (clean + self.laplace) / (n + 2 * self.laplace)
+
+    def capacity(
+        self,
+        day: int,
+        start_hour: float,
+        duration_hours: float,
+        *,
+        threshold: float = 0.5,
+    ) -> dict:
+        """How many machines forecast free for the whole window.
+
+        A machine counts when its survival probability is >= ``threshold``.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ServeError("threshold must be in [0, 1]")
+        survival = self.survival_fleet(day, start_hour, duration_hours)
+        available = int(np.count_nonzero(survival >= threshold))
+        return {
+            "available": available,
+            "n_machines": self.n_machines,
+            "fraction": available / self.n_machines,
+            "threshold": threshold,
+            "mean_survival": float(survival.mean()),
+        }
+
+    def rank(
+        self, day: int, start_hour: float, duration_hours: float, *, k: int = 10
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` machines by survival, ties broken by machine id."""
+        if k < 1:
+            raise ServeError("k must be >= 1")
+        survival = self.survival_fleet(day, start_hour, duration_hours)
+        # Stable sort on -survival: equal survivals keep ascending id order.
+        order = np.argsort(-survival, kind="stable")[:k]
+        return [(int(m), float(survival[m])) for m in order]

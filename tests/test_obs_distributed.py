@@ -352,7 +352,9 @@ class TestRenderReport:
     def test_report_covers_all_sections(self):
         text = render_manifest_report(_manifest())
         assert "run report: generate" in text
-        assert "manifest schema v6" in text
+        from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+        assert f"manifest schema v{MANIFEST_SCHEMA_VERSION}" in text
         assert "phase breakdown" in text
         assert "generate" in text
         assert "throughput" in text

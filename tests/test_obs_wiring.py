@@ -328,7 +328,9 @@ class TestTelemetryOutputs:
         last = capsys.readouterr().out.strip().splitlines()[-1]
         manifest = json.loads(last)
         assert manifest["command"] == "generate"
-        assert manifest["schema"]["manifest"] == 6
+        from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+        assert manifest["schema"]["manifest"] == MANIFEST_SCHEMA_VERSION
         # The background sampler ran: a bounded resource series landed.
         assert manifest["resources"]["n_samples"] >= 2
         assert "rss_bytes" in manifest["resources"]["samples"]
