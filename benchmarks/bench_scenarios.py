@@ -1,0 +1,51 @@
+"""Scenario-layer benchmarks: generation throughput and diff rendering.
+
+Measures the composed-scenario generation path (segments + overlays)
+against the stock single-profile path on the same frame, and renders the
+scenario differential report across the composition-sweep family into
+``benchmarks/out/scenario_sweep_diff.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, once
+
+from repro.scenarios import (
+    ScenarioAnalysis,
+    compile_scenario,
+    diff_report,
+    generate_scenario_columns,
+    get_scenario,
+)
+from repro.traces.generate import generate_dataset_columns
+
+FRAME = dict(machines=8, days=21, seed=42)
+
+
+def test_scenario_trivial_generation_bench(benchmark):
+    """Plain scenarios must cost the same as the stock path they wrap."""
+    compiled = compile_scenario(get_scenario("student-lab-baseline"), **FRAME)
+    cols = benchmark(generate_scenario_columns, compiled)
+    stock = generate_dataset_columns(compiled.config)
+    assert cols.events.tobytes() == stock.events.tobytes()
+
+
+def test_scenario_composed_generation_bench(benchmark):
+    """The composed path: regime segments + flash-crowd overlays."""
+    compiled = compile_scenario(get_scenario("exam-crunch"), machines=8, days=80, seed=42)
+    cols = benchmark(generate_scenario_columns, compiled)
+    assert len(cols) > 0
+
+
+def test_scenario_sweep_diff_report(benchmark, out_dir):
+    """Render the composition-sweep differential report as an artifact."""
+
+    def run():
+        analyses = []
+        for name in ("sweep-lab-25", "sweep-lab-50", "sweep-lab-75"):
+            compiled = compile_scenario(get_scenario(name), **FRAME)
+            columns = generate_scenario_columns(compiled)
+            analyses.append(ScenarioAnalysis.from_dataset(name, columns))
+        emit(out_dir, "scenario_sweep_diff.txt", diff_report(analyses))
+
+    once(benchmark, run)

@@ -22,7 +22,14 @@ Commands
   shard store, answering HTTP/JSON queries until shut down (see
   ``docs/serving.md``);
 * ``query`` — the matching client: one request against a running daemon,
-  response printed as JSON.
+  response printed as JSON;
+* ``scenario`` — the declarative scenario registry (see
+  ``docs/scenarios.md``): ``list``/``show``/``validate`` inspect and
+  check the library documents, and ``scenario diff A B ...`` generates
+  two or more scenarios at a common frame and renders Table 2 /
+  Figure 6 / Figure 7 side by side with per-cell deltas.  ``generate``
+  also takes ``--scenario NAME`` to synthesize a scenario fleet instead
+  of a single-profile testbed.
 
 Every command also takes the telemetry flags (``--log-level``,
 ``--log-json``, ``--metrics-out PATH``, ``--trace-out PATH``);
@@ -39,8 +46,9 @@ Robustness flags (see ``docs/robustness.md``): ``--fault-plan FILE``
 attaches a deterministic fault-injection plan for chaos testing;
 ``--max-retries`` and ``--unit-timeout`` bound per-unit retries and
 runtimes.  Exit codes: 0 success, 1 landmark-check failure, 2 invalid
-fault plan / unrecoverable fault, 3 partial results (machines
-quarantined after exhausting retries).
+fault plan / invalid scenario or config (the offending key path is
+printed, never a traceback) / unrecoverable fault, 3 partial results
+(machines quarantined after exhausting retries).
 """
 
 from __future__ import annotations
@@ -181,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="jsonl",
         help="on-disk trace format: human-greppable JSONL or the binary "
         "columnar fgcs-bin format (zero-copy reads; see docs/formats.md)",
+    )
+    p_gen.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="generate a declarative scenario fleet instead of a single-"
+        "profile testbed: a library scenario name ('scenario list') or a "
+        "scenario document path (.yaml/.json); overrides --profile, while "
+        "--machines/--days/--seed pin the frame (see docs/scenarios.md)",
     )
 
     p_conv = sub.add_parser(
@@ -369,6 +386,78 @@ def build_parser() -> argparse.ArgumentParser:
     q_sub.add_parser("health", help="liveness + readiness")
     q_sub.add_parser("shutdown", help="stop the daemon gracefully")
 
+    p_scn = sub.add_parser(
+        "scenario",
+        help="inspect, validate, and diff declarative fleet scenarios "
+        "(see docs/scenarios.md)",
+    )
+    scn_sub = p_scn.add_subparsers(dest="action", required=True)
+    scn_sub.add_parser(
+        "list",
+        parents=[obs_common],
+        help="list the library scenarios with their descriptions",
+    )
+    scn_show = scn_sub.add_parser(
+        "show",
+        parents=[obs_common],
+        help="show one scenario's resolved fleet, schedule, and fingerprint",
+    )
+    scn_show.add_argument(
+        "name", help="library scenario name or scenario document path"
+    )
+    scn_show.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help="fleet size (default: the scenario's own default)",
+    )
+    scn_show.add_argument(
+        "--days",
+        type=int,
+        default=None,
+        help="trace length in days (default: the scenario's own default)",
+    )
+    scn_show.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root RNG seed (default: the scenario's own default)",
+    )
+    scn_val = scn_sub.add_parser(
+        "validate",
+        parents=[obs_common],
+        help="validate scenario documents; any invalid document exits 2 "
+        "with its offending key path",
+    )
+    scn_val.add_argument(
+        "names",
+        nargs="*",
+        help="library scenario names or scenario document paths",
+    )
+    scn_val.add_argument(
+        "--all",
+        action="store_true",
+        help="validate every scenario in the library",
+    )
+    scn_diff = scn_sub.add_parser(
+        "diff",
+        parents=[common],
+        help="generate two or more scenarios at a common frame and render "
+        "Table 2 / Figure 6 / Figure 7 side by side with deltas",
+    )
+    scn_diff.add_argument(
+        "names",
+        nargs="+",
+        help="scenario names/paths; the first is the baseline the deltas "
+        "are taken against",
+    )
+    scn_diff.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the report to PATH",
+    )
+
     p_rep = sub.add_parser(
         "report",
         parents=[common],
@@ -415,21 +504,44 @@ def _fault_plan_from(args: argparse.Namespace):
     return load_fault_plan(path)
 
 
-def _config_from(args: argparse.Namespace) -> FgcsConfig:
+def _execution_from(args: argparse.Namespace):
     from .config import ExecutionConfig
+
+    return ExecutionConfig(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        fault_plan=_fault_plan_from(args),
+        max_retries=getattr(args, "max_retries", 2),
+        unit_timeout=getattr(args, "unit_timeout", None),
+    )
+
+
+def _config_from(args: argparse.Namespace) -> FgcsConfig:
     from .workloads.profiles import PROFILES
 
     factory = PROFILES[getattr(args, "profile", "student-lab")]
     config = factory(n_machines=args.machines, days=args.days, seed=args.seed)
-    return config.with_execution(
-        ExecutionConfig(
-            jobs=getattr(args, "jobs", 1),
-            cache_dir=getattr(args, "cache_dir", None),
-            use_cache=not getattr(args, "no_cache", False),
-            fault_plan=_fault_plan_from(args),
-            max_retries=getattr(args, "max_retries", 2),
-            unit_timeout=getattr(args, "unit_timeout", None),
-        )
+    return config.with_execution(_execution_from(args))
+
+
+def _compiled_scenario_from(args: argparse.Namespace):
+    """Resolve ``--scenario`` (or a positional name) to a compiled scenario.
+
+    The CLI frame flags always pin the frame: ``--machines``/``--days``/
+    ``--seed`` carry their argparse defaults (20/92/2006 — the same as
+    the scenario frame defaults) when not given, so a scenario's own
+    ``defaults`` block applies through :func:`compile_scenario` in API
+    use but the CLI frame is always explicit and printed by ``show``.
+    """
+    from .scenarios import compile_scenario, get_scenario
+
+    spec = get_scenario(args.scenario)
+    return compile_scenario(
+        spec,
+        machines=getattr(args, "machines", None),
+        days=getattr(args, "days", None),
+        seed=getattr(args, "seed", None),
     )
 
 
@@ -484,10 +596,70 @@ def _load_or_generate(args: argparse.Namespace):
     )
 
 
+def _record_scenario(compiled) -> None:
+    """Put the scenario identity into the run's metrics stream.
+
+    ``build_manifest`` lifts these events into the manifest's
+    ``scenario`` section, so a trace generated from a scenario is
+    attributable: the section carries the scenario name and the compiled
+    fingerprint that keys its cache entries.
+    """
+    from .obs import get_registry
+
+    get_registry().record(
+        "scenario",
+        scenario=compiled.spec.name,
+        fingerprint=compiled.fingerprint,
+        classes=[c.name for c in compiled.spec.classes],
+        machines=compiled.n_machines,
+        days=compiled.days,
+        seed=compiled.seed,
+        trivial=compiled.is_trivial,
+    )
+
+
+def _generate_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import generate_scenario_columns, generate_scenario_shards
+    from .traces import save_columns
+    from .units import DAY
+
+    compiled = _compiled_scenario_from(args)
+    execution = _execution_from(args)
+    _record_scenario(compiled)
+    if args.shards is not None:
+        manifest = generate_scenario_shards(
+            compiled,
+            args.output,
+            args.shards,
+            progress=_progress(args, "generate", unit="shard"),
+            execution=execution,
+            format=args.format,
+        )
+        print(
+            f"wrote {manifest.n_events} events across {manifest.n_shards} "
+            f"shard(s) to {args.output} (scenario {compiled.spec.name})"
+        )
+        return _partial_results(manifest)
+    columns = generate_scenario_columns(
+        compiled,
+        progress=_progress(args, "generate"),
+        execution=execution,
+    )
+    save_columns(columns, args.output, format=args.format)
+    machine_days = columns.n_machines * columns.span / DAY
+    print(
+        f"wrote {len(columns)} events over {machine_days:.0f} "
+        f"machine-days to {args.output} (scenario {compiled.spec.name})"
+    )
+    return _partial_results(columns)
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from .traces import generate_dataset_columns, generate_shards, save_columns
     from .units import DAY
 
+    if args.scenario:
+        return _generate_scenario(args)
     config = _config_from(args)
     if args.shards is not None:
         manifest = generate_shards(
@@ -848,6 +1020,180 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        return _scenario_list(args)
+    if args.action == "show":
+        return _scenario_show(args)
+    if args.action == "validate":
+        return _scenario_validate(args)
+    return _scenario_diff(args)
+
+
+def _scenario_list(args: argparse.Namespace) -> int:
+    from .scenarios import get_scenario, scenario_names
+
+    names = scenario_names()
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        spec = get_scenario(name)
+        tags = []
+        if len(spec.classes) > 1:
+            tags.append(f"{len(spec.classes)} classes")
+        if spec.regimes:
+            tags.append(f"{len(spec.regimes)} regimes")
+        if spec.outages:
+            tags.append(f"{len(spec.outages)} outages")
+        if spec.flash_crowds:
+            tags.append(f"{len(spec.flash_crowds)} flash crowds")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"{name:<{width}}  {spec.description}{suffix}")
+    return 0
+
+
+def _scenario_show(args: argparse.Namespace) -> int:
+    from .scenarios import compile_scenario, get_scenario
+    from .units import DAY
+
+    spec = get_scenario(args.name)
+    compiled = compile_scenario(
+        spec, machines=args.machines, days=args.days, seed=args.seed
+    )
+    print(f"scenario: {spec.name}")
+    print(f"  {spec.description}")
+    print(
+        f"frame: {compiled.n_machines} machines x {compiled.days} days, "
+        f"seed {compiled.seed}"
+    )
+    print(f"fingerprint: {compiled.fingerprint}")
+    ranges = compiled.class_ranges()
+    print("classes:")
+    for cls, (lo, hi) in zip(spec.classes, ranges):
+        overrides = []
+        if cls.lab:
+            overrides.append(
+                "lab{" + ", ".join(f"{k}={v:g}" for k, v in sorted(cls.lab.items())) + "}"
+            )
+        if cls.testbed:
+            overrides.append(
+                "testbed{"
+                + ", ".join(f"{k}={v:g}" for k, v in sorted(cls.testbed.items()))
+                + "}"
+            )
+        suffix = f"  {' '.join(overrides)}" if overrides else ""
+        print(
+            f"  {cls.name}: profile={cls.profile} weight={cls.weight:g} "
+            f"machines=[{lo}, {hi}) ({hi - lo}){suffix}"
+        )
+    segments = compiled.segments()
+    if len(segments) > 1 or any(s.lab for s in segments):
+        print("regime segments:")
+        for seg in segments:
+            name = seg.name or "base"
+            print(
+                f"  [{seg.start_day}, {seg.start_day + seg.n_days}) days: "
+                f"{name}"
+            )
+    def fmt_selector(sel) -> str:
+        if sel == "all":
+            return "all"
+        if "class" in sel:
+            return f"class {sel['class']}"
+        lo, hi = sel["range"]
+        return f"range [{lo:g}, {hi:g})"
+
+    if spec.outages:
+        print("outages:")
+        for o in spec.outages:
+            rep = f" every {o.repeat_days:g}d" if o.repeat_days else ""
+            print(
+                f"  {o.name}: day {o.day:g} hour {o.hour:g} for "
+                f"{o.duration_hours:g}h, machines={fmt_selector(o.machines)}{rep}"
+            )
+    if spec.flash_crowds:
+        print("flash crowds:")
+        for f in spec.flash_crowds:
+            rep = f" every {f.repeat_days:g}d" if f.repeat_days else ""
+            print(
+                f"  {f.name}: day {f.day:g} hour {f.hour:g} for "
+                f"{f.duration_hours:g}h, fraction {f.fraction:g} at load "
+                f"{f.load:g}{rep}"
+            )
+    span_days = compiled.span / DAY
+    n_events = "trivial (delegates to the stock generator)" if compiled.is_trivial else "composed"
+    print(f"span: {span_days:g} days; generation path: {n_events}")
+    return 0
+
+
+def _scenario_validate(args: argparse.Namespace) -> int:
+    from .errors import ScenarioError
+    from .scenarios import compile_scenario, get_scenario, scenario_names
+
+    names = list(args.names)
+    if args.all:
+        names.extend(n for n in scenario_names() if n not in names)
+    if not names:
+        print(
+            "error: scenario validate needs scenario names or --all",
+            file=sys.stderr,
+        )
+        return 2
+    rc = 0
+    for name in names:
+        try:
+            spec = get_scenario(name)
+            compiled = compile_scenario(spec)
+        except ScenarioError as exc:
+            print(f"{name}: invalid: {exc}", file=sys.stderr)
+            rc = 2
+            continue
+        print(
+            f"{spec.name}: ok ({len(spec.classes)} class(es), "
+            f"fingerprint {compiled.fingerprint[:12]})"
+        )
+    return rc
+
+
+def _scenario_diff(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        ScenarioAnalysis,
+        compile_scenario,
+        diff_report,
+        generate_scenario_columns,
+        get_scenario,
+    )
+
+    if len(args.names) < 2:
+        print(
+            "error: scenario diff needs at least two scenarios "
+            "(a baseline and one or more to compare)",
+            file=sys.stderr,
+        )
+        return 2
+    execution = _execution_from(args)
+    analyses = []
+    for name in args.names:
+        spec = get_scenario(name)
+        compiled = compile_scenario(
+            spec, machines=args.machines, days=args.days, seed=args.seed
+        )
+        _record_scenario(compiled)
+        columns = generate_scenario_columns(
+            compiled,
+            progress=_progress(args, f"generate {spec.name}"),
+            execution=execution,
+        )
+        analyses.append(ScenarioAnalysis.from_dataset(spec.name, columns))
+    report = diff_report(analyses)
+    print(report)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote scenario diff report to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _load_manifest(path: str):
     """A parsed :class:`RunManifest`, or an error string."""
     from .obs import RunManifest
@@ -988,6 +1334,7 @@ _COMMANDS = {
     "schedule": cmd_schedule,
     "serve": cmd_serve,
     "query": cmd_query,
+    "scenario": cmd_scenario,
     "report": cmd_report,
 }
 
@@ -1058,8 +1405,17 @@ def _write_manifest(
 
     from .errors import FaultError
 
+    from .errors import ConfigError
+
     fingerprint = None
-    if hasattr(args, "machines"):
+    if getattr(args, "scenario", None):
+        # A scenario run's identity is the compiled-scenario fingerprint
+        # (the one that keys its cache entries), not the stock profile's.
+        try:
+            fingerprint = _compiled_scenario_from(args).fingerprint
+        except ConfigError:
+            pass  # the invalid scenario already failed the command
+    elif hasattr(args, "machines") and args.command != "scenario":
         from .parallel.cache import config_fingerprint
 
         try:
@@ -1122,7 +1478,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics_out or args.trace_out:
         sampler = ResourceSampler().start()
 
-    from .errors import FaultError
+    from .errors import ConfigError, FaultError
 
     started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
     t0 = time.perf_counter()
@@ -1130,9 +1486,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             with registry.span(args.command):
                 rc = _COMMANDS[args.command](args)
-        except FaultError as exc:
-            # Invalid fault plans and unrecoverable injected failures are
-            # operational errors, not bugs: report and exit 2.
+        except (FaultError, ConfigError) as exc:
+            # Invalid fault plans, invalid scenario/config documents, and
+            # unrecoverable injected failures are operational errors, not
+            # bugs: report the offending key path and exit 2 — never a
+            # traceback.
             print(f"error: {exc}", file=sys.stderr)
             rc = 2
         finally:

@@ -19,6 +19,20 @@ class ConfigError(ReproError):
     """Raised for invalid configuration values."""
 
 
+class ScenarioError(ConfigError):
+    """Raised for invalid scenario documents, with the offending key path.
+
+    ``path`` is a dotted/indexed locator into the scenario document
+    (``"fleet.classes[1].weight"``); it is always part of ``str(err)`` so
+    CLI consumers can print one actionable line without a traceback.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}" if path else message)
+
+
 class TraceError(ReproError):
     """Raised for malformed trace files or inconsistent trace datasets."""
 

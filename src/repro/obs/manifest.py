@@ -33,8 +33,11 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: the ``resources`` section (the background sampler's bounded RSS /
 #: CPU / fd / I/O time series with peaks, plus per-worker-process
 #: resource peaks merged from worker telemetry); v7 added the ``serve``
-#: section (the forecast daemon's request/QPS/latency/tier accounting).
-MANIFEST_SCHEMA_VERSION = 7
+#: section (the forecast daemon's request/QPS/latency/tier accounting);
+#: v8 added the ``scenario`` section (the declarative scenario a
+#: ``generate --scenario`` / ``scenario diff`` run was driven by, with
+#: its compiled fingerprint).
+MANIFEST_SCHEMA_VERSION = 8
 
 
 @dataclass
@@ -95,6 +98,11 @@ class RunManifest:
     #: ``serve.request_seconds``, and the hot/cold ``tier`` + ``ingest``
     #: counters (see ``docs/serving.md``).
     serve: dict = field(default_factory=dict)
+    #: Scenario accounting (schema v8): the declarative scenario the run
+    #: was driven by — ``scenario`` (name), compiled ``fingerprint``,
+    #: ``classes``, and the resolved frame.  ``scenario diff`` runs list
+    #: every compared scenario under ``compared``.
+    scenario: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -111,6 +119,7 @@ class RunManifest:
         data.setdefault("generation", {})
         data.setdefault("resources", {})
         data.setdefault("serve", {})
+        data.setdefault("scenario", {})
         return cls(**data)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -234,6 +243,19 @@ def build_manifest(
             for cls_ in ("2xx", "3xx", "4xx", "5xx")
             if counters.get(f"serve.status.{cls_}")
         }
+    # Scenario: `generate --scenario` records one "scenario" event with
+    # the compiled identity; `scenario diff` records one per compared
+    # scenario, which nest under "compared" (baseline first).
+    scenario_events = [
+        {k: v for k, v in e.items() if k != "name"}
+        for e in events
+        if e.get("name") == "scenario"
+    ]
+    scenario: dict = {}
+    if len(scenario_events) == 1:
+        scenario = scenario_events[0]
+    elif scenario_events:
+        scenario = {"compared": scenario_events}
     # Resources: the sampler's bounded series (when one ran) plus the
     # per-worker peaks merged from worker telemetry.
     resources_section: dict = dict(resources) if resources else {}
@@ -269,4 +291,5 @@ def build_manifest(
         generation=generation,
         resources=resources_section,
         serve=serve,
+        scenario=scenario,
     )

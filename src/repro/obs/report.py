@@ -323,6 +323,16 @@ def render_manifest_report(manifest: RunManifest) -> str:
         lines.append(f"  seed      {m.seed}")
     if m.config_fingerprint:
         lines.append(f"  config    {m.config_fingerprint[:16]}…")
+    scenario = getattr(m, "scenario", None) or {}
+    for entry in scenario.get("compared", [scenario] if scenario else []):
+        frame = (
+            f"{entry.get('machines', '?')}m x {entry.get('days', '?')}d, "
+            f"seed {entry.get('seed', '?')}"
+        )
+        lines.append(
+            f"  scenario  {entry.get('scenario', '?')} ({frame}) "
+            f"{str(entry.get('fingerprint', ''))[:16]}…"
+        )
 
     if m.spans:
         lines += ["", "phase breakdown (wall clock, % of command):"]

@@ -1,0 +1,356 @@
+"""Compile a scenario document against a fleet frame.
+
+A :class:`ScenarioSpec` says *what* the fleet looks like; compilation
+binds it to a concrete frame — ``n_machines`` × ``days`` × ``seed`` — and
+answers the questions generation asks:
+
+* which machine-id block belongs to which class
+  (largest-remainder apportionment of the class weights, contiguous ids,
+  every class keeps at least one machine);
+* which time *segments* the trace splits into (one per workload regime;
+  segment 0 reuses the scenario seed so regime-free scenarios reproduce
+  the stock generator's streams exactly);
+* the full :class:`~repro.config.FgcsConfig` any ``(machine, segment)``
+  pair runs under;
+* the deterministic overlay windows (correlated outages → S5, flash
+  crowds → S3) each machine receives — computable independently inside
+  any worker process, no parent-side precomputation.
+
+``CompiledScenario`` is a frozen dataclass of pure data, so it
+fingerprints through :func:`repro.parallel.cache.config_fingerprint`
+exactly like a hand-built config tree; scenario datasets cache and shard
+under keys derived from that fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import FgcsConfig
+from ..errors import ScenarioError
+from ..rng import RngFactory
+from ..units import DAY, HOUR
+from .spec import ScenarioSpec
+
+__all__ = ["CompiledScenario", "OverlayWindow", "Segment", "compile_scenario"]
+
+#: Frame defaults when neither the caller nor the document's ``defaults``
+#: block pins a value — the paper's testbed frame.
+FRAME_DEFAULTS = {"machines": 20, "days": 92, "seed": 2006}
+
+#: Mixing constant for per-segment seeds (segment 0 keeps the base seed).
+_SEGMENT_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One workload-regime span of the trace, in whole days."""
+
+    index: int
+    start_day: int
+    n_days: int
+    name: str = ""
+    #: Regime lab-workload overrides layered over every class.
+    lab: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def offset(self) -> float:
+        """Trace-time second at which this segment starts."""
+        return self.start_day * DAY
+
+
+@dataclass(frozen=True)
+class OverlayWindow:
+    """One injected unavailability window on one machine."""
+
+    start: float
+    end: float
+    #: EVENT_DTYPE state code: 3 (flash crowd → CPU contention) or
+    #: 5 (correlated outage → revocation).
+    state: int
+    mean_host_load: float
+    mean_free_mb: float
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario bound to a concrete ``machines × days × seed`` frame."""
+
+    spec: ScenarioSpec
+    n_machines: int
+    days: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_machines < len(self.spec.classes):
+            raise ScenarioError(
+                "fleet.classes",
+                f"{len(self.spec.classes)} classes cannot share "
+                f"{self.n_machines} machine(s) — every class keeps at "
+                "least one",
+            )
+        if self.days < 1:
+            raise ScenarioError("defaults.days", "needs at least one day")
+
+    # -- fleet frame -------------------------------------------------------
+
+    @property
+    def span(self) -> float:
+        """Trace duration in seconds."""
+        return self.days * DAY
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint — the scenario analogue of a config
+        fingerprint; scenario dataset/shard cache keys derive from it."""
+        from ..parallel.cache import config_fingerprint
+
+        return config_fingerprint(self)
+
+    def class_counts(self) -> tuple[int, ...]:
+        """Machines per class (largest-remainder over weights, min 1)."""
+        classes = self.spec.classes
+        counts = [1] * len(classes)
+        remaining = self.n_machines - len(classes)
+        if remaining:
+            total = sum(c.weight for c in classes)
+            quotas = [remaining * c.weight / total for c in classes]
+            floors = [math.floor(q) for q in quotas]
+            for i, f in enumerate(floors):
+                counts[i] += f
+            leftover = remaining - sum(floors)
+            order = sorted(
+                range(len(classes)), key=lambda i: (floors[i] - quotas[i], i)
+            )
+            for i in order[:leftover]:
+                counts[i] += 1
+        return tuple(counts)
+
+    def class_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Contiguous ``[lo, hi)`` machine-id block per class, in order."""
+        ranges = []
+        lo = 0
+        for count in self.class_counts():
+            ranges.append((lo, lo + count))
+            lo += count
+        return tuple(ranges)
+
+    def class_of(self, machine_id: int) -> int:
+        """Index of the class owning a global machine id."""
+        for i, (lo, hi) in enumerate(self.class_ranges()):
+            if lo <= machine_id < hi:
+                return i
+        raise ScenarioError(
+            "", f"machine id {machine_id} outside fleet of {self.n_machines}"
+        )
+
+    # -- regime segments ---------------------------------------------------
+
+    def segments(self) -> tuple[Segment, ...]:
+        """The trace's regime segments, covering ``[0, days)`` exactly.
+
+        Regimes starting at or past the end of the (possibly reduced)
+        frame are dropped, so the same scenario compiles cleanly at any
+        duration.
+        """
+        regimes = [r for r in self.spec.regimes if r.start_day < self.days]
+        boundaries = [0] + [r.start_day for r in regimes] + [self.days]
+        segments = []
+        for i in range(len(boundaries) - 1):
+            start, end = boundaries[i], boundaries[i + 1]
+            if end <= start:  # regime at day 0 replaces the base segment
+                continue
+            regime = regimes[i - 1] if i > 0 else None
+            segments.append(
+                Segment(
+                    index=len(segments),
+                    start_day=start,
+                    n_days=end - start,
+                    name=regime.name if regime else "",
+                    lab=dict(regime.lab) if regime else {},
+                )
+            )
+        return tuple(segments)
+
+    # -- per-(machine, segment) config ------------------------------------
+
+    def machine_config(self, machine_id: int, segment: Segment) -> FgcsConfig:
+        """The config one machine runs under during one segment.
+
+        The virtual testbed covers only the segment (duration =
+        ``segment.n_days``, weekday shifted by the segment's start day);
+        generation shifts the resulting event times by
+        ``segment.offset``.  Segment 0 keeps the scenario seed — a
+        single-class, single-segment scenario therefore draws from
+        exactly the stock generator's streams.
+        """
+        from ..workloads.profiles import PROFILES
+
+        cls = self.spec.classes[self.class_of(machine_id)]
+        seed = self.seed + _SEGMENT_SEED_STRIDE * segment.index
+        config = PROFILES[cls.profile](
+            n_machines=self.n_machines, days=segment.n_days, seed=seed
+        )
+        lab = {**cls.lab, **segment.lab}
+        if lab:
+            config = dataclasses.replace(
+                config, lab=dataclasses.replace(config.lab, **lab)
+            )
+        testbed = dict(cls.testbed)
+        testbed["start_weekday"] = (
+            config.testbed.start_weekday + segment.start_day
+        ) % 7
+        config = dataclasses.replace(
+            config, testbed=dataclasses.replace(config.testbed, **testbed)
+        )
+        return config
+
+    # -- overlays ----------------------------------------------------------
+
+    def _selected(self, selector, machine_id: int) -> bool:
+        if selector == "all":
+            return True
+        if "class" in selector:
+            lo, hi = self.class_ranges()[
+                next(
+                    i
+                    for i, c in enumerate(self.spec.classes)
+                    if c.name == selector["class"]
+                )
+            ]
+        else:
+            lo, hi = selector["range"]
+        return lo <= machine_id < hi
+
+    def _occurrence_days(self, day: float, repeat: Optional[float]):
+        yield day
+        if repeat is not None:
+            k = 1
+            while day + k * repeat < self.days:
+                yield day + k * repeat
+                k += 1
+
+    def overlay_windows(self, machine_id: int) -> tuple[OverlayWindow, ...]:
+        """All injected windows for one machine, sorted, non-overlapping.
+
+        Pure function of ``(spec, frame, machine_id)`` — flash-crowd
+        membership draws from a dedicated ``("flash", crowd, occurrence)``
+        stream of the scenario seed, so any worker process computes the
+        same windows without coordination.  Windows are clipped to the
+        trace span; where two overlap, the earlier one wins and the later
+        is clipped to start at its end.
+        """
+        raw: list[OverlayWindow] = []
+        for outage in self.spec.outages:
+            if not self._selected(outage.machines, machine_id):
+                continue
+            for day in self._occurrence_days(outage.day, outage.repeat_days):
+                raw.append(
+                    OverlayWindow(
+                        start=day * DAY + outage.hour * HOUR,
+                        end=day * DAY
+                        + outage.hour * HOUR
+                        + outage.duration_hours * HOUR,
+                        state=5,
+                        mean_host_load=float("nan"),
+                        mean_free_mb=float("nan"),
+                    )
+                )
+        factory = RngFactory(self.seed)
+        for ci, crowd in enumerate(self.spec.flash_crowds):
+            for oi, day in enumerate(
+                self._occurrence_days(crowd.day, crowd.repeat_days)
+            ):
+                hit = (
+                    factory.generator("flash", ci, oi).random(self.n_machines)
+                    < crowd.fraction
+                )
+                if not bool(hit[machine_id]):
+                    continue
+                raw.append(
+                    OverlayWindow(
+                        start=day * DAY + crowd.hour * HOUR,
+                        end=day * DAY
+                        + crowd.hour * HOUR
+                        + crowd.duration_hours * HOUR,
+                        state=3,
+                        mean_host_load=crowd.load,
+                        mean_free_mb=float("nan"),
+                    )
+                )
+        span = self.span
+        clipped: list[OverlayWindow] = []
+        cursor = 0.0
+        for w in sorted(raw, key=lambda w: (w.start, w.end, w.state)):
+            start = max(w.start, cursor, 0.0)
+            end = min(w.end, span)
+            if end > start:
+                clipped.append(dataclasses.replace(w, start=start, end=end))
+                cursor = end
+        return tuple(clipped)
+
+    def overlay_rows(self, machine_id: int, event_machine_id: int) -> np.ndarray:
+        """The machine's overlay windows as packed ``EVENT_DTYPE`` rows."""
+        from ..traces.records import EVENT_DTYPE
+
+        windows = self.overlay_windows(machine_id)
+        rows = np.empty(len(windows), dtype=EVENT_DTYPE)
+        for i, w in enumerate(windows):
+            rows[i] = (
+                event_machine_id,
+                w.start,
+                w.end,
+                w.state,
+                w.mean_host_load,
+                w.mean_free_mb,
+            )
+        return rows
+
+    # -- the trivial fast path ---------------------------------------------
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the whole scenario is one stock config — delegate to
+        the standard generation path (and share its cache entries)."""
+        return self.spec.is_plain
+
+    @property
+    def config(self) -> FgcsConfig:
+        """The single config of a trivial scenario."""
+        if not self.is_trivial:
+            raise ScenarioError(
+                "", f"scenario {self.spec.name!r} is not a single-config fleet"
+            )
+        segment = self.segments()[0]
+        return self.machine_config(0, segment)
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    *,
+    machines: Optional[int] = None,
+    days: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> CompiledScenario:
+    """Bind a scenario to a frame.
+
+    Explicit arguments win; the document's ``defaults`` block is next;
+    the paper's frame (20 × 92 × seed 2006) backstops both.
+    """
+
+    def _pick(explicit, key):
+        if explicit is not None:
+            return explicit
+        return spec.defaults.get(key, FRAME_DEFAULTS[key])
+
+    return CompiledScenario(
+        spec=spec,
+        n_machines=_pick(machines, "machines"),
+        days=_pick(days, "days"),
+        seed=_pick(seed, "seed"),
+    )

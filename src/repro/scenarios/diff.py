@@ -1,0 +1,249 @@
+"""The scenario differential report: paper artifacts, side by side.
+
+``repro-fgcs scenario diff A B …`` analyzes each scenario at a common
+frame and renders Table 2 / Figure 6 / Figure 7 as side-by-side columns
+— one per scenario — with per-cell deltas against the first (baseline)
+scenario.  Output is deterministic text (fixed formats, no timestamps),
+so a committed golden pins it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.causes import CauseBreakdown, cause_breakdown
+from ..analysis.daily import DailyPattern, daily_pattern
+from ..analysis.intervals import IntervalDistribution, interval_distribution
+from ..analysis.report import render_table
+
+__all__ = ["ScenarioAnalysis", "diff_report"]
+
+
+@dataclass(frozen=True)
+class ScenarioAnalysis:
+    """One scenario's analysis artifacts plus its fleet frame."""
+
+    name: str
+    n_machines: int
+    days: int
+    n_events: int
+    breakdown: CauseBreakdown
+    intervals: IntervalDistribution
+    daily: DailyPattern
+
+    @classmethod
+    def from_dataset(cls, name: str, dataset) -> "ScenarioAnalysis":
+        # Accept columnar carriers too: the analyses walk object events.
+        if isinstance(getattr(dataset, "events", None), np.ndarray):
+            dataset = dataset.to_dataset()
+        return cls(
+            name=name,
+            n_machines=dataset.n_machines,
+            days=dataset.n_days,
+            n_events=len(dataset.events),
+            breakdown=cause_breakdown(dataset),
+            intervals=interval_distribution(dataset),
+            daily=daily_pattern(dataset),
+        )
+
+    def _has_days(self, *, weekend: bool) -> bool:
+        return bool((self.daily.is_weekend_day == weekend).any())
+
+
+def _is_missing(v: Optional[float]) -> bool:
+    return v is None or (isinstance(v, float) and math.isnan(v))
+
+
+def _fmt(v: float, kind: str) -> str:
+    if kind == "int":
+        return f"{v:.0f}"
+    if kind == "pct":
+        return f"{100 * v:.1f}%"
+    if kind == "frac":
+        return f"{v:.3f}"
+    return f"{v:.2f}"  # "float"
+
+
+def _fmt_delta(d: float, kind: str) -> str:
+    if kind == "int":
+        return f"{d:+.0f}"
+    if kind == "pct":
+        return f"{100 * d:+.1f}pp"
+    if kind == "frac":
+        return f"{d:+.3f}"
+    return f"{d:+.2f}"
+
+
+def _cell(v: Optional[float], base: Optional[float], kind: str) -> str:
+    if _is_missing(v):
+        return "n/a"
+    if base is None:  # the baseline column itself
+        return _fmt(v, kind)
+    if _is_missing(base):
+        return _fmt(v, kind)
+    return f"{_fmt(v, kind)} ({_fmt_delta(v - base, kind)})"
+
+
+Metric = tuple[str, Callable[[ScenarioAnalysis], Optional[float]], str]
+
+
+def _section(
+    title: str, metrics: Sequence[Metric], analyses: Sequence[ScenarioAnalysis]
+) -> str:
+    headers = [""] + [a.name for a in analyses]
+    rows = []
+    for label, fn, kind in metrics:
+        base_val = fn(analyses[0])
+        row = [label]
+        for i, a in enumerate(analyses):
+            row.append(_cell(fn(a), None if i == 0 else base_val, kind))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _table2_metrics() -> list[Metric]:
+    def share(part: str) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            total = int(a.breakdown.totals.sum())
+            if not total:
+                return None
+            return float(getattr(a.breakdown, part).sum()) / total
+
+        return fn
+
+    return [
+        ("events total", lambda a: float(a.breakdown.totals.sum()), "int"),
+        ("  cpu (S3)", lambda a: float(a.breakdown.cpu.sum()), "int"),
+        ("  memory (S4)", lambda a: float(a.breakdown.memory.sum()), "int"),
+        ("  revocation (S5)", lambda a: float(a.breakdown.revocation.sum()), "int"),
+        ("cpu share", share("cpu"), "pct"),
+        ("memory share", share("memory"), "pct"),
+        ("revocation share", share("revocation"), "pct"),
+        ("uec share", lambda a: a.breakdown.uec_share, "pct"),
+        ("reboot share of urr", lambda a: a.breakdown.reboot_share_of_urr, "pct"),
+        (
+            "events/machine (mean)",
+            lambda a: float(a.breakdown.totals.mean()),
+            "float",
+        ),
+    ]
+
+
+def _fig6_metrics() -> list[Metric]:
+    def mean_h(attr: str) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            arr = getattr(a.intervals, attr)
+            return float(arr.mean()) if arr.size else None
+
+        return fn
+
+    def cdf_at(attr: str, hours: float) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            if not getattr(a.intervals, f"{attr}_hours").size:
+                return None
+            cdf = getattr(a.intervals, f"{attr}_cdf")
+            return float(cdf.at(np.array([hours]))[0])
+
+        return fn
+
+    def below_5min(a: ScenarioAnalysis) -> Optional[float]:
+        wk, we = a.intervals.weekday_hours, a.intervals.weekend_hours
+        if not wk.size and not we.size:
+            return None
+        return a.intervals.landmarks()["frac_below_5min"]
+
+    metrics: list[Metric] = [
+        ("weekday mean (h)", mean_h("weekday_hours"), "float"),
+        ("weekend mean (h)", mean_h("weekend_hours"), "float"),
+        ("frac below 5 min", below_5min, "pct"),
+    ]
+    for hours in (1.0, 2.0, 4.0, 8.0):
+        metrics.append(
+            (f"weekday CDF @ {hours:.0f}h", cdf_at("weekday", hours), "frac")
+        )
+    for hours in (1.0, 2.0, 4.0, 8.0):
+        metrics.append(
+            (f"weekend CDF @ {hours:.0f}h", cdf_at("weekend", hours), "frac")
+        )
+    return metrics
+
+
+def _fig7_metrics() -> list[Metric]:
+    def per_hour(weekend: bool) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            if not a._has_days(weekend=weekend):
+                return None
+            return float(a.daily.mean_profile(weekend=weekend).mean())
+
+        return fn
+
+    def peak_hour(weekend: bool) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            if not a._has_days(weekend=weekend):
+                return None
+            return float(np.argmax(a.daily.mean_profile(weekend=weekend)))
+
+        return fn
+
+    def cv(weekend: bool) -> Callable[[ScenarioAnalysis], Optional[float]]:
+        def fn(a: ScenarioAnalysis) -> Optional[float]:
+            sel = a.daily.counts[a.daily.is_weekend_day == weekend]
+            if sel.shape[0] < 2:  # std needs two days of the same type
+                return None
+            return a.daily.deviation_summary(weekend=weekend)["mean_cv"]
+
+        return fn
+
+    def spike(a: ScenarioAnalysis) -> Optional[float]:
+        if not a._has_days(weekend=False):
+            return None
+        return a.daily.updatedb_spike()["weekday"]
+
+    return [
+        ("weekday events/hour", per_hour(False), "float"),
+        ("weekend events/hour", per_hour(True), "float"),
+        ("weekday peak hour", peak_hour(False), "int"),
+        ("weekend peak hour", peak_hour(True), "int"),
+        ("weekday cross-day CV", cv(False), "float"),
+        ("weekend cross-day CV", cv(True), "float"),
+        ("updatedb spike (wkday @4h)", spike, "float"),
+    ]
+
+
+def diff_report(analyses: Sequence[ScenarioAnalysis]) -> str:
+    """Render the full differential report for two or more scenarios.
+
+    The first entry is the baseline; every other column annotates each
+    cell with its delta against the baseline.  Cells that are undefined
+    for a frame (no weekend days, no intervals) render ``n/a``.
+    """
+    if len(analyses) < 2:
+        raise ValueError("diff_report needs at least two scenarios")
+    base = analyses[0]
+    lines = [
+        "Scenario differential report",
+        f"baseline: {base.name}  "
+        f"(deltas are <scenario> - <baseline>)",
+        "frames: "
+        + "; ".join(
+            f"{a.name}: {a.n_machines}m x {a.days}d, {a.n_events} events"
+            for a in analyses
+        ),
+        "",
+        _section(
+            "Table 2: unavailability by cause", _table2_metrics(), analyses
+        ),
+        "",
+        _section(
+            "Figure 6: availability-interval lengths", _fig6_metrics(), analyses
+        ),
+        "",
+        _section(
+            "Figure 7: daily unavailability pattern", _fig7_metrics(), analyses
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,456 @@
+"""Parse, validate, and dump scenario documents (YAML or JSON).
+
+The loader is strict and path-precise: every rejection raises a typed
+:class:`~repro.errors.ScenarioError` carrying the dotted/indexed key path
+of the offending value (``fleet.classes[1].weight``), so CLI consumers
+print one actionable line instead of a traceback.  Parsing is a pure
+function of the document: ``load → dump → load`` is the identity, and
+equal documents always produce equal :class:`ScenarioSpec` values (and
+therefore equal config fingerprints and dataset-cache keys — numeric
+values are canonicalized to float so ``weight: 1`` and ``weight: 1.0``
+cannot fingerprint apart).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..config import LabWorkloadConfig
+from ..errors import ScenarioError
+from .spec import (
+    CLASS_TESTBED_FIELDS,
+    SCENARIO_SCHEMA_VERSION,
+    FlashCrowdSpec,
+    MachineClassSpec,
+    OutageSpec,
+    RegimeSpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "dump_scenario",
+    "load_scenario",
+    "load_scenario_file",
+    "parse_scenario",
+]
+
+#: Fields a ``lab:`` override block may set — exactly the
+#: :class:`~repro.config.LabWorkloadConfig` fields (all floats).
+_LAB_FIELDS = tuple(f.name for f in dataclasses.fields(LabWorkloadConfig))
+
+_SELECTOR_KEYS = ("class", "range")
+
+
+def _err(path: str, message: str) -> ScenarioError:
+    return ScenarioError(path, message)
+
+
+def _require_mapping(value: object, path: str) -> dict:
+    if not isinstance(value, dict):
+        raise _err(path, f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+def _require_list(value: object, path: str) -> list:
+    if not isinstance(value, list):
+        raise _err(path, f"expected a list, got {type(value).__name__}")
+    return value
+
+
+def _require_str(value: object, path: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise _err(path, "expected a non-empty string")
+    return value
+
+
+def _require_float(
+    value: object,
+    path: str,
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    lo_open: bool = False,
+) -> float:
+    # bool is an int subclass; a scenario saying ``weight: true`` is a
+    # mistake, not a number.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _err(path, f"expected a number, got {value!r}")
+    x = float(value)
+    if x != x:
+        raise _err(path, "must not be NaN")
+    if lo is not None and (x < lo or (lo_open and x == lo)):
+        raise _err(path, f"must be {'>' if lo_open else '>='} {lo}, got {x}")
+    if hi is not None and x > hi:
+        raise _err(path, f"must be <= {hi}, got {x}")
+    return x
+
+
+def _require_int(value: object, path: str, *, lo: Optional[int] = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _err(path, f"expected an integer, got {value!r}")
+    if lo is not None and value < lo:
+        raise _err(path, f"must be >= {lo}, got {value}")
+    return value
+
+
+def _reject_unknown(doc: dict, known: tuple, path: str) -> None:
+    for key in doc:
+        if key not in known:
+            where = f"{path}.{key}" if path else str(key)
+            raise _err(where, f"unknown key (expected one of {sorted(known)})")
+
+
+def _parse_overrides(
+    value: object, path: str, allowed: tuple, what: str
+) -> dict:
+    block = _require_mapping(value, path)
+    out = {}
+    for key, raw in block.items():
+        if key not in allowed:
+            raise _err(f"{path}.{key}", f"not a {what} field")
+        out[str(key)] = _require_float(raw, f"{path}.{key}")
+    return out
+
+
+def _parse_class(doc: object, path: str) -> MachineClassSpec:
+    from ..workloads.profiles import PROFILES
+
+    block = _require_mapping(doc, path)
+    _reject_unknown(block, ("name", "profile", "weight", "lab", "testbed"), path)
+    if "name" not in block:
+        raise _err(f"{path}.name", "required key is missing")
+    profile = block.get("profile", "student-lab")
+    if profile not in PROFILES:
+        raise _err(
+            f"{path}.profile",
+            f"unknown profile {profile!r} (expected one of {sorted(PROFILES)})",
+        )
+    return MachineClassSpec(
+        name=_require_str(block["name"], f"{path}.name"),
+        profile=str(profile),
+        weight=_require_float(
+            block.get("weight", 1.0), f"{path}.weight", lo=0.0, lo_open=True
+        ),
+        lab=_parse_overrides(
+            block.get("lab", {}), f"{path}.lab", _LAB_FIELDS, "lab workload"
+        ),
+        testbed=_parse_overrides(
+            block.get("testbed", {}),
+            f"{path}.testbed",
+            CLASS_TESTBED_FIELDS,
+            "per-class testbed",
+        ),
+    )
+
+
+def _parse_regime(doc: object, path: str) -> RegimeSpec:
+    block = _require_mapping(doc, path)
+    _reject_unknown(block, ("start_day", "name", "lab"), path)
+    if "start_day" not in block:
+        raise _err(f"{path}.start_day", "required key is missing")
+    return RegimeSpec(
+        start_day=_require_int(block["start_day"], f"{path}.start_day", lo=1),
+        name=str(block.get("name", "")),
+        lab=_parse_overrides(
+            block.get("lab", {}), f"{path}.lab", _LAB_FIELDS, "lab workload"
+        ),
+    )
+
+
+def _parse_selector(value: object, path: str) -> Union[str, dict]:
+    if value == "all":
+        return "all"
+    block = _require_mapping(value, path)
+    _reject_unknown(block, _SELECTOR_KEYS, path)
+    if len(block) != 1:
+        raise _err(
+            path, 'expected "all", {"class": NAME}, or {"range": [lo, hi]}'
+        )
+    if "class" in block:
+        return {"class": _require_str(block["class"], f"{path}.class")}
+    pair = _require_list(block["range"], f"{path}.range")
+    if len(pair) != 2:
+        raise _err(f"{path}.range", "expected [lo, hi] (two integers)")
+    lo = _require_int(pair[0], f"{path}.range[0]", lo=0)
+    hi = _require_int(pair[1], f"{path}.range[1]", lo=1)
+    if hi <= lo:
+        raise _err(f"{path}.range", f"needs hi > lo, got [{lo}, {hi})")
+    return {"range": [lo, hi]}
+
+
+def _parse_repeat(block: dict, path: str) -> Optional[float]:
+    if block.get("repeat_days") is None:
+        return None
+    return _require_float(
+        block["repeat_days"], f"{path}.repeat_days", lo=0.0, lo_open=True
+    )
+
+
+def _parse_outage(doc: object, path: str) -> OutageSpec:
+    block = _require_mapping(doc, path)
+    _reject_unknown(
+        block,
+        ("name", "day", "hour", "duration_hours", "machines", "repeat_days"),
+        path,
+    )
+    for key in ("name", "day", "duration_hours"):
+        if key not in block:
+            raise _err(f"{path}.{key}", "required key is missing")
+    return OutageSpec(
+        name=_require_str(block["name"], f"{path}.name"),
+        day=_require_float(block["day"], f"{path}.day", lo=0.0),
+        hour=_require_float(
+            block.get("hour", 0.0), f"{path}.hour", lo=0.0, hi=24.0
+        ),
+        duration_hours=_require_float(
+            block["duration_hours"],
+            f"{path}.duration_hours",
+            lo=0.0,
+            lo_open=True,
+        ),
+        machines=_parse_selector(block.get("machines", "all"), f"{path}.machines"),
+        repeat_days=_parse_repeat(block, path),
+    )
+
+
+def _parse_flash_crowd(doc: object, path: str) -> FlashCrowdSpec:
+    block = _require_mapping(doc, path)
+    _reject_unknown(
+        block,
+        ("name", "day", "hour", "duration_hours", "fraction", "load", "repeat_days"),
+        path,
+    )
+    for key in ("name", "day", "duration_hours"):
+        if key not in block:
+            raise _err(f"{path}.{key}", "required key is missing")
+    return FlashCrowdSpec(
+        name=_require_str(block["name"], f"{path}.name"),
+        day=_require_float(block["day"], f"{path}.day", lo=0.0),
+        hour=_require_float(
+            block.get("hour", 19.0), f"{path}.hour", lo=0.0, hi=24.0
+        ),
+        duration_hours=_require_float(
+            block["duration_hours"],
+            f"{path}.duration_hours",
+            lo=0.0,
+            lo_open=True,
+        ),
+        fraction=_require_float(
+            block.get("fraction", 1.0),
+            f"{path}.fraction",
+            lo=0.0,
+            hi=1.0,
+            lo_open=True,
+        ),
+        load=_require_float(
+            block.get("load", 0.95), f"{path}.load", lo=0.0, hi=1.0, lo_open=True
+        ),
+        repeat_days=_parse_repeat(block, path),
+    )
+
+
+def _parse_defaults(value: object, path: str) -> dict:
+    block = _require_mapping(value, path)
+    _reject_unknown(block, ("machines", "days", "seed"), path)
+    out = {}
+    for key, lo in (("machines", 1), ("days", 1), ("seed", None)):
+        if key in block:
+            out[key] = _require_int(block[key], f"{path}.{key}", lo=lo)
+    return out
+
+
+def parse_scenario(doc: object) -> ScenarioSpec:
+    """Validate a decoded scenario document into a :class:`ScenarioSpec`.
+
+    Raises :class:`~repro.errors.ScenarioError` (with the offending key
+    path) on the first problem found.
+    """
+    block = _require_mapping(doc, "")
+    _reject_unknown(
+        block,
+        (
+            "scenario",
+            "name",
+            "description",
+            "fleet",
+            "regimes",
+            "outages",
+            "flash_crowds",
+            "defaults",
+        ),
+        "",
+    )
+    for key in ("scenario", "name", "description", "fleet"):
+        if key not in block:
+            raise _err(key, "required key is missing")
+    schema = _require_int(block["scenario"], "scenario")
+    if schema != SCENARIO_SCHEMA_VERSION:
+        raise _err(
+            "scenario",
+            f"unsupported document schema {schema} "
+            f"(this library reads version {SCENARIO_SCHEMA_VERSION})",
+        )
+    fleet = _require_mapping(block["fleet"], "fleet")
+    _reject_unknown(fleet, ("classes",), "fleet")
+    if "classes" not in fleet:
+        raise _err("fleet.classes", "required key is missing")
+    raw_classes = _require_list(fleet["classes"], "fleet.classes")
+    if not raw_classes:
+        raise _err("fleet.classes", "needs at least one machine class")
+    classes = tuple(
+        _parse_class(c, f"fleet.classes[{i}]") for i, c in enumerate(raw_classes)
+    )
+    seen: set[str] = set()
+    for i, cls in enumerate(classes):
+        if cls.name in seen:
+            raise _err(
+                f"fleet.classes[{i}].name", f"duplicate class name {cls.name!r}"
+            )
+        seen.add(cls.name)
+
+    regimes = tuple(
+        _parse_regime(r, f"regimes[{i}]")
+        for i, r in enumerate(_require_list(block.get("regimes", []), "regimes"))
+    )
+    for i in range(1, len(regimes)):
+        if regimes[i].start_day <= regimes[i - 1].start_day:
+            raise _err(
+                f"regimes[{i}].start_day",
+                "regime start days must be strictly increasing",
+            )
+    outages = tuple(
+        _parse_outage(o, f"outages[{i}]")
+        for i, o in enumerate(_require_list(block.get("outages", []), "outages"))
+    )
+    flash_crowds = tuple(
+        _parse_flash_crowd(f, f"flash_crowds[{i}]")
+        for i, f in enumerate(
+            _require_list(block.get("flash_crowds", []), "flash_crowds")
+        )
+    )
+    spec = ScenarioSpec(
+        name=_require_str(block["name"], "name"),
+        description=_require_str(block["description"], "description"),
+        classes=classes,
+        regimes=regimes,
+        outages=outages,
+        flash_crowds=flash_crowds,
+        defaults=_parse_defaults(block.get("defaults", {}), "defaults"),
+        schema=schema,
+    )
+    # Selectors naming a class must name one that exists.
+    for i, outage in enumerate(spec.outages):
+        if isinstance(outage.machines, dict) and "class" in outage.machines:
+            name = outage.machines["class"]
+            if name not in seen:
+                raise _err(
+                    f"outages[{i}].machines.class", f"unknown class {name!r}"
+                )
+    return spec
+
+
+def load_scenario(text: str, *, source: str = "<string>") -> ScenarioSpec:
+    """Parse a YAML/JSON scenario document from text."""
+    try:
+        import yaml
+
+        doc = yaml.safe_load(text)
+    except ImportError:  # pragma: no cover - yaml ships in the toolchain
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise _err("", f"{source}: not valid JSON ({exc})") from exc
+    except Exception as exc:  # yaml.YAMLError
+        raise _err("", f"{source}: not valid YAML ({exc})") from exc
+    return parse_scenario(doc)
+
+
+def load_scenario_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load and validate a scenario document from a file path."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise _err("", f"cannot read scenario file {path}: {exc}") from exc
+    return load_scenario(text, source=str(path))
+
+
+def dump_scenario(spec: ScenarioSpec) -> dict:
+    """The canonical document form of a spec (``parse_scenario`` inverse).
+
+    ``parse_scenario(dump_scenario(spec)) == spec`` for every valid spec;
+    optional sections that hold their defaults are omitted so dumped
+    documents stay minimal.
+    """
+
+    def _class(cls: MachineClassSpec) -> dict:
+        out: dict = {"name": cls.name}
+        if cls.profile != "student-lab":
+            out["profile"] = cls.profile
+        if cls.weight != 1.0:
+            out["weight"] = cls.weight
+        if cls.lab:
+            out["lab"] = dict(cls.lab)
+        if cls.testbed:
+            out["testbed"] = dict(cls.testbed)
+        return out
+
+    def _regime(r: RegimeSpec) -> dict:
+        out: dict = {"start_day": r.start_day}
+        if r.name:
+            out["name"] = r.name
+        if r.lab:
+            out["lab"] = dict(r.lab)
+        return out
+
+    def _outage(o: OutageSpec) -> dict:
+        out: dict = {
+            "name": o.name,
+            "day": o.day,
+            "duration_hours": o.duration_hours,
+        }
+        if o.hour != 0.0:
+            out["hour"] = o.hour
+        if o.machines != "all":
+            out["machines"] = {
+                k: list(v) if isinstance(v, list) else v
+                for k, v in o.machines.items()
+            }
+        if o.repeat_days is not None:
+            out["repeat_days"] = o.repeat_days
+        return out
+
+    def _flash(f: FlashCrowdSpec) -> dict:
+        out: dict = {
+            "name": f.name,
+            "day": f.day,
+            "duration_hours": f.duration_hours,
+        }
+        if f.hour != 19.0:
+            out["hour"] = f.hour
+        if f.fraction != 1.0:
+            out["fraction"] = f.fraction
+        if f.load != 0.95:
+            out["load"] = f.load
+        if f.repeat_days is not None:
+            out["repeat_days"] = f.repeat_days
+        return out
+
+    doc: dict = {
+        "scenario": spec.schema,
+        "name": spec.name,
+        "description": spec.description,
+        "fleet": {"classes": [_class(c) for c in spec.classes]},
+    }
+    if spec.regimes:
+        doc["regimes"] = [_regime(r) for r in spec.regimes]
+    if spec.outages:
+        doc["outages"] = [_outage(o) for o in spec.outages]
+    if spec.flash_crowds:
+        doc["flash_crowds"] = [_flash(f) for f in spec.flash_crowds]
+    if spec.defaults:
+        doc["defaults"] = dict(spec.defaults)
+    return doc

@@ -1,0 +1,68 @@
+"""The scenario registry: named scenario documents shipped as data files.
+
+Scenarios live under ``src/repro/scenarios/library/*.yaml`` — one document
+per file, the document's ``name`` equal to the file stem.  Adding a
+scenario means adding a data file; no Python changes are required (the
+registry globs the directory at call time).  Explicit paths are also
+accepted everywhere a name is, so ad-hoc scenario files can be used
+without installing them into the library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..errors import ScenarioError
+from .loader import load_scenario_file
+from .spec import ScenarioSpec
+
+__all__ = [
+    "LIBRARY_DIR",
+    "get_scenario",
+    "scenario_names",
+    "scenario_path",
+]
+
+#: Directory holding the shipped scenario documents.
+LIBRARY_DIR = Path(__file__).resolve().parent / "library"
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Sorted names of every scenario shipped in the library."""
+    return tuple(sorted(p.stem for p in LIBRARY_DIR.glob("*.yaml")))
+
+
+def scenario_path(name: str) -> Path:
+    """Path of a library scenario document, by name."""
+    path = LIBRARY_DIR / f"{name}.yaml"
+    if not path.is_file():
+        known = ", ".join(scenario_names()) or "<library empty>"
+        raise ScenarioError(
+            "", f"unknown scenario {name!r} (library has: {known})"
+        )
+    return path
+
+
+def get_scenario(name_or_path: Union[str, Path]) -> ScenarioSpec:
+    """Load a scenario by library name or explicit file path.
+
+    Library documents must agree with their file name: a ``library/x.yaml``
+    whose document says ``name: y`` is rejected, so ``scenario list`` names
+    are always the names ``generate --scenario`` accepts.
+    """
+    text = str(name_or_path)
+    looks_like_path = any(sep in text for sep in ("/", "\\")) or text.endswith(
+        (".yaml", ".yml", ".json")
+    )
+    if looks_like_path:
+        return load_scenario_file(Path(name_or_path))
+    path = scenario_path(text)
+    spec = load_scenario_file(path)
+    if spec.name != text:
+        raise ScenarioError(
+            "name",
+            f"library file {path.name} declares name {spec.name!r}; "
+            f"it must match the file stem {text!r}",
+        )
+    return spec

@@ -1,0 +1,159 @@
+"""The scenario document model: frozen dataclasses mirroring the DSL.
+
+A *scenario* is a declarative description of a fleet experiment — what
+the hand-built benchmark scripts hard-coded, lifted into data.  The
+document (YAML or JSON, see :mod:`repro.scenarios.loader`) describes:
+
+* a **fleet composition**: one or more machine *classes*, each based on a
+  workload profile (:data:`repro.workloads.profiles.PROFILES`) with
+  per-class :class:`~repro.config.LabWorkloadConfig` /
+  per-machine-memory overrides and a relative *weight* that apportions
+  the fleet;
+* **regime changes**: dated switches of the whole fleet's workload
+  parameters (semester break, exam crunch) — the paper's single diurnal
+  regime generalized to a schedule;
+* **correlated outage groups**: building-wide power/network windows that
+  take a machine group down *together*, deliberately breaking the
+  paper's host-independence assumption;
+* **flash crowds**: short fleet-wide interactive bursts hitting a
+  random-but-deterministic fraction of machines.
+
+Everything here is data: specs are frozen, picklable, and fingerprint
+through :func:`repro.parallel.cache.config_fingerprint` exactly like the
+hand-built config tree, so scenario-generated datasets cache, shard, and
+fault-inject like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import ScenarioError
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "FlashCrowdSpec",
+    "MachineClassSpec",
+    "OutageSpec",
+    "RegimeSpec",
+    "ScenarioSpec",
+]
+
+#: Version of the scenario *document* layout.  Bump when keys change
+#: incompatibly; loaders reject documents with other versions.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: ``testbed:`` override keys a class may set (per-machine hardware only —
+#: fleet size and duration are resolved at compile time, and thresholds /
+#: monitor settings must stay fleet-wide so dataset metadata is well
+#: defined).
+CLASS_TESTBED_FIELDS = ("machine_memory_mb", "machine_kernel_mb")
+
+
+@dataclass(frozen=True)
+class MachineClassSpec:
+    """One machine class of a heterogeneous fleet."""
+
+    name: str
+    #: Base workload profile (a :data:`repro.workloads.profiles.PROFILES`
+    #: key).
+    profile: str = "student-lab"
+    #: Relative share of the fleet this class receives (largest-remainder
+    #: apportionment; every class keeps at least one machine).
+    weight: float = 1.0
+    #: :class:`~repro.config.LabWorkloadConfig` field overrides.
+    lab: dict = field(default_factory=dict)
+    #: Per-machine hardware overrides (:data:`CLASS_TESTBED_FIELDS` only).
+    testbed: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """A dated workload-regime switch for the whole fleet.
+
+    From ``start_day`` (inclusive) until the next regime (or the end of
+    the trace), every class's lab-workload config gains these overrides
+    on top of its own.  Days before the first regime run the classes'
+    base configs.
+    """
+
+    start_day: int
+    name: str = ""
+    lab: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """A correlated outage group: machines that go down *together*.
+
+    Every occurrence inserts a revocation (S5) unavailability window for
+    each selected machine at exactly the same wall-clock time — a
+    building power/network event.  ``machines`` selects the group:
+    ``"all"``, ``{"class": "<class name>"}``, or ``{"range": [lo, hi)}``
+    (global machine ids).
+    """
+
+    name: str
+    day: float
+    duration_hours: float
+    hour: float = 0.0
+    machines: Union[str, dict] = "all"
+    #: Repeat the outage every N days until the end of the trace
+    #: (``None`` = a single occurrence).
+    repeat_days: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """A fleet-wide interactive burst (flash crowd).
+
+    Each occurrence picks ``fraction`` of the fleet — deterministically
+    from the scenario seed, a fresh draw per occurrence — and inserts a
+    CPU-contention (S3) unavailability window on those machines.
+    """
+
+    name: str
+    day: float
+    duration_hours: float
+    hour: float = 19.0
+    #: Fraction of the fleet hit per occurrence.
+    fraction: float = 1.0
+    #: Mean host load recorded for the injected contention window.
+    load: float = 0.95
+    repeat_days: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A parsed, validated scenario document."""
+
+    name: str
+    description: str
+    classes: tuple[MachineClassSpec, ...]
+    regimes: tuple[RegimeSpec, ...] = ()
+    outages: tuple[OutageSpec, ...] = ()
+    flash_crowds: tuple[FlashCrowdSpec, ...] = ()
+    #: Default fleet frame (``machines`` / ``days`` / ``seed``) applied
+    #: when the caller does not pass explicit values at compile time.
+    defaults: dict = field(default_factory=dict)
+    schema: int = SCENARIO_SCHEMA_VERSION
+
+    def class_named(self, name: str) -> MachineClassSpec:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise ScenarioError("classes", f"no class named {name!r}")
+
+    @property
+    def is_plain(self) -> bool:
+        """True when the scenario is exactly one config — a single class
+        with no regimes, outages, or flash crowds.  Plain scenarios
+        delegate to the stock generation path byte-for-byte (and share
+        its dataset-cache entries)."""
+        return (
+            len(self.classes) == 1
+            and not self.regimes
+            and not self.outages
+            and not self.flash_crowds
+        )

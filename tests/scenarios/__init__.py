@@ -1,0 +1,11 @@
+"""Per-scenario capacity and load harnesses (ISSUE 9).
+
+Every scenario registered in :mod:`repro.scenarios` is exercised by both
+harnesses: ``test_capacity`` generates and streaming-analyzes a reduced
+fleet under an RSS ceiling and a wall-clock budget in a child process,
+and ``test_load`` boots the forecast daemon on the scenario's trace and
+checks zero 5xx plus value-identity with the batch predictor.  A
+registry-completeness test in each module pins the parametrization to
+``scenario_names()`` so adding a scenario without harness coverage is
+impossible.
+"""

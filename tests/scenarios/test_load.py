@@ -1,0 +1,105 @@
+"""Load harness: the forecast daemon serves every scenario correctly.
+
+For each registered scenario, a reduced fleet is generated, the serving
+daemon boots on it, and a grid of real HTTP queries runs against it.
+Two assertions per scenario: the server answers with **zero 5xx**
+responses (by its own status accounting), and every served survival
+probability is **value-identical** (``==``, through the JSON round
+trip) to the batch :class:`repro.prediction.HistoryWindowPredictor`
+fitted on the same trace — scenario composition must not perturb the
+prediction path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.prediction.base import PredictionQuery
+from repro.prediction.history import HistoryWindowPredictor
+from repro.scenarios import (
+    compile_scenario,
+    generate_scenario_columns,
+    get_scenario,
+    scenario_names,
+)
+from repro.serve import ServeClient, ServeState, start_server
+
+#: The harness frame: long enough for an 8-day history window plus a
+#: queryable horizon, small enough to boot all scenarios in seconds.
+N_MACHINES = 4
+DAYS = 12
+SEED = 42
+
+#: The scenarios this harness covers — pinned to the registry below.
+SCENARIOS = scenario_names()
+
+
+@pytest.fixture(scope="module")
+def fleets():
+    """Scenario name -> (columns, dataset) at the harness frame, cached."""
+    cache: dict = {}
+
+    def build(name: str):
+        if name not in cache:
+            compiled = compile_scenario(
+                get_scenario(name), machines=N_MACHINES, days=DAYS, seed=SEED
+            )
+            columns = generate_scenario_columns(compiled)
+            cache[name] = (columns, columns.to_dataset())
+        return cache[name]
+
+    return build
+
+
+def _queries(n_machines: int, horizon_day: int):
+    for machine in range(n_machines):
+        for hour in (0.0, 9.5, 20.0):
+            for duration in (1.0, 6.0):
+                yield PredictionQuery(
+                    machine_id=machine,
+                    day=horizon_day,
+                    start_hour=hour,
+                    duration_hours=duration,
+                )
+
+
+class TestScenarioLoad:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_serve_zero_5xx_and_batch_identity(self, scenario, fleets):
+        columns, dataset = fleets(scenario)
+        state = ServeState.from_columns(columns)
+        predictor = HistoryWindowPredictor(history_days=8).fit(dataset)
+        registry = MetricsRegistry()
+        with start_server(state, registry=registry) as handle:
+            with ServeClient(handle.url) as client:
+                health = client.healthz()
+                assert health["ok"] and health["ready"]
+                assert health["n_machines"] == N_MACHINES
+                served = 0
+                for query in _queries(N_MACHINES, state.horizon_day):
+                    payload = client.availability(
+                        query.machine_id,
+                        query.duration_hours,
+                        day=query.day,
+                        hour=query.start_hour,
+                    )
+                    # Exact equality through the HTTP/JSON round trip.
+                    assert payload["survival"] == predictor.predict_survival(
+                        query
+                    ), (scenario, query)
+                    assert payload["expected_events"] == predictor.predict_count(
+                        query
+                    ), (scenario, query)
+                    served += 1
+                stats = client.stats()
+        assert served == N_MACHINES * 3 * 2
+        assert registry.counter_value("serve.status.5xx") == 0
+        assert registry.counter_value("serve.status.2xx") >= served
+        assert stats is not None
+
+
+class TestRegistryCompleteness:
+    def test_harness_covers_every_registered_scenario(self):
+        assert SCENARIOS == scenario_names()
+        assert len(SCENARIOS) >= 10, SCENARIOS

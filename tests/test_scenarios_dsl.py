@@ -1,0 +1,352 @@
+"""Unit tests for the scenario DSL: loader, registry, compiler, CLI.
+
+Covers the validation contract (typed :class:`ScenarioError` with the
+offending key path), fleet apportionment, regime segmentation, overlay
+semantics, plain-scenario delegation, and the CLI exit-2 / no-traceback
+behavior for invalid documents and configs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    LIBRARY_DIR,
+    compile_scenario,
+    dump_scenario,
+    generate_scenario_columns,
+    get_scenario,
+    load_scenario,
+    parse_scenario,
+    scenario_names,
+)
+from repro.traces.generate import generate_dataset_columns
+from repro.traces.records import validate_columns
+from repro.units import DAY, HOUR
+
+MINIMAL = {
+    "scenario": 1,
+    "name": "t",
+    "description": "test scenario",
+    "fleet": {"classes": [{"name": "lab"}]},
+}
+
+
+def _doc(**overrides):
+    doc = {**MINIMAL, **overrides}
+    return doc
+
+
+class TestLoader:
+    def test_minimal_document_parses(self):
+        spec = parse_scenario(MINIMAL)
+        assert spec.name == "t"
+        assert spec.classes[0].profile == "student-lab"
+        assert spec.is_plain
+
+    def test_round_trip_identity(self):
+        spec = get_scenario("exam-crunch")
+        assert parse_scenario(dump_scenario(spec)) == spec
+
+    def test_yaml_and_json_text_forms(self):
+        text = "scenario: 1\nname: t\ndescription: d\nfleet:\n  classes:\n    - name: lab\n"
+        spec = load_scenario(text)
+        assert spec.name == "t"
+        spec2 = load_scenario(
+            '{"scenario": 1, "name": "t", "description": "d", '
+            '"fleet": {"classes": [{"name": "lab"}]}}'
+        )
+        assert spec2.classes == spec.classes
+
+    @pytest.mark.parametrize(
+        "mutate, path",
+        [
+            (lambda d: d.update(bogus=1), "bogus"),
+            (lambda d: d.update(scenario=2), "scenario"),
+            (lambda d: d.pop("description"), "description"),
+            (lambda d: d["fleet"].update(extra=[]), "fleet.extra"),
+            (
+                lambda d: d["fleet"]["classes"][0].update(weight=-1),
+                "fleet.classes[0].weight",
+            ),
+            (
+                lambda d: d["fleet"]["classes"][0].update(weight=True),
+                "fleet.classes[0].weight",
+            ),
+            (
+                lambda d: d["fleet"]["classes"][0].update(profile="mainframe"),
+                "fleet.classes[0].profile",
+            ),
+            (
+                lambda d: d["fleet"]["classes"][0].update(
+                    lab={"no_such_knob": 1.0}
+                ),
+                "fleet.classes[0].lab.no_such_knob",
+            ),
+            (lambda d: d.update(defaults={"machines": 0}), "defaults.machines"),
+        ],
+    )
+    def test_rejections_carry_the_key_path(self, mutate, path):
+        import copy
+
+        doc = copy.deepcopy(MINIMAL)
+        mutate(doc)
+        with pytest.raises(ScenarioError) as exc_info:
+            parse_scenario(doc)
+        assert exc_info.value.path == path
+        assert str(exc_info.value).startswith(path)
+
+    def test_duplicate_class_names_rejected(self):
+        doc = _doc(fleet={"classes": [{"name": "a"}, {"name": "a"}]})
+        with pytest.raises(ScenarioError, match="duplicate"):
+            parse_scenario(doc)
+
+    def test_regimes_must_increase(self):
+        doc = _doc(regimes=[{"start_day": 10}, {"start_day": 10}])
+        with pytest.raises(ScenarioError, match="increasing"):
+            parse_scenario(doc)
+
+    def test_outage_class_selector_checked(self):
+        doc = _doc(
+            outages=[
+                {
+                    "name": "o",
+                    "day": 1.0,
+                    "duration_hours": 1.0,
+                    "machines": {"class": "nope"},
+                }
+            ]
+        )
+        with pytest.raises(ScenarioError) as exc_info:
+            parse_scenario(doc)
+        assert "outages[0].machines.class" in str(exc_info.value)
+
+    def test_int_and_float_spellings_fingerprint_equal(self):
+        a = _doc(fleet={"classes": [{"name": "lab", "weight": 2}]})
+        b = _doc(fleet={"classes": [{"name": "lab", "weight": 2.0}]})
+        ca = compile_scenario(parse_scenario(a))
+        cb = compile_scenario(parse_scenario(b))
+        assert ca.fingerprint == cb.fingerprint
+
+
+class TestRegistry:
+    def test_library_loads_and_is_big_enough(self):
+        names = scenario_names()
+        assert len(names) >= 10
+        for name in names:
+            spec = get_scenario(name)
+            assert spec.name == name
+            assert spec.description
+
+    def test_unknown_name_lists_the_library(self):
+        with pytest.raises(ScenarioError, match="library has"):
+            get_scenario("no-such-scenario")
+
+    def test_path_based_documents_load(self, tmp_path):
+        path = tmp_path / "mine.yaml"
+        path.write_text(
+            "scenario: 1\nname: mine\ndescription: d\n"
+            "fleet:\n  classes:\n    - name: lab\n",
+            encoding="utf-8",
+        )
+        assert get_scenario(str(path)).name == "mine"
+
+    def test_library_stem_must_match_document_name(self, tmp_path, monkeypatch):
+        # Stem agreement is a *library* invariant; explicit ad-hoc paths
+        # may carry any document name.
+        from repro.scenarios import registry as registry_mod
+
+        (tmp_path / "other.yaml").write_text(
+            "scenario: 1\nname: mine\ndescription: d\n"
+            "fleet:\n  classes:\n    - name: lab\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(registry_mod, "LIBRARY_DIR", tmp_path)
+        with pytest.raises(ScenarioError, match="stem"):
+            registry_mod.get_scenario("other")
+
+    def test_library_files_all_named_after_their_stem(self):
+        for path in sorted(LIBRARY_DIR.glob("*.yaml")):
+            assert get_scenario(path.stem).name == path.stem
+
+
+class TestCompile:
+    def test_largest_remainder_apportionment(self):
+        # weights 1:3 over 8 machines: one guaranteed seat per class,
+        # the remaining 6 split 1.5/4.5 -> floors 1/4, the leftover seat
+        # goes to the larger remainder (tie -> lower index).
+        spec = get_scenario("sweep-lab-25")
+        compiled = compile_scenario(spec, machines=8)
+        assert compiled.class_counts() == (3, 5)
+        assert compiled.class_ranges() == ((0, 3), (3, 8))
+        assert sum(compiled.class_counts()) == compiled.n_machines
+        # At scale the ratio converges to the weights.
+        big = compile_scenario(spec, machines=100)
+        assert big.class_counts() == (26, 74)
+
+    def test_every_class_gets_at_least_one_machine(self):
+        spec = get_scenario("campus-mixed")  # 3 classes
+        compiled = compile_scenario(spec, machines=3)
+        assert compiled.class_counts() == (1, 1, 1)
+        with pytest.raises(ScenarioError, match="class"):
+            compile_scenario(spec, machines=2)
+
+    def test_regime_segments_partition_the_span(self):
+        compiled = compile_scenario(
+            get_scenario("semester-break"), machines=4, days=70
+        )
+        segments = compiled.segments()
+        assert [s.start_day for s in segments] == [0, 38, 59]
+        assert sum(s.n_days for s in segments) == 70
+        # Segment seeds diverge; segment 0 keeps the base seed.
+        cfg0 = compiled.machine_config(0, segments[0])
+        cfg1 = compiled.machine_config(0, segments[1])
+        assert cfg0.seed == compiled.seed
+        assert cfg1.seed != compiled.seed
+        # Weekday alignment: each segment starts on the weekday the base
+        # calendar reaches at its offset.
+        assert cfg1.testbed.start_weekday == (38 % 7)
+
+    def test_defaults_resolution_order(self):
+        spec = parse_scenario(_doc(defaults={"machines": 6, "days": 10}))
+        compiled = compile_scenario(spec)
+        assert (compiled.n_machines, compiled.days) == (6, 10)
+        pinned = compile_scenario(spec, machines=4, days=7, seed=1)
+        assert (pinned.n_machines, pinned.days, pinned.seed) == (4, 7, 1)
+
+    def test_overlay_windows_clip_and_sort(self):
+        compiled = compile_scenario(
+            get_scenario("correlated-building-outage"), machines=8, days=14
+        )
+        east = range(*compiled.class_ranges()[1])
+        for mid in east:
+            windows = compiled.overlay_windows(mid)
+            assert windows, "east wing must see the maintenance outage"
+            for w in windows:
+                assert 0.0 <= w.start < w.end <= compiled.span
+        west_lo = compiled.class_ranges()[0][0]
+        assert not compiled.overlay_windows(west_lo)
+
+
+class TestGeneration:
+    def test_plain_scenario_is_byte_identical_to_stock(self):
+        compiled = compile_scenario(
+            get_scenario("student-lab-baseline"), machines=4, days=14, seed=42
+        )
+        assert compiled.is_trivial
+        scenario_cols = generate_scenario_columns(compiled)
+        stock_cols = generate_dataset_columns(compiled.config)
+        assert scenario_cols.events.tobytes() == stock_cols.events.tobytes()
+        assert scenario_cols.metadata == stock_cols.metadata
+
+    @pytest.mark.parametrize(
+        "name", ["exam-crunch", "correlated-building-outage", "flash-crowd"]
+    )
+    def test_composed_scenarios_produce_valid_columns(self, name):
+        compiled = compile_scenario(get_scenario(name), machines=4, days=14)
+        cols = generate_scenario_columns(compiled)
+        validate_columns(
+            cols.events, n_machines=cols.n_machines, span=cols.span
+        )
+        assert len(cols) > 0
+
+    def test_outage_windows_are_fully_unavailable(self):
+        compiled = compile_scenario(
+            get_scenario("correlated-building-outage"), machines=8, days=14
+        )
+        cols = generate_scenario_columns(compiled)
+        # The whole-campus network cut would land on day 45; inside 14
+        # days only the east-wing maintenance at day 6 22:00 applies.
+        lo, hi = compiled.class_ranges()[1]
+        start = 6 * DAY + 22 * HOUR
+        end = start + 3 * HOUR
+        ev = cols.events
+        for mid in range(lo, hi):
+            mine = ev[ev["machine_id"] == mid]
+            covering = mine[(mine["start"] <= start) & (mine["end"] >= end)]
+            assert len(covering) == 1, mid
+            assert covering["state"][0] == 5  # S5 revocation
+
+
+class TestCliScenario:
+    def _run(self, *argv):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_validate_all_passes(self):
+        proc = self._run("scenario", "validate", "--all")
+        assert proc.returncode == 0, proc.stderr
+        assert len(proc.stdout.strip().splitlines()) == len(scenario_names())
+
+    def test_invalid_document_exits_2_with_key_path(self, tmp_path):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "scenario: 1\nname: bad\ndescription: d\n"
+            "fleet:\n  classes:\n    - name: lab\n      weight: -2.0\n",
+            encoding="utf-8",
+        )
+        proc = self._run("generate", "--scenario", str(bad), str(tmp_path / "o"))
+        assert proc.returncode == 2
+        combined = proc.stdout + proc.stderr
+        assert "fleet.classes[0].weight" in combined
+        assert "Traceback" not in combined
+
+    def test_invalid_config_exits_2_without_traceback(self, tmp_path):
+        proc = self._run("generate", "--machines", "0", str(tmp_path / "o"))
+        assert proc.returncode == 2
+        combined = proc.stdout + proc.stderr
+        assert combined.startswith("error:") or "error:" in combined
+        assert "Traceback" not in combined
+
+    def test_unknown_scenario_exits_2_listing_library(self, tmp_path):
+        proc = self._run("generate", "--scenario", "nope", str(tmp_path / "o"))
+        assert proc.returncode == 2
+        assert "library has" in proc.stdout + proc.stderr
+        assert "Traceback" not in proc.stdout + proc.stderr
+
+    def test_show_and_list_run_clean(self):
+        proc = self._run("scenario", "list")
+        assert proc.returncode == 0
+        assert "student-lab-baseline" in proc.stdout
+        proc = self._run("scenario", "show", "exam-crunch")
+        assert proc.returncode == 0
+        assert "fingerprint:" in proc.stdout
+        assert "flash crowds:" in proc.stdout
+
+    def test_generate_manifest_records_scenario(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        mani = tmp_path / "m.json"
+        proc = self._run(
+            "generate",
+            "--scenario",
+            "flash-crowd",
+            "--machines",
+            "4",
+            "--days",
+            "7",
+            "--seed",
+            "42",
+            "--metrics-out",
+            str(mani),
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        import json
+
+        doc = json.loads(mani.read_text(encoding="utf-8"))
+        assert doc["schema"]["manifest"] >= 8
+        assert doc["scenario"]["scenario"] == "flash-crowd"
+        assert doc["scenario"]["fingerprint"] == doc["config_fingerprint"]

@@ -1,0 +1,162 @@
+"""Seed-42 byte-identity and golden-report pins for the scenario layer.
+
+Two guarantees the scenario subsystem makes and this module enforces:
+
+* ``--scenario student-lab-baseline`` is **byte-identical** to the
+  hard-coded default config — same events, same trace files, same shard
+  stores — across jobs {1, 4} x formats {jsonl, binary} x
+  monolithic/sharded.  The scenario layer is pure configuration; the
+  paper's baseline cannot drift by being spelled declaratively.
+* The ``scenario diff`` report text for a fixed frame is pinned under
+  ``tests/goldens/scenario_diff.txt`` (bless intentional changes with
+  ``pytest tests/test_scenarios_golden.py --update-goldens``).
+
+Structured event arrays are compared with ``tobytes()``: NaN payload
+fields make ``np.array_equal`` useless for identity.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.config import ExecutionConfig
+from repro.scenarios import (
+    ScenarioAnalysis,
+    compile_scenario,
+    diff_report,
+    generate_scenario_columns,
+    generate_scenario_shards,
+    get_scenario,
+)
+from repro.traces.generate import generate_dataset_columns
+from repro.traces.shards import generate_shards
+from repro.traces.io import save_columns
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+N_MACHINES = 4
+DAYS = 14
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The declarative baseline compiled at the harness frame."""
+    return compile_scenario(
+        get_scenario("student-lab-baseline"),
+        machines=N_MACHINES,
+        days=DAYS,
+        seed=SEED,
+    )
+
+
+def _read_tree(root: Path) -> dict:
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+class TestBaselineByteIdentity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+    def test_monolithic_trace_files_identical(
+        self, baseline, tmp_path, jobs, fmt
+    ):
+        execution = ExecutionConfig(jobs=jobs)
+        scenario_cols = generate_scenario_columns(
+            baseline, execution=execution
+        )
+        stock_cols = generate_dataset_columns(
+            baseline.config.with_execution(execution)
+        )
+        assert scenario_cols.events.tobytes() == stock_cols.events.tobytes()
+        assert scenario_cols.metadata == stock_cols.metadata
+        a, b = tmp_path / f"a.{fmt}", tmp_path / f"b.{fmt}"
+        save_columns(scenario_cols, a, format=fmt)
+        save_columns(stock_cols, b, format=fmt)
+        assert a.read_bytes() == b.read_bytes()
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+    def test_shard_stores_identical(self, baseline, tmp_path, jobs, fmt):
+        execution = ExecutionConfig(jobs=jobs)
+        generate_scenario_shards(
+            baseline,
+            tmp_path / "scn",
+            2,
+            execution=execution,
+            format=fmt,
+        )
+        generate_shards(
+            baseline.config.with_execution(execution),
+            tmp_path / "stock",
+            2,
+            format=fmt,
+        )
+        scn, stock = _read_tree(tmp_path / "scn"), _read_tree(tmp_path / "stock")
+        assert scn.keys() == stock.keys()
+        for name in scn:
+            assert scn[name] == stock[name], f"shard artifact {name} differs"
+
+    def test_jobs_invariance_for_composed_scenarios(self, tmp_path):
+        compiled = compile_scenario(
+            get_scenario("exam-crunch"), machines=N_MACHINES, days=80, seed=SEED
+        )
+        one = generate_scenario_columns(
+            compiled, execution=ExecutionConfig(jobs=1)
+        )
+        four = generate_scenario_columns(
+            compiled, execution=ExecutionConfig(jobs=4)
+        )
+        assert one.events.tobytes() == four.events.tobytes()
+
+
+def _check_or_update(path: Path, text: str, update: bool) -> None:
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"updated golden {path.name}")
+    assert path.exists(), (
+        f"golden {path} is missing; create it with "
+        "'pytest tests/test_scenarios_golden.py --update-goldens'"
+    )
+    expected = path.read_text(encoding="utf-8")
+    if text != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                text.splitlines(),
+                fromfile=f"goldens/{path.name}",
+                tofile="current",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"golden {path.name} drifted (rerun with --update-goldens if "
+            f"intentional):\n{diff}"
+        )
+
+
+class TestScenarioDiffGolden:
+    def test_diff_report_pinned(self, update_goldens):
+        analyses = []
+        for name in (
+            "student-lab-baseline",
+            "bimodal-lab-server",
+            "flash-crowd",
+        ):
+            compiled = compile_scenario(
+                get_scenario(name), machines=4, days=7, seed=42
+            )
+            columns = generate_scenario_columns(compiled)
+            analyses.append(ScenarioAnalysis.from_dataset(name, columns))
+        _check_or_update(
+            GOLDEN_DIR / "scenario_diff.txt",
+            diff_report(analyses) + "\n",
+            update_goldens,
+        )

@@ -1,0 +1,242 @@
+"""Property-based tests for the scenario DSL (Hypothesis).
+
+Three contracts, over randomly generated valid documents:
+
+* **round trip** — ``parse → dump → parse`` is the identity;
+* **determinism** — equal documents (including int vs float spellings of
+  the same number) compile to equal config fingerprints;
+* **typed rejection** — corrupting any block raises
+  :class:`ScenarioError` whose ``path`` names the offending key.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ScenarioError
+from repro.scenarios import compile_scenario, dump_scenario, parse_scenario
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_finite = dict(allow_nan=False, allow_infinity=False)
+
+_names = st.text(
+    alphabet="abcdefghijklmnop-", min_size=1, max_size=10
+).filter(lambda s: s.strip("-"))
+
+_lab_overrides = st.dictionaries(
+    st.sampled_from(["weekend_factor", "night_floor", "weekday_heavy_rate"]),
+    st.floats(min_value=0.0, max_value=2.0, **_finite),
+    max_size=2,
+)
+
+
+@st.composite
+def _class_doc(draw, index: int):
+    doc: dict = {"name": f"c{index}"}
+    if draw(st.booleans()):
+        doc["profile"] = draw(
+            st.sampled_from(["student-lab", "enterprise", "home"])
+        )
+    if draw(st.booleans()):
+        doc["weight"] = draw(st.floats(min_value=0.1, max_value=8.0, **_finite))
+    lab = draw(_lab_overrides)
+    if lab:
+        doc["lab"] = lab
+    return doc
+
+
+@st.composite
+def _outage_doc(draw, index: int, class_names: list):
+    doc = {
+        "name": f"o{index}",
+        "day": draw(st.floats(min_value=0.0, max_value=60.0, **_finite)),
+        "duration_hours": draw(
+            st.floats(min_value=0.25, max_value=12.0, **_finite)
+        ),
+    }
+    if draw(st.booleans()):
+        doc["hour"] = draw(st.floats(min_value=0.0, max_value=24.0, **_finite))
+    selector = draw(st.integers(min_value=0, max_value=2))
+    if selector == 1:
+        doc["machines"] = {"class": draw(st.sampled_from(class_names))}
+    elif selector == 2:
+        lo = draw(st.integers(min_value=0, max_value=10))
+        hi = draw(st.integers(min_value=lo + 1, max_value=20))
+        doc["machines"] = {"range": [lo, hi]}
+    if draw(st.booleans()):
+        doc["repeat_days"] = draw(
+            st.floats(min_value=1.0, max_value=30.0, **_finite)
+        )
+    return doc
+
+
+@st.composite
+def _flash_doc(draw, index: int):
+    doc = {
+        "name": f"f{index}",
+        "day": draw(st.floats(min_value=0.0, max_value=60.0, **_finite)),
+        "duration_hours": draw(
+            st.floats(min_value=0.25, max_value=6.0, **_finite)
+        ),
+    }
+    if draw(st.booleans()):
+        doc["fraction"] = draw(
+            st.floats(min_value=0.05, max_value=1.0, **_finite)
+        )
+    if draw(st.booleans()):
+        doc["load"] = draw(st.floats(min_value=0.05, max_value=1.0, **_finite))
+    return doc
+
+
+@st.composite
+def scenario_docs(draw):
+    n_classes = draw(st.integers(min_value=1, max_value=3))
+    classes = [draw(_class_doc(i)) for i in range(n_classes)]
+    class_names = [c["name"] for c in classes]
+    doc: dict = {
+        "scenario": 1,
+        "name": draw(_names),
+        "description": draw(_names),
+        "fleet": {"classes": classes},
+    }
+    starts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=80),
+            unique=True,
+            max_size=3,
+        )
+    )
+    if starts:
+        doc["regimes"] = [
+            {"start_day": d, "lab": draw(_lab_overrides)}
+            for d in sorted(starts)
+        ]
+    n_outages = draw(st.integers(min_value=0, max_value=2))
+    if n_outages:
+        doc["outages"] = [
+            draw(_outage_doc(i, class_names)) for i in range(n_outages)
+        ]
+    n_flash = draw(st.integers(min_value=0, max_value=2))
+    if n_flash:
+        doc["flash_crowds"] = [draw(_flash_doc(i)) for i in range(n_flash)]
+    if draw(st.booleans()):
+        doc["defaults"] = {
+            "machines": draw(st.integers(min_value=n_classes, max_value=12)),
+            "days": draw(st.integers(min_value=1, max_value=92)),
+        }
+    return doc
+
+
+def _intify(value):
+    """Respell integral floats as ints, recursively (YAML authors do)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, dict):
+        return {k: _intify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_intify(v) for v in value]
+    return value
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(doc=scenario_docs())
+    def test_parse_dump_parse_identity(self, doc):
+        spec = parse_scenario(doc)
+        assert parse_scenario(dump_scenario(spec)) == spec
+
+    @SETTINGS
+    @given(doc=scenario_docs())
+    def test_dump_is_stable(self, doc):
+        spec = parse_scenario(doc)
+        assert dump_scenario(parse_scenario(dump_scenario(spec))) == (
+            dump_scenario(spec)
+        )
+
+
+class TestFingerprints:
+    @SETTINGS
+    @given(doc=scenario_docs())
+    def test_equal_docs_equal_fingerprints(self, doc):
+        a = compile_scenario(parse_scenario(copy.deepcopy(doc)), machines=8)
+        b = compile_scenario(parse_scenario(copy.deepcopy(doc)), machines=8)
+        assert a.fingerprint == b.fingerprint
+
+    @SETTINGS
+    @given(doc=scenario_docs())
+    def test_numeric_spelling_cannot_fingerprint_apart(self, doc):
+        a = compile_scenario(parse_scenario(doc), machines=8)
+        b = compile_scenario(parse_scenario(_intify(doc)), machines=8)
+        assert a.fingerprint == b.fingerprint
+
+    @SETTINGS
+    @given(doc=scenario_docs())
+    def test_description_is_not_identity(self, doc):
+        # Prose must not shift the dataset identity: two docs differing
+        # only in description fingerprint apart is a cache-split bug.
+        other = copy.deepcopy(doc)
+        other["description"] = doc["description"] + "x"
+        a = compile_scenario(parse_scenario(doc), machines=8)
+        b = compile_scenario(parse_scenario(other), machines=8)
+        assert a.spec.classes == b.spec.classes
+
+
+_CORRUPTIONS = [
+    (lambda d: d.update(zz=1), "zz"),
+    (lambda d: d.update(scenario=99), "scenario"),
+    (lambda d: d.pop("fleet"), "fleet"),
+    (lambda d: d["fleet"]["classes"][0].update(weight="heavy"),
+     "fleet.classes[0].weight"),
+    (lambda d: d["fleet"]["classes"][0].update(weight=0.0),
+     "fleet.classes[0].weight"),
+    (lambda d: d["fleet"]["classes"][0].update(profile="vax"),
+     "fleet.classes[0].profile"),
+    (lambda d: d["fleet"]["classes"][0].update(lab={"frobnicate": 1.0}),
+     "fleet.classes[0].lab.frobnicate"),
+    (lambda d: d.update(outages=[{"name": "o", "day": -1.0,
+                                  "duration_hours": 1.0}]),
+     "outages[0].day"),
+    (lambda d: d.update(outages=[{"name": "o", "day": 1.0,
+                                  "duration_hours": 1.0,
+                                  "machines": {"class": "ghost-class"}}]),
+     "outages[0].machines.class"),
+    (lambda d: d.update(flash_crowds=[{"name": "f", "day": 1.0,
+                                       "duration_hours": 1.0,
+                                       "fraction": 1.5}]),
+     "flash_crowds[0].fraction"),
+    (lambda d: d.update(defaults={"days": 0}), "defaults.days"),
+]
+
+
+class TestTypedRejection:
+    @SETTINGS
+    @given(
+        doc=scenario_docs(),
+        case=st.sampled_from(range(len(_CORRUPTIONS))),
+    )
+    def test_corruption_raises_with_the_key_path(self, doc, case):
+        mutate, path = _CORRUPTIONS[case]
+        bad = copy.deepcopy(doc)
+        mutate(bad)
+        with pytest.raises(ScenarioError) as exc_info:
+            parse_scenario(bad)
+        assert exc_info.value.path == path
+        assert path in str(exc_info.value)
+
+    def test_error_is_typed_and_configerror(self):
+        from repro.errors import ConfigError
+
+        exc = ScenarioError("a.b", "broken")
+        assert isinstance(exc, ConfigError)
+        assert exc.path == "a.b"
+        assert str(exc) == "a.b: broken"
