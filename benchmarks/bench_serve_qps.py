@@ -211,3 +211,137 @@ def test_serve_qps(benchmark, out_dir, tmp_path):
         f"client-observed p99 {1e3 * p99:.1f}ms over the "
         f"{1e3 * P99_CEILING_S:.0f}ms ceiling: {result}"
     )
+
+
+# -- worker-count scaling curve (ISSUE 10) -------------------------------------
+
+#: Worker counts the curve sweeps; 1 is the single-process daemon.
+SCALE_WORKER_COUNTS = (1, 2, 4)
+#: Aggregate-QPS floor for --workers 4 over single-process.  2.5× is the
+#: acceptance bar on multi-core hardware; single-core runners (the workers
+#: time-slice one CPU) must override it down via the env knob.
+SCALE_FLOOR = float(os.environ.get("FGCS_BENCH_SERVE_SCALE_FLOOR", "2.5"))
+SCALE_SECONDS = float(os.environ.get("FGCS_BENCH_SERVE_SCALE_SECONDS", "2"))
+SCALE_THREADS = int(os.environ.get("FGCS_BENCH_SERVE_SCALE_THREADS", "8"))
+SCALE_WARMUP_SECONDS = 0.3
+#: Machines whose served answers are spot-checked against the batch
+#: predictor in every lane.
+SCALE_PROBE_MACHINES = 5
+
+
+def _measure_lane(url: str, n_machines: int) -> dict:
+    """Pound one running front and return its lane measurements."""
+    stop = threading.Event()
+    counts = [0] * SCALE_THREADS
+    latencies: list[list[float]] = [[] for _ in range(SCALE_THREADS)]
+    errors: list[str] = []
+    threads = [
+        threading.Thread(
+            target=_pound,
+            args=(url, n_machines, stop, slot, counts, latencies, errors),
+        )
+        for slot in range(SCALE_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(SCALE_WARMUP_SECONDS)
+    for lane in latencies:
+        lane.clear()
+    base = sum(counts)
+    t0 = time.perf_counter()
+    stop.wait(SCALE_SECONDS)
+    measured = sum(counts) - base
+    elapsed = time.perf_counter() - t0
+    stop.set()
+    for t in threads:
+        t.join(30)
+    observed = np.sort(np.concatenate([np.asarray(l) for l in latencies]))
+    return {
+        "qps": measured / elapsed,
+        "requests": int(sum(counts)),
+        "latency_p50_ms": round(1e3 * float(observed[int(0.50 * (observed.size - 1))]), 3),
+        "latency_p99_ms": round(1e3 * float(observed[int(0.99 * (observed.size - 1))]), 3),
+        "errors_5xx": len(errors),
+        "errors": errors[:5],
+    }
+
+
+def test_serve_worker_scaling(benchmark, out_dir, tmp_path):
+    """Aggregate QPS across --workers 1/2/4, answers pinned == batch."""
+    from repro.prediction.base import PredictionQuery
+    from repro.prediction.history import HistoryWindowPredictor
+    from repro.serve import start_router
+
+    dataset = _synthetic_fleet(N_MACHINES)
+    write_shards(dataset, tmp_path / "fleet", N_SHARDS, format="binary")
+    store = open_shards(tmp_path / "fleet")
+    predictor = HistoryWindowPredictor().fit(dataset)
+    probes = [
+        (int(m) * (N_MACHINES // SCALE_PROBE_MACHINES)) % N_MACHINES
+        for m in range(SCALE_PROBE_MACHINES)
+    ]
+    expected = {
+        m: predictor.predict_survival(
+            PredictionQuery(
+                machine_id=m, day=N_DAYS, start_hour=0.0, duration_hours=6.0
+            )
+        )
+        for m in probes
+    }
+
+    def probe_answers(url: str) -> None:
+        with ServeClient(url) as client:
+            for m, want in expected.items():
+                got = client.availability(m, 6.0, day=N_DAYS, hour=0.0)
+                assert got["survival"] == want, (m, got["survival"], want)
+
+    lanes: list[dict] = []
+
+    def run_curve() -> float:
+        for n_workers in SCALE_WORKER_COUNTS:
+            if n_workers == 1:
+                state = ServeState.from_store(store, hot_shards=HOT_SHARDS)
+                registry = MetricsRegistry()
+                with start_server(state, registry=registry) as handle:
+                    probe_answers(handle.url)
+                    lane = _measure_lane(handle.url, N_MACHINES)
+            else:
+                with start_router(
+                    store,
+                    str(tmp_path / "fleet"),
+                    n_workers=n_workers,
+                    hot_shards=HOT_SHARDS,
+                ) as handle:
+                    probe_answers(handle.url)
+                    lane = _measure_lane(handle.url, N_MACHINES)
+            lane["workers"] = n_workers
+            lanes.append(lane)
+        return lanes[-1]["qps"] / lanes[0]["qps"]
+
+    speedup_4 = once(benchmark, run_curve)
+    by_workers = {lane["workers"]: lane for lane in lanes}
+    result = {
+        "bench": "serve_scale",
+        "version": repro.__version__,
+        "n_machines": N_MACHINES,
+        "n_days": N_DAYS,
+        "n_shards": N_SHARDS,
+        "hot_shards": HOT_SHARDS,
+        "client_threads": SCALE_THREADS,
+        "measure_seconds": SCALE_SECONDS,
+        "lanes": [
+            {k: v for k, v in lane.items() if k != "errors"}
+            for lane in lanes
+        ],
+        "speedup_2": round(by_workers[2]["qps"] / by_workers[1]["qps"], 3),
+        "speedup_4": round(speedup_4, 3),
+        "scale_floor": SCALE_FLOOR,
+    }
+    emit(out_dir, "BENCH_serve_scale.json", json.dumps(result, indent=2))
+
+    for lane in lanes:
+        assert lane["errors_5xx"] == 0, (lane["workers"], lane["errors"])
+    assert speedup_4 >= SCALE_FLOOR, (
+        f"--workers 4 sustained only {speedup_4:.2f}x the single-process "
+        f"QPS (floor {SCALE_FLOOR:.2f}x): {result}"
+    )

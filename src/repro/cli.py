@@ -296,12 +296,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (default: 0 = pick a free one, printed on start)",
     )
     p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scale out across N worker processes, each owning a "
+        "contiguous shard range behind a router front (needs a shard-"
+        "store trace; default: 1 = single process)",
+    )
+    p_srv.add_argument(
         "--hot-shards",
         type=int,
         default=None,
         metavar="N",
-        help="keep at most N shards' predictor state resident; cold "
-        "shards rebuild on demand from the store (default: unbounded)",
+        help="keep at most N count blocks resident per process; cold "
+        "blocks rebuild on demand from the store (default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--block-machines",
+        type=int,
+        default=None,
+        metavar="M",
+        help="page base-tier state in blocks of M machines instead of "
+        "whole shards — finer eviction grain for very large fleets "
+        "(default: whole-shard blocks)",
     )
     p_srv.add_argument(
         "--hot-mb",
@@ -328,6 +346,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="Laplace smoothing pseudo-count for survival (default: 0.5)",
+    )
+    p_srv.add_argument(
+        "--ingest-queue",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="bounded async ingest queue: at most N accepted events may "
+        "sit unapplied; batches beyond that get 429 + Retry-After "
+        "(default: 100000)",
+    )
+    p_srv.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the streamed-event overlay into DIR (atomic "
+        "write-temp-rename) on shutdown and every --snapshot-every "
+        "batches, and restore it on boot (default: no snapshots)",
+    )
+    p_srv.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="B",
+        help="with --snapshot-dir: snapshot after every B applied "
+        "ingest batches (default: 64)",
     )
     p_srv.add_argument(
         "--stdin",
@@ -889,14 +932,116 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return _partial_results(dataset)
 
 
+def _cmd_serve_router(args: argparse.Namespace) -> int:
+    """The ``serve --workers N`` scale-out path."""
+    import time
+
+    from .errors import ServeError, TraceError
+    from .obs import get_registry
+    from .serve import start_router
+    from .traces import is_shard_store, open_shards
+
+    if not is_shard_store(args.trace):
+        print(
+            "error: --workers needs a shard-store trace (worker "
+            "processes rebuild their machine ranges from the store); "
+            f"{args.trace!r} is a flat trace file",
+            file=sys.stderr,
+        )
+        return 2
+    hot_bytes = (
+        int(args.hot_mb * (1 << 20)) if args.hot_mb is not None else None
+    )
+    registry = get_registry()
+    try:
+        store = open_shards(args.trace)
+        handle = start_router(
+            store,
+            str(args.trace),
+            n_workers=args.workers,
+            host=args.host,
+            port=args.port,
+            registry=registry,
+            block_machines=args.block_machines,
+            hot_shards=args.hot_shards,
+            hot_bytes=hot_bytes,
+            history_days=args.history_days,
+            statistic=args.statistic,
+            laplace=args.laplace,
+            ingest_queue=args.ingest_queue,
+            snapshot_dir=args.snapshot_dir,
+            snapshot_every=args.snapshot_every,
+        )
+    except (ServeError, TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_workers = len(handle.supervisor.workers)
+    print(
+        f"routing {store.n_machines} machine(s) across {n_workers} "
+        f"worker(s) ({store.n_shards} shard(s)) on {handle.url} — "
+        "POST /v1/shutdown or Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    t0 = time.perf_counter()
+    try:
+        handle.wait()
+    except KeyboardInterrupt:
+        print("interrupted, shutting down", file=sys.stderr)
+    finally:
+        # Gather per-worker lanes before the fleet goes away.
+        try:
+            _, fleet_stats, _ = handle.app.stats()
+        except Exception:
+            fleet_stats = {"workers": [], "totals": {}}
+        handle.close()
+        duration = time.perf_counter() - t0
+        requests = registry.counter_value("serve.requests")
+        lanes = []
+        for lane in fleet_stats.get("workers", []):
+            entry = {
+                "worker": lane.get("worker"),
+                "up": lane.get("up", False),
+                "machine_lo": lane.get("machine_lo"),
+                "machine_hi": lane.get("machine_hi"),
+                "requests": lane.get("requests", 0),
+                "qps": (
+                    round(lane.get("requests", 0) / duration, 3)
+                    if duration > 0
+                    else 0.0
+                ),
+            }
+            if lane.get("latency"):
+                entry["latency"] = lane["latency"]
+            if lane.get("tier"):
+                entry["tier"] = lane["tier"]
+            if lane.get("ingest"):
+                entry["ingest"] = lane["ingest"]
+            lanes.append(entry)
+        registry.record(
+            "serve",
+            role="router",
+            requests=requests,
+            qps=round(requests / duration, 3) if duration > 0 else 0.0,
+            duration_s=round(duration, 3),
+            machines=store.n_machines,
+            n_workers=n_workers,
+            workers=lanes,
+            totals=fleet_stats.get("totals", {}),
+        )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from .errors import ServeError, TraceError
     from .obs import get_registry
-    from .serve import ServeState, start_server
+    from .serve import AsyncIngester, ServeState, start_server
     from .traces import is_shard_store, load_dataset, open_shards
     from .traces.records import EventColumns
+
+    if args.workers != 1:
+        return _cmd_serve_router(args)
 
     hot_bytes = (
         int(args.hot_mb * (1 << 20)) if args.hot_mb is not None else None
@@ -911,7 +1056,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         if is_shard_store(args.trace):
             store = open_shards(args.trace)
-            state = ServeState.from_store(store, **knobs)
+            state = ServeState.from_store(
+                store, block_machines=args.block_machines, **knobs
+            )
             source = f"{store.n_shards} shard(s)"
         else:
             dataset = load_dataset(args.trace)
@@ -919,13 +1066,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 EventColumns.from_dataset(dataset), **knobs
             )
             source = f"{len(dataset)} event(s)"
+        snapshot_fn = None
+        if args.snapshot_dir is not None:
+            from pathlib import Path
+
+            snap = Path(args.snapshot_dir) / "serve.npz"
+            if snap.exists():
+                restored = state.restore_overlay_snapshot(snap)
+                print(
+                    f"restored {restored} streamed event(s) from {snap}",
+                    file=sys.stderr,
+                )
+            snapshot_fn = lambda: state.save_overlay_snapshot(snap)  # noqa: E731
     except (ServeError, TraceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     registry = get_registry()
+    ingester = AsyncIngester(
+        state,
+        max_pending_events=args.ingest_queue,
+        snapshot_every=args.snapshot_every if snapshot_fn else None,
+        snapshot_fn=snapshot_fn,
+    )
     handle = start_server(
-        state, host=args.host, port=args.port, registry=registry
+        state,
+        host=args.host,
+        port=args.port,
+        registry=registry,
+        ingester=ingester,
     )
     print(
         f"serving {state.n_machines} machine(s) ({source}, horizon day "
@@ -954,10 +1123,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted, shutting down", file=sys.stderr)
     finally:
-        handle.close()
+        handle.close()  # drains + closes the ingester (final snapshot)
         duration = time.perf_counter() - t0
         requests = registry.counter_value("serve.requests")
         tiers = state.tier_stats()
+        queue = ingester.stats()
         registry.record(
             "serve",
             requests=requests,
@@ -971,11 +1141,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "hits": tiers.hits,
                 "rebuilds": tiers.rebuilds,
                 "evictions": tiers.evictions,
+                "n_blocks": tiers.n_blocks,
+                "block_machines": tiers.block_machines,
             },
             ingest={
                 "streamed_events": tiers.streamed_events,
                 "deduplicated_events": tiers.deduplicated_events,
                 "overlay_cells": tiers.overlay_cells,
+                "queue": {
+                    "depth_events": queue.depth_events,
+                    "capacity_events": queue.capacity_events,
+                    "enqueued_batches": queue.enqueued_batches,
+                    "applied_batches": queue.applied_batches,
+                    "backpressure_rejections": queue.backpressure_rejections,
+                    "snapshots": queue.snapshots,
+                    "snapshot_failures": queue.snapshot_failures,
+                },
             },
         )
     return rc

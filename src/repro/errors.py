@@ -66,3 +66,26 @@ class IngestOrderError(ServeError):
 
 class NoHistoryError(ServeError):
     """Raised when a query window has no same-type history days yet."""
+
+
+class WorkerRangeError(ServeError):
+    """Raised when a scale-out worker is asked about a machine it does
+    not own.
+
+    The router owns the machine→worker map, so a correctly routed fleet
+    never sees this; it surfaces misrouting (HTTP 421) instead of
+    silently answering from the wrong worker's state.
+    """
+
+
+class IngestBackpressureError(ServeError):
+    """Raised when the bounded ingest queue cannot take another batch.
+
+    Carries ``retry_after`` (seconds), surfaced as HTTP 429 with a
+    ``Retry-After`` header; the client backs off and retries — nothing
+    is dropped or reordered.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -36,8 +36,12 @@ __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
 #: section (the forecast daemon's request/QPS/latency/tier accounting);
 #: v8 added the ``scenario`` section (the declarative scenario a
 #: ``generate --scenario`` / ``scenario diff`` run was driven by, with
-#: its compiled fingerprint).
-MANIFEST_SCHEMA_VERSION = 8
+#: its compiled fingerprint); v9 extended the ``serve`` section for the
+#: scale-out front (``workers`` — per-worker QPS/latency/tier lanes and
+#: a ``totals`` roll-up — plus block-paging counters
+#: (``tier.n_blocks``/``tier.block_machines``) and the bounded ingest
+#: queue's ``ingest.queue`` depth/backpressure accounting).
+MANIFEST_SCHEMA_VERSION = 9
 
 
 @dataclass
@@ -92,11 +96,13 @@ class RunManifest:
     #: (``{"<pid>": {"max_rss_bytes": ..., "cpu_seconds": ...,
     #: "units": ...}}``) merged from worker telemetry.
     resources: dict = field(default_factory=dict)
-    #: Serving accounting (schema v7): the forecast daemon's lifetime
-    #: summary — ``requests``/``qps``/``duration_s``, per-class status
-    #: counts, the ``latency`` histogram summary of
+    #: Serving accounting (schema v7, extended v9): the forecast
+    #: daemon's lifetime summary — ``requests``/``qps``/``duration_s``,
+    #: per-class status counts, the ``latency`` histogram summary of
     #: ``serve.request_seconds``, and the hot/cold ``tier`` + ``ingest``
-    #: counters (see ``docs/serving.md``).
+    #: counters, now including block-paging counters and the async
+    #: ingest queue; scale-out runs add per-worker lanes under
+    #: ``workers`` and a ``totals`` roll-up (see ``docs/serving.md``).
     serve: dict = field(default_factory=dict)
     #: Scenario accounting (schema v8): the declarative scenario the run
     #: was driven by — ``scenario`` (name), compiled ``fingerprint``,

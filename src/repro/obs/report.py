@@ -425,18 +425,62 @@ def render_manifest_report(manifest: RunManifest) -> str:
             )
         tier = serve.get("tier") or {}
         if tier:
+            block = tier.get("block_machines")
+            paging = (
+                f" blocks={tier.get('n_blocks', 1)}"
+                + (f"×{block}m" if block else "")
+            )
             lines.append(
                 f"  tier      hot={tier.get('hot_entries', 0)} "
                 f"resident={_fmt_bytes(tier.get('resident_bytes', 0))} "
                 f"hits={tier.get('hits', 0)} "
                 f"rebuilds={tier.get('rebuilds', 0)} "
                 f"evictions={tier.get('evictions', 0)}"
+                + paging
             )
         ingest = serve.get("ingest") or {}
         if ingest.get("streamed_events"):
             lines.append(
                 f"  ingest    streamed={ingest['streamed_events']} "
                 f"deduplicated={ingest.get('deduplicated_events', 0)}"
+            )
+        queue = ingest.get("queue") or {}
+        if queue:
+            lines.append(
+                f"  queue     applied={queue.get('applied_batches', 0)} "
+                f"depth={queue.get('depth_events', 0)}"
+                f"/{queue.get('capacity_events', 0)} "
+                f"backpressure={queue.get('backpressure_rejections', 0)} "
+                f"snapshots={queue.get('snapshots', 0)}"
+            )
+        # Scale-out runs (schema v9): one lane per shard worker.
+        for lane in serve.get("workers") or []:
+            latency = lane.get("latency") or {}
+            p99 = (
+                f"  p99={_fmt(latency['p99'], 's')}"
+                if latency.get("count")
+                else ""
+            )
+            span = (
+                f"[{lane.get('machine_lo')}, {lane.get('machine_hi')})"
+                if lane.get("machine_lo") is not None
+                else "?"
+            )
+            state = "up" if lane.get("up") else "DOWN"
+            lines.append(
+                f"  worker {lane.get('worker')}  {state}  machines {span}  "
+                f"requests={lane.get('requests', 0)}  "
+                f"QPS {_fmt(lane.get('qps'), '/s')}"
+                + p99
+            )
+        totals = serve.get("totals") or {}
+        if totals:
+            lines.append(
+                f"  fleet     upstream_requests={totals.get('requests', 0)} "
+                f"rebuilds={totals.get('rebuilds', 0)} "
+                f"evictions={totals.get('evictions', 0)} "
+                f"streamed={totals.get('streamed_events', 0)} "
+                f"backpressure={totals.get('backpressure_rejections', 0)}"
             )
 
     res = m.resources or {}

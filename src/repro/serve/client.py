@@ -1,15 +1,35 @@
 """A thin HTTP client for the availability-forecast daemon.
 
-Keeps one persistent HTTP/1.1 connection per instance (reconnecting once
-on a dropped keep-alive), so the bench and the load tests measure
-request latency rather than TCP handshakes.  The ``repro-fgcs query``
-CLI subcommand wraps this.
+Keeps one persistent HTTP/1.1 connection per instance, so the bench and
+the load tests measure request latency rather than TCP handshakes.  The
+``repro-fgcs query`` CLI subcommand wraps this.
+
+Two retry layers make the client safe against the scale-out front's
+transient states (see ``docs/serving.md``):
+
+* **Connection-level** — a dropped keep-alive, ``ECONNRESET``, or
+  ``ConnectionRefusedError`` (a worker or router mid-restart) retries on
+  a fresh connection with exponential backoff, bounded by
+  ``connect_retries``.  The first retry is immediate (the common
+  server-closed-keep-alive case costs nothing extra); later ones back
+  off ``backoff_base × 2ⁿ`` capped at ``backoff_max``.
+* **Busy-level** — a 429 (ingest backpressure) or 503 (worker range
+  down) response that carries ``retry_after`` is waited out and retried,
+  bounded by ``busy_retries``; the server's hint is honored but clamped
+  to ``backoff_max`` so a pathological hint cannot hang the caller.
+  Responses *without* ``retry_after`` (e.g. 503 before any data is
+  ingested) fail fast, unchanged.
+
+``request_raw`` stays raw: it applies only connection-level retries and
+returns error statuses without raising, which is what the error-path
+tests (and the router's forwarding) want.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Optional, Sequence, Union
 from urllib.parse import urlencode, urlsplit
 
@@ -21,15 +41,25 @@ __all__ = ["ServeClient", "ServeRequestError"]
 class ServeRequestError(ServeError):
     """A non-2xx response from the serve daemon."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServeClient:
     """Talk to one daemon at ``url`` (e.g. ``http://127.0.0.1:8642``)."""
 
-    def __init__(self, url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        connect_retries: int = 4,
+        busy_retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+    ) -> None:
         split = urlsplit(url if "//" in url else f"http://{url}")
         if split.scheme not in ("", "http"):
             raise ServeError(f"only http:// URLs are supported, got {url!r}")
@@ -38,6 +68,10 @@ class ServeClient:
         self.host = split.hostname
         self.port = split.port or 80
         self.timeout = timeout
+        self.connect_retries = max(0, connect_retries)
+        self.busy_retries = max(0, busy_retries)
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing -------------------------------------------------------------
@@ -68,7 +102,8 @@ class ServeClient:
         headers = {}
         if body is not None:
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.connect_retries + 1):
             conn = self._connection()
             try:
                 conn.request(method, target, body=body, headers=headers)
@@ -79,12 +114,24 @@ class ServeClient:
                 http.client.HTTPException,
                 ConnectionError,
                 BrokenPipeError,
-            ):
-                # A keep-alive the server already closed; retry once on a
-                # fresh connection, then give up.
+            ) as exc:
+                # A keep-alive the server already closed, a reset mid
+                # flight, or a refused connect during a restart window:
+                # retry on a fresh connection.  The first retry is free;
+                # the rest back off so a restarting worker has time to
+                # come back before we give up.
                 self.close()
-                if attempt:
+                last_exc = exc
+                if attempt >= self.connect_retries:
                     raise
+                if attempt:
+                    delay = min(
+                        self.backoff_base * (2 ** (attempt - 1)),
+                        self.backoff_max,
+                    )
+                    time.sleep(delay)
+        else:  # pragma: no cover - loop always breaks or raises
+            raise last_exc  # type: ignore[misc]
         try:
             decoded = json.loads(payload) if payload else {}
         except ValueError:
@@ -94,10 +141,21 @@ class ServeClient:
     def _request(
         self, method: str, target: str, body: Optional[bytes] = None
     ) -> dict:
-        status, payload = self.request_raw(method, target, body)
-        if not 200 <= status < 300:
-            raise ServeRequestError(status, payload.get("error", "unknown error"))
-        return payload
+        for attempt in range(self.busy_retries + 1):
+            status, payload = self.request_raw(method, target, body)
+            if 200 <= status < 300:
+                return payload
+            retry_after = payload.get("retry_after")
+            busy = status in (429, 503) and retry_after is not None
+            if not busy or attempt >= self.busy_retries:
+                raise ServeRequestError(
+                    status,
+                    payload.get("error", "unknown error"),
+                    retry_after=retry_after if busy else None,
+                )
+            # Honor the server's hint, clamped so a bad hint can't hang us.
+            time.sleep(min(max(float(retry_after), 0.0), self.backoff_max))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _target(path: str, params: dict) -> str:
@@ -170,6 +228,9 @@ class ServeClient:
     def ingest(self, events: Sequence[Union[dict, list]]) -> dict:
         body = json.dumps(list(events)).encode("utf-8")
         return self._request("POST", "/v1/ingest", body)
+
+    def flush(self) -> dict:
+        return self._request("POST", "/v1/flush")
 
     def shutdown(self) -> dict:
         return self._request("POST", "/v1/shutdown")

@@ -3,33 +3,45 @@
 Two layers, split for testability:
 
 * :class:`ServeApp` — a pure request router: ``(method, path, params,
-  body) -> (status, payload)``.  All endpoint logic, parameter parsing,
-  and error mapping lives here, exercisable without sockets.
+  body) -> (status, payload, headers)``.  All endpoint logic, parameter
+  parsing, and error mapping lives here, exercisable without sockets.
 * :class:`ServeHandler` + :func:`start_server` — the thin
   :mod:`http.server` shell: a :class:`~http.server.ThreadingHTTPServer`
   speaking HTTP/1.1 keep-alive (persistent connections are what make
   four-digit QPS reachable from a handful of client threads), one
   daemon thread per connection, JSON in/out with ``Content-Length``.
 
+The same app serves three roles: the single-process daemon (PR 8), a
+scale-out **shard worker** owning a machine range (``worker_id`` set,
+state built with a ``shard_range``), and — through
+:class:`~repro.serve.router.RouterApp`, which subclasses none of this
+but speaks the same wire protocol — the front-end the workers sit
+behind.
+
 Endpoints (see ``docs/serving.md`` for the full API):
 
 ====== ========================= ==========================================
 Method Path                      Answer
 ====== ========================= ==========================================
-GET    ``/healthz``              liveness + readiness
+GET    ``/healthz``              liveness + readiness + owned machine range
 GET    ``/v1/availability``      P(machine available ≥ duration) + count
 GET    ``/v1/capacity``          fleet machines forecast free for a window
 GET    ``/v1/rank``              top-k machines by survival probability
-GET    ``/v1/stats``             tier/ingest/request counters
-POST   ``/v1/ingest``            stream events (JSON array or JSONL body)
+GET    ``/v1/stats``             tier/paging/ingest/request counters
+POST   ``/v1/ingest``            stream events (JSON array or JSONL body;
+                                 ``?dry=1`` validates without applying)
+POST   ``/v1/flush``             block until queued ingest is applied
 POST   ``/v1/shutdown``          graceful stop
 ====== ========================= ==========================================
 
-Error contract: unknown machine → 404; malformed or missing parameters
-(including an invalid window, via :class:`~repro.errors.PredictionError`)
-→ 400; queries before any data exists → 503; ingest ordering violations
-→ 409; a window with no same-type history yet → 422.  Every error body
-is ``{"error": <human message>}``.
+Error contract: unknown machine → 404; a machine outside this worker's
+range → 421 (misdirected; the router owns the machine→worker map);
+malformed or missing parameters (including an invalid window, via
+:class:`~repro.errors.PredictionError`) → 400; queries before any data
+exists → 503; ingest ordering violations → 409; ingest-queue
+backpressure → 429 with a ``Retry-After`` header and ``retry_after`` in
+the body; a window with no same-type history yet → 422.  Every error
+body is ``{"error": <human message>}``.
 
 Telemetry: per-request counters and latency histograms on the injected
 :class:`~repro.obs.metrics.MetricsRegistry` (``serve.requests``,
@@ -49,13 +61,16 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import (
+    IngestBackpressureError,
     IngestOrderError,
     NoHistoryError,
     PredictionError,
     ServeError,
+    WorkerRangeError,
 )
 from ..obs.metrics import MetricsRegistry
 from ..prediction.base import PredictionQuery
+from .ingest import AsyncIngester
 from .state import ServeState
 
 __all__ = ["ServeApp", "ServeHandle", "start_server"]
@@ -98,16 +113,26 @@ class ServeApp:
     """Routes parsed requests against a :class:`ServeState`.
 
     Pure: no sockets, no threads of its own — the HTTP shell and the
-    test suite both drive :meth:`handle`.
+    test suite both drive :meth:`handle`.  With an
+    :class:`~repro.serve.ingest.AsyncIngester` attached, ``POST
+    /v1/ingest`` validates synchronously but applies through the queue
+    (and can 429); without one it applies inline, exactly as before.
     """
 
     def __init__(
-        self, state: ServeState, registry: Optional[MetricsRegistry] = None
+        self,
+        state: ServeState,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        ingester: Optional[AsyncIngester] = None,
+        worker_id: Optional[int] = None,
     ) -> None:
         self.state = state
         self.registry = (
             registry if registry is not None else MetricsRegistry(enabled=False)
         )
+        self.ingester = ingester
+        self.worker_id = worker_id
         self._started = time.time()
 
     # -- plumbing -------------------------------------------------------------
@@ -116,9 +141,17 @@ class ServeApp:
         self, method: str, target: str, body: bytes = b""
     ) -> tuple[int, dict]:
         """Dispatch one request; returns ``(http_status, json_payload)``."""
+        status, payload, _ = self.handle_full(method, target, body)
+        return status, payload
+
+    def handle_full(
+        self, method: str, target: str, body: bytes = b""
+    ) -> tuple[int, dict, dict]:
+        """Dispatch one request; returns ``(status, payload, headers)``."""
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         params = parse_qs(split.query)
+        headers: dict[str, str] = {}
         t0 = time.perf_counter()
         try:
             status, payload = self._route(method, path, params, body)
@@ -128,12 +161,19 @@ class ServeApp:
             status, payload = 400, {"error": str(exc)}
         except IngestOrderError as exc:
             status, payload = 409, {"error": str(exc)}
+        except IngestBackpressureError as exc:
+            status = 429
+            payload = {"error": str(exc), "retry_after": exc.retry_after}
+            headers["Retry-After"] = f"{exc.retry_after:g}"
+            self.registry.inc("serve.ingest_backpressure")
         except NoHistoryError as exc:
             message = str(exc)
             if "no data ingested" in message:
                 status, payload = 503, {"error": message}
             else:
                 status, payload = 422, {"error": message}
+        except WorkerRangeError as exc:
+            status, payload = 421, {"error": str(exc)}
         except ServeError as exc:
             message = str(exc)
             if "unknown machine" in message:
@@ -148,7 +188,7 @@ class ServeApp:
         self.registry.inc(f"serve.status.{status // 100}xx")
         self.registry.observe("serve.request_seconds", dt)
         self.registry.observe(f"serve.request_seconds.{name}", dt)
-        return status, payload
+        return status, payload, headers
 
     def _route(
         self, method: str, path: str, params: dict, body: bytes
@@ -164,7 +204,9 @@ class ServeApp:
         if path == "/v1/stats" and method == "GET":
             return self.stats()
         if path == "/v1/ingest" and method == "POST":
-            return self.ingest(body)
+            return self.ingest(body, params)
+        if path == "/v1/flush" and method == "POST":
+            return self.flush()
         if path == "/v1/shutdown" and method == "POST":
             return 200, {"stopping": True}
         known = {
@@ -174,6 +216,7 @@ class ServeApp:
             "/v1/rank",
             "/v1/stats",
             "/v1/ingest",
+            "/v1/flush",
             "/v1/shutdown",
         }
         if path in known:
@@ -205,13 +248,18 @@ class ServeApp:
     # -- endpoints ------------------------------------------------------------
 
     def healthz(self) -> tuple[int, dict]:
-        return 200, {
+        payload = {
             "ok": True,
             "ready": self.state.ready,
             "n_machines": self.state.n_machines,
+            "machine_lo": self.state.machine_lo,
+            "machine_hi": self.state.machine_hi,
             "horizon_day": self.state.horizon_day,
             "uptime_seconds": time.time() - self._started,
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return 200, payload
 
     def availability(self, params: dict) -> tuple[int, dict]:
         machine = _as_int("machine", _require(params, "machine"))
@@ -259,8 +307,10 @@ class ServeApp:
 
     def stats(self) -> tuple[int, dict]:
         tiers = self.state.tier_stats()
-        return 200, {
+        payload = {
             "n_machines": self.state.n_machines,
+            "machine_lo": self.state.machine_lo,
+            "machine_hi": self.state.machine_hi,
             "base_days": self.state.base_n_days,
             "horizon_day": self.state.horizon_day,
             "ready": self.state.ready,
@@ -273,6 +323,8 @@ class ServeApp:
                 "hits": tiers.hits,
                 "rebuilds": tiers.rebuilds,
                 "evictions": tiers.evictions,
+                "n_blocks": tiers.n_blocks,
+                "block_machines": tiers.block_machines,
             },
             "ingest": {
                 "streamed_events": tiers.streamed_events,
@@ -281,8 +333,32 @@ class ServeApp:
             },
             "requests": self.registry.counter_value("serve.requests"),
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        if self.ingester is not None:
+            q = self.ingester.stats()
+            payload["ingest"]["queue"] = {
+                "depth_events": q.depth_events,
+                "depth_batches": q.depth_batches,
+                "capacity_events": q.capacity_events,
+                "enqueued_batches": q.enqueued_batches,
+                "applied_batches": q.applied_batches,
+                "backpressure_rejections": q.backpressure_rejections,
+                "snapshots": q.snapshots,
+                "snapshot_failures": q.snapshot_failures,
+            }
+        hist = self.registry.histogram("serve.request_seconds")
+        if hist is not None and len(hist):
+            payload["latency"] = hist.summary()
+        status_counts = {
+            band: self.registry.counter_value(f"serve.status.{band}")
+            for band in ("2xx", "4xx", "5xx")
+        }
+        if any(status_counts.values()):
+            payload["status"] = status_counts
+        return 200, payload
 
-    def ingest(self, body: bytes) -> tuple[int, dict]:
+    def _decode_events(self, body: bytes) -> list:
         if not body:
             raise _BadRequest("ingest body is empty")
         text = body.decode("utf-8", errors="replace").strip()
@@ -293,15 +369,47 @@ class ServeApp:
                 raise _BadRequest(f"invalid JSON body: {exc}")
             if not isinstance(events, list):
                 raise _BadRequest("ingest JSON body must be an array")
-            result = self.state.ingest(events)
+            return events
+        return self.state.parse_jsonl(text.splitlines())
+
+    def ingest(self, body: bytes, params: Optional[dict] = None) -> tuple[int, dict]:
+        events = self._decode_events(body)
+        dry = _one(params or {}, "dry") in ("1", "true")
+        # horizon must cover queued-but-unapplied events, so take the
+        # batch's own projection where the async path has one.
+        horizon = self.state.horizon_day
+        if self.ingester is not None:
+            batch = (
+                self.ingester.validate_only(events)
+                if dry
+                else self.ingester.submit(events)
+            )
+            result = batch.result()
+            horizon = max(horizon, batch.horizon_day)
+        elif dry:
+            batch = self.state.validate_events(events)
+            result = batch.result()
+            horizon = max(horizon, batch.horizon_day)
         else:
-            result = self.state.ingest_jsonl(text.splitlines())
-        self.registry.inc("serve.ingested_events", result.accepted)
+            result = self.state.ingest(events)
+            horizon = self.state.horizon_day
+        if not dry:
+            self.registry.inc("serve.ingested_events", result.accepted)
+            self.registry.inc("serve.ingest_batches")
         return 200, {
             "accepted": result.accepted,
             "deduplicated": result.deduplicated,
-            "horizon_day": self.state.horizon_day,
+            "dry": dry,
+            "horizon_day": horizon,
         }
+
+    def flush(self) -> tuple[int, dict]:
+        if self.ingester is not None:
+            self.ingester.flush()
+            applied = self.ingester.stats().applied_batches
+        else:
+            applied = self.registry.counter_value("serve.ingest_batches")
+        return 200, {"flushed": True, "applied_batches": applied}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -316,19 +424,23 @@ class _Handler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
     app: ServeApp  # set by start_server on the subclass
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, extra: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        status, payload = self.app.handle(method, self.path, body)
-        self._respond(status, payload)
+        status, payload, headers = self.app.handle_full(method, self.path, body)
+        self._respond(status, payload, headers)
         if method == "POST" and self.path.split("?")[0].rstrip("/") == "/v1/shutdown":
             # shutdown() must run off the serve thread or it deadlocks.
             threading.Thread(
@@ -373,6 +485,8 @@ class ServeHandle:
         self.server.shutdown()
         self.thread.join()
         self.server.server_close()
+        if self.app.ingester is not None:
+            self.app.ingester.close()
 
     def __enter__(self) -> "ServeHandle":
         return self
@@ -387,9 +501,11 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     registry: Optional[MetricsRegistry] = None,
+    ingester: Optional[AsyncIngester] = None,
+    worker_id: Optional[int] = None,
 ) -> ServeHandle:
     """Start the daemon on a background thread; ``port=0`` picks a free one."""
-    app = ServeApp(state, registry)
+    app = ServeApp(state, registry, ingester=ingester, worker_id=worker_id)
     handler = type("ServeHandler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True

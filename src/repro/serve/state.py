@@ -11,18 +11,28 @@ million-machine fleet fits under a fixed RSS ceiling.
 
 :class:`ServeState` is that state, split into two tiers:
 
-* **base tier** — per-shard ``(machines, n_days, 24)`` ``int64`` count
-  blocks rebuilt on demand from an on-disk shard store
-  (:meth:`~repro.traces.shards.ShardedTraceDataset.shard_columns`, so
-  binary shards rebuild from a zero-copy memmap without materializing
-  events) and held in an LRU bounded by ``hot_shards`` entries and/or
-  ``hot_bytes`` resident bytes.  Cold shards cost one rebuild on next
-  touch; the fleet's total state never has to be resident at once.
+* **base tier** — count blocks built from the bootstrap trace.  A state
+  bootstrapped from in-memory columns holds one resident block; a
+  store-backed state pages **fixed-size machine-range blocks** in and
+  out through a :class:`~repro.serve.paging.BlockPager` (rebuilt
+  zero-copy from the mmap'd binary shards, LRU-bounded by blocks and/or
+  bytes), so the fleet's total state never has to be resident at once —
+  the block grain is what lets a 10⁵–10⁶-machine fleet serve under a
+  fixed RSS ceiling.
 * **overlay tier** — a sparse ``(machine, day) -> 24-vector`` of counts
   from *streamed* events (``POST /v1/ingest`` or stdin JSONL).  The
   overlay is always resident (it only holds what was streamed) and is
   never evicted, so eviction can never lose live data: a machine's
-  effective counts are always ``base + overlay``.
+  effective counts are always ``base + overlay``.  The overlay (plus
+  the ingest tails) is what :meth:`save_overlay_snapshot` persists so
+  restarts don't lose streamed events.
+
+A state may own only a **machine range** of the fleet: the scale-out
+router (:mod:`repro.serve.router`) gives each worker process a
+contiguous run of shards, and the worker's state answers for exactly
+those machines (``machine_lo``/``machine_hi``), raising
+:class:`~repro.errors.WorkerRangeError` for the rest.  Fleet-vectorized
+queries return per-owned-machine arrays the router scatter-gathers.
 
 Exactness contract
 ------------------
@@ -35,9 +45,13 @@ operation for operation — per-cell ``total += overlap * count``
 accumulation in cell order, ``np.mean`` over the same-shaped history
 vector, the same Laplace-smoothed survival quotient.  The fleet-wide
 vectorized path (:meth:`ServeState.survival_fleet`) keeps the identical
-per-cell accumulation order across machines, so capacity and ranking
-answers agree with the scalar path bit for bit.  The differential suite
-(``tests/test_serve_api.py``) pins this.
+per-cell accumulation order across machines, and block paging commutes
+with counting (integer restriction to a machine sub-range), so capacity
+and ranking answers agree with the scalar path bit for bit through any
+block size, eviction churn, routing split, or snapshot/restore cycle.
+The differential suites (``tests/test_serve_api.py``,
+``tests/test_serve_paging.py``, ``tests/test_serve_router.py``) pin
+this.
 
 Ingest contract
 ---------------
@@ -55,6 +69,12 @@ per machine:
 * events sharing a start time with different payloads are distinct
   events (simultaneous detections) and all accepted.
 
+Validation and application are split (:meth:`validate_events` /
+:meth:`apply_batch`) so the asynchronous ingest queue
+(:mod:`repro.serve.ingest`) can decide a batch's fate synchronously at
+the enqueue boundary — same contract, same result — and apply the
+pre-validated counts later without re-deciding anything.
+
 The batch path freezes its day horizon at the trace span; the live path
 extends it as events arrive (``horizon_day``), so "now" queries keep
 working past the end of the bootstrap trace.
@@ -62,29 +82,39 @@ working past the end of the bootstrap trace.
 
 from __future__ import annotations
 
-import bisect
+import os
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import IngestOrderError, NoHistoryError, ServeError
+from ..errors import (
+    IngestOrderError,
+    NoHistoryError,
+    ServeError,
+    WorkerRangeError,
+)
 from ..prediction.base import PredictionQuery
 from ..traces.records import CODE_TO_STATE, EventColumns
 from ..traces.shards import ShardedTraceDataset
 from ..units import DAY, HOUR
+from .paging import BlockPager
 
 __all__ = [
     "IngestResult",
     "ServeState",
     "TierStats",
+    "ValidatedBatch",
     "counts_from_columns",
 ]
 
 #: Failure-state names accepted on the ingest boundary, by on-disk code.
 _STATE_NAMES = {code: state.value for code, state in CODE_TO_STATE.items()}
+
+#: Overlay-snapshot document version (bump on incompatible layout change).
+SNAPSHOT_VERSION = 1
 
 
 def counts_from_columns(cols: EventColumns) -> np.ndarray:
@@ -97,24 +127,12 @@ def counts_from_columns(cols: EventColumns) -> np.ndarray:
     same fmod-and-correct algorithm as CPython's float ``divmod``, so
     the two paths bin every float start identically (property-tested).
     """
+    from .paging import counts_from_event_rows
+
     n_days = cols.n_days
-    counts = np.zeros((cols.n_machines, n_days, 24), dtype=np.int64)
     if len(cols) == 0 or n_days == 0:
-        return counts
-    start = cols.events["start"]
-    day, rem = np.divmod(start, DAY)
-    hour = np.floor_divide(rem, HOUR).astype(np.int64)
-    day = day.astype(np.int64)
-    keep = day < n_days
-    flat = (
-        cols.events["machine_id"].astype(np.int64)[keep] * (n_days * 24)
-        + day[keep] * 24
-        + hour[keep]
-    )
-    counts += np.bincount(
-        flat, minlength=cols.n_machines * n_days * 24
-    ).reshape(counts.shape)
-    return counts
+        return np.zeros((cols.n_machines, n_days, 24), dtype=np.int64)
+    return counts_from_event_rows(cols.events, cols.n_machines, n_days)
 
 
 @dataclass(frozen=True)
@@ -137,6 +155,10 @@ class TierStats:
     streamed_events: int
     deduplicated_events: int
     overlay_cells: int
+    #: Total pageable blocks in the base tier (1 for in-memory states).
+    n_blocks: int = 1
+    #: Configured block size (``None`` = whole-shard blocks).
+    block_machines: Optional[int] = None
 
 
 class _ParsedEvent:
@@ -158,6 +180,32 @@ class _ParsedEvent:
         )
 
 
+@dataclass(frozen=True)
+class ValidatedBatch:
+    """A batch whose fate was fully decided at the ingest boundary.
+
+    ``accepted`` holds the events that will count (duplicates already
+    dropped), ``tails`` the per-machine newest-event delta the batch
+    leaves behind, and ``horizon_day`` the projected first-unobserved
+    day once applied — everything a deferred apply or a queue's shadow
+    state needs, with no re-validation.
+    """
+
+    accepted: tuple
+    deduplicated: int
+    tails: dict = field(default_factory=dict)
+    horizon_day: int = 0
+
+    @property
+    def n_accepted(self) -> int:
+        return len(self.accepted)
+
+    def result(self) -> IngestResult:
+        return IngestResult(
+            accepted=len(self.accepted), deduplicated=self.deduplicated
+        )
+
+
 class ServeState:
     """The daemon's live, query-ready fleet state (thread-safe).
 
@@ -168,15 +216,27 @@ class ServeState:
         horizon; streamed events may extend it (see ``horizon_day``).
     store:
         Optional shard store backing the base tier.  Without one the
-        state is overlay-only (pure streamed mode).
+        state is overlay-only (pure streamed mode) unless bootstrapped
+        via :meth:`from_columns`.
+    shard_range:
+        With a store: the contiguous shard range ``[lo, hi)`` this state
+        owns (a scale-out worker's slice).  Default: every shard.
     hot_shards:
         Maximum base-tier blocks resident at once (``None`` = unbounded).
+        With the default whole-shard blocks this bounds resident
+        *shards*, which is what the flag has always meant.
     hot_bytes:
         Maximum base-tier resident bytes (``None`` = unbounded).  Both
         bounds may be active; eviction runs until both hold.
+    block_machines:
+        Machines per pageable base-tier block (``None`` = whole-shard
+        blocks).  Smaller blocks page at a finer grain — the knob that
+        holds a 10⁵⁺-machine fleet under a fixed RSS ceiling.
     history_days, statistic, laplace:
         Predictor knobs, matching
         :class:`~repro.prediction.history.HistoryWindowPredictor`.
+    verify:
+        Verify shard content fingerprints on first touch.
     """
 
     def __init__(
@@ -186,11 +246,14 @@ class ServeState:
         start_weekday: int = 0,
         *,
         store: Optional[ShardedTraceDataset] = None,
+        shard_range: Optional[tuple] = None,
         hot_shards: Optional[int] = None,
         hot_bytes: Optional[int] = None,
+        block_machines: Optional[int] = None,
         history_days: int = 8,
         statistic: str = "mean",
         laplace: float = 0.5,
+        verify: bool = True,
     ) -> None:
         if n_machines <= 0:
             raise ServeError("ServeState needs n_machines > 0")
@@ -206,6 +269,8 @@ class ServeState:
             raise ServeError("hot_shards must be >= 1")
         if hot_bytes is not None and hot_bytes <= 0:
             raise ServeError("hot_bytes must be positive")
+        if shard_range is not None and store is None:
+            raise ServeError("shard_range needs a backing store")
         self.n_machines = n_machines
         self.base_n_days = n_days
         self.start_weekday = start_weekday
@@ -213,29 +278,32 @@ class ServeState:
         self.statistic = statistic
         self.laplace = laplace
         self._store = store
-        self._hot_shards = hot_shards
-        self._hot_bytes = hot_bytes
-        # Shard machine ranges; overlay-only states get one virtual
-        # zero-count "shard" spanning the fleet so the fleet-vectorized
-        # path has a single uniform shape.
+        #: Resident base-tier counts for in-memory bootstraps
+        #: (:meth:`from_columns`); ``None`` for store-backed states.
+        self._base: Optional[np.ndarray] = None
+        self._pager: Optional[BlockPager] = None
         if store is not None:
-            self._ranges = [
-                (s.machine_lo, s.machine_hi) for s in store.manifest.shards
-            ]
             if store.n_machines != n_machines:
                 raise ServeError(
                     f"store holds {store.n_machines} machines, state "
                     f"declares {n_machines}"
                 )
+            lo, hi = shard_range if shard_range else (0, store.n_shards)
+            self._pager = BlockPager(
+                store,
+                shard_lo=lo,
+                shard_hi=hi,
+                block_machines=block_machines,
+                max_blocks=hot_shards,
+                max_bytes=hot_bytes,
+                verify=verify,
+            )
+            self.machine_lo = self._pager.machine_lo
+            self.machine_hi = self._pager.machine_hi
         else:
-            self._ranges = [(0, n_machines)]
-        self._shard_los = [lo for lo, _ in self._ranges]
+            self.machine_lo = 0
+            self.machine_hi = n_machines
         self._lock = threading.RLock()
-        self._hot: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._resident_bytes = 0
-        self._hits = 0
-        self._rebuilds = 0
-        self._evictions = 0
         # Overlay tier: (machine, day) -> int64[24], plus a by-day index
         # for the fleet-vectorized path and per-machine tails for the
         # ingest ordering contract.
@@ -264,12 +332,19 @@ class ServeState:
     @classmethod
     def from_columns(cls, cols: EventColumns, **kwargs) -> "ServeState":
         """State bootstrapped from one in-memory event table (always hot)."""
+        kwargs.pop("hot_shards", None)
+        kwargs.pop("hot_bytes", None)
+        kwargs.pop("block_machines", None)
         state = cls(cols.n_machines, cols.n_days, cols.start_weekday, **kwargs)
-        state._hot[0] = counts_from_columns(cols)
-        state._resident_bytes = state._hot[0].nbytes
+        state._base = counts_from_columns(cols)
         return state
 
     # -- introspection --------------------------------------------------------
+
+    @property
+    def owned_machines(self) -> int:
+        """Machines this state answers for (the fleet, or a worker slice)."""
+        return self.machine_hi - self.machine_lo
 
     @property
     def horizon_day(self) -> int:
@@ -289,22 +364,36 @@ class ServeState:
         """
         return (
             self.base_n_days > 0
-            or self._store is not None
-            or bool(self._hot)
+            or self._pager is not None
+            or self._base is not None
             or self._n_streamed > 0
         )
 
     def tier_stats(self) -> TierStats:
         with self._lock:
+            if self._pager is not None:
+                p = self._pager.stats()
+                hot, resident = p.resident_blocks, p.resident_bytes
+                hits, rebuilds, evictions = p.hits, p.rebuilds, p.evictions
+                n_blocks, block_machines = p.n_blocks, p.block_machines
+            elif self._base is not None:
+                hot, resident = 1, self._base.nbytes
+                hits = rebuilds = evictions = 0
+                n_blocks, block_machines = 1, None
+            else:
+                hot = resident = hits = rebuilds = evictions = 0
+                n_blocks, block_machines = 0, None
             return TierStats(
-                hot_entries=len(self._hot),
-                resident_bytes=self._resident_bytes,
-                hits=self._hits,
-                rebuilds=self._rebuilds,
-                evictions=self._evictions,
+                hot_entries=hot,
+                resident_bytes=resident,
+                hits=hits,
+                rebuilds=rebuilds,
+                evictions=evictions,
                 streamed_events=self._n_streamed,
                 deduplicated_events=self._n_deduped,
                 overlay_cells=len(self._overlay),
+                n_blocks=n_blocks,
+                block_machines=block_machines,
             )
 
     def is_weekend_day(self, day: int) -> bool:
@@ -312,44 +401,44 @@ class ServeState:
 
     # -- base tier ------------------------------------------------------------
 
-    def _shard_of(self, machine_id: int) -> int:
-        return bisect.bisect_right(self._shard_los, machine_id) - 1
+    def _base_segments(
+        self,
+    ) -> Iterator[tuple[int, int, Optional[np.ndarray]]]:
+        """Owned machine segments ``(lo, hi, counts)`` in machine order.
 
-    def _block(self, index: int) -> np.ndarray:
-        """The shard's count block, rebuilding and evicting as needed.
+        ``counts`` is the segment's base-tier block (``None`` when the
+        state has no base tier — overlay-only).  Store-backed states
+        yield one segment per pageable block, paging each in turn so a
+        fleet sweep respects the resident bounds.  Callers hold
+        ``self._lock``.
+        """
+        if self._base is not None:
+            yield self.machine_lo, self.machine_hi, self._base
+        elif self._pager is not None:
+            for block in self._pager.blocks:
+                yield block.lo, block.hi, self._pager.counts(block.index)
+        else:
+            yield self.machine_lo, self.machine_hi, None
+
+    def _base_cell(self, machine_id: int, day: int, hour: int) -> int:
+        if self._base is not None:
+            return int(self._base[machine_id, day, hour])
+        if self._pager is not None:
+            return self._pager.cell(machine_id, day, hour)
+        return 0
+
+    def _cell_count(self, machine_id: int, day: int, hour: int) -> int:
+        """Base + overlay count of one (machine, day, hour) cell.
 
         Callers hold ``self._lock``.
         """
-        block = self._hot.get(index)
-        if block is not None:
-            self._hot.move_to_end(index)
-            self._hits += 1
-            return block
-        if self._store is None:
-            # Overlay-only state: the virtual shard is all zeros.
-            lo, hi = self._ranges[index]
-            block = np.zeros((hi - lo, self.base_n_days, 24), dtype=np.int64)
-        else:
-            block = counts_from_columns(self._store.shard_columns(index))
-        self._rebuilds += 1
-        self._hot[index] = block
-        self._resident_bytes += block.nbytes
-        self._evict()
-        return block
-
-    def _evict(self) -> None:
-        def over() -> bool:
-            if self._hot_shards is not None and len(self._hot) > self._hot_shards:
-                return True
-            return (
-                self._hot_bytes is not None
-                and self._resident_bytes > self._hot_bytes
-            )
-
-        while len(self._hot) > 1 and over():
-            _, evicted = self._hot.popitem(last=False)
-            self._resident_bytes -= evicted.nbytes
-            self._evictions += 1
+        total = 0
+        if 0 <= day < self.base_n_days:
+            total += self._base_cell(machine_id, day, hour)
+        vec = self._overlay.get((machine_id, day))
+        if vec is not None:
+            total += int(vec[hour])
+        return total
 
     # -- ingest ---------------------------------------------------------------
 
@@ -392,6 +481,7 @@ class ServeState:
             raise ServeError(
                 f"machine {machine_id} outside fleet [0, {self.n_machines})"
             )
+        self._check_owned(machine_id)
         if not np.isfinite(start) or not np.isfinite(end) or start < 0:
             raise ServeError(
                 f"ingest event needs finite start >= 0 and end (got "
@@ -403,8 +493,106 @@ class ServeState:
             )
         return _ParsedEvent(machine_id, start, end, state)
 
+    def _validate_parsed(
+        self,
+        parsed: Sequence[_ParsedEvent],
+        tail_of: Callable[[int], Optional[_ParsedEvent]],
+    ) -> ValidatedBatch:
+        """Decide a parsed batch's fate against the given tail view.
+
+        ``tail_of`` maps a machine to its newest accepted event *before*
+        this batch — the applied tails for synchronous ingest, or the
+        queue's shadow tails for asynchronous ingest.  Raises
+        :class:`IngestOrderError` (whole batch, atomically) on an
+        ordering violation; duplicates of the newest event are dropped
+        and counted.
+        """
+        tails: dict[int, _ParsedEvent] = {}
+        accepted: list[_ParsedEvent] = []
+        deduped = 0
+        horizon = 0
+        for ev in parsed:
+            tail = tails.get(ev.machine_id)
+            if tail is None:
+                tail = tail_of(ev.machine_id)
+            if tail is not None:
+                if ev.start < tail.start:
+                    raise IngestOrderError(
+                        f"machine {ev.machine_id}: event start "
+                        f"{ev.start} is older than the newest accepted "
+                        f"event start {tail.start}; streamed starts "
+                        "must be non-decreasing per machine (batch "
+                        "rejected, nothing applied)"
+                    )
+                if ev.same_as(tail):
+                    deduped += 1
+                    continue
+            tails[ev.machine_id] = ev
+            accepted.append(ev)
+            day = int(np.divmod(ev.start, DAY)[0])
+            if day + 1 > horizon:
+                horizon = day + 1
+        return ValidatedBatch(
+            accepted=tuple(accepted),
+            deduplicated=deduped,
+            tails=tails,
+            horizon_day=horizon,
+        )
+
+    def validate_events(
+        self,
+        events: Iterable[Union[dict, Sequence]],
+        tail_of: Optional[Callable[[int], Optional[_ParsedEvent]]] = None,
+    ) -> ValidatedBatch:
+        """Parse and contract-check a batch without applying it.
+
+        With no ``tail_of`` the batch is judged against the currently
+        applied tails (under the state lock) — the synchronous decision.
+        The async ingest queue passes its shadow-tail view instead.
+        """
+        parsed = [self._parse_event(e) for e in events]
+        if tail_of is not None:
+            return self._validate_parsed(parsed, tail_of)
+        with self._lock:
+            return self._validate_parsed(parsed, self._last_event.get)
+
+    def tail_of(self, machine_id: int) -> Optional[_ParsedEvent]:
+        """The machine's newest *applied* event (thread-safe)."""
+        with self._lock:
+            return self._last_event.get(machine_id)
+
+    def _apply_locked(self, batch: ValidatedBatch) -> None:
+        for ev in batch.accepted:
+            day_f, rem = np.divmod(ev.start, DAY)
+            day = int(day_f)
+            hour = int(rem // HOUR)
+            key = (ev.machine_id, day)
+            vec = self._overlay.get(key)
+            if vec is None:
+                vec = np.zeros(24, dtype=np.int64)
+                self._overlay[key] = vec
+                self._overlay_by_day.setdefault(day, {})[
+                    ev.machine_id
+                ] = vec
+            vec[hour] += 1
+            if day + 1 > self._overlay_horizon:
+                self._overlay_horizon = day + 1
+        self._last_event.update(batch.tails)
+        self._n_streamed += len(batch.accepted)
+        self._n_deduped += batch.deduplicated
+
+    def apply_batch(self, batch: ValidatedBatch) -> IngestResult:
+        """Apply a pre-validated batch atomically (counts + tails).
+
+        The batch's fate was decided at validation time; application
+        cannot fail and readers never observe it half-applied.
+        """
+        with self._lock:
+            self._apply_locked(batch)
+        return batch.result()
+
     def ingest(self, events: Iterable[Union[dict, Sequence]]) -> IngestResult:
-        """Apply a batch of streamed events atomically.
+        """Apply a batch of streamed events atomically (synchronous).
 
         The whole batch is validated — shape, ranges, and the per-machine
         ordering contract (module docstring) — before any count changes;
@@ -413,47 +601,17 @@ class ServeState:
         """
         parsed = [self._parse_event(e) for e in events]
         with self._lock:
-            tails = dict(self._last_event)
-            accepted: list[_ParsedEvent] = []
-            deduped = 0
-            for ev in parsed:
-                tail = tails.get(ev.machine_id)
-                if tail is not None:
-                    if ev.start < tail.start:
-                        raise IngestOrderError(
-                            f"machine {ev.machine_id}: event start "
-                            f"{ev.start} is older than the newest accepted "
-                            f"event start {tail.start}; streamed starts "
-                            "must be non-decreasing per machine (batch "
-                            "rejected, nothing applied)"
-                        )
-                    if ev.same_as(tail):
-                        deduped += 1
-                        continue
-                tails[ev.machine_id] = ev
-                accepted.append(ev)
-            for ev in accepted:
-                day_f, rem = np.divmod(ev.start, DAY)
-                day = int(day_f)
-                hour = int(rem // HOUR)
-                key = (ev.machine_id, day)
-                vec = self._overlay.get(key)
-                if vec is None:
-                    vec = np.zeros(24, dtype=np.int64)
-                    self._overlay[key] = vec
-                    self._overlay_by_day.setdefault(day, {})[
-                        ev.machine_id
-                    ] = vec
-                vec[hour] += 1
-                if day + 1 > self._overlay_horizon:
-                    self._overlay_horizon = day + 1
-            self._last_event.update(tails)
-            self._n_streamed += len(accepted)
-            self._n_deduped += deduped
-        return IngestResult(accepted=len(accepted), deduplicated=deduped)
+            batch = self._validate_parsed(parsed, self._last_event.get)
+            self._apply_locked(batch)
+        return batch.result()
 
     def ingest_jsonl(self, lines: Iterable[str]) -> IngestResult:
         """Ingest a JSONL stream (one event object per non-blank line)."""
+        return self.ingest(self.parse_jsonl(lines))
+
+    @staticmethod
+    def parse_jsonl(lines: Iterable[str]) -> list[dict]:
+        """Decode a JSONL event stream into raw event dicts."""
         import json
 
         events = []
@@ -464,8 +622,150 @@ class ServeState:
             try:
                 events.append(json.loads(line))
             except ValueError as exc:
-                raise ServeError(f"ingest line {i}: invalid JSON: {exc}") from exc
-        return self.ingest(events)
+                raise ServeError(
+                    f"ingest line {i}: invalid JSON: {exc}"
+                ) from exc
+        return events
+
+    # -- overlay snapshot/restore ---------------------------------------------
+
+    def save_overlay_snapshot(self, path: Union[str, Path]) -> Path:
+        """Persist the overlay tier atomically (write-temp-rename).
+
+        The snapshot holds everything streamed since bootstrap: the
+        overlay cells, the per-machine ingest tails (so the ordering
+        contract survives a restart), and the counters.  The base tier
+        is *not* saved — it rebuilds from the shard store, which is the
+        durable copy of the bootstrap trace.
+        """
+        path = Path(path)
+        with self._lock:
+            keys = sorted(self._overlay)
+            cells = len(keys)
+            cell_machine = np.fromiter(
+                (k[0] for k in keys), dtype=np.int64, count=cells
+            )
+            cell_day = np.fromiter(
+                (k[1] for k in keys), dtype=np.int64, count=cells
+            )
+            cell_counts = (
+                np.stack([self._overlay[k] for k in keys])
+                if keys
+                else np.zeros((0, 24), dtype=np.int64)
+            )
+            tail_keys = sorted(self._last_event)
+            tails = [self._last_event[m] for m in tail_keys]
+            payload = dict(
+                meta=np.array(
+                    [
+                        SNAPSHOT_VERSION,
+                        self.n_machines,
+                        self.base_n_days,
+                        self.start_weekday,
+                        self.machine_lo,
+                        self.machine_hi,
+                        self._overlay_horizon,
+                        self._n_streamed,
+                        self._n_deduped,
+                    ],
+                    dtype=np.int64,
+                ),
+                cell_machine=cell_machine,
+                cell_day=cell_day,
+                cell_counts=cell_counts,
+                tail_machine=np.array(tail_keys, dtype=np.int64),
+                tail_start=np.array([t.start for t in tails], dtype=np.float64),
+                tail_end=np.array([t.end for t in tails], dtype=np.float64),
+                tail_state=np.array([t.state for t in tails], dtype=np.int64),
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path
+
+    def restore_overlay_snapshot(self, path: Union[str, Path]) -> int:
+        """Restore a snapshot written by :meth:`save_overlay_snapshot`.
+
+        Replaces the overlay tier wholesale (meant for boot, before any
+        streaming).  The snapshot's fleet frame must match this state's;
+        a frame mismatch raises :class:`ServeError` rather than serving
+        counts for the wrong fleet.  Returns the streamed-event count
+        restored.
+        """
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, ValueError, KeyError) as exc:
+            raise ServeError(
+                f"cannot read overlay snapshot {path}: {exc}"
+            ) from exc
+        try:
+            meta = arrays["meta"]
+            (
+                version,
+                n_machines,
+                base_n_days,
+                start_weekday,
+                machine_lo,
+                machine_hi,
+                horizon,
+                n_streamed,
+                n_deduped,
+            ) = (int(x) for x in meta)
+        except (KeyError, ValueError) as exc:
+            raise ServeError(
+                f"malformed overlay snapshot {path}: {exc}"
+            ) from exc
+        if version != SNAPSHOT_VERSION:
+            raise ServeError(
+                f"overlay snapshot {path} has version {version}, "
+                f"this build reads {SNAPSHOT_VERSION}"
+            )
+        frame = (n_machines, base_n_days, start_weekday, machine_lo, machine_hi)
+        mine = (
+            self.n_machines,
+            self.base_n_days,
+            self.start_weekday,
+            self.machine_lo,
+            self.machine_hi,
+        )
+        if frame != mine:
+            raise ServeError(
+                f"overlay snapshot {path} frame {frame} does not match "
+                f"this state's {mine}; refusing to restore"
+            )
+        overlay: dict[tuple[int, int], np.ndarray] = {}
+        by_day: dict[int, dict[int, np.ndarray]] = {}
+        for machine, day, counts in zip(
+            arrays["cell_machine"], arrays["cell_day"], arrays["cell_counts"]
+        ):
+            vec = np.asarray(counts, dtype=np.int64).copy()
+            overlay[(int(machine), int(day))] = vec
+            by_day.setdefault(int(day), {})[int(machine)] = vec
+        tails = {
+            int(m): _ParsedEvent(int(m), float(s), float(e), int(st))
+            for m, s, e, st in zip(
+                arrays["tail_machine"],
+                arrays["tail_start"],
+                arrays["tail_end"],
+                arrays["tail_state"],
+            )
+        }
+        with self._lock:
+            self._overlay = overlay
+            self._overlay_by_day = by_day
+            self._last_event = tails
+            self._overlay_horizon = horizon
+            self._n_streamed = n_streamed
+            self._n_deduped = n_deduped
+        return n_streamed
 
     # -- queries --------------------------------------------------------------
 
@@ -481,21 +781,6 @@ class ServeState:
                 days.append(d)
             d -= 1
         return days
-
-    def _cell_count(self, machine_id: int, day: int, hour: int) -> int:
-        """Base + overlay count of one (machine, day, hour) cell.
-
-        Callers hold ``self._lock``.
-        """
-        total = 0
-        if 0 <= day < self.base_n_days:
-            index = self._shard_of(machine_id)
-            lo = self._ranges[index][0]
-            total += int(self._block(index)[machine_id - lo, day, hour])
-        vec = self._overlay.get((machine_id, day))
-        if vec is not None:
-            total += int(vec[hour])
-        return total
 
     def window_count(
         self, machine_id: int, day: int, start_hour: float, duration_hours: float
@@ -522,12 +807,21 @@ class ServeState:
                     )
             return total
 
+    def _check_owned(self, machine_id: int) -> None:
+        if not self.machine_lo <= machine_id < self.machine_hi:
+            raise WorkerRangeError(
+                f"machine {machine_id} not owned by this worker (owns "
+                f"[{self.machine_lo}, {self.machine_hi}) of "
+                f"{self.n_machines} machines)"
+            )
+
     def _check_machine(self, machine_id: int) -> None:
         if not 0 <= machine_id < self.n_machines:
             raise ServeError(
                 f"unknown machine {machine_id} (fleet is "
                 f"[0, {self.n_machines}))"
             )
+        self._check_owned(machine_id)
 
     def _check_ready(self) -> None:
         if not self.ready:
@@ -595,13 +889,14 @@ class ServeState:
     def _history_matrix(
         self, day: int, start_hour: float, duration_hours: float
     ) -> np.ndarray:
-        """``(n_machines, n_history_days)`` window counts for the fleet.
+        """``(owned_machines, n_history_days)`` window counts.
 
-        Row ``m`` equals :meth:`history_counts` for machine ``m`` exactly:
-        the per-cell accumulation happens in the same cell order, and each
-        cell's base and overlay counts are summed as integers before the
-        single float multiply, so the float result is bit-identical to
-        the scalar path.
+        Row ``m - machine_lo`` equals :meth:`history_counts` for machine
+        ``m`` exactly: the per-cell accumulation happens in the same
+        cell order, and each cell's base and overlay counts are summed
+        as integers before the single float multiply, so the float
+        result is bit-identical to the scalar path — per machine, for
+        any block size, through any eviction or routing split.
         """
         self._check_ready()
         days = self._history_day_list(day)
@@ -618,19 +913,18 @@ class ServeState:
         )
         cells = query.hour_cells()
         horizon = self.horizon_day
-        out = np.zeros((self.n_machines, len(days)), dtype=float)
+        out = np.zeros((self.owned_machines, len(days)), dtype=float)
         with self._lock:
-            for index, (lo, hi) in enumerate(self._ranges):
-                block = self._block(index)
-                sub = out[lo:hi]
+            for lo, hi, counts in self._base_segments():
+                sub = out[lo - self.machine_lo : hi - self.machine_lo]
                 for i, d in enumerate(days):
                     shift = d - day
                     for cell_day, hour, overlap in cells:
                         cd = cell_day + shift
                         if not 0 <= cd < horizon:
                             continue
-                        if cd < self.base_n_days:
-                            cell = block[:, cd, hour].copy()
+                        if counts is not None and cd < self.base_n_days:
+                            cell = counts[:, cd, hour].copy()
                         else:
                             cell = np.zeros(hi - lo, dtype=np.int64)
                         touched = self._overlay_by_day.get(cd)
@@ -644,7 +938,10 @@ class ServeState:
     def survival_fleet(
         self, day: int, start_hour: float, duration_hours: float
     ) -> np.ndarray:
-        """Per-machine survival probabilities for one window shape."""
+        """Per-owned-machine survival probabilities for one window shape.
+
+        Index ``m - machine_lo`` holds machine ``m``'s answer.
+        """
         matrix = self._history_matrix(day, start_hour, duration_hours)
         n = matrix.shape[1]
         clean = np.count_nonzero(matrix < 0.5, axis=1).astype(float)
@@ -658,9 +955,13 @@ class ServeState:
         *,
         threshold: float = 0.5,
     ) -> dict:
-        """How many machines forecast free for the whole window.
+        """How many owned machines forecast free for the whole window.
 
         A machine counts when its survival probability is >= ``threshold``.
+        For a worker slice the answer covers only the owned range
+        (``owned``/``machine_lo``/``machine_hi``); the router merges
+        partials — integer ``available`` sums are exact, and
+        ``survival_sum`` lets it recompute the fleet mean.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ServeError("threshold must be in [0, 1]")
@@ -669,18 +970,28 @@ class ServeState:
         return {
             "available": available,
             "n_machines": self.n_machines,
-            "fraction": available / self.n_machines,
+            "owned": self.owned_machines,
+            "machine_lo": self.machine_lo,
+            "machine_hi": self.machine_hi,
+            "fraction": available / self.owned_machines,
             "threshold": threshold,
             "mean_survival": float(survival.mean()),
+            "survival_sum": float(survival.sum()),
         }
 
     def rank(
         self, day: int, start_hour: float, duration_hours: float, *, k: int = 10
     ) -> list[tuple[int, float]]:
-        """Top-``k`` machines by survival, ties broken by machine id."""
+        """Top-``k`` owned machines by survival, ties broken by machine id.
+
+        Machine ids are global, so worker partials merge by a plain
+        ``(-survival, machine)`` sort at the router.
+        """
         if k < 1:
             raise ServeError("k must be >= 1")
         survival = self.survival_fleet(day, start_hour, duration_hours)
         # Stable sort on -survival: equal survivals keep ascending id order.
         order = np.argsort(-survival, kind="stable")[:k]
-        return [(int(m), float(survival[m])) for m in order]
+        return [
+            (int(m) + self.machine_lo, float(survival[m])) for m in order
+        ]
